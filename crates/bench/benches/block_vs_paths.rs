@@ -1,0 +1,70 @@
+//! Ablation: Hitchcock's block method vs naive path enumeration for
+//! slack computation (Section 7: "Such a path enumeration procedure is
+//! computationally expensive… we decided to use the straight block
+//! analysis method").
+//!
+//! Both compute identical maximum arrival times; the block method is a
+//! single topological sweep while enumeration visits every path, whose
+//! count grows exponentially with reconvergent depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_cells::{sc89, Binding};
+use hb_netlist::NetId;
+use hb_sta::analysis::{propagate_ready_max, table};
+use hb_sta::paths::enumerate_max_arrival;
+use hb_sta::TimingGraph;
+use hb_units::{RiseFall, Time};
+use hb_workloads::{random_pipeline, PipelineParams};
+
+fn fixture(gates: usize) -> (TimingGraph, Vec<NetId>) {
+    let lib = sc89();
+    let w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 1,
+            width: 8,
+            gates_per_stage: gates,
+            transparent: false,
+            period_ns: 100,
+            seed: 42,
+            imbalance_pct: 0,
+        },
+    );
+    let binding = Binding::new(&w.design, &lib);
+    let graph = TimingGraph::build(&w.design, w.module, &binding, &lib)
+        .expect("generated pipelines are acyclic");
+    // Seeds: every synchronising-element output.
+    let seeds = graph
+        .syncs()
+        .iter()
+        .filter_map(|s| s.output_net)
+        .collect();
+    (graph, seeds)
+}
+
+fn bench_block_vs_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_vs_paths");
+    group.sample_size(10);
+    for gates in [40usize, 80, 160] {
+        let (graph, seeds) = fixture(gates);
+        group.bench_with_input(BenchmarkId::new("block", gates), &gates, |b, _| {
+            b.iter(|| {
+                let mut ready = table(&graph, Time::NEG_INF);
+                for &net in &seeds {
+                    ready[net.as_raw() as usize] = RiseFall::ZERO;
+                }
+                propagate_ready_max(&graph, &mut ready);
+                ready
+            })
+        });
+        let seed_pairs: Vec<(NetId, RiseFall<Time>)> =
+            seeds.iter().map(|&n| (n, RiseFall::ZERO)).collect();
+        group.bench_with_input(BenchmarkId::new("enumerate", gates), &gates, |b, _| {
+            b.iter(|| enumerate_max_arrival(&graph, &seed_pairs, 2_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_vs_paths);
+criterion_main!(benches);

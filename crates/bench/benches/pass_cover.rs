@@ -1,0 +1,103 @@
+//! Ablation: the Section 7 minimal analysis-pass search.
+//!
+//! Measures the exhaustive break-arc subset search as the clock system
+//! grows (2–8 phases, all-pairs requirement sets), and compares the
+//! resulting pass counts against the naive alternative of one pass per
+//! clock edge — which is what "a number of settling times … for each
+//! node" costs without the minimisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_clock::{ClockSet, EdgeGraph, Requirement};
+use hb_units::Time;
+
+fn phase_set(phases: i64) -> ClockSet {
+    let mut clocks = ClockSet::new();
+    let period = Time::from_ns(120);
+    for i in 0..phases {
+        let start = Time::from_ps(120_000 / phases * i);
+        clocks
+            .add_clock(
+                format!("p{i}"),
+                period,
+                start,
+                start + Time::from_ns(10),
+            )
+            .expect("valid waveform");
+    }
+    clocks
+}
+
+/// Pipeline-style requirements: latches on phase `i` feed latches on
+/// phase `i+1` (leading edge asserts, trailing edge closes), with the
+/// wrap-around pair included — the realistic multi-phase structure.
+fn pipeline_requirements(clocks: &ClockSet) -> Vec<Requirement> {
+    let timeline = clocks.timeline();
+    let ids: Vec<_> = clocks.clocks().map(|(id, _)| id).collect();
+    let mut reqs = Vec::new();
+    for (i, &src) in ids.iter().enumerate() {
+        let dst = ids[(i + 1) % ids.len()];
+        let lead = timeline.pulses(src, hb_units::Sense::Positive)[0].lead;
+        let trail = timeline.pulses(dst, hb_units::Sense::Positive)[0].trail;
+        reqs.push(Requirement {
+            assert_edge: lead,
+            close_edge: trail,
+        });
+    }
+    reqs
+}
+
+/// The adversarial all-pairs set (every assertion must precede every
+/// closure in some window) — the worst case for any cover.
+fn all_pairs(clocks: &ClockSet) -> (Vec<Requirement>, usize) {
+    let timeline = clocks.timeline();
+    let ids: Vec<_> = timeline.edges().map(|(id, _)| id).collect();
+    let mut reqs = Vec::new();
+    for &a in &ids {
+        for &c in &ids {
+            reqs.push(Requirement {
+                assert_edge: a,
+                close_edge: c,
+            });
+        }
+    }
+    (reqs, ids.len())
+}
+
+fn bench_pass_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pass_cover");
+    for phases in [2i64, 4, 8] {
+        let clocks = phase_set(phases);
+        let timeline = clocks.timeline();
+        let pipeline = pipeline_requirements(&clocks);
+        let (adversarial, edge_count) = all_pairs(&clocks);
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", phases),
+            &phases,
+            |b, _| {
+                let graph = EdgeGraph::new(&timeline);
+                b.iter(|| graph.minimal_passes(&pipeline))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("all_pairs", phases),
+            &phases,
+            |b, _| {
+                let graph = EdgeGraph::new(&timeline);
+                b.iter(|| graph.minimal_passes(&adversarial))
+            },
+        );
+        // Report the ablation numbers once per configuration.
+        let graph = EdgeGraph::new(&timeline);
+        let pipe_plan = graph.minimal_passes(&pipeline);
+        let adv_plan = graph.minimal_passes(&adversarial);
+        eprintln!(
+            "pass_cover: {phases} phases -> pipeline {} passes, all-pairs {} passes (naive: {edge_count})",
+            pipe_plan.pass_count(),
+            adv_plan.pass_count(),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pass_cover);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Scaling study: analysis cost vs design size (the claim behind
+//! Table 1's "very fast": block analysis is a constant number of
+//! topological sweeps, so cost grows linearly in cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_cells::sc89;
+use hb_workloads::{random_pipeline, PipelineParams};
+use hummingbird::Analyzer;
+
+fn bench_scaling(c: &mut Criterion) {
+    let lib = sc89();
+    let mut group = c.benchmark_group("scaling/analysis");
+    group.sample_size(10);
+    for gates_per_stage in [125usize, 250, 500, 1000, 2000] {
+        let w = random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 4,
+                width: 16,
+                gates_per_stage,
+                transparent: false,
+                period_ns: 200,
+                seed: 77,
+                imbalance_pct: 0,
+            },
+        );
+        let cells = w.stats().cells;
+        let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("conforming workload");
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &analyzer, |b, a| {
+            b.iter(|| a.analyze())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Reproduces the Section 8 observation: "the number of iterations
+//! required, and hence the run times, depend upon the specified clock
+//! speeds."
+//!
+//! A two-phase transparent-latch pipeline is analyzed across a sweep of
+//! clock periods. Near the feasibility boundary, Algorithm 1 must shift
+//! slack back and forth through the latch windows (more complete and
+//! partial transfer cycles); with a comfortable clock the first slack
+//! evaluation already succeeds and the early-out fires.
+
+use hb_cells::sc89;
+use hb_workloads::latch_pipeline;
+use hummingbird::Analyzer;
+
+fn main() {
+    let lib = sc89();
+    println!("Iteration count vs clock period (two-phase latch pipeline)");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>6}",
+        "period", "fwd", "bwd", "pfwd", "pbwd", "worst", "ok"
+    );
+    for period_ns in [8i64, 10, 12, 14, 16, 20, 30, 60] {
+        let w = latch_pipeline(&lib, 6, 8, 11, period_ns);
+        let analyzer =
+            Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+                .expect("pipeline conforms");
+        let report = analyzer.analyze();
+        let s = report.algorithm1_stats();
+        println!(
+            "{:>8}ns {:>8} {:>8} {:>8} {:>8} {:>10} {:>6}",
+            period_ns,
+            s.forward_cycles,
+            s.backward_cycles,
+            s.partial_forward_cycles,
+            s.partial_backward_cycles,
+            report.worst_slack().to_string(),
+            if report.ok() { "yes" } else { "no" }
+        );
+    }
+}

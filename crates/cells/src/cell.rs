@@ -1,0 +1,307 @@
+//! Library cells: interfaces, functions and synchronising-element specs.
+
+use std::fmt;
+
+use hb_netlist::{LeafDef, PinSlot};
+use hb_units::{Sense, Time};
+
+use crate::delay::DelayModel;
+
+/// Handle to a [`Cell`] within a [`crate::Library`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Returns the raw index.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// The relative drive strength of a cell variant (X1, X2, X4…).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DriveStrength(pub u8);
+
+impl DriveStrength {
+    /// The baseline ×1 drive.
+    pub const X1: DriveStrength = DriveStrength(1);
+    /// Double drive.
+    pub const X2: DriveStrength = DriveStrength(2);
+    /// Quadruple drive.
+    pub const X4: DriveStrength = DriveStrength(4);
+}
+
+impl fmt::Display for DriveStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// One input-to-output timing arc of a combinational cell.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingArc {
+    /// Input pin slot.
+    pub from: PinSlot,
+    /// Output pin slot.
+    pub to: PinSlot,
+    /// Unateness of the arc.
+    pub sense: Sense,
+    /// Load-dependent delay of the arc.
+    pub delay: DelayModel,
+}
+
+/// The kind of a synchronising element, per Section 5 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// A trailing-edge-triggered latch (master–slave flip-flop): the
+    /// trailing edge of each control pulse causes both input closure and
+    /// output assertion.
+    TrailingEdge,
+    /// A level-sensitive ("transparent") latch: the leading edge causes
+    /// output assertion, the trailing edge causes input closure, and data
+    /// flows through during the pulse.
+    Transparent,
+    /// A clocked tristate driver — "modeled in the same way as
+    /// transparent latches" (paper, end of Section 5).
+    ClockedTristate,
+}
+
+impl SyncKind {
+    /// Whether the element has a transparency window (its data-side
+    /// offsets are adjustable by slack transfer).
+    pub fn is_transparent(self) -> bool {
+        matches!(self, SyncKind::Transparent | SyncKind::ClockedTristate)
+    }
+}
+
+impl fmt::Display for SyncKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncKind::TrailingEdge => "trailing-edge latch",
+            SyncKind::Transparent => "transparent latch",
+            SyncKind::ClockedTristate => "clocked tristate",
+        })
+    }
+}
+
+/// The timing description of a synchronising element.
+///
+/// The generic model of the paper (Figure 2) has three logical terminals:
+/// data input, control input and data output. `control_sense` captures
+/// the monotonic-control assumption: with [`Sense::Positive`] the element
+/// is enabled while its clock is high (the pulse *is* the clock pulse);
+/// with [`Sense::Negative`] it is enabled while the clock is low.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncSpec {
+    /// Which kind of element this is.
+    pub kind: SyncKind,
+    /// The data-input pin slot.
+    pub data: PinSlot,
+    /// The control (clock/enable) pin slot.
+    pub control: PinSlot,
+    /// The data-output pin slot.
+    pub output: PinSlot,
+    /// An optional complementary output (the paper's *output-bar*
+    /// terminal: "synchronising elements with further terminals … can be
+    /// handled"). It asserts at the same times as the main output.
+    pub output_bar: Option<PinSlot>,
+    /// Required set-up time `D_setup`.
+    pub setup: Time,
+    /// Required hold time after input closure (used by the supplementary
+    /// minimum-delay checks; the paper's core algorithms ignore it).
+    pub hold: Time,
+    /// Control-to-output delay `D_cx` (intrinsic; the load-dependent part
+    /// comes from `output_delay`).
+    pub d_cx: Time,
+    /// Data-to-output delay `D_dx` (transparent kinds only; ignored for
+    /// trailing-edge elements).
+    pub d_dx: Time,
+    /// Whether the element is enabled on the high (positive) or low
+    /// (negative) phase of its controlling clock signal.
+    pub control_sense: Sense,
+    /// Load-dependent part of the output delay, added to `d_cx`/`d_dx`
+    /// when driving a net.
+    pub output_delay: DelayModel,
+}
+
+/// What a cell does.
+#[derive(Clone, Debug)]
+pub enum Function {
+    /// Pure combinational logic with explicit pin-to-pin arcs.
+    Combinational(Vec<TimingArc>),
+    /// A synchronising element.
+    Sync(SyncSpec),
+}
+
+/// A library cell: interface plus function plus physical parameters.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub(crate) interface: LeafDef,
+    pub(crate) function: Function,
+    pub(crate) input_cap_ff: Vec<i64>,
+    pub(crate) drive: DriveStrength,
+    pub(crate) family: String,
+    pub(crate) area: u32,
+}
+
+impl Cell {
+    /// Creates a cell.
+    ///
+    /// `input_cap_ff` must have one entry per interface pin (entries for
+    /// output pins are ignored and conventionally zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_cap_ff.len()` does not match the interface pin
+    /// count.
+    pub fn new(
+        interface: LeafDef,
+        function: Function,
+        input_cap_ff: Vec<i64>,
+        drive: DriveStrength,
+        family: impl Into<String>,
+        area: u32,
+    ) -> Cell {
+        assert_eq!(
+            input_cap_ff.len(),
+            interface.pin_count(),
+            "one capacitance entry per pin"
+        );
+        Cell {
+            interface,
+            function,
+            input_cap_ff,
+            drive,
+            family: family.into(),
+            area,
+        }
+    }
+
+    /// The cell name (e.g. `"NAND2_X1"`).
+    pub fn name(&self) -> &str {
+        self.interface.name()
+    }
+
+    /// The interface declaration.
+    pub fn interface(&self) -> &LeafDef {
+        &self.interface
+    }
+
+    /// The cell function.
+    pub fn function(&self) -> &Function {
+        &self.function
+    }
+
+    /// The capacitance presented by pin `slot`, in femtofarads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn pin_cap_ff(&self, slot: PinSlot) -> i64 {
+        self.input_cap_ff[slot.as_raw() as usize]
+    }
+
+    /// The drive strength of this variant.
+    pub fn drive(&self) -> DriveStrength {
+        self.drive
+    }
+
+    /// The family name shared by all drive variants (e.g. `"NAND2"`).
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The cell area in layout units.
+    pub fn area(&self) -> u32 {
+        self.area
+    }
+
+    /// Returns the synchronising-element spec if this is a sync cell.
+    pub fn sync_spec(&self) -> Option<&SyncSpec> {
+        match &self.function {
+            Function::Sync(spec) => Some(spec),
+            Function::Combinational(_) => None,
+        }
+    }
+
+    /// Returns the combinational timing arcs if this is a logic cell.
+    pub fn arcs(&self) -> &[TimingArc] {
+        match &self.function {
+            Function::Combinational(arcs) => arcs,
+            Function::Sync(_) => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_netlist::PinDir;
+    use hb_units::RiseFall;
+
+    fn inv_cell() -> Cell {
+        let iface = LeafDef::new("INV_X1")
+            .pin("A", PinDir::Input)
+            .pin("Y", PinDir::Output);
+        let arc = TimingArc {
+            from: iface.pin_by_name("A").unwrap(),
+            to: iface.pin_by_name("Y").unwrap(),
+            sense: Sense::Negative,
+            delay: DelayModel::new(RiseFall::splat(Time::from_ps(60)), RiseFall::splat(5)),
+        };
+        Cell::new(
+            iface,
+            Function::Combinational(vec![arc]),
+            vec![4, 0],
+            DriveStrength::X1,
+            "INV",
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let c = inv_cell();
+        assert_eq!(c.name(), "INV_X1");
+        assert_eq!(c.family(), "INV");
+        assert_eq!(c.drive(), DriveStrength::X1);
+        assert_eq!(c.area(), 2);
+        assert_eq!(c.arcs().len(), 1);
+        assert!(c.sync_spec().is_none());
+        assert_eq!(c.pin_cap_ff(c.interface().pin_by_name("A").unwrap()), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacitance entry per pin")]
+    fn cap_table_must_match_pins() {
+        let iface = LeafDef::new("X").pin("A", PinDir::Input);
+        let _ = Cell::new(
+            iface,
+            Function::Combinational(vec![]),
+            vec![],
+            DriveStrength::X1,
+            "X",
+            1,
+        );
+    }
+
+    #[test]
+    fn sync_kind_queries() {
+        assert!(SyncKind::Transparent.is_transparent());
+        assert!(SyncKind::ClockedTristate.is_transparent());
+        assert!(!SyncKind::TrailingEdge.is_transparent());
+        assert_eq!(SyncKind::Transparent.to_string(), "transparent latch");
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(DriveStrength::X4.to_string(), "X4");
+        assert_eq!(CellId(3).to_string(), "cell3");
+    }
+}

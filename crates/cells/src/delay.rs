@@ -1,0 +1,225 @@
+//! Empirical delay models.
+
+use hb_units::{MinMax, RiseFall, Time};
+
+/// The load-dependent linear delay expression used for every timing arc:
+///
+/// ```text
+/// d_max(tr) = intrinsic[tr] + slope_ps_per_ff[tr] · load_ff
+/// d_min(tr) = d_max(tr) · min_scale_pct / 100
+/// ```
+///
+/// where `tr` is the **output** transition direction and `load_ff` is the
+/// capacitive load on the driven net in femtofarads. This is the
+/// "empirical delay estimation formula" form the paper uses for standard
+/// cells; the minimum (contamination) delay feeds the supplementary path
+/// constraints.
+///
+/// # Examples
+///
+/// ```
+/// use hb_cells::DelayModel;
+/// use hb_units::{RiseFall, Time, Transition};
+///
+/// let model = DelayModel::new(
+///     RiseFall::new(Time::from_ps(120), Time::from_ps(90)),
+///     RiseFall::new(6, 4),
+/// );
+/// let d = model.eval(10); // 10 fF of load
+/// assert_eq!(d.max[Transition::Rise], Time::from_ps(180));
+/// assert_eq!(d.min[Transition::Rise], Time::from_ps(90));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayModel {
+    intrinsic: RiseFall<Time>,
+    slope_ps_per_ff: RiseFall<i64>,
+    min_scale_pct: u8,
+}
+
+impl DelayModel {
+    /// Creates a model with the default 50% min-delay scale.
+    pub fn new(intrinsic: RiseFall<Time>, slope_ps_per_ff: RiseFall<i64>) -> DelayModel {
+        DelayModel {
+            intrinsic,
+            slope_ps_per_ff,
+            min_scale_pct: 50,
+        }
+    }
+
+    /// Creates a model with symmetric rise/fall behaviour.
+    pub fn symmetric(intrinsic: Time, slope_ps_per_ff: i64) -> DelayModel {
+        DelayModel::new(RiseFall::splat(intrinsic), RiseFall::splat(slope_ps_per_ff))
+    }
+
+    /// A zero-delay model (ideal wires, test fixtures).
+    pub fn zero() -> DelayModel {
+        DelayModel::symmetric(Time::ZERO, 0)
+    }
+
+    /// Overrides the minimum-delay scale (percent of the maximum delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn with_min_scale_pct(mut self, pct: u8) -> DelayModel {
+        assert!(pct <= 100, "min scale is a percentage of the max delay");
+        self.min_scale_pct = pct;
+        self
+    }
+
+    /// The zero-load (intrinsic) delay.
+    pub fn intrinsic(&self) -> RiseFall<Time> {
+        self.intrinsic
+    }
+
+    /// The load slope in picoseconds per femtofarad.
+    pub fn slope_ps_per_ff(&self) -> RiseFall<i64> {
+        self.slope_ps_per_ff
+    }
+
+    /// The minimum-delay scale as a percentage of the maximum delay.
+    pub fn min_scale_pct(&self) -> u8 {
+        self.min_scale_pct
+    }
+
+    /// Evaluates the model at `load_ff` femtofarads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_ff` is negative.
+    pub fn eval(&self, load_ff: i64) -> MinMax<RiseFall<Time>> {
+        assert!(load_ff >= 0, "capacitive load cannot be negative");
+        let max = self
+            .intrinsic
+            .zip_with(self.slope_ps_per_ff, |i, s| i + Time::from_ps(s * load_ff));
+        let min = max.map(|t| Time::from_ps(t.as_ps() * i64::from(self.min_scale_pct) / 100));
+        MinMax { min, max }
+    }
+
+    /// Returns a copy with every delay scaled to `pct` percent — the
+    /// "adjustments may also be made to component delays" knob of the
+    /// paper's interactive mode (derating for slow corners, or
+    /// what-if speedups below 100).
+    ///
+    /// Scaling rounds *up*, so derating never optimistically shortens a
+    /// delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is zero.
+    pub fn derated(&self, pct: u32) -> DelayModel {
+        assert!(pct > 0, "a zero derate would erase all delays");
+        let scale = |t: Time| Time::from_ps((t.as_ps() * i64::from(pct)).div_euclid(100));
+        DelayModel {
+            intrinsic: self.intrinsic.map(scale),
+            slope_ps_per_ff: self
+                .slope_ps_per_ff
+                .map(|s| (s * i64::from(pct)).div_euclid(100)),
+            min_scale_pct: self.min_scale_pct,
+        }
+    }
+
+    /// Returns a copy scaled for a stronger drive: intrinsic unchanged,
+    /// slope divided by `factor` (a ×4 driver sees a quarter of the
+    /// per-load delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled_drive(&self, factor: i64) -> DelayModel {
+        assert!(factor > 0, "drive factor must be positive");
+        DelayModel {
+            intrinsic: self.intrinsic,
+            slope_ps_per_ff: self.slope_ps_per_ff.map(|s| (s + factor - 1) / factor),
+            min_scale_pct: self.min_scale_pct,
+        }
+    }
+}
+
+/// The net-capacitance estimate added on top of pin loads.
+///
+/// `load(net) = Σ sink-pin caps + base_ff + per_fanout_ff · fanout` — the
+/// classic pre-layout fanout-based wire load.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireLoad {
+    /// Fixed capacitance per net.
+    pub base_ff: i64,
+    /// Additional capacitance per load endpoint.
+    pub per_fanout_ff: i64,
+}
+
+impl WireLoad {
+    /// Creates a wire-load estimate.
+    pub fn new(base_ff: i64, per_fanout_ff: i64) -> WireLoad {
+        WireLoad {
+            base_ff,
+            per_fanout_ff,
+        }
+    }
+
+    /// The estimated wire capacitance for a net with `fanout` loads.
+    pub fn wire_cap_ff(&self, fanout: usize) -> i64 {
+        self.base_ff + self.per_fanout_ff * fanout as i64
+    }
+}
+
+impl Default for WireLoad {
+    /// A small pre-layout estimate: 2 fF per net plus 3 fF per fanout.
+    fn default() -> WireLoad {
+        WireLoad::new(2, 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_units::Transition;
+
+    #[test]
+    fn eval_is_linear_in_load() {
+        let m = DelayModel::new(
+            RiseFall::new(Time::from_ps(100), Time::from_ps(80)),
+            RiseFall::new(5, 3),
+        );
+        let d0 = m.eval(0);
+        let d10 = m.eval(10);
+        assert_eq!(d0.max[Transition::Rise], Time::from_ps(100));
+        assert_eq!(d10.max[Transition::Rise], Time::from_ps(150));
+        assert_eq!(d10.max[Transition::Fall], Time::from_ps(110));
+        assert!(d10.min[Transition::Rise] < d10.max[Transition::Rise]);
+    }
+
+    #[test]
+    fn min_scale() {
+        let m = DelayModel::symmetric(Time::from_ps(100), 0).with_min_scale_pct(100);
+        let d = m.eval(0);
+        assert_eq!(d.min, d.max);
+        let m = DelayModel::symmetric(Time::from_ps(100), 0).with_min_scale_pct(0);
+        assert_eq!(m.eval(0).min[Transition::Fall], Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitive load cannot be negative")]
+    fn negative_load_panics() {
+        let _ = DelayModel::zero().eval(-1);
+    }
+
+    #[test]
+    fn scaled_drive_reduces_slope_only() {
+        let m = DelayModel::symmetric(Time::from_ps(100), 8);
+        let s = m.scaled_drive(4);
+        assert_eq!(s.intrinsic(), m.intrinsic());
+        assert_eq!(s.slope_ps_per_ff(), RiseFall::splat(2));
+        // Rounds up so a strong driver is never optimistically fast.
+        let odd = DelayModel::symmetric(Time::ZERO, 5).scaled_drive(2);
+        assert_eq!(odd.slope_ps_per_ff(), RiseFall::splat(3));
+    }
+
+    #[test]
+    fn wire_load() {
+        let w = WireLoad::new(2, 3);
+        assert_eq!(w.wire_cap_ff(0), 2);
+        assert_eq!(w.wire_cap_ff(4), 14);
+        assert_eq!(WireLoad::default(), WireLoad::new(2, 3));
+    }
+}

@@ -1,0 +1,51 @@
+//! Standard-cell library and empirical delay estimation.
+//!
+//! The paper draws a sharp line between *component propagation-delay
+//! estimation* and *system timing analysis*, precisely so that different
+//! delay estimators can be combined. This crate is the delay-estimation
+//! side of that line:
+//!
+//! * [`Cell`] — a library cell: an interface (pins), a [`Function`]
+//!   (combinational timing arcs, or a synchronising element description),
+//!   per-input-pin capacitances, an area and a drive strength;
+//! * [`DelayModel`] — the empirical expression the paper alludes to
+//!   ("delay evaluation expressions that take into account the connected
+//!   loads"): `delay = intrinsic + slope × C_load`, kept separately for
+//!   rising and falling output transitions and as a `[min, max]` interval;
+//! * [`Library`] — a named collection of cells with a [`WireLoad`]
+//!   estimate, able to declare its interfaces into an `hb-netlist`
+//!   [`Design`](hb_netlist::Design) and to resolve instances back to
+//!   cells through a [`Binding`];
+//! * [`sc89`] — the built-in library, a late-1980s-flavoured static CMOS
+//!   standard-cell set with X1/X2/X4 drive variants, edge-triggered and
+//!   transparent latches, and clocked tristate drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_cells::{sc89, Binding};
+//! use hb_netlist::Design;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = sc89();
+//! let mut design = Design::new("chip");
+//! lib.declare_into(&mut design)?;
+//! let m = design.add_module("top")?;
+//! let inv = design.leaf_by_name("INV_X1").expect("declared by the library");
+//! let u = design.add_leaf_instance(m, "u0", inv)?;
+//! # let _ = u;
+//! let binding = Binding::new(&design, &lib);
+//! assert!(binding.cell_for_leaf(inv).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod cell;
+mod delay;
+mod library;
+mod sc89;
+
+pub use cell::{Cell, CellId, DriveStrength, Function, SyncKind, SyncSpec, TimingArc};
+pub use delay::{DelayModel, WireLoad};
+pub use library::{Binding, Library};
+pub use sc89::sc89;

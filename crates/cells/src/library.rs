@@ -1,0 +1,341 @@
+//! Cell libraries and design↔library bindings.
+
+use std::collections::HashMap;
+
+use hb_netlist::{Design, InstId, LeafId, ModuleId, NetId, NetlistError, PinSlot};
+
+use crate::cell::{Cell, CellId};
+use crate::delay::WireLoad;
+
+/// A named collection of [`Cell`]s plus a wire-load estimate.
+///
+/// A library owns the interface declarations of its cells. Declaring a
+/// library into a design ([`Library::declare_into`]) registers every
+/// interface as a leaf definition; [`Binding`] later resolves design
+/// leaves back to cells for delay evaluation.
+#[derive(Clone, Debug)]
+pub struct Library {
+    name: String,
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+    wire_load: WireLoad,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Library {
+        Library {
+            name: name.into(),
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+            wire_load: WireLoad::default(),
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overrides the wire-load estimate.
+    pub fn set_wire_load(&mut self, wire_load: WireLoad) {
+        self.wire_load = wire_load;
+    }
+
+    /// The wire-load estimate.
+    pub fn wire_load(&self) -> WireLoad {
+        self.wire_load
+    }
+
+    /// Adds a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate cell name; libraries are authored statically.
+    pub fn add_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        let previous = self.by_name.insert(cell.name().to_owned(), id);
+        assert!(previous.is_none(), "duplicate cell {:?}", cell.name());
+        self.cells.push(cell);
+        id
+    }
+
+    /// Returns a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this library.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Looks up a cell by name.
+    pub fn cell_by_name(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// All drive variants of `family`, sorted by increasing drive.
+    pub fn family_variants(&self, family: &str) -> Vec<CellId> {
+        let mut v: Vec<CellId> = self
+            .cells()
+            .filter(|(_, c)| c.family() == family)
+            .map(|(id, _)| id)
+            .collect();
+        v.sort_by_key(|id| self.cell(*id).drive());
+        v
+    }
+
+    /// Returns a copy of the library with every propagation delay scaled
+    /// to `pct` percent: combinational arc delays, synchronising-element
+    /// `D_cx`/`D_dx` and output drivers. Set-up and hold requirements are
+    /// design constraints, not delays, and stay fixed.
+    ///
+    /// This is the paper's interactive-mode delay adjustment: re-analyze
+    /// the same design with derated (or sped-up) components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is zero.
+    pub fn derated(&self, pct: u32) -> Library {
+        assert!(pct > 0, "a zero derate would erase all delays");
+        let scale_time = |t: hb_units::Time| {
+            hb_units::Time::from_ps((t.as_ps() * i64::from(pct)).div_euclid(100))
+        };
+        let mut lib = Library::new(format!("{}@{}pct", self.name, pct));
+        lib.set_wire_load(self.wire_load);
+        for cell in &self.cells {
+            let function = match cell.function() {
+                crate::cell::Function::Combinational(arcs) => {
+                    crate::cell::Function::Combinational(
+                        arcs.iter()
+                            .map(|a| crate::cell::TimingArc {
+                                delay: a.delay.derated(pct),
+                                ..*a
+                            })
+                            .collect(),
+                    )
+                }
+                crate::cell::Function::Sync(spec) => crate::cell::Function::Sync(
+                    crate::cell::SyncSpec {
+                        d_cx: scale_time(spec.d_cx),
+                        d_dx: scale_time(spec.d_dx),
+                        output_delay: spec.output_delay.derated(pct),
+                        ..*spec
+                    },
+                ),
+            };
+            lib.add_cell(Cell::new(
+                cell.interface().clone(),
+                function,
+                cell.input_cap_ff.clone(),
+                cell.drive(),
+                cell.family().to_owned(),
+                cell.area(),
+            ));
+        }
+        lib
+    }
+
+    /// Declares every cell interface into `design` as a leaf definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any cell name collides with an existing leaf.
+    pub fn declare_into(&self, design: &mut Design) -> Result<(), NetlistError> {
+        for cell in &self.cells {
+            design.declare_leaf(cell.interface().clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// A resolved mapping from a design's leaf definitions to library cells.
+///
+/// Leaves whose names are not in the library stay unmapped; the analyzer
+/// reports them as modelling errors when they are actually instantiated.
+#[derive(Clone, Debug)]
+pub struct Binding {
+    leaf_to_cell: Vec<Option<CellId>>,
+}
+
+impl Binding {
+    /// Resolves every leaf of `design` against `library` by name.
+    pub fn new(design: &Design, library: &Library) -> Binding {
+        let leaf_to_cell = design
+            .leaves()
+            .map(|(_, def)| library.cell_by_name(def.name()))
+            .collect();
+        Binding { leaf_to_cell }
+    }
+
+    /// The cell bound to `leaf`, if any.
+    pub fn cell_for_leaf(&self, leaf: LeafId) -> Option<CellId> {
+        self.leaf_to_cell
+            .get(leaf.as_raw() as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Convenience: the cell implementing `inst` in `module`, if the
+    /// instance is a leaf instance bound to the library.
+    pub fn cell_for_instance(
+        &self,
+        design: &Design,
+        module: ModuleId,
+        inst: InstId,
+    ) -> Option<CellId> {
+        match design.module(module).instance(inst).target() {
+            hb_netlist::InstRef::Leaf(leaf) => self.cell_for_leaf(leaf),
+            hb_netlist::InstRef::Module(_) => None,
+        }
+    }
+
+    /// Estimates the total capacitive load on `net` in femtofarads:
+    /// the sum of bound sink-pin capacitances plus the library wire-load
+    /// estimate. Unbound sinks (e.g. module pins) contribute a default
+    /// pin load so hierarchical boundaries are not free.
+    pub fn net_load_ff(
+        &self,
+        design: &Design,
+        library: &Library,
+        module: ModuleId,
+        net: NetId,
+    ) -> i64 {
+        const DEFAULT_PIN_FF: i64 = 4;
+        let m = design.module(module);
+        let mut load = 0i64;
+        let mut fanout = 0usize;
+        for ep in m.loads(net) {
+            fanout += 1;
+            match ep {
+                hb_netlist::Endpoint::Pin { inst, slot, .. } => {
+                    match self.cell_for_instance(design, module, inst) {
+                        Some(cell) => load += library.cell(cell).pin_cap_ff(slot),
+                        None => load += DEFAULT_PIN_FF,
+                    }
+                }
+                hb_netlist::Endpoint::Port(_) => load += DEFAULT_PIN_FF,
+            }
+        }
+        load + library.wire_load().wire_cap_ff(fanout)
+    }
+
+    /// The capacitance of one bound pin, with the default used for
+    /// unbound interfaces.
+    pub fn pin_cap_ff(&self, library: &Library, leaf: LeafId, slot: PinSlot) -> i64 {
+        match self.cell_for_leaf(leaf) {
+            Some(cell) => library.cell(cell).pin_cap_ff(slot),
+            None => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{DriveStrength, Function, TimingArc};
+    use crate::delay::DelayModel;
+    use hb_netlist::{LeafDef, PinDir};
+    use hb_units::{RiseFall, Sense, Time};
+
+    fn lib_with_inv_variants() -> Library {
+        let mut lib = Library::new("test");
+        for (name, drive) in [
+            ("INV_X1", DriveStrength::X1),
+            ("INV_X4", DriveStrength::X4),
+            ("INV_X2", DriveStrength::X2),
+        ] {
+            let iface = LeafDef::new(name)
+                .pin("A", PinDir::Input)
+                .pin("Y", PinDir::Output);
+            let arc = TimingArc {
+                from: iface.pin_by_name("A").unwrap(),
+                to: iface.pin_by_name("Y").unwrap(),
+                sense: Sense::Negative,
+                delay: DelayModel::new(RiseFall::splat(Time::from_ps(50)), RiseFall::splat(8)),
+            };
+            lib.add_cell(Cell::new(
+                iface,
+                Function::Combinational(vec![arc]),
+                vec![4, 0],
+                drive,
+                "INV",
+                2,
+            ));
+        }
+        lib
+    }
+
+    #[test]
+    fn lookup_and_variants() {
+        let lib = lib_with_inv_variants();
+        assert_eq!(lib.cells().count(), 3);
+        let x1 = lib.cell_by_name("INV_X1").unwrap();
+        assert_eq!(lib.cell(x1).name(), "INV_X1");
+        let variants = lib.family_variants("INV");
+        let drives: Vec<u8> = variants.iter().map(|id| lib.cell(*id).drive().0).collect();
+        assert_eq!(drives, vec![1, 2, 4], "sorted by drive");
+        assert!(lib.family_variants("NAND9").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cell_panics() {
+        let mut lib = lib_with_inv_variants();
+        let iface = LeafDef::new("INV_X1").pin("A", PinDir::Input);
+        lib.add_cell(Cell::new(
+            iface,
+            Function::Combinational(vec![]),
+            vec![4],
+            DriveStrength::X1,
+            "INV",
+            2,
+        ));
+    }
+
+    #[test]
+    fn binding_and_load_estimation() {
+        let lib = lib_with_inv_variants();
+        let mut d = Design::new("t");
+        lib.declare_into(&mut d).unwrap();
+        let m = d.add_module("top").unwrap();
+        let inv = d.leaf_by_name("INV_X1").unwrap();
+        let n = d.add_net(m, "n").unwrap();
+        let u1 = d.add_leaf_instance(m, "u1", inv).unwrap();
+        let u2 = d.add_leaf_instance(m, "u2", inv).unwrap();
+        let u3 = d.add_leaf_instance(m, "u3", inv).unwrap();
+        d.connect(m, u1, "Y", n).unwrap();
+        d.connect(m, u2, "A", n).unwrap();
+        d.connect(m, u3, "A", n).unwrap();
+
+        let binding = Binding::new(&d, &lib);
+        assert_eq!(binding.cell_for_leaf(inv), lib.cell_by_name("INV_X1"));
+        assert_eq!(binding.cell_for_instance(&d, m, u1), lib.cell_by_name("INV_X1"));
+        // 2 sinks × 4 fF pins + wire (2 + 3·2) = 16.
+        assert_eq!(binding.net_load_ff(&d, &lib, m, n), 16);
+    }
+
+    #[test]
+    fn unbound_leaves_use_default_cap() {
+        let lib = lib_with_inv_variants();
+        let mut d = Design::new("t");
+        let foreign = d
+            .declare_leaf(
+                LeafDef::new("MYSTERY")
+                    .pin("A", PinDir::Input)
+                    .pin("Y", PinDir::Output),
+            )
+            .unwrap();
+        let binding = Binding::new(&d, &lib);
+        assert_eq!(binding.cell_for_leaf(foreign), None);
+        assert_eq!(binding.pin_cap_ff(&lib, foreign, PinSlot::from_raw(0)), 4);
+    }
+}

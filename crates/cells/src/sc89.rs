@@ -1,0 +1,278 @@
+//! The built-in `sc89` standard-cell library.
+//!
+//! A compact, late-1980s-flavoured static CMOS library in the spirit of
+//! the Berkeley standard cells the paper's experiments used: simple gates
+//! with X1/X2/X4 drive variants, an edge-triggered flip-flop, transparent
+//! latches of both phases, a clocked tristate driver, and dedicated clock
+//! buffers for control paths.
+//!
+//! Delay numbers are representative of a ~1.5 µm process (hundreds of
+//! picoseconds of intrinsic delay, a handful of ps/fF of load slope);
+//! their absolute values are not calibrated to any real process — the
+//! reproduction targets run-time shape and analysis semantics, not
+//! silicon.
+
+use hb_netlist::{LeafDef, PinDir};
+use hb_units::{RiseFall, Sense, Time};
+
+use crate::cell::{Cell, DriveStrength, Function, SyncKind, SyncSpec, TimingArc};
+use crate::delay::DelayModel;
+use crate::library::Library;
+
+struct CombSpec {
+    family: &'static str,
+    inputs: &'static [&'static str],
+    sense: Sense,
+    /// Intrinsic rise/fall delay at X1, in picoseconds.
+    intrinsic: (i64, i64),
+    /// Load slope at X1, ps/fF.
+    slope: (i64, i64),
+    /// Input pin capacitance at X1, fF.
+    cap: i64,
+    /// Area at X1.
+    area: u32,
+    /// Drive variants to generate.
+    drives: &'static [u8],
+}
+
+const COMB_CELLS: &[CombSpec] = &[
+    CombSpec { family: "INV", inputs: &["A"], sense: Sense::Negative, intrinsic: (60, 45), slope: (6, 5), cap: 4, area: 2, drives: &[1, 2, 4] },
+    CombSpec { family: "BUF", inputs: &["A"], sense: Sense::Positive, intrinsic: (110, 95), slope: (5, 4), cap: 4, area: 3, drives: &[1, 2, 4] },
+    CombSpec { family: "NAND2", inputs: &["A", "B"], sense: Sense::Negative, intrinsic: (90, 65), slope: (8, 6), cap: 5, area: 3, drives: &[1, 2, 4] },
+    CombSpec { family: "NAND3", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (120, 85), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
+    CombSpec { family: "NAND4", inputs: &["A", "B", "C", "D"], sense: Sense::Negative, intrinsic: (150, 105), slope: (12, 8), cap: 7, area: 5, drives: &[1] },
+    CombSpec { family: "NOR2", inputs: &["A", "B"], sense: Sense::Negative, intrinsic: (110, 60), slope: (11, 6), cap: 5, area: 3, drives: &[1, 2, 4] },
+    CombSpec { family: "NOR3", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (150, 75), slope: (14, 7), cap: 6, area: 4, drives: &[1, 2] },
+    CombSpec { family: "AND2", inputs: &["A", "B"], sense: Sense::Positive, intrinsic: (160, 135), slope: (6, 5), cap: 5, area: 4, drives: &[1, 2] },
+    CombSpec { family: "OR2", inputs: &["A", "B"], sense: Sense::Positive, intrinsic: (175, 140), slope: (6, 5), cap: 5, area: 4, drives: &[1, 2] },
+    CombSpec { family: "XOR2", inputs: &["A", "B"], sense: Sense::NonUnate, intrinsic: (220, 200), slope: (9, 8), cap: 7, area: 6, drives: &[1, 2] },
+    CombSpec { family: "XNOR2", inputs: &["A", "B"], sense: Sense::NonUnate, intrinsic: (225, 205), slope: (9, 8), cap: 7, area: 6, drives: &[1] },
+    CombSpec { family: "AOI21", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (130, 90), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
+    CombSpec { family: "OAI21", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (135, 95), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
+    CombSpec { family: "MUX2", inputs: &["A", "B", "S"], sense: Sense::NonUnate, intrinsic: (240, 215), slope: (8, 7), cap: 6, area: 7, drives: &[1, 2] },
+    // Clock-tree cells: monotonic (the paper requires control signals to
+    // be monotonic functions of exactly one clock).
+    CombSpec { family: "CLKBUF", inputs: &["A"], sense: Sense::Positive, intrinsic: (120, 110), slope: (4, 4), cap: 5, area: 4, drives: &[1, 2, 4] },
+    CombSpec { family: "CLKINV", inputs: &["A"], sense: Sense::Negative, intrinsic: (70, 60), slope: (4, 4), cap: 5, area: 3, drives: &[1, 2] },
+];
+
+fn add_comb_family(lib: &mut Library, spec: &CombSpec) {
+    for &drive in spec.drives {
+        let name = format!("{}_X{}", spec.family, drive);
+        let mut iface = LeafDef::new(name);
+        for input in spec.inputs {
+            iface = iface.pin(*input, PinDir::Input);
+        }
+        iface = iface.pin("Y", PinDir::Output);
+        let out = iface.pin_by_name("Y").expect("just added");
+        let base = DelayModel::new(
+            RiseFall::new(
+                Time::from_ps(spec.intrinsic.0),
+                Time::from_ps(spec.intrinsic.1),
+            ),
+            RiseFall::new(spec.slope.0, spec.slope.1),
+        )
+        .scaled_drive(i64::from(drive));
+        let arcs = spec
+            .inputs
+            .iter()
+            .map(|input| TimingArc {
+                from: iface.pin_by_name(input).expect("declared above"),
+                to: out,
+                sense: spec.sense,
+                delay: base,
+            })
+            .collect();
+        let mut caps = vec![spec.cap * i64::from(drive); spec.inputs.len()];
+        caps.push(0); // output pin
+        lib.add_cell(Cell::new(
+            iface,
+            Function::Combinational(arcs),
+            caps,
+            DriveStrength(drive),
+            spec.family,
+            spec.area * u32::from(drive),
+        ));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_sync(
+    lib: &mut Library,
+    name: &str,
+    family: &str,
+    kind: SyncKind,
+    control_pin: &str,
+    control_sense: Sense,
+    setup_ps: i64,
+    d_cx_ps: i64,
+    d_dx_ps: i64,
+) {
+    let iface = LeafDef::new(name)
+        .pin("D", PinDir::Input)
+        .pin(control_pin, PinDir::Input)
+        .pin("Q", PinDir::Output);
+    let spec = SyncSpec {
+        kind,
+        data: iface.pin_by_name("D").expect("declared"),
+        control: iface.pin_by_name(control_pin).expect("declared"),
+        output: iface.pin_by_name("Q").expect("declared"),
+        output_bar: None,
+        setup: Time::from_ps(setup_ps),
+        hold: Time::from_ps(100),
+        d_cx: Time::from_ps(d_cx_ps),
+        d_dx: Time::from_ps(d_dx_ps),
+        control_sense,
+        output_delay: DelayModel::new(RiseFall::splat(Time::ZERO), RiseFall::splat(7)),
+    };
+    lib.add_cell(Cell::new(
+        iface,
+        Function::Sync(spec),
+        vec![5, 3, 0],
+        DriveStrength::X1,
+        family,
+        10,
+    ));
+}
+
+/// Builds the built-in `sc89` library.
+///
+/// Synchronising elements:
+///
+/// | Cell | Element | Enabled while clock is… | Captures on… |
+/// |------|---------|------------------------|--------------|
+/// | `DFF` | trailing-edge latch | low | rising edge |
+/// | `DFFN` | trailing-edge latch | high | falling edge |
+/// | `DLATCH` | transparent latch | high | falling edge |
+/// | `DLATCHN` | transparent latch | low | rising edge |
+/// | `TBUF` | clocked tristate | high | falling edge |
+///
+/// (A conventional rising-edge flip-flop is a *trailing-edge* element
+/// whose control pulse is the clock-low window, hence `DFF` carries
+/// [`Sense::Negative`] control sense.)
+///
+/// # Examples
+///
+/// ```
+/// let lib = hb_cells::sc89();
+/// assert!(lib.cell_by_name("NAND2_X1").is_some());
+/// assert!(lib.cell_by_name("DLATCH").is_some());
+/// ```
+pub fn sc89() -> Library {
+    let mut lib = Library::new("sc89");
+    for spec in COMB_CELLS {
+        add_comb_family(&mut lib, spec);
+    }
+    add_sync(&mut lib, "DFF", "DFF", SyncKind::TrailingEdge, "CK", Sense::Negative, 300, 450, 0);
+    add_sync(&mut lib, "DFFN", "DFFN", SyncKind::TrailingEdge, "CK", Sense::Positive, 300, 450, 0);
+    add_sync(&mut lib, "DLATCH", "DLATCH", SyncKind::Transparent, "G", Sense::Positive, 250, 400, 350);
+    add_sync(&mut lib, "DLATCHN", "DLATCHN", SyncKind::Transparent, "G", Sense::Negative, 250, 400, 350);
+    add_sync(&mut lib, "TBUF", "TBUF", SyncKind::ClockedTristate, "EN", Sense::Positive, 200, 350, 300);
+    add_dffqn(&mut lib);
+    lib
+}
+
+/// `DFFQN`: a rising-edge flip-flop with both true and complementary
+/// outputs — the paper's "output-bar" terminal.
+fn add_dffqn(lib: &mut Library) {
+    let iface = LeafDef::new("DFFQN")
+        .pin("D", PinDir::Input)
+        .pin("CK", PinDir::Input)
+        .pin("Q", PinDir::Output)
+        .pin("QN", PinDir::Output);
+    let spec = SyncSpec {
+        kind: SyncKind::TrailingEdge,
+        data: iface.pin_by_name("D").expect("declared"),
+        control: iface.pin_by_name("CK").expect("declared"),
+        output: iface.pin_by_name("Q").expect("declared"),
+        output_bar: iface.pin_by_name("QN"),
+        setup: Time::from_ps(300),
+        hold: Time::from_ps(100),
+        d_cx: Time::from_ps(450),
+        d_dx: Time::ZERO,
+        control_sense: Sense::Negative,
+        output_delay: DelayModel::new(RiseFall::splat(Time::ZERO), RiseFall::splat(7)),
+    };
+    lib.add_cell(Cell::new(
+        iface,
+        Function::Sync(spec),
+        vec![5, 3, 0, 0],
+        DriveStrength::X1,
+        "DFFQN",
+        12,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_netlist::Design;
+    use hb_units::Transition;
+
+    #[test]
+    fn declares_into_a_design() {
+        let lib = sc89();
+        let mut d = Design::new("x");
+        lib.declare_into(&mut d).unwrap();
+        assert!(d.leaf_by_name("INV_X1").is_some());
+        assert!(d.leaf_by_name("DFF").is_some());
+        assert_eq!(d.leaves().count(), lib.cells().count());
+    }
+
+    #[test]
+    fn every_comb_cell_has_an_arc_per_input() {
+        let lib = sc89();
+        for (_, cell) in lib.cells() {
+            if cell.sync_spec().is_some() {
+                continue;
+            }
+            let inputs = cell.interface().input_slots().count();
+            assert_eq!(
+                cell.arcs().len(),
+                inputs,
+                "cell {} must cover all inputs",
+                cell.name()
+            );
+        }
+    }
+
+    #[test]
+    fn drive_variants_are_faster_under_load() {
+        let lib = sc89();
+        let x1 = lib.cell(lib.cell_by_name("INV_X1").unwrap());
+        let x4 = lib.cell(lib.cell_by_name("INV_X4").unwrap());
+        let d1 = x1.arcs()[0].delay.eval(40).max[Transition::Rise];
+        let d4 = x4.arcs()[0].delay.eval(40).max[Transition::Rise];
+        assert!(d4 < d1, "X4 must beat X1 at 40 fF: {d4} vs {d1}");
+        // …but presents more input capacitance.
+        let a = x1.interface().pin_by_name("A").unwrap();
+        assert!(x4.pin_cap_ff(a) > x1.pin_cap_ff(a));
+    }
+
+    #[test]
+    fn sync_cells_are_complete() {
+        let lib = sc89();
+        for name in ["DFF", "DFFN", "DLATCH", "DLATCHN", "TBUF"] {
+            let cell = lib.cell(lib.cell_by_name(name).unwrap());
+            let spec = cell.sync_spec().unwrap_or_else(|| panic!("{name} is sync"));
+            assert!(spec.setup > Time::ZERO);
+            assert!(spec.d_cx > Time::ZERO);
+            if spec.kind.is_transparent() {
+                assert!(spec.d_dx > Time::ZERO, "{name} needs a data-to-output delay");
+            }
+        }
+        let dff = lib.cell(lib.cell_by_name("DFF").unwrap());
+        assert_eq!(dff.sync_spec().unwrap().control_sense, Sense::Negative);
+        let dlatch = lib.cell(lib.cell_by_name("DLATCH").unwrap());
+        assert_eq!(dlatch.sync_spec().unwrap().control_sense, Sense::Positive);
+    }
+
+    #[test]
+    fn families_have_sorted_variants() {
+        let lib = sc89();
+        let invs = lib.family_variants("INV");
+        assert_eq!(invs.len(), 3);
+        assert_eq!(lib.cell(invs[0]).name(), "INV_X1");
+        assert_eq!(lib.cell(invs[2]).name(), "INV_X4");
+    }
+}

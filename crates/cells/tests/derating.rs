@@ -1,0 +1,102 @@
+//! The interactive-mode delay-adjustment knob.
+
+use hb_cells::{sc89, DelayModel};
+use hb_units::{RiseFall, Time, Transition};
+
+#[test]
+fn model_derating_scales_and_rounds_up_conservatively() {
+    let m = DelayModel::new(
+        RiseFall::new(Time::from_ps(101), Time::from_ps(99)),
+        RiseFall::new(7, 3),
+    );
+    let d = m.derated(150);
+    assert_eq!(d.intrinsic()[Transition::Rise], Time::from_ps(151));
+    assert_eq!(d.intrinsic()[Transition::Fall], Time::from_ps(148));
+    assert_eq!(d.slope_ps_per_ff()[Transition::Rise], 10);
+    // 100% is the identity on ps-integral values.
+    assert_eq!(m.derated(100).eval(10), m.eval(10));
+    // Speed-ups work too.
+    assert!(m.derated(50).eval(10).max.worst() < m.eval(10).max.worst());
+}
+
+#[test]
+#[should_panic(expected = "zero derate")]
+fn zero_derate_rejected() {
+    let _ = DelayModel::zero().derated(0);
+}
+
+#[test]
+fn library_derating_scales_arcs_and_sync_delays() {
+    let lib = sc89();
+    let slow = lib.derated(200);
+    assert_eq!(slow.name(), "sc89@200pct");
+    assert_eq!(slow.cells().count(), lib.cells().count());
+
+    let nand = lib.cell(lib.cell_by_name("NAND2_X1").unwrap());
+    let slow_nand = slow.cell(slow.cell_by_name("NAND2_X1").unwrap());
+    let base = nand.arcs()[0].delay.eval(10).max.worst();
+    let derated = slow_nand.arcs()[0].delay.eval(10).max.worst();
+    assert_eq!(derated, Time::from_ps(base.as_ps() * 2));
+
+    let dff = lib.cell(lib.cell_by_name("DFF").unwrap()).sync_spec().unwrap();
+    let slow_dff = slow.cell(slow.cell_by_name("DFF").unwrap()).sync_spec().unwrap();
+    assert_eq!(slow_dff.d_cx, Time::from_ps(dff.d_cx.as_ps() * 2));
+    // Constraints (setup/hold) are untouched.
+    assert_eq!(slow_dff.setup, dff.setup);
+    assert_eq!(slow_dff.hold, dff.hold);
+}
+
+#[test]
+fn derated_analysis_flips_a_marginal_design() {
+    use hb_clock::ClockSet;
+    use hb_netlist::{Design, PinDir};
+    use hummingbird::{Analyzer, EdgeSpec, Spec};
+
+    let lib = sc89();
+    let build = |lib: &hb_cells::Library| -> (Design, hb_netlist::ModuleId) {
+        let mut d = Design::new("m");
+        lib.declare_into(&mut d).unwrap();
+        let m = d.add_module("top").unwrap();
+        let ck = d.add_net(m, "ck").unwrap();
+        let input = d.add_net(m, "in").unwrap();
+        d.add_port(m, "ck", PinDir::Input, ck).unwrap();
+        d.add_port(m, "in", PinDir::Input, input).unwrap();
+        let inv = d.leaf_by_name("INV_X1").unwrap();
+        let dff = d.leaf_by_name("DFF").unwrap();
+        let mut prev = input;
+        for i in 0..10 {
+            let next = d.add_net(m, format!("n{i}")).unwrap();
+            let u = d.add_leaf_instance(m, format!("u{i}"), inv).unwrap();
+            d.connect(m, u, "A", prev).unwrap();
+            d.connect(m, u, "Y", next).unwrap();
+            prev = next;
+        }
+        let q = d.add_net(m, "q").unwrap();
+        let ff = d.add_leaf_instance(m, "ff", dff).unwrap();
+        d.connect(m, ff, "D", prev).unwrap();
+        d.connect(m, ff, "CK", ck).unwrap();
+        d.connect(m, ff, "Q", q).unwrap();
+        d.set_top(m).unwrap();
+        (d, m)
+    };
+
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock("ck", Time::from_ns(3), Time::ZERO, Time::from_ps(1_500))
+        .unwrap();
+    let spec = || {
+        Spec::new()
+            .clock_port("ck", "ck")
+            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO)
+    };
+
+    let (d, m) = build(&lib);
+    let nominal = Analyzer::new(&d, m, &lib, &clocks, spec()).unwrap().analyze();
+    assert!(nominal.ok(), "nominal corner meets 3 ns: {nominal}");
+
+    let slow_lib = lib.derated(300);
+    let (d, m) = build(&slow_lib);
+    let slow = Analyzer::new(&d, m, &slow_lib, &clocks, spec()).unwrap().analyze();
+    assert!(!slow.ok(), "3× derate must miss 3 ns: {slow}");
+    assert!(slow.worst_slack() < nominal.worst_slack());
+}

@@ -1,0 +1,465 @@
+//! The `hummingbird` command-line driver, as a testable library.
+//!
+//! ```text
+//! hummingbird check       <design.hum>
+//! hummingbird analyze     <design.hum> [options]
+//! hummingbird constraints <design.hum> [options]
+//! hummingbird passes      <design.hum> [options]
+//! hummingbird resynth     <design.hum> -o <out.hum> [options]
+//! hummingbird sweep       <design.hum> [--scales 50,75,100,150] [options]
+//!
+//! options:
+//!   --clock-port PORT=CLOCK   bind a module port to a clock waveform
+//!                             (default: every clock binds the port with
+//!                             its own name, when one exists)
+//!   --arrive PORT=TIME        data-input arrival offset after the first
+//!                             timeline edge (e.g. --arrive din=2ns)
+//!   --require PORT=TIME       output required offset, same reference
+//!   --edge-triggered          use the McWilliams-style latch baseline
+//!   --min-delays              also check supplementary (hold) constraints
+//!   --paths N                 print at most N slow paths (default 5)
+//!   --scales LIST             sweep: comma-separated clock-scale percents
+//!   --library FILE            liberty-lite cell library (default: built-in sc89)
+//! ```
+//!
+//! Designs may carry their own boundary timing (`clockport`, `arrive`,
+//! `require` directives in the `.hum` file); command-line options
+//! override file directives.
+//!
+//! Designs are `.hum` files (see [`hb_io`]) carrying their clock
+//! waveforms; cells resolve against the built-in `sc89` library.
+
+use std::fmt;
+use std::io::Write;
+
+use hb_cells::{sc89, Library};
+use hb_clock::ClockSet;
+use hb_io::HumFile;
+use hb_netlist::{Design, ModuleId};
+use hb_units::{Time, Transition};
+use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec};
+
+/// A fatal driver error (bad usage, unreadable file, analysis refusal).
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> CliError {
+        CliError(s)
+    }
+}
+
+/// Parsed command-line options.
+struct Options {
+    command: String,
+    input: String,
+    output: Option<String>,
+    clock_ports: Vec<(String, String)>,
+    arrivals: Vec<(String, Time)>,
+    requireds: Vec<(String, Time)>,
+    edge_triggered: bool,
+    min_delays: bool,
+    max_paths: usize,
+    scales: Vec<u32>,
+    library: Option<String>,
+}
+
+fn parse_args(args: &[&str]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError(USAGE.to_owned()))?
+        .to_string();
+    if !["check", "analyze", "constraints", "passes", "resynth", "sweep"]
+        .contains(&command.as_str())
+    {
+        return Err(CliError(format!("unknown command {command:?}\n{USAGE}")));
+    }
+    let mut opts = Options {
+        command,
+        input: String::new(),
+        output: None,
+        clock_ports: Vec::new(),
+        arrivals: Vec::new(),
+        requireds: Vec::new(),
+        edge_triggered: false,
+        min_delays: false,
+        max_paths: 5,
+        scales: vec![50, 75, 100, 150, 200],
+        library: None,
+    };
+    while let Some(&arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| CliError(format!("{name} needs a value")))
+        };
+        match arg {
+            "--clock-port" => {
+                let v = value("--clock-port")?;
+                let (p, c) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError("--clock-port expects PORT=CLOCK".into()))?;
+                opts.clock_ports.push((p.to_owned(), c.to_owned()));
+            }
+            "--arrive" | "--require" => {
+                let v = value(arg)?;
+                let (p, t) = v
+                    .split_once('=')
+                    .ok_or_else(|| CliError(format!("{arg} expects PORT=TIME")))?;
+                let t: Time = t
+                    .parse()
+                    .map_err(|e| CliError(format!("bad time in {arg}: {e}")))?;
+                if arg == "--arrive" {
+                    opts.arrivals.push((p.to_owned(), t));
+                } else {
+                    opts.requireds.push((p.to_owned(), t));
+                }
+            }
+            "--edge-triggered" => opts.edge_triggered = true,
+            "--min-delays" => opts.min_delays = true,
+            "--paths" => {
+                opts.max_paths = value("--paths")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --paths value: {e}")))?;
+            }
+            "--scales" => {
+                let list = value("--scales")?;
+                opts.scales = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| CliError(format!("bad --scales value: {e}")))?;
+                if opts.scales.is_empty() || opts.scales.contains(&0) {
+                    return Err(CliError("--scales needs positive percentages".into()));
+                }
+            }
+            "--library" => opts.library = Some(value("--library")?),
+            "-o" | "--output" => opts.output = Some(value(arg)?),
+            other if !other.starts_with('-') && opts.input.is_empty() => {
+                opts.input = other.to_owned();
+            }
+            other => return Err(CliError(format!("unexpected argument {other:?}\n{USAGE}"))),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(CliError(format!("missing input file\n{USAGE}")));
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep> \
+<design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
+[--edge-triggered] [--min-delays] [--paths N] [--scales 50,100,150] \
+[--library LIB.txt] [-o OUT.hum]";
+
+fn load(path: &str, library: &Library) -> Result<HumFile, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    hb_io::parse_hum(&text, library).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn build_spec(
+    opts: &Options,
+    design: &Design,
+    top: ModuleId,
+    clocks: &ClockSet,
+    directives: &[hb_io::TimingDirective],
+) -> Result<Spec, CliError> {
+    let mut spec = Spec::new();
+    // File directives first…
+    let mut file_clock_ports = false;
+    for d in directives {
+        match d {
+            hb_io::TimingDirective::ClockPort { port, clock } => {
+                spec = spec.clock_port(port, clock);
+                file_clock_ports = true;
+            }
+            hb_io::TimingDirective::Arrive { port, edge, offset } => {
+                spec = spec.input_arrival(
+                    port,
+                    EdgeSpec::new(&edge.0, edge.1).at_occurrence(edge.2),
+                    *offset,
+                );
+            }
+            hb_io::TimingDirective::Require { port, edge, offset } => {
+                spec = spec.output_required(
+                    port,
+                    EdgeSpec::new(&edge.0, edge.1).at_occurrence(edge.2),
+                    *offset,
+                );
+            }
+        }
+    }
+    // …then command-line overrides / defaults.
+    if opts.clock_ports.is_empty() {
+        if !file_clock_ports {
+            // Default rule: a clock binds the port carrying its own name.
+            for (_, clock) in clocks.clocks() {
+                if design.module(top).port_by_name(clock.name()).is_some() {
+                    spec = spec.clock_port(clock.name(), clock.name());
+                }
+            }
+        }
+    } else {
+        for (port, clock) in &opts.clock_ports {
+            spec = spec.clock_port(port, clock);
+        }
+    }
+    let first_clock = clocks
+        .clocks()
+        .next()
+        .map(|(_, c)| c.name().to_owned())
+        .ok_or_else(|| CliError("the design declares no clocks".into()))?;
+    for (port, offset) in &opts.arrivals {
+        spec = spec.input_arrival(port, EdgeSpec::new(&first_clock, Transition::Rise), *offset);
+    }
+    for (port, offset) in &opts.requireds {
+        spec = spec.output_required(port, EdgeSpec::new(&first_clock, Transition::Rise), *offset);
+    }
+    Ok(spec)
+}
+
+/// Proportionally rescales every clock waveform to `pct` percent.
+fn scale_clocks(clocks: &ClockSet, pct: u32) -> Result<ClockSet, CliError> {
+    let scale = |t: Time| Time::from_ps(t.as_ps() * i64::from(pct) / 100);
+    let mut scaled = ClockSet::new();
+    for (_, clock) in clocks.clocks() {
+        scaled
+            .add_clock(
+                clock.name(),
+                scale(clock.period()),
+                scale(clock.rise()),
+                scale(clock.fall()),
+            )
+            .map_err(|e| CliError(format!("scale {pct}%: {e}")))?;
+    }
+    Ok(scaled)
+}
+
+/// Runs the driver. Returns the process exit code: 0 on success (and
+/// timing met, for `analyze`), 1 when the analysis found violations.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage errors, unreadable or unparsable
+/// inputs, and designs outside the analyzer's supported class.
+pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
+    let opts = parse_args(args)?;
+    let library = match &opts.library {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            hb_io::parse_lib(&text).map_err(|e| CliError(format!("{path}: {e}")))?
+        }
+        None => sc89(),
+    };
+    let file = load(&opts.input, &library)?;
+    let design = file.design;
+    let top = design
+        .top()
+        .ok_or_else(|| CliError("the design has no `top` directive".into()))?;
+    design
+        .validate()
+        .map_err(|e| CliError(format!("invalid design: {e}")))?;
+
+    let io = |e: std::io::Error| CliError(format!("write failed: {e}"));
+
+    if opts.command == "check" {
+        let stats = design.stats(top);
+        writeln!(
+            out,
+            "{}: ok ({} cells, {} nets, depth {})",
+            opts.input, stats.cells, stats.nets, stats.depth
+        )
+        .map_err(io)?;
+        return Ok(0);
+    }
+
+    let spec = build_spec(&opts, &design, top, &file.clocks, &file.timing)?;
+    let options = AnalysisOptions {
+        latch_model: if opts.edge_triggered {
+            LatchModel::EdgeTriggered
+        } else {
+            LatchModel::Transparent
+        },
+        check_min_delays: opts.min_delays,
+        ..AnalysisOptions::default()
+    };
+
+    if opts.command == "resynth" {
+        let mut design = design;
+        let outcome = hb_resynth::optimize(
+            &mut design,
+            top,
+            &library,
+            &file.clocks,
+            &spec,
+            hb_resynth::ResynthOptions::default(),
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+        writeln!(
+            out,
+            "resynthesis: met={} after {} iterations, {} resizes, {} buffers",
+            outcome.met, outcome.iterations, outcome.resizes, outcome.buffers
+        )
+        .map_err(io)?;
+        if let Some(path) = &opts.output {
+            let text = hb_io::write_hum(&design, &file.clocks);
+            std::fs::write(path, text)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            writeln!(out, "wrote {path}").map_err(io)?;
+        }
+        return Ok(u8::from(!outcome.met));
+    }
+
+    if opts.command == "sweep" {
+        writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>6}",
+            "scale", "overall", "worst", "ok"
+        )
+        .map_err(io)?;
+        for &pct in &opts.scales {
+            let scaled = scale_clocks(&file.clocks, pct)?;
+            let analyzer = Analyzer::with_options(
+                &design,
+                top,
+                &library,
+                &scaled,
+                spec.clone(),
+                options,
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            let report = analyzer.analyze();
+            writeln!(
+                out,
+                "{:>7}% {:>10} {:>12} {:>6}",
+                pct,
+                report.overall_period().to_string(),
+                report.worst_slack().to_string(),
+                if report.ok() { "yes" } else { "no" }
+            )
+            .map_err(io)?;
+        }
+        return Ok(0);
+    }
+
+    let analyzer = Analyzer::with_options(&design, top, &library, &file.clocks, spec, options)
+        .map_err(|e| CliError(e.to_string()))?;
+
+    if opts.command == "passes" {
+        write!(out, "{}", hb_clock::render_waveforms(&file.clocks, 64)).map_err(io)?;
+        write!(
+            out,
+            "{}",
+            hb_clock::render_markers(&file.clocks, 64, analyzer.pass_starts(), "window starts")
+        )
+        .map_err(io)?;
+        let stats = analyzer.prep_stats();
+        writeln!(
+            out,
+            "overall period {}: {} active clusters, {} requirements, \
+             {} cluster passes total (max {} per cluster), {} global windows",
+            analyzer.overall_period(),
+            stats.active_clusters,
+            stats.requirements,
+            stats.total_cluster_passes,
+            stats.max_cluster_passes,
+            stats.global_passes
+        )
+        .map_err(io)?;
+        for (i, start) in analyzer.pass_starts().iter().enumerate() {
+            writeln!(out, "pass {i}: window opens at {start}").map_err(io)?;
+        }
+        return Ok(0);
+    }
+
+    let report = if opts.command == "constraints" {
+        analyzer.generate_constraints()
+    } else {
+        analyzer.analyze()
+    };
+    writeln!(out, "{report}").map_err(io)?;
+    // Slack distribution: one bar per nanosecond bucket.
+    writeln!(out, "terminal slack distribution:").map_err(io)?;
+    for (lo, n) in report.slack_histogram(Time::from_ns(1), 12) {
+        if n > 0 {
+            writeln!(out, "  {:>10} .. | {}", lo.to_string(), "#".repeat(n.min(60))).map_err(io)?;
+        }
+    }
+    for path in report.slow_paths().iter().take(opts.max_paths) {
+        writeln!(out, "slow path into {} (slack {}):", path.endpoint, path.slack).map_err(io)?;
+        for step in &path.steps {
+            match &step.through {
+                Some(inst) => writeln!(out, "    -> {} via {} at {}", step.net, inst, step.time)
+                    .map_err(io)?,
+                None => writeln!(out, "    from {} at {}", step.net, step.time).map_err(io)?,
+            }
+        }
+    }
+    for v in report.min_delay_violations() {
+        writeln!(out, "{v}").map_err(io)?;
+    }
+    if opts.command == "constraints" {
+        let constraints = report.constraints().expect("generated");
+        writeln!(out, "net constraints (ready / required):").map_err(io)?;
+        let module = design.module(top);
+        for (net, n) in module.nets() {
+            if let (Some(r), Some(q)) = (constraints.ready_at(net), constraints.required_at(net))
+            {
+                writeln!(out, "  {:<24} {} / {}", n.name(), r, q).map_err(io)?;
+            }
+        }
+    }
+    Ok(u8::from(!report.ok()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_errors() {
+        let mut buf = Vec::new();
+        assert!(run(&[], &mut buf).is_err());
+        assert!(run(&["frobnicate", "x.hum"], &mut buf).is_err());
+        assert!(run(&["analyze"], &mut buf).is_err());
+        assert!(run(&["analyze", "x.hum", "--paths", "NaN"], &mut buf).is_err());
+        assert!(run(&["analyze", "/nonexistent/x.hum"], &mut buf).is_err());
+    }
+
+    #[test]
+    fn option_parsing() {
+        let o = parse_args(&[
+            "analyze",
+            "d.hum",
+            "--clock-port",
+            "ck=phi1",
+            "--arrive",
+            "a=2ns",
+            "--require",
+            "y=0ps",
+            "--edge-triggered",
+            "--min-delays",
+            "--paths",
+            "9",
+        ])
+        .unwrap();
+        assert_eq!(o.command, "analyze");
+        assert_eq!(o.input, "d.hum");
+        assert_eq!(o.clock_ports, vec![("ck".into(), "phi1".into())]);
+        assert_eq!(o.arrivals, vec![("a".into(), Time::from_ns(2))]);
+        assert_eq!(o.requireds, vec![("y".into(), Time::ZERO)]);
+        assert!(o.edge_triggered && o.min_delays);
+        assert_eq!(o.max_paths, 9);
+    }
+}

@@ -1,0 +1,21 @@
+//! The `hummingbird` command-line driver.
+//!
+//! See [`hb_cli::run`] for the command reference; this binary is a thin
+//! exit-code wrapper so the whole driver stays testable.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut stdout = std::io::stdout();
+    match hb_cli::run(&arg_refs, &mut stdout) {
+        Ok(code) => ExitCode::from(code),
+        // A downstream pager/`head` closing the pipe is not an error.
+        Err(e) if e.to_string().contains("Broken pipe") => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hummingbird: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

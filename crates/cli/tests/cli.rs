@@ -1,0 +1,225 @@
+//! End-to-end driver tests against real `.hum` files on disk.
+
+use std::fs;
+
+const DESIGN: &str = "\
+design demo
+module top
+  port in a ck
+  port out y
+  inst u1 INV_X1 A=a Y=w
+  inst u2 NAND2_X1 A=w B=a Y=v
+  inst ff DFF D=v CK=ck Q=y
+end
+top top
+clock ck period 20ns rise 0ns fall 10ns
+";
+
+const SLOW_DESIGN: &str = "\
+design slow
+module top
+  port in a ck
+  port out y
+  inst u1 XOR2_X1 A=a B=a Y=w1
+  inst u2 XOR2_X1 A=w1 B=a Y=w2
+  inst u3 XOR2_X1 A=w2 B=w1 Y=v
+  inst ff DFF D=v CK=ck Q=y
+end
+top top
+clock ck period 1ns rise 0ns fall 500ps
+";
+
+fn write_temp(name: &str, contents: &str) -> String {
+    let dir = std::env::temp_dir().join("hb_cli_tests");
+    fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write fixture");
+    path.to_string_lossy().into_owned()
+}
+
+fn run_capture(args: &[&str]) -> (u8, String) {
+    let mut buf = Vec::new();
+    let code = hb_cli::run(args, &mut buf).expect("driver runs");
+    (code, String::from_utf8(buf).expect("utf8 output"))
+}
+
+#[test]
+fn check_reports_stats() {
+    let path = write_temp("check.hum", DESIGN);
+    let (code, out) = run_capture(&["check", &path]);
+    assert_eq!(code, 0);
+    assert!(out.contains("3 cells"), "{out}");
+}
+
+#[test]
+fn analyze_passing_design() {
+    let path = write_temp("analyze.hum", DESIGN);
+    let (code, out) = run_capture(&["analyze", &path]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("timing OK"), "{out}");
+}
+
+#[test]
+fn analyze_failing_design_exits_one_and_prints_paths() {
+    let path = write_temp("slow.hum", SLOW_DESIGN);
+    let (code, out) = run_capture(&["analyze", &path]);
+    assert_eq!(code, 1);
+    assert!(out.contains("VIOLATED"), "{out}");
+    assert!(out.contains("slow path into ff"), "{out}");
+    assert!(out.contains("via"), "{out}");
+}
+
+#[test]
+fn constraints_lists_net_budgets() {
+    let path = write_temp("constraints.hum", DESIGN);
+    let (code, out) = run_capture(&["constraints", &path]);
+    assert_eq!(code, 0);
+    assert!(out.contains("net constraints"), "{out}");
+    assert!(out.contains(" v "), "the flop input net is constrained: {out}");
+}
+
+#[test]
+fn passes_summarizes_preprocessing() {
+    let path = write_temp("passes.hum", DESIGN);
+    let (code, out) = run_capture(&["passes", &path]);
+    assert_eq!(code, 0);
+    assert!(out.contains("global windows"), "{out}");
+    assert!(out.contains("pass 0"), "{out}");
+}
+
+#[test]
+fn resynth_writes_output_file() {
+    let path = write_temp("resynth_in.hum", SLOW_DESIGN);
+    let out_path = write_temp("resynth_out.hum", "");
+    let (_, out) = run_capture(&["resynth", &path, "-o", &out_path]);
+    assert!(out.contains("resynthesis: met="), "{out}");
+    assert!(out.contains(&format!("wrote {out_path}")), "{out}");
+    let written = fs::read_to_string(&out_path).expect("written file");
+    assert!(written.contains("module top"));
+}
+
+#[test]
+fn explicit_clock_port_and_edge_triggered() {
+    let path = write_temp("flags.hum", DESIGN);
+    let (code, out) = run_capture(&[
+        "analyze",
+        &path,
+        "--clock-port",
+        "ck=ck",
+        "--edge-triggered",
+        "--min-delays",
+        "--paths",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{out}");
+}
+
+#[test]
+fn arrive_offsets_shift_slack() {
+    let path = write_temp("arrive.hum", DESIGN);
+    let (_, relaxed) = run_capture(&["analyze", &path, "--arrive", "a=0ps"]);
+    let (_, squeezed) = run_capture(&["analyze", &path, "--arrive", "a=21ns"]);
+    let slack = |s: &str| {
+        s.lines()
+            .next()
+            .and_then(|l| l.split("worst slack ").nth(1))
+            .map(|l| l.split(' ').next().unwrap_or("").to_owned())
+            .unwrap_or_default()
+    };
+    assert_ne!(slack(&relaxed), slack(&squeezed));
+    assert!(squeezed.contains("VIOLATED"), "{squeezed}");
+}
+
+const TIMED_DESIGN: &str = "\
+design timed
+module top
+  port in a ck
+  port out y
+  inst u1 INV_X1 A=a Y=w
+  inst ff DFF D=w CK=ck Q=y
+end
+top top
+clock ck period 4ns rise 0ns fall 2ns
+clockport ck ck
+arrive a ck rise 1ns
+require y ck rise 0ps
+";
+
+#[test]
+fn file_directives_drive_the_analysis() {
+    let path = write_temp("timed.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["analyze", &path]);
+    assert_eq!(code, 0, "{out}");
+    // CLI overrides beat the file: a late arrival breaks it.
+    let (code, out) = run_capture(&["analyze", &path, "--arrive", "a=5ns"]);
+    assert_eq!(code, 1, "{out}");
+}
+
+#[test]
+fn sweep_shows_the_feasibility_boundary() {
+    let path = write_temp("sweep.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["sweep", &path, "--scales", "25,50,100,400"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("25%"), "{out}");
+    assert!(out.contains("400%"), "{out}");
+    let yes = out.matches(" yes").count();
+    let no = out.matches(" no").count();
+    assert!(yes >= 1 && no >= 1, "boundary visible in:\n{out}");
+    // Verdicts are monotone down the scale column.
+    let verdicts: Vec<bool> = out
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            if l.ends_with("yes") {
+                Some(true)
+            } else if l.ends_with("no") {
+                Some(false)
+            } else {
+                None
+            }
+        })
+        .collect();
+    for pair in verdicts.windows(2) {
+        assert!(!pair[0] || pair[1], "monotone: {out}");
+    }
+}
+
+#[test]
+fn passes_renders_waveforms() {
+    let path = write_temp("waves.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["passes", &path]);
+    assert_eq!(code, 0);
+    assert!(out.contains('▔'), "{out}");
+    assert!(out.contains("window starts"), "{out}");
+}
+
+#[test]
+fn custom_library_via_flag() {
+    // A minimal library whose inverter is wildly slow: the same design
+    // that passes with sc89 must fail with it.
+    let lib_text = "\
+library sluggish
+wireload 2 3
+cell INV_X1 family INV drive 1 area 2
+  pin A in cap 4
+  pin Y out
+  arc A Y negative intrinsic 30000 30000 slope 6 5 minscale 50
+cell NAND2_X1 family NAND2 drive 1 area 3
+  pin A in cap 5
+  pin B in cap 5
+  pin Y out
+  arc A Y negative intrinsic 90 65 slope 8 6 minscale 50
+  arc B Y negative intrinsic 90 65 slope 8 6 minscale 50
+cell DFF family DFF drive 1 area 10
+  pin D in cap 5
+  pin CK in cap 3
+  pin Q out
+  sync trailing data D control CK out Q setup 300 hold 100 dcx 450 ddx 0 sense neg outslope 7 7
+";
+    let lib_path = write_temp("sluggish.lib", lib_text);
+    let design_path = write_temp("custom_lib.hum", DESIGN);
+    let (code, out) = run_capture(&["analyze", &design_path]);
+    assert_eq!(code, 0, "sc89 passes: {out}");
+    let (code, out) = run_capture(&["analyze", &design_path, "--library", &lib_path]);
+    assert_eq!(code, 1, "a 30 ns inverter misses 20 ns: {out}");
+}

@@ -1,0 +1,56 @@
+//! The shipped sample designs in `designs/` stay analyzable and
+//! demonstrate what their comments claim.
+
+use std::path::PathBuf;
+
+fn design_path(name: &str) -> String {
+    // crates/cli -> repo root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("designs");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> (u8, String) {
+    let mut buf = Vec::new();
+    let code = hb_cli::run(args, &mut buf).expect("driver runs");
+    (code, String::from_utf8(buf).expect("utf8"))
+}
+
+#[test]
+fn two_phase_pipeline_borrows() {
+    let path = design_path("two_phase_pipeline.hum");
+    let (code, out) = run(&["analyze", &path]);
+    assert_eq!(code, 0, "transparent model passes: {out}");
+    let (code, out) = run(&["analyze", &path, "--edge-triggered"]);
+    assert_eq!(code, 1, "edge-triggered baseline fails: {out}");
+}
+
+#[test]
+fn multifrequency_design_analyzes() {
+    let path = design_path("multifrequency.hum");
+    let (code, out) = run(&["analyze", &path]);
+    assert_eq!(code, 0, "{out}");
+    let (_, passes) = run(&["passes", &path]);
+    assert!(passes.contains("overall period 100ns"), "{passes}");
+}
+
+#[test]
+fn skew_race_flagged_by_min_delay_checker() {
+    let path = design_path("skew_race.hum");
+    let (code, out) = run(&["analyze", &path]);
+    assert_eq!(code, 0, "max-delay constraints are easy: {out}");
+    assert!(!out.contains("min-delay violation"), "{out}");
+    let (_, out) = run(&["analyze", &path, "--min-delays"]);
+    assert!(out.contains("min-delay violation"), "{out}");
+}
+
+#[test]
+fn sweep_works_on_shipped_designs() {
+    let path = design_path("two_phase_pipeline.hum");
+    let (code, out) = run(&["sweep", &path, "--scales", "60,100,200"]);
+    assert_eq!(code, 0);
+    assert_eq!(out.lines().count(), 4, "{out}");
+}

@@ -1,0 +1,340 @@
+//! Clock waveform descriptions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hb_units::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::timeline::Timeline;
+
+/// Handle to a [`Clock`] within a [`ClockSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClockId(pub(crate) u32);
+
+impl ClockId {
+    /// Returns the raw index.
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A periodic clock waveform with one rising and one falling edge per
+/// period.
+///
+/// The signal is high in the window `[rise, fall)` (modulo the period),
+/// which may wrap around the period boundary.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clock {
+    name: String,
+    period: Time,
+    rise: Time,
+    fall: Time,
+}
+
+impl Clock {
+    /// The clock name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The clock period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The rising-edge offset within the period, in `[0, period)`.
+    pub fn rise(&self) -> Time {
+        self.rise
+    }
+
+    /// The falling-edge offset within the period, in `[0, period)`.
+    pub fn fall(&self) -> Time {
+        self.fall
+    }
+
+    /// The width of the high phase.
+    pub fn high_width(&self) -> Time {
+        (self.fall - self.rise).rem_euclid_end(self.period)
+    }
+
+    /// The width of the low phase.
+    pub fn low_width(&self) -> Time {
+        (self.rise - self.fall).rem_euclid_end(self.period)
+    }
+}
+
+/// Errors from [`ClockSet`] construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClockError {
+    /// The period was not strictly positive.
+    NonPositivePeriod {
+        /// The clock being added.
+        name: String,
+    },
+    /// An edge offset fell outside `[0, period)`.
+    EdgeOutOfRange {
+        /// The clock being added.
+        name: String,
+    },
+    /// Rise and fall coincide (a zero- or full-width pulse).
+    CoincidentEdges {
+        /// The clock being added.
+        name: String,
+    },
+    /// A clock with this name already exists.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The combined overall period would overflow or is excessive.
+    OverallPeriodTooLarge {
+        /// The clock that pushed it over.
+        name: String,
+    },
+}
+
+impl fmt::Display for ClockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockError::NonPositivePeriod { name } => {
+                write!(f, "clock {name:?} must have a positive period")
+            }
+            ClockError::EdgeOutOfRange { name } => {
+                write!(f, "clock {name:?} edges must lie in [0, period)")
+            }
+            ClockError::CoincidentEdges { name } => {
+                write!(f, "clock {name:?} has coincident rise and fall edges")
+            }
+            ClockError::DuplicateName { name } => write!(f, "duplicate clock name {name:?}"),
+            ClockError::OverallPeriodTooLarge { name } => write!(
+                f,
+                "adding clock {name:?} makes the overall period unreasonably large"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClockError {}
+
+/// A set of harmonically related clocks.
+///
+/// The *overall period* is the least common multiple of the member
+/// periods — the paper's assumption that "there is an overall period
+/// which is an integer multiple of the period of each clock signal" is
+/// thereby satisfied by construction for integer-picosecond periods.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ClockSet {
+    clocks: Vec<Clock>,
+    #[serde(skip)]
+    by_name: HashMap<String, ClockId>,
+}
+
+/// A generous sanity bound: one overall period must fit in a millisecond.
+/// (Real multi-frequency schemes are within a few octaves of each other;
+/// a runaway LCM indicates mis-specified periods.)
+const MAX_OVERALL: Time = Time::from_us(1_000);
+
+impl ClockSet {
+    /// Creates an empty set.
+    pub fn new() -> ClockSet {
+        ClockSet::default()
+    }
+
+    /// Adds a clock with the given period and rise/fall offsets (both in
+    /// `[0, period)`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive periods, out-of-range or coincident edges,
+    /// duplicate names, and sets whose least common multiple of periods
+    /// exceeds a millisecond (mis-specified harmonics).
+    pub fn add_clock(
+        &mut self,
+        name: impl Into<String>,
+        period: Time,
+        rise: Time,
+        fall: Time,
+    ) -> Result<ClockId, ClockError> {
+        let name = name.into();
+        if period <= Time::ZERO {
+            return Err(ClockError::NonPositivePeriod { name });
+        }
+        if rise < Time::ZERO || rise >= period || fall < Time::ZERO || fall >= period {
+            return Err(ClockError::EdgeOutOfRange { name });
+        }
+        if rise == fall {
+            return Err(ClockError::CoincidentEdges { name });
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(ClockError::DuplicateName { name });
+        }
+        let overall = self
+            .clocks
+            .iter()
+            .map(Clock::period)
+            .fold(period, |acc, p| acc.lcm(p));
+        if overall > MAX_OVERALL {
+            return Err(ClockError::OverallPeriodTooLarge { name });
+        }
+        let id = ClockId(self.clocks.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.clocks.push(Clock {
+            name,
+            period,
+            rise,
+            fall,
+        });
+        Ok(id)
+    }
+
+    /// Returns a clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this set.
+    pub fn clock(&self, id: ClockId) -> &Clock {
+        &self.clocks[id.idx()]
+    }
+
+    /// Looks up a clock by name.
+    pub fn clock_by_name(&self, name: &str) -> Option<ClockId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, clock)` pairs.
+    pub fn clocks(&self) -> impl Iterator<Item = (ClockId, &Clock)> {
+        self.clocks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClockId(i as u32), c))
+    }
+
+    /// The number of clocks.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The overall period: the least common multiple of all periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn overall_period(&self) -> Time {
+        assert!(!self.clocks.is_empty(), "clock set is empty");
+        self.clocks
+            .iter()
+            .map(Clock::period)
+            .reduce(|a, b| a.lcm(b))
+            .expect("non-empty")
+    }
+
+    /// Enumerates all clock edges within one overall period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn timeline(&self) -> Timeline {
+        Timeline::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut set = ClockSet::new();
+        let a = set
+            .add_clock("a", Time::from_ns(100), Time::ZERO, Time::from_ns(20))
+            .unwrap();
+        assert_eq!(set.clock(a).name(), "a");
+        assert_eq!(set.clock(a).high_width(), Time::from_ns(20));
+        assert_eq!(set.clock(a).low_width(), Time::from_ns(80));
+        assert_eq!(set.clock_by_name("a"), Some(a));
+        assert_eq!(set.clock_by_name("b"), None);
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn wrapping_pulse_widths() {
+        let mut set = ClockSet::new();
+        let a = set
+            .add_clock("a", Time::from_ns(100), Time::from_ns(80), Time::from_ns(30))
+            .unwrap();
+        // High from 80 to 130 (=30): width 50.
+        assert_eq!(set.clock(a).high_width(), Time::from_ns(50));
+        assert_eq!(set.clock(a).low_width(), Time::from_ns(50));
+    }
+
+    #[test]
+    fn rejects_bad_clocks() {
+        let mut set = ClockSet::new();
+        assert!(matches!(
+            set.add_clock("x", Time::ZERO, Time::ZERO, Time::ZERO),
+            Err(ClockError::NonPositivePeriod { .. })
+        ));
+        assert!(matches!(
+            set.add_clock("x", Time::from_ns(10), Time::from_ns(10), Time::ZERO),
+            Err(ClockError::EdgeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            set.add_clock("x", Time::from_ns(10), Time::from_ns(3), Time::from_ns(3)),
+            Err(ClockError::CoincidentEdges { .. })
+        ));
+        set.add_clock("x", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
+            .unwrap();
+        assert!(matches!(
+            set.add_clock("x", Time::from_ns(10), Time::ZERO, Time::from_ns(5)),
+            Err(ClockError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn overall_period_is_lcm() {
+        let mut set = ClockSet::new();
+        set.add_clock("slow", Time::from_ns(100), Time::ZERO, Time::from_ns(50))
+            .unwrap();
+        set.add_clock("fast", Time::from_ns(25), Time::ZERO, Time::from_ns(10))
+            .unwrap();
+        assert_eq!(set.overall_period(), Time::from_ns(100));
+        set.add_clock("odd", Time::from_ns(40), Time::ZERO, Time::from_ns(20))
+            .unwrap();
+        assert_eq!(set.overall_period(), Time::from_ns(200));
+    }
+
+    #[test]
+    fn runaway_lcm_rejected() {
+        let mut set = ClockSet::new();
+        set.add_clock("a", Time::from_ps(999_983), Time::ZERO, Time::from_ps(10))
+            .unwrap();
+        // Coprime near-megahertz periods blow past the millisecond cap.
+        assert!(matches!(
+            set.add_clock("b", Time::from_ps(999_979), Time::ZERO, Time::from_ps(10)),
+            Err(ClockError::OverallPeriodTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = ClockError::CoincidentEdges { name: "phi".into() };
+        assert!(e.to_string().contains("phi"));
+    }
+}

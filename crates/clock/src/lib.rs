@@ -1,0 +1,48 @@
+//! Clock waveforms, the clock-edge timeline, and analysis-pass
+//! minimisation for the hummingbird timing analyzer.
+//!
+//! The paper allows "any set of clock signals, with any (harmonically
+//! related) frequencies and phase relationships". This crate models that:
+//!
+//! * [`Clock`] / [`ClockSet`] — periodic two-edge waveforms with integer
+//!   picosecond periods; the *overall period* is the least common
+//!   multiple of the individual periods;
+//! * [`Timeline`] — the enumeration of every clock-generator edge within
+//!   one overall period, with pulse bookkeeping for both enable phases
+//!   (a synchronising element whose control is a *negative* monotonic
+//!   function of its clock is enabled while the clock is low);
+//! * [`EdgeGraph`] — the directed graph of Section 7 / Figure 4 that
+//!   represents the cyclic order of clock edges, plus the search for the
+//!   **minimum set of "broken open" clock periods** (analysis passes)
+//!   that gives every cluster input→output combination a window in which
+//!   its ideal assertion time precedes its ideal closure time.
+//!
+//! # Examples
+//!
+//! Two-phase non-overlapping clocking:
+//!
+//! ```
+//! use hb_clock::ClockSet;
+//! use hb_units::Time;
+//!
+//! # fn main() -> Result<(), hb_clock::ClockError> {
+//! let mut clocks = ClockSet::new();
+//! let phi1 = clocks.add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))?;
+//! let phi2 = clocks.add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))?;
+//! let timeline = clocks.timeline();
+//! assert_eq!(timeline.overall_period(), Time::from_ns(100));
+//! assert_eq!(timeline.edges().count(), 4);
+//! # let _ = (phi1, phi2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod clock;
+mod graph;
+mod render;
+mod timeline;
+
+pub use clock::{Clock, ClockError, ClockId, ClockSet};
+pub use graph::{EdgeGraph, PassPlan, Requirement};
+pub use render::{render_markers, render_waveforms};
+pub use timeline::{ClockEdge, EdgeId, Pulse, Timeline};

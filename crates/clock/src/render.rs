@@ -1,0 +1,174 @@
+//! ASCII waveform rendering.
+//!
+//! The original Hummingbird's interactive mode let users see the effect
+//! of clock shapes on timing; a textual waveform display is the terminal
+//! equivalent. Each clock renders as one line of `▔` (high) and `▁`
+//! (low) samples across one overall period, with a shared time ruler.
+
+use std::fmt::Write as _;
+
+use hb_units::Time;
+
+use crate::clock::ClockSet;
+
+/// Renders every clock of `set` over one overall period, `columns`
+/// samples wide.
+///
+/// # Panics
+///
+/// Panics if the set is empty or `columns` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hb_clock::ClockSet;
+/// use hb_units::Time;
+///
+/// let mut set = ClockSet::new();
+/// set.add_clock("ck", Time::from_ns(10), Time::ZERO, Time::from_ns(5)).unwrap();
+/// let art = hb_clock::render_waveforms(&set, 20);
+/// assert!(art.contains("ck"));
+/// assert!(art.contains('▔'));
+/// assert!(art.contains('▁'));
+/// ```
+pub fn render_waveforms(set: &ClockSet, columns: usize) -> String {
+    assert!(columns > 0, "need at least one column");
+    let overall = set.overall_period();
+    let mut out = String::new();
+    let name_width = set
+        .clocks()
+        .map(|(_, c)| c.name().len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    for (_, clock) in set.clocks() {
+        let _ = write!(out, "{:>name_width$} ", clock.name());
+        for col in 0..columns {
+            let t = overall * col as i64 / columns as i64;
+            let phase = (t - clock.rise()).rem_euclid(clock.period());
+            let high = phase < clock.high_width();
+            out.push(if high { '▔' } else { '▁' });
+        }
+        let _ = writeln!(
+            out,
+            "  rise {} fall {} period {}",
+            clock.rise(),
+            clock.fall(),
+            clock.period()
+        );
+    }
+
+    // Time ruler: tick marks every quarter of the overall period.
+    let _ = write!(out, "{:>name_width$} ", "");
+    for col in 0..columns {
+        out.push(if col % (columns / 4).max(1) == 0 { '|' } else { ' ' });
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:>name_width$} ", "");
+    for q in 0..4 {
+        let t = overall * q / 4;
+        let label = format!("{t}");
+        let width = (columns / 4).max(1);
+        let _ = write!(out, "{label:<width$}");
+    }
+    let _ = writeln!(out, "  (overall {overall})");
+    out
+}
+
+/// Renders a marker line aligned with [`render_waveforms`] output,
+/// placing `^` at each of `times` (modulo the overall period). Useful
+/// for pointing at break-open window starts.
+pub fn render_markers(
+    set: &ClockSet,
+    columns: usize,
+    times: &[Time],
+    label: &str,
+) -> String {
+    assert!(columns > 0, "need at least one column");
+    let overall = set.overall_period();
+    let name_width = set
+        .clocks()
+        .map(|(_, c)| c.name().len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut cells = vec![' '; columns];
+    for &t in times {
+        let pos = (t.rem_euclid(overall) * columns as i64 / overall) as usize;
+        cells[pos.min(columns - 1)] = '^';
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{:>name_width$} ", "");
+    out.extend(cells);
+    let _ = writeln!(out, "  {label}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> ClockSet {
+        let mut set = ClockSet::new();
+        set.add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
+            .unwrap();
+        set.add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
+            .unwrap();
+        set
+    }
+
+    #[test]
+    fn renders_one_line_per_clock_plus_ruler() {
+        let set = two_phase();
+        let art = render_waveforms(&set, 40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4, "two clocks + two ruler lines");
+        assert!(lines[0].contains("phi1"));
+        assert!(lines[1].contains("phi2"));
+        assert!(lines[3].contains("overall 100ns"));
+    }
+
+    #[test]
+    fn high_and_low_samples_match_the_waveform() {
+        let set = two_phase();
+        let art = render_waveforms(&set, 10);
+        // phi1 is high for the first 40% of the period: 4 of 10 samples.
+        let phi1_line = art.lines().next().unwrap();
+        let high = phi1_line.chars().filter(|&c| c == '▔').count();
+        let low = phi1_line.chars().filter(|&c| c == '▁').count();
+        assert_eq!(high, 4, "{art}");
+        assert_eq!(low, 6, "{art}");
+    }
+
+    #[test]
+    fn wrapping_pulse_renders_high_at_both_ends() {
+        let mut set = ClockSet::new();
+        set.add_clock("w", Time::from_ns(100), Time::from_ns(80), Time::from_ns(20))
+            .unwrap();
+        let art = render_waveforms(&set, 10);
+        let line = art.lines().next().unwrap();
+        let samples: Vec<char> = line.chars().filter(|c| matches!(c, '▔' | '▁')).collect();
+        assert_eq!(samples[0], '▔', "high at t=0 (wrapped)");
+        assert_eq!(samples[9], '▔', "high at t=90");
+        assert_eq!(samples[5], '▁', "low mid-period");
+    }
+
+    #[test]
+    fn markers_land_on_their_columns() {
+        let set = two_phase();
+        let line = render_markers(&set, 10, &[Time::ZERO, Time::from_ns(50)], "breaks");
+        let cells: Vec<char> = line.chars().collect();
+        assert!(line.ends_with("breaks\n"));
+        // name_width = 4, plus one space: marker columns start at 5.
+        assert_eq!(cells[5], '^');
+        assert_eq!(cells[10], '^');
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_rejected() {
+        let set = two_phase();
+        let _ = render_waveforms(&set, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the timeline and pass-minimisation machinery.
+
+use hb_clock::{ClockSet, EdgeGraph, Requirement};
+use hb_units::{Sense, Time};
+use proptest::prelude::*;
+
+/// A random harmonically related clock set: a base period with 1–4
+/// clocks at divisors of it, each with a random non-degenerate pulse.
+fn clock_set_strategy() -> impl Strategy<Value = ClockSet> {
+    (
+        2i64..6, // base period in 12 ns units (divisible by 1..=4)
+        prop::collection::vec((1i64..5, 0i64..100, 1i64..99), 1..4),
+    )
+        .prop_map(|(base, specs)| {
+            let mut set = ClockSet::new();
+            let base_ps = base * 12_000;
+            for (i, (div, rise_pct, width_pct)) in specs.into_iter().enumerate() {
+                // True harmonic divisors keep the overall period equal to
+                // the base (12 is divisible by 1..=4), so edge counts stay
+                // small.
+                let period = base_ps / div;
+                let rise = period * (rise_pct % 100) / 100;
+                let width = (period * width_pct / 100).max(1);
+                let fall = (rise + width) % period;
+                let fall = if fall == rise { (rise + 1) % period } else { fall };
+                // Degenerate corners can still collide; skip those clocks.
+                let _ = set.add_clock(
+                    format!("c{i}"),
+                    Time::from_ps(period),
+                    Time::from_ps(rise),
+                    Time::from_ps(fall),
+                );
+            }
+            if set.is_empty() {
+                set.add_clock("fallback", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
+                    .expect("valid");
+            }
+            set
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Edge times are sorted, within the overall period, and pulses pair
+    /// lead/trail edges `width` apart.
+    #[test]
+    fn timeline_is_well_formed(set in clock_set_strategy()) {
+        let tl = set.timeline();
+        let overall = tl.overall_period();
+        let mut last = Time::from_ps(-1);
+        for (_, e) in tl.edges() {
+            prop_assert!(Time::ZERO <= e.time && e.time < overall);
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+        for (id, clock) in set.clocks() {
+            let n = (overall / clock.period()) as usize;
+            for sense in [Sense::Positive, Sense::Negative] {
+                let pulses = tl.pulses(id, sense);
+                prop_assert_eq!(pulses.len(), n);
+                for p in pulses {
+                    let lead = tl.edge_time(p.lead);
+                    let trail = tl.edge_time(p.trail);
+                    prop_assert_eq!((trail - lead).rem_euclid_end(clock.period()), p.width);
+                }
+            }
+        }
+    }
+
+    /// `minimal_passes` covers every requirement, and the
+    /// closure-latest pass of each requirement's close edge satisfies it.
+    #[test]
+    fn pass_plans_cover_all_requirements(
+        set in clock_set_strategy(),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 0..24),
+    ) {
+        let tl = set.timeline();
+        let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
+        let reqs: Vec<Requirement> = picks
+            .into_iter()
+            .map(|(a, c)| Requirement {
+                assert_edge: ids[a % ids.len()],
+                close_edge: ids[c % ids.len()],
+            })
+            .collect();
+        let graph = EdgeGraph::new(&tl);
+        let plan = graph.minimal_passes(&reqs);
+        prop_assert!(plan.pass_count() >= 1);
+        for r in &reqs {
+            let a = tl.edge_time(r.assert_edge);
+            let c = tl.edge_time(r.close_edge);
+            let covered = (0..plan.pass_count()).any(|p| plan.satisfies(p, a, c));
+            prop_assert!(covered, "requirement {r:?} not covered");
+            let chosen = plan.pass_for_closure(c);
+            prop_assert!(plan.satisfies(chosen, a, c), "closure-latest pass misses {r:?}");
+        }
+    }
+
+    /// The minimal plan never uses more passes than one per distinct
+    /// closure edge (the trivial upper bound: break just after each).
+    #[test]
+    fn pass_count_is_bounded_by_distinct_closures(
+        set in clock_set_strategy(),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 1..24),
+    ) {
+        let tl = set.timeline();
+        let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
+        let reqs: Vec<Requirement> = picks
+            .into_iter()
+            .map(|(a, c)| Requirement {
+                assert_edge: ids[a % ids.len()],
+                close_edge: ids[c % ids.len()],
+            })
+            .collect();
+        let distinct_closures = {
+            let mut times: Vec<Time> = reqs.iter().map(|r| tl.edge_time(r.close_edge)).collect();
+            times.sort();
+            times.dedup();
+            times.len()
+        };
+        let graph = EdgeGraph::new(&tl);
+        let plan = graph.minimal_passes(&reqs);
+        prop_assert!(plan.pass_count() <= distinct_closures.max(1));
+    }
+
+    /// Ideal path constraints are in `(0, overall]` and respect the
+    /// next-occurrence semantics.
+    #[test]
+    fn ideal_constraints_are_in_range(set in clock_set_strategy()) {
+        let tl = set.timeline();
+        let overall = tl.overall_period();
+        let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
+        for &a in &ids {
+            for &c in &ids {
+                let d = tl.ideal_constraint(a, c);
+                prop_assert!(Time::ZERO < d && d <= overall);
+                if tl.edge_time(a) == tl.edge_time(c) {
+                    prop_assert_eq!(d, overall);
+                }
+            }
+        }
+    }
+}

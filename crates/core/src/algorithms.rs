@@ -1,0 +1,200 @@
+//! Algorithms 1 and 2 of the paper.
+//!
+//! **Algorithm 1 (identification of slow paths)** iterates *complete
+//! slack transfer* — first forward until a fixpoint, then backward —
+//! followed by *partial* transfers that return some time to every path
+//! that is fast enough, so that fast paths end with strictly positive
+//! slacks and every node on a too-slow path ends with a non-positive
+//! slack. Because the simplified synchronising-element model is used,
+//! marginally-fast-enough paths may be reported slow (pessimistic-safe).
+//!
+//! **Algorithm 2 (timing-constraint generation)** starts from
+//! Algorithm 1's offsets and *snatches* time — moving latch offsets even
+//! when the donating side cannot spare the time — backward to settle the
+//! actual ready times of nodes on slow paths, then forward to settle the
+//! actual required times.
+
+use hb_units::Time;
+
+use crate::analysis::{Prepared, SlackView};
+use crate::sync::Replica;
+
+/// Iteration counters from Algorithm 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Algorithm1Stats {
+    /// Complete forward slack-transfer cycles performed (iteration 1).
+    pub forward_cycles: usize,
+    /// Complete backward cycles (iteration 2).
+    pub backward_cycles: usize,
+    /// Partial forward cycles (iteration 3).
+    pub partial_forward_cycles: usize,
+    /// Partial backward cycles (iteration 4).
+    pub partial_backward_cycles: usize,
+    /// Whether the early-out fired (all slacks strictly positive).
+    pub converged_early: bool,
+    /// Whether the safety cap on cycles was hit.
+    pub cycle_cap_hit: bool,
+}
+
+/// Iteration counters from Algorithm 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Algorithm2Stats {
+    /// Backward snatch cycles (iteration 1).
+    pub backward_snatch_cycles: usize,
+    /// Forward snatch cycles (iteration 2).
+    pub forward_snatch_cycles: usize,
+}
+
+/// Runs Algorithm 1, mutating `replicas` in place, and returns the final
+/// slack view plus statistics.
+pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (SlackView, Algorithm1Stats) {
+    let mut stats = Algorithm1Stats::default();
+    let cap = prep.options.max_cycles;
+    let divisor = prep.options.partial_divisor.max(2);
+
+    // Iteration 1: complete forward slack transfer to a fixpoint.
+    loop {
+        let view = prep.compute_slacks(replicas);
+        if view.all_positive() {
+            stats.converged_early = true;
+            return (view, stats);
+        }
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_x = view.replica_in[k];
+            if n_x > Time::ZERO && n_x.is_finite() && r.transfer_forward(n_x) > Time::ZERO {
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        stats.forward_cycles += 1;
+        if stats.forward_cycles >= cap {
+            stats.cycle_cap_hit = true;
+            break;
+        }
+    }
+
+    // Iteration 2: complete backward slack transfer to a fixpoint.
+    loop {
+        let view = prep.compute_slacks(replicas);
+        if view.all_positive() {
+            stats.converged_early = true;
+            return (view, stats);
+        }
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_y = view.replica_out[k];
+            if n_y > Time::ZERO && n_y.is_finite() && r.transfer_backward(n_y) > Time::ZERO {
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        stats.backward_cycles += 1;
+        if stats.backward_cycles >= cap {
+            stats.cycle_cap_hit = true;
+            break;
+        }
+    }
+
+    // Iteration 3: partial forward transfer, once per complete backward
+    // cycle made — returns time to paths that are fast enough so they
+    // finish with strictly positive slack.
+    for _ in 0..stats.backward_cycles {
+        let view = prep.compute_slacks(replicas);
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_x = view.replica_in[k];
+            if n_x > Time::ZERO
+                && n_x.is_finite()
+                && r.transfer_forward(n_x / divisor) > Time::ZERO
+            {
+                any = true;
+            }
+        }
+        stats.partial_forward_cycles += 1;
+        if !any {
+            break;
+        }
+    }
+
+    // Iteration 4: partial backward transfer, once per complete forward
+    // cycle made.
+    for _ in 0..stats.forward_cycles {
+        let view = prep.compute_slacks(replicas);
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_y = view.replica_out[k];
+            if n_y > Time::ZERO
+                && n_y.is_finite()
+                && r.transfer_backward(n_y / divisor) > Time::ZERO
+            {
+                any = true;
+            }
+        }
+        stats.partial_backward_cycles += 1;
+        if !any {
+            break;
+        }
+    }
+
+    // Final step: find all node slacks.
+    let view = prep.compute_slacks(replicas);
+    (view, stats)
+}
+
+/// Runs Algorithm 2 starting from Algorithm-1 offsets. Returns the slack
+/// view whose `ready` tables hold the settled ready times (recorded
+/// after backward snatching), the view whose `required` tables hold the
+/// settled required times (recorded after forward snatching), and
+/// statistics.
+pub(crate) fn algorithm2(
+    prep: &Prepared<'_>,
+    replicas: &mut [Replica],
+) -> (SlackView, SlackView, Algorithm2Stats) {
+    let mut stats = Algorithm2Stats::default();
+    let cap = prep.options.max_cycles;
+
+    // Iteration 1: snatch time backward until no time is snatched, then
+    // record ready times at all cell inputs. Backward snatching: when a
+    // replica's *input* terminal is too slow (negative slack), move its
+    // closure later by up to the deficit, regardless of the output side.
+    let ready_view = loop {
+        let view = prep.compute_slacks(replicas);
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_x = view.replica_in[k];
+            if n_x < Time::ZERO && n_x.is_finite() && r.transfer_backward(-n_x) > Time::ZERO {
+                any = true;
+            }
+        }
+        stats.backward_snatch_cycles += 1;
+        if !any || stats.backward_snatch_cycles >= cap {
+            break view;
+        }
+    };
+
+    // Iteration 2: snatch time forward until no time is snatched, then
+    // record required times at all cell outputs. Forward snatching: when
+    // a replica's *output* terminal is too slow, move its assertion
+    // earlier by up to the deficit.
+    let required_view = loop {
+        let view = prep.compute_slacks(replicas);
+        let mut any = false;
+        for (k, r) in replicas.iter_mut().enumerate() {
+            let n_y = view.replica_out[k];
+            if n_y < Time::ZERO && n_y.is_finite() && r.transfer_forward(-n_y) > Time::ZERO {
+                any = true;
+            }
+        }
+        stats.forward_snatch_cycles += 1;
+        if !any || stats.forward_snatch_cycles >= cap {
+            break view;
+        }
+    };
+
+    (ready_view, required_view, stats)
+}

@@ -1,0 +1,621 @@
+//! Analysis preparation and multi-pass slack evaluation.
+//!
+//! Preparation (the paper's "pre-processing": cluster generation plus the
+//! Section 7 pass-minimisation algorithm) resolves the clock binding of
+//! every synchronising element, replicates elements per control pulse,
+//! derives the cluster ordering requirements, and plans the minimal set
+//! of analysis passes per cluster.
+//!
+//! Slack evaluation then runs, for each distinct "broken open" window,
+//! one forward ready sweep and one backward required sweep over the
+//! whole graph (paper Section 7), assigning each cluster output to the
+//! pass that places its ideal closure time closest to the window end.
+
+use std::collections::HashMap;
+
+use hb_cells::{Binding, Library};
+use hb_clock::{ClockId, ClockSet, EdgeGraph, EdgeId, PassPlan, Requirement, Timeline};
+use hb_netlist::{Design, ModuleId, NetId, PinDir};
+use hb_sta::analysis::{
+    propagate_ready_max, propagate_required, scalar_slack, slack_table, table, TimeTable,
+};
+use hb_sta::TimingGraph;
+use hb_units::{RiseFall, Sense, Time};
+
+use crate::error::AnalyzeError;
+use crate::spec::{AnalysisOptions, EdgeSpec, LatchModel, Spec};
+use crate::sync::{Replica, ReplicaTiming};
+
+/// A boundary timing point: a primary input (source) or primary output
+/// (sink) with its reference edge and offset.
+#[derive(Clone, Debug)]
+pub(crate) struct Boundary {
+    pub port: String,
+    pub net: NetId,
+    pub edge: EdgeId,
+    pub offset: Time,
+}
+
+/// Pre-processing statistics (the paper's Table 1 "pre-processing"
+/// column covers exactly this work).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Number of combinational clusters carrying sources or sinks.
+    pub active_clusters: usize,
+    /// Total ordering requirements across all clusters (deduplicated).
+    pub requirements: usize,
+    /// Total analysis passes summed over clusters.
+    pub total_cluster_passes: usize,
+    /// The largest per-cluster pass count — the maximum number of
+    /// settling times any node needs.
+    pub max_cluster_passes: usize,
+    /// Distinct global windows actually swept.
+    pub global_passes: usize,
+}
+
+/// Everything derived from the design before any offsets move.
+pub(crate) struct Prepared<'a> {
+    pub design: &'a Design,
+    pub module: ModuleId,
+    #[allow(dead_code)]
+    pub library: &'a Library,
+    #[allow(dead_code)]
+    pub binding: Binding,
+    pub graph: TimingGraph,
+    pub timeline: Timeline,
+    pub options: AnalysisOptions,
+    /// Initial replicas (offsets at the late end of their windows).
+    pub replicas: Vec<Replica>,
+    /// The clock period governing each replica (for min-delay checks).
+    pub replica_period: Vec<Time>,
+    pub pis: Vec<Boundary>,
+    pub pos: Vec<Boundary>,
+    /// Distinct global window starts.
+    pub passes: Vec<Time>,
+    /// Per cluster: the global pass indices it participates in (empty
+    /// for clusters with no sources or sinks, e.g. clock trees).
+    pub cluster_passes: Vec<Vec<usize>>,
+    /// Per replica: assigned global pass (for its data input).
+    pub replica_pass: Vec<usize>,
+    /// Per primary output: assigned global pass.
+    pub po_pass: Vec<usize>,
+    pub stats: PrepStats,
+}
+
+/// The result of one full multi-pass slack evaluation at fixed offsets.
+pub(crate) struct SlackView {
+    /// Per global pass: forward ready times.
+    pub ready: Vec<TimeTable>,
+    /// Per global pass: backward required times.
+    pub required: Vec<TimeTable>,
+    /// Per net: the smallest scalar slack over all passes.
+    pub net_slack: Vec<Time>,
+    /// Per replica: node slack at the data-input terminal.
+    pub replica_in: Vec<Time>,
+    /// Per replica: node slack at the output terminal (`INF` when the
+    /// output is unconnected).
+    pub replica_out: Vec<Time>,
+    /// Per primary input: node slack at the source terminal.
+    pub pi_slack: Vec<Time>,
+    /// Per primary output: node slack at the sink terminal.
+    pub po_slack: Vec<Time>,
+}
+
+impl SlackView {
+    /// The paper's global stop condition: every terminal slack strictly
+    /// positive.
+    pub fn all_positive(&self) -> bool {
+        self.replica_in
+            .iter()
+            .chain(&self.replica_out)
+            .chain(&self.pi_slack)
+            .chain(&self.po_slack)
+            .all(|&s| s > Time::ZERO)
+    }
+
+    /// The worst terminal slack.
+    pub fn worst(&self) -> Time {
+        self.replica_in
+            .iter()
+            .chain(&self.replica_out)
+            .chain(&self.pi_slack)
+            .chain(&self.po_slack)
+            .copied()
+            .min()
+            .unwrap_or(Time::INF)
+    }
+}
+
+/// Forward reachability with accumulated max delay and path sense.
+fn forward_reach(
+    graph: &TimingGraph,
+    seeds: &[NetId],
+) -> (Vec<RiseFall<Time>>, Vec<Option<Sense>>) {
+    let mut delay = vec![RiseFall::splat(Time::NEG_INF); graph.node_count()];
+    let mut sense: Vec<Option<Sense>> = vec![None; graph.node_count()];
+    for &net in seeds {
+        delay[net.as_raw() as usize] = RiseFall::ZERO;
+        sense[net.as_raw() as usize] = Some(Sense::Positive);
+    }
+    for &net in graph.topo() {
+        let u = net.as_raw() as usize;
+        let Some(su) = sense[u] else { continue };
+        for &ai in graph.fanout_arcs(net) {
+            let arc = graph.arc(ai);
+            let v = arc.to.as_raw() as usize;
+            let out = arc.sense.propagate(delay[u], arc.delay.max);
+            delay[v] = delay[v].max(out);
+            let through = su.then(arc.sense);
+            sense[v] = Some(match sense[v] {
+                None => through,
+                Some(s) => s.merge(through),
+            });
+        }
+    }
+    (delay, sense)
+}
+
+/// Resolves an [`EdgeSpec`] against the clock set and timeline.
+fn resolve_edge(
+    clocks: &ClockSet,
+    timeline: &Timeline,
+    spec: &EdgeSpec,
+) -> Result<EdgeId, AnalyzeError> {
+    let clock = clocks
+        .clock_by_name(&spec.clock)
+        .ok_or_else(|| AnalyzeError::UnknownClock {
+            clock: spec.clock.clone(),
+        })?;
+    let mut matching: Vec<EdgeId> = timeline
+        .edges()
+        .filter(|(_, e)| e.clock == clock && e.polarity == spec.transition)
+        .map(|(id, _)| id)
+        .collect();
+    matching.sort_by_key(|id| timeline.edge_time(*id));
+    matching
+        .get(spec.occurrence as usize)
+        .copied()
+        .ok_or_else(|| AnalyzeError::EdgeOccurrenceOutOfRange {
+            clock: spec.clock.clone(),
+            occurrence: spec.occurrence,
+        })
+}
+
+pub(crate) fn prepare<'a>(
+    design: &'a Design,
+    module: ModuleId,
+    library: &'a Library,
+    clocks: &ClockSet,
+    spec: &Spec,
+    options: AnalysisOptions,
+) -> Result<Prepared<'a>, AnalyzeError> {
+    if clocks.is_empty() {
+        return Err(AnalyzeError::NoClocks);
+    }
+    let binding = Binding::new(design, library);
+    let graph = TimingGraph::build(design, module, &binding, library)?;
+    let timeline = clocks.timeline();
+    let m = design.module(module);
+
+    // --- clock ports -----------------------------------------------------
+    let mut clock_sources: Vec<(NetId, ClockId)> = Vec::new();
+    for (port, clock_name) in spec.clock_ports() {
+        let pid = m
+            .port_by_name(port)
+            .ok_or_else(|| AnalyzeError::UnknownPort { port: port.into() })?;
+        let clock =
+            clocks
+                .clock_by_name(clock_name)
+                .ok_or_else(|| AnalyzeError::UnknownClock {
+                    clock: clock_name.into(),
+                })?;
+        clock_sources.push((m.port(pid).net(), clock));
+    }
+
+    // --- control path resolution ------------------------------------------
+    // One reach per clock source; then each sync element must see exactly
+    // one clock, monotonically.
+    type Reach = (ClockId, Vec<RiseFall<Time>>, Vec<Option<Sense>>);
+    let reaches: Vec<Reach> = clock_sources
+        .iter()
+        .map(|&(net, clock)| {
+            let (d, s) = forward_reach(&graph, &[net]);
+            (clock, d, s)
+        })
+        .collect();
+
+    // Enable-path detection: control nets must not be reachable from
+    // synchronising element outputs.
+    let sync_outputs: Vec<NetId> = graph
+        .syncs()
+        .iter()
+        .flat_map(|s| [s.output_net, s.output_bar_net])
+        .flatten()
+        .collect();
+    let (_, from_sync_sense) = forward_reach(&graph, &sync_outputs);
+
+    struct ControlInfo {
+        clock: ClockId,
+        cdel: Time,
+        sense: Sense,
+    }
+    let mut controls: Vec<ControlInfo> = Vec::with_capacity(graph.syncs().len());
+    for sync in graph.syncs() {
+        let inst_name = || m.instance(sync.inst).name().to_owned();
+        let cn = sync.control_net.as_raw() as usize;
+        if from_sync_sense[cn].is_some() {
+            return Err(AnalyzeError::EnablePath { inst: inst_name() });
+        }
+        let mut hit: Option<ControlInfo> = None;
+        for (clock, delays, senses) in &reaches {
+            if let Some(s) = senses[cn] {
+                if hit.is_some() {
+                    return Err(AnalyzeError::MultiClockControl { inst: inst_name() });
+                }
+                if s == Sense::NonUnate {
+                    return Err(AnalyzeError::NonMonotonicControl { inst: inst_name() });
+                }
+                hit = Some(ControlInfo {
+                    clock: *clock,
+                    cdel: delays[cn].worst().max(Time::ZERO),
+                    sense: s,
+                });
+            }
+        }
+        controls.push(hit.ok_or_else(|| AnalyzeError::UnclockedControl { inst: inst_name() })?);
+    }
+
+    // --- boundary points ---------------------------------------------------
+    let clock_port_nets: Vec<NetId> = clock_sources.iter().map(|&(n, _)| n).collect();
+    let default_edge = timeline
+        .edges()
+        .next()
+        .map(|(id, _)| id)
+        .expect("non-empty clock set has edges");
+    let mut pis: Vec<Boundary> = Vec::new();
+    let mut pos: Vec<Boundary> = Vec::new();
+    for (_, port) in m.ports() {
+        match port.dir() {
+            PinDir::Input => {
+                if clock_port_nets.contains(&port.net()) {
+                    continue;
+                }
+                let (edge, offset) = match spec.arrival_for_port(port.name()) {
+                    Some((es, off)) => (resolve_edge(clocks, &timeline, es)?, off),
+                    None => (default_edge, Time::ZERO),
+                };
+                pis.push(Boundary {
+                    port: port.name().to_owned(),
+                    net: port.net(),
+                    edge,
+                    offset,
+                });
+            }
+            PinDir::Output => {
+                if let Some((es, off)) = spec.required_for_port(port.name()) {
+                    pos.push(Boundary {
+                        port: port.name().to_owned(),
+                        net: port.net(),
+                        edge: resolve_edge(clocks, &timeline, es)?,
+                        offset: off,
+                    });
+                }
+            }
+        }
+    }
+    // Unknown port names in the spec are errors even when unused.
+    for (port, _, _) in spec.input_arrivals() {
+        if m.port_by_name(port).is_none() {
+            return Err(AnalyzeError::UnknownPort { port: port.into() });
+        }
+    }
+    for (port, _, _) in spec.output_requireds() {
+        if m.port_by_name(port).is_none() {
+            return Err(AnalyzeError::UnknownPort { port: port.into() });
+        }
+    }
+
+    // --- replicas -----------------------------------------------------------
+    let mut replicas: Vec<Replica> = Vec::new();
+    let mut replica_period: Vec<Time> = Vec::new();
+    for (sync_index, sync) in graph.syncs().iter().enumerate() {
+        let ctrl = &controls[sync_index];
+        let cell = library.cell(sync.cell);
+        let cspec = cell.sync_spec().expect("sync instances have sync cells");
+        let effective = ctrl.sense.then(cspec.control_sense);
+        let transparent =
+            cspec.kind.is_transparent() && options.latch_model == LatchModel::Transparent;
+        // One output driver stage serves both outputs; evaluate it at the
+        // heavier of the two loads (pessimistic-safe).
+        let out_extra = cspec
+            .output_delay
+            .eval(sync.output_load_ff.max(sync.output_bar_load_ff))
+            .max
+            .worst();
+        for pulse in timeline.pulses(ctrl.clock, effective) {
+            let assert_edge = if transparent { pulse.lead } else { pulse.trail };
+            let mut replica = Replica::new(
+                sync.inst,
+                sync_index,
+                pulse.index,
+                cspec.kind,
+                assert_edge,
+                pulse.trail,
+                sync.data_net,
+                sync.output_net,
+                ReplicaTiming {
+                    width: pulse.width,
+                    setup: cspec.setup,
+                    hold: cspec.hold,
+                    d_cx: cspec.d_cx,
+                    d_dx: cspec.d_dx,
+                    cdel: ctrl.cdel,
+                    out_extra,
+                },
+                transparent,
+            );
+            if let Some(bar) = sync.output_bar_net {
+                replica = replica.with_output_bar(bar);
+            }
+            replicas.push(replica);
+            replica_period.push(clocks.clock(ctrl.clock).period());
+        }
+    }
+
+    // --- ordering requirements per cluster ----------------------------------
+    // Distinct assertion edges get bit positions; bitmasks flow forward.
+    let mut edge_bits: HashMap<EdgeId, usize> = HashMap::new();
+    let mut bit_edges: Vec<EdgeId> = Vec::new();
+    let mut seeds: Vec<(NetId, EdgeId)> = Vec::new();
+    for r in &replicas {
+        for out in [r.output_net, r.output_bar_net].into_iter().flatten() {
+            seeds.push((out, r.assert_edge));
+        }
+    }
+    for pi in &pis {
+        seeds.push((pi.net, pi.edge));
+    }
+    for &(_, edge) in &seeds {
+        edge_bits.entry(edge).or_insert_with(|| {
+            bit_edges.push(edge);
+            bit_edges.len() - 1
+        });
+    }
+    let blocks = bit_edges.len().div_ceil(64).max(1);
+    let mut masks: Vec<u64> = vec![0; graph.node_count() * blocks];
+    for &(net, edge) in &seeds {
+        let bit = edge_bits[&edge];
+        masks[net.as_raw() as usize * blocks + bit / 64] |= 1 << (bit % 64);
+    }
+    for &net in graph.topo() {
+        let u = net.as_raw() as usize;
+        for &ai in graph.fanout_arcs(net) {
+            let v = graph.arc(ai).to.as_raw() as usize;
+            for b in 0..blocks {
+                let bits = masks[u * blocks + b];
+                masks[v * blocks + b] |= bits;
+            }
+        }
+    }
+    let reaching_edges = |net: NetId| -> Vec<EdgeId> {
+        let u = net.as_raw() as usize;
+        let mut edges = Vec::new();
+        for b in 0..blocks {
+            let mut bits = masks[u * blocks + b];
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                edges.push(bit_edges[b * 64 + i]);
+                bits &= bits - 1;
+            }
+        }
+        edges
+    };
+
+    let cluster_count = graph.clusters().count();
+    let mut cluster_reqs: Vec<Vec<Requirement>> = vec![Vec::new(); cluster_count];
+    let mut cluster_active = vec![false; cluster_count];
+    for &(net, _) in &seeds {
+        cluster_active[graph.cluster_of(net).as_raw() as usize] = true;
+    }
+    let mut add_reqs = |net: NetId, close_edge: EdgeId| {
+        let c = graph.cluster_of(net).as_raw() as usize;
+        cluster_active[c] = true;
+        for assert_edge in reaching_edges(net) {
+            cluster_reqs[c].push(Requirement {
+                assert_edge,
+                close_edge,
+            });
+        }
+    };
+    for r in &replicas {
+        add_reqs(r.data_net, r.close_edge);
+    }
+    for po in &pos {
+        add_reqs(po.net, po.edge);
+    }
+
+    // --- pass plans ----------------------------------------------------------
+    let egraph = EdgeGraph::new(&timeline);
+    let mut plans: Vec<Option<PassPlan>> = Vec::with_capacity(cluster_count);
+    let mut requirements = 0usize;
+    for c in 0..cluster_count {
+        if cluster_active[c] {
+            requirements += cluster_reqs[c].len();
+            plans.push(Some(egraph.minimal_passes(&cluster_reqs[c])));
+        } else {
+            plans.push(None);
+        }
+    }
+    let mut passes: Vec<Time> = Vec::new();
+    let mut pass_index: HashMap<Time, usize> = HashMap::new();
+    let mut cluster_passes: Vec<Vec<usize>> = vec![Vec::new(); cluster_count];
+    for (c, plan) in plans.iter().enumerate() {
+        if let Some(plan) = plan {
+            for &s in plan.starts() {
+                let idx = *pass_index.entry(s).or_insert_with(|| {
+                    passes.push(s);
+                    passes.len() - 1
+                });
+                cluster_passes[c].push(idx);
+            }
+        }
+    }
+    let assigned_pass = |net: NetId, close_edge: EdgeId| -> usize {
+        let c = graph.cluster_of(net).as_raw() as usize;
+        let plan = plans[c].as_ref().expect("sink clusters are active");
+        let local = plan.pass_for_closure(timeline.edge_time(close_edge));
+        pass_index[&plan.starts()[local]]
+    };
+    let replica_pass: Vec<usize> = replicas
+        .iter()
+        .map(|r| assigned_pass(r.data_net, r.close_edge))
+        .collect();
+    let po_pass: Vec<usize> = pos.iter().map(|p| assigned_pass(p.net, p.edge)).collect();
+
+    let stats = PrepStats {
+        active_clusters: cluster_active.iter().filter(|&&a| a).count(),
+        requirements,
+        total_cluster_passes: plans
+            .iter()
+            .flatten()
+            .map(|p| p.pass_count())
+            .sum(),
+        max_cluster_passes: plans
+            .iter()
+            .flatten()
+            .map(|p| p.pass_count())
+            .max()
+            .unwrap_or(0),
+        global_passes: passes.len(),
+    };
+
+    Ok(Prepared {
+        design,
+        module,
+        library,
+        binding,
+        graph,
+        timeline,
+        options,
+        replicas,
+        replica_period,
+        pis,
+        pos,
+        passes,
+        cluster_passes,
+        replica_pass,
+        po_pass,
+        stats,
+    })
+}
+
+impl Prepared<'_> {
+    /// The window position of an assertion at `edge` in the pass with
+    /// window start `start`.
+    fn pos_assert(&self, start: Time, edge: EdgeId) -> Time {
+        (self.timeline.edge_time(edge) - start).rem_euclid(self.timeline.overall_period())
+    }
+
+    /// The window position of a closure at `edge` (end-biased).
+    fn pos_close(&self, start: Time, edge: EdgeId) -> Time {
+        (self.timeline.edge_time(edge) - start).rem_euclid_end(self.timeline.overall_period())
+    }
+
+    /// Whether `net`'s cluster participates in global pass `p`.
+    fn in_pass(&self, net: NetId, p: usize) -> bool {
+        self.cluster_passes[self.graph.cluster_of(net).as_raw() as usize].contains(&p)
+    }
+
+    /// Evaluates all slacks at the given replica offsets.
+    pub fn compute_slacks(&self, replicas: &[Replica]) -> SlackView {
+        let pass_count = self.passes.len();
+        let mut view = SlackView {
+            ready: Vec::with_capacity(pass_count),
+            required: Vec::with_capacity(pass_count),
+            net_slack: vec![Time::INF; self.graph.node_count()],
+            replica_in: vec![Time::INF; replicas.len()],
+            replica_out: vec![Time::INF; replicas.len()],
+            pi_slack: vec![Time::INF; self.pis.len()],
+            po_slack: vec![Time::INF; self.pos.len()],
+        };
+        for (p, &start) in self.passes.iter().enumerate() {
+            let mut ready = table(&self.graph, Time::NEG_INF);
+            for r in replicas {
+                for out in [r.output_net, r.output_bar_net].into_iter().flatten() {
+                    if self.in_pass(out, p) {
+                        let at = self.pos_assert(start, r.assert_edge) + r.output_assert_offset();
+                        let slot = &mut ready[out.as_raw() as usize];
+                        *slot = (*slot).max(RiseFall::splat(at));
+                    }
+                }
+            }
+            for pi in &self.pis {
+                if self.in_pass(pi.net, p) {
+                    let at = self.pos_assert(start, pi.edge) + pi.offset;
+                    let slot = &mut ready[pi.net.as_raw() as usize];
+                    *slot = (*slot).max(RiseFall::splat(at));
+                }
+            }
+            propagate_ready_max(&self.graph, &mut ready);
+
+            let mut required = table(&self.graph, Time::INF);
+            for (k, r) in replicas.iter().enumerate() {
+                if self.replica_pass[k] == p {
+                    let at = self.pos_close(start, r.close_edge) + r.input_close_offset();
+                    let slot = &mut required[r.data_net.as_raw() as usize];
+                    *slot = (*slot).min(RiseFall::splat(at));
+                }
+            }
+            for (k, po) in self.pos.iter().enumerate() {
+                if self.po_pass[k] == p {
+                    let at = self.pos_close(start, po.edge) + po.offset;
+                    let slot = &mut required[po.net.as_raw() as usize];
+                    *slot = (*slot).min(RiseFall::splat(at));
+                }
+            }
+            propagate_required(&self.graph, &mut required);
+
+            let slacks = slack_table(&ready, &required);
+            for (i, s) in slacks.iter().enumerate() {
+                let sc = scalar_slack(*s);
+                if sc < view.net_slack[i] {
+                    view.net_slack[i] = sc;
+                }
+            }
+            // Terminal slacks: sinks use their own closure seed against
+            // the pass arrival; sources read the net slack at their
+            // output in participating passes.
+            for (k, r) in replicas.iter().enumerate() {
+                if self.replica_pass[k] == p {
+                    let close = self.pos_close(start, r.close_edge) + r.input_close_offset();
+                    let arrive = ready[r.data_net.as_raw() as usize].worst();
+                    let s = close.saturating_sub(arrive);
+                    view.replica_in[k] = view.replica_in[k].min(s);
+                }
+                for out in [r.output_net, r.output_bar_net].into_iter().flatten() {
+                    if self.in_pass(out, p) {
+                        let s = scalar_slack(slacks[out.as_raw() as usize]);
+                        view.replica_out[k] = view.replica_out[k].min(s);
+                    }
+                }
+            }
+            for (k, pi) in self.pis.iter().enumerate() {
+                if self.in_pass(pi.net, p) {
+                    let s = scalar_slack(slacks[pi.net.as_raw() as usize]);
+                    view.pi_slack[k] = view.pi_slack[k].min(s);
+                }
+            }
+            for (k, po) in self.pos.iter().enumerate() {
+                if self.po_pass[k] == p {
+                    let close = self.pos_close(start, po.edge) + po.offset;
+                    let arrive = ready[po.net.as_raw() as usize].worst();
+                    view.po_slack[k] = view.po_slack[k].min(close.saturating_sub(arrive));
+                }
+            }
+
+            view.ready.push(ready);
+            view.required.push(required);
+        }
+        view
+    }
+}

@@ -1,0 +1,274 @@
+//! The top-level analyzer facade.
+
+use std::time::Instant;
+
+use hb_cells::Library;
+use hb_clock::ClockSet;
+use hb_netlist::{Design, ModuleId};
+use hb_sta::paths::critical_path;
+use hb_units::{Time, Transition};
+
+use crate::algorithms::{algorithm1, algorithm2};
+use crate::analysis::{prepare, Prepared, PrepStats, SlackView};
+use crate::error::AnalyzeError;
+use crate::mindelay::check_min_delays;
+use crate::report::{SlowPath, SlowStep, TerminalKind, TerminalSlack, TimingConstraints, TimingReport};
+use crate::spec::{AnalysisOptions, Spec};
+use crate::sync::Replica;
+
+/// At most this many slow paths are traced and reported.
+const MAX_SLOW_PATHS: usize = 50;
+
+/// A prepared system-level timing analysis.
+///
+/// Construction performs the paper's *pre-processing*: timing-graph and
+/// cluster generation, clock binding of every synchronising element,
+/// per-pulse replication, and the Section 7 minimal-pass planning.
+/// [`Analyzer::analyze`] then runs Algorithm 1 (slow-path
+/// identification) and [`Analyzer::generate_constraints`] additionally
+/// runs Algorithm 2 (constraint generation for re-synthesis).
+///
+/// See the [crate-level documentation](crate) for a worked example.
+pub struct Analyzer<'a> {
+    prep: Prepared<'a>,
+    prep_seconds: f64,
+}
+
+impl std::fmt::Debug for Analyzer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyzer")
+            .field("module", &self.prep.design.module(self.prep.module).name())
+            .field("replicas", &self.prep.replicas.len())
+            .field("passes", &self.prep.passes.len())
+            .field("prep_seconds", &self.prep_seconds)
+            .finish()
+    }
+}
+
+impl<'a> Analyzer<'a> {
+    /// Prepares an analysis with default [`AnalysisOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the design violates the paper's structural assumptions
+    /// (combinational cycles, unclocked or non-monotonic controls,
+    /// enable paths), when a spec entry does not resolve, or when the
+    /// clock set is empty.
+    pub fn new(
+        design: &'a Design,
+        module: ModuleId,
+        library: &'a Library,
+        clocks: &ClockSet,
+        spec: Spec,
+    ) -> Result<Analyzer<'a>, AnalyzeError> {
+        Analyzer::with_options(design, module, library, clocks, spec, AnalysisOptions::default())
+    }
+
+    /// Prepares an analysis with explicit options (latch model, partial
+    /// transfer divisor, min-delay checking).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Analyzer::new`].
+    pub fn with_options(
+        design: &'a Design,
+        module: ModuleId,
+        library: &'a Library,
+        clocks: &ClockSet,
+        spec: Spec,
+        options: AnalysisOptions,
+    ) -> Result<Analyzer<'a>, AnalyzeError> {
+        let start = Instant::now();
+        let prep = prepare(design, module, library, clocks, &spec, options)?;
+        Ok(Analyzer {
+            prep,
+            prep_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Pre-processing statistics: clusters, requirements, pass counts.
+    pub fn prep_stats(&self) -> PrepStats {
+        self.prep.stats
+    }
+
+    /// Wall-clock seconds spent preparing.
+    pub fn prep_seconds(&self) -> f64 {
+        self.prep_seconds
+    }
+
+    /// The overall clock period.
+    pub fn overall_period(&self) -> Time {
+        self.prep.timeline.overall_period()
+    }
+
+    /// The distinct analysis-window start times.
+    pub fn pass_starts(&self) -> &[Time] {
+        &self.prep.passes
+    }
+
+    /// The number of synchronising-element replicas under analysis.
+    pub fn replica_count(&self) -> usize {
+        self.prep.replicas.len()
+    }
+
+    /// Runs Algorithm 1 and reports all paths that are too slow.
+    pub fn analyze(&self) -> TimingReport {
+        let start = Instant::now();
+        let mut replicas = self.prep.replicas.clone();
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas);
+        let min_delay = if self.prep.options.check_min_delays {
+            check_min_delays(&self.prep, &replicas)
+        } else {
+            Vec::new()
+        };
+        let mut report = self.build_report(&replicas, &view);
+        report.alg1 = alg1;
+        report.min_delay_violations = min_delay;
+        report.prep_seconds = self.prep_seconds;
+        report.analysis_seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    /// Runs Algorithm 1 followed by Algorithm 2 and attaches the
+    /// generated ready/required-time constraints to the report.
+    pub fn generate_constraints(&self) -> TimingReport {
+        let start = Instant::now();
+        let mut replicas = self.prep.replicas.clone();
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas);
+        let min_delay = if self.prep.options.check_min_delays {
+            check_min_delays(&self.prep, &replicas)
+        } else {
+            Vec::new()
+        };
+        let mut report = self.build_report(&replicas, &view);
+        let (ready_view, required_view, alg2) = algorithm2(&self.prep, &mut replicas);
+        report.alg1 = alg1;
+        report.alg2 = Some(alg2);
+        report.constraints = Some(TimingConstraints::new(
+            self.prep.passes.clone(),
+            ready_view.ready,
+            required_view.required,
+        ));
+        report.min_delay_violations = min_delay;
+        report.prep_seconds = self.prep_seconds;
+        report.analysis_seconds = start.elapsed().as_secs_f64();
+        report
+    }
+
+    fn build_report(&self, replicas: &[Replica], view: &SlackView) -> TimingReport {
+        let prep = &self.prep;
+        let module = prep.design.module(prep.module);
+
+        let mut terminal_slacks = Vec::new();
+        for (k, r) in replicas.iter().enumerate() {
+            terminal_slacks.push(TerminalSlack {
+                kind: TerminalKind::SyncInput,
+                name: module.instance(r.inst).name().to_owned(),
+                pulse: r.pulse_index,
+                slack: view.replica_in[k],
+            });
+            if r.output_net.is_some() {
+                terminal_slacks.push(TerminalSlack {
+                    kind: TerminalKind::SyncOutput,
+                    name: module.instance(r.inst).name().to_owned(),
+                    pulse: r.pulse_index,
+                    slack: view.replica_out[k],
+                });
+            }
+        }
+        for (k, pi) in prep.pis.iter().enumerate() {
+            terminal_slacks.push(TerminalSlack {
+                kind: TerminalKind::PrimaryInput,
+                name: pi.port.clone(),
+                pulse: 0,
+                slack: view.pi_slack[k],
+            });
+        }
+        for (k, po) in prep.pos.iter().enumerate() {
+            terminal_slacks.push(TerminalSlack {
+                kind: TerminalKind::PrimaryOutput,
+                name: po.port.clone(),
+                pulse: 0,
+                slack: view.po_slack[k],
+            });
+        }
+
+        // Slow endpoints, worst first.
+        let mut endpoints: Vec<(Time, usize, bool)> = Vec::new(); // (slack, index, is_replica)
+        for (k, s) in view.replica_in.iter().enumerate() {
+            if *s <= Time::ZERO {
+                endpoints.push((*s, k, true));
+            }
+        }
+        for (k, s) in view.po_slack.iter().enumerate() {
+            if *s <= Time::ZERO {
+                endpoints.push((*s, k, false));
+            }
+        }
+        endpoints.sort_by_key(|&(s, _, _)| s);
+
+        let mut slow_paths = Vec::new();
+        for &(slack, k, is_replica) in endpoints.iter().take(MAX_SLOW_PATHS) {
+            let (net, pass, endpoint) = if is_replica {
+                let r = &replicas[k];
+                (
+                    r.data_net,
+                    prep.replica_pass[k],
+                    module.instance(r.inst).name().to_owned(),
+                )
+            } else {
+                (prep.pos[k].net, prep.po_pass[k], prep.pos[k].port.clone())
+            };
+            let ready = &view.ready[pass];
+            let arrival = ready[net.as_raw() as usize];
+            let tr = if arrival.rise >= arrival.fall {
+                Transition::Rise
+            } else {
+                Transition::Fall
+            };
+            if let Some(path) = critical_path(&prep.graph, ready, net, tr) {
+                let steps = path
+                    .steps
+                    .iter()
+                    .map(|s| SlowStep {
+                        net: module.net(s.net).name().to_owned(),
+                        through: s.inst.map(|i| module.instance(i).name().to_owned()),
+                        time: s.time,
+                    })
+                    .collect();
+                slow_paths.push(SlowPath {
+                    slack,
+                    endpoint,
+                    steps,
+                });
+            }
+        }
+
+        let slow_nets = module
+            .nets()
+            .filter(|(id, _)| {
+                let s = view.net_slack[id.as_raw() as usize];
+                s <= Time::ZERO && s.is_finite()
+            })
+            .map(|(id, _)| id)
+            .collect();
+
+        TimingReport {
+            module: prep.module,
+            ok: view.all_positive(),
+            worst_slack: view.worst(),
+            overall_period: prep.timeline.overall_period(),
+            terminal_slacks,
+            slow_paths,
+            slow_nets,
+            net_slacks: view.net_slack.clone(),
+            prep_stats: prep.stats,
+            alg1: Default::default(),
+            alg2: None,
+            constraints: None,
+            min_delay_violations: Vec::new(),
+            prep_seconds: self.prep_seconds,
+            analysis_seconds: 0.0,
+        }
+    }
+}

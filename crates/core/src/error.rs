@@ -1,0 +1,123 @@
+//! The analyzer error type.
+
+use std::fmt;
+
+use hb_sta::StaError;
+
+/// Errors raised while preparing or running a timing analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The underlying timing-graph construction failed.
+    Sta(StaError),
+    /// The clock set is empty.
+    NoClocks,
+    /// A spec entry names a port that does not exist on the module.
+    UnknownPort {
+        /// The port name.
+        port: String,
+    },
+    /// A spec entry names a clock that does not exist in the clock set.
+    UnknownClock {
+        /// The clock name.
+        clock: String,
+    },
+    /// A spec references a clock edge occurrence beyond the pulse count.
+    EdgeOccurrenceOutOfRange {
+        /// The clock name.
+        clock: String,
+        /// The requested occurrence.
+        occurrence: u32,
+    },
+    /// A synchronising element's control input is not reachable from any
+    /// clock port.
+    UnclockedControl {
+        /// The instance name.
+        inst: String,
+    },
+    /// A control input is reachable from more than one clock, violating
+    /// the paper's assumption that every control signal is a function of
+    /// exactly one clock signal.
+    MultiClockControl {
+        /// The instance name.
+        inst: String,
+    },
+    /// A control path is not a monotonic function of its clock.
+    NonMonotonicControl {
+        /// The instance name.
+        inst: String,
+    },
+    /// A combinational path feeds a synchronising element's control input
+    /// from another synchronising element's output (an *enable path*).
+    /// Conforming designs per Section 3 do not contain these.
+    EnablePath {
+        /// The instance whose control is driven by latch outputs.
+        inst: String,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Sta(e) => write!(f, "{e}"),
+            AnalyzeError::NoClocks => write!(f, "the clock set is empty"),
+            AnalyzeError::UnknownPort { port } => {
+                write!(f, "spec references unknown port {port:?}")
+            }
+            AnalyzeError::UnknownClock { clock } => {
+                write!(f, "spec references unknown clock {clock:?}")
+            }
+            AnalyzeError::EdgeOccurrenceOutOfRange { clock, occurrence } => write!(
+                f,
+                "clock {clock:?} has no edge occurrence {occurrence} within the overall period"
+            ),
+            AnalyzeError::UnclockedControl { inst } => write!(
+                f,
+                "control input of {inst:?} is not reachable from any clock port"
+            ),
+            AnalyzeError::MultiClockControl { inst } => write!(
+                f,
+                "control input of {inst:?} is a function of more than one clock"
+            ),
+            AnalyzeError::NonMonotonicControl { inst } => write!(
+                f,
+                "control input of {inst:?} is not a monotonic function of its clock"
+            ),
+            AnalyzeError::EnablePath { inst } => write!(
+                f,
+                "control input of {inst:?} is driven from a synchronising element output \
+                 (enable paths are outside the supported design class)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Sta(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StaError> for AnalyzeError {
+    fn from(e: StaError) -> AnalyzeError {
+        AnalyzeError::Sta(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = AnalyzeError::UnclockedControl { inst: "ff0".into() };
+        assert!(e.to_string().contains("ff0"));
+        assert!(e.source().is_none());
+        let e = AnalyzeError::Sta(StaError::UnboundLeaf { inst: "u".into() });
+        assert!(e.source().is_some());
+        assert_eq!(AnalyzeError::NoClocks.to_string(), "the clock set is empty");
+    }
+}

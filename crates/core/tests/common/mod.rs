@@ -1,0 +1,181 @@
+#![allow(dead_code)]
+
+//! Shared fixtures for the analyzer scenario tests: an "exact" library
+//! whose cells have load-independent delays, so every scenario's
+//! arithmetic can be checked by hand.
+
+use hb_cells::{Cell, DelayModel, DriveStrength, Function, Library, SyncKind, SyncSpec, TimingArc, WireLoad};
+use hb_netlist::{Design, LeafDef, ModuleId, NetId, PinDir};
+use hb_units::{Sense, Time};
+
+/// Builds a library with:
+///
+/// * `DEL{n}` — a buffer with exactly `n` ns of delay (min delay `n/2`),
+///   one per entry in `delays_ns`;
+/// * `JOIN2` — a two-input positive-unate gate with 1 ns of delay;
+/// * `FF` — an ideal rising-edge flip-flop (trailing-edge element on the
+///   clock-low pulse), zero setup, 500 ps hold;
+/// * `LAT` — an ideal transparent latch, active while its clock is high;
+/// * `LATN` — the active-low variant.
+///
+/// All pin capacitances and wire loads are zero, so delays are exact.
+pub fn exact_lib(delays_ns: &[i64]) -> Library {
+    let mut lib = Library::new("exact");
+    lib.set_wire_load(WireLoad::new(0, 0));
+
+    let mut sorted: Vec<i64> = delays_ns.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for d in sorted {
+        let iface = LeafDef::new(format!("DEL{d}"))
+            .pin("A", PinDir::Input)
+            .pin("Y", PinDir::Output);
+        let arc = TimingArc {
+            from: iface.pin_by_name("A").unwrap(),
+            to: iface.pin_by_name("Y").unwrap(),
+            sense: Sense::Positive,
+            delay: DelayModel::symmetric(Time::from_ns(d), 0),
+        };
+        lib.add_cell(Cell::new(
+            iface,
+            Function::Combinational(vec![arc]),
+            vec![0, 0],
+            DriveStrength::X1,
+            format!("DEL{d}"),
+            1,
+        ));
+    }
+
+    let iface = LeafDef::new("JOIN2")
+        .pin("A", PinDir::Input)
+        .pin("B", PinDir::Input)
+        .pin("Y", PinDir::Output);
+    let arcs = ["A", "B"]
+        .iter()
+        .map(|p| TimingArc {
+            from: iface.pin_by_name(p).unwrap(),
+            to: iface.pin_by_name("Y").unwrap(),
+            sense: Sense::Positive,
+            delay: DelayModel::symmetric(Time::from_ns(1), 0),
+        })
+        .collect();
+    lib.add_cell(Cell::new(
+        iface,
+        Function::Combinational(arcs),
+        vec![0, 0, 0],
+        DriveStrength::X1,
+        "JOIN2",
+        1,
+    ));
+
+    for (name, kind, sense) in [
+        ("FF", SyncKind::TrailingEdge, Sense::Negative),
+        ("LAT", SyncKind::Transparent, Sense::Positive),
+        ("LATN", SyncKind::Transparent, Sense::Negative),
+    ] {
+        let iface = LeafDef::new(name)
+            .pin("D", PinDir::Input)
+            .pin("C", PinDir::Input)
+            .pin("Q", PinDir::Output);
+        let spec = SyncSpec {
+            kind,
+            data: iface.pin_by_name("D").unwrap(),
+            control: iface.pin_by_name("C").unwrap(),
+            output: iface.pin_by_name("Q").unwrap(),
+            output_bar: None,
+            setup: Time::ZERO,
+            hold: Time::from_ps(500),
+            d_cx: Time::ZERO,
+            d_dx: Time::ZERO,
+            control_sense: sense,
+            output_delay: DelayModel::zero(),
+        };
+        lib.add_cell(Cell::new(
+            iface,
+            Function::Sync(spec),
+            vec![0, 0, 0],
+            DriveStrength::X1,
+            name,
+            4,
+        ));
+    }
+    lib
+}
+
+/// A design under construction with convenience helpers.
+pub struct Builder {
+    pub design: Design,
+    pub module: ModuleId,
+    counter: usize,
+}
+
+impl Builder {
+    pub fn new(lib: &Library) -> Builder {
+        let mut design = Design::new("scenario");
+        lib.declare_into(&mut design).unwrap();
+        let module = design.add_module("top").unwrap();
+        design.set_top(module).unwrap();
+        Builder {
+            design,
+            module,
+            counter: 0,
+        }
+    }
+
+    pub fn net(&mut self, name: &str) -> NetId {
+        self.design.add_net(self.module, name).unwrap()
+    }
+
+    pub fn input(&mut self, name: &str) -> NetId {
+        let n = self.net(name);
+        self.design
+            .add_port(self.module, name, PinDir::Input, n)
+            .unwrap();
+        n
+    }
+
+    pub fn output(&mut self, name: &str) -> NetId {
+        let n = self.net(name);
+        self.design
+            .add_port(self.module, name, PinDir::Output, n)
+            .unwrap();
+        n
+    }
+
+    /// Instantiates `cell` and connects the named pins.
+    pub fn inst(&mut self, cell: &str, conns: &[(&str, NetId)]) -> String {
+        self.counter += 1;
+        let name = format!("u{}_{}", self.counter, cell.to_lowercase());
+        let leaf = self
+            .design
+            .leaf_by_name(cell)
+            .unwrap_or_else(|| panic!("cell {cell} not in library"));
+        let id = self
+            .design
+            .add_leaf_instance(self.module, name.clone(), leaf)
+            .unwrap();
+        for (pin, net) in conns {
+            self.design.connect(self.module, id, pin, *net).unwrap();
+        }
+        name
+    }
+
+    /// A chain of `DEL` cells realizing the given delays, from `from` to
+    /// `to`. Returns the total delay.
+    pub fn delay_chain(&mut self, from: NetId, to: NetId, delays_ns: &[i64]) -> Time {
+        assert!(!delays_ns.is_empty());
+        let mut prev = from;
+        for (i, &d) in delays_ns.iter().enumerate() {
+            let next = if i + 1 == delays_ns.len() {
+                to
+            } else {
+                self.counter += 1;
+                let c = self.counter;
+                self.net(&format!("chain{c}"))
+            };
+            self.inst(&format!("DEL{d}"), &[("A", prev), ("Y", next)]);
+            prev = next;
+        }
+        Time::from_ns(delays_ns.iter().sum())
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-domain (multi-frequency) scenarios with hand-computed slacks,
+//! on the exact (load-free) library.
+
+mod common;
+
+use common::{exact_lib, Builder};
+use hb_clock::ClockSet;
+use hb_units::{Time, Transition};
+use hummingbird::{Analyzer, EdgeSpec, Spec};
+
+/// `in -> FF(launch clock) -> DEL(delay) -> FF(capture clock)`.
+fn cross_domain(
+    delay_ns: i64,
+    launch: (&str, i64, i64), // (name, period, rise)
+    capture: (&str, i64, i64),
+) -> (Builder, ClockSet, Spec) {
+    let lib = exact_lib(&[delay_ns]);
+    let mut b = Builder::new(&lib);
+    let input = b.input("in");
+    let ck_a = b.input("cka");
+    let ck_b = b.input("ckb");
+    let lq = b.net("lq");
+    let cd = b.net("cd");
+    let q = b.output("q");
+    b.inst("FF", &[("D", input), ("C", ck_a), ("Q", lq)]);
+    b.delay_chain(lq, cd, &[delay_ns]);
+    b.inst("FF", &[("D", cd), ("C", ck_b), ("Q", q)]);
+    let mut clocks = ClockSet::new();
+    for (net, (name, period, rise)) in [("cka", launch), ("ckb", capture)] {
+        let _ = net;
+        clocks
+            .add_clock(
+                name,
+                Time::from_ns(period),
+                Time::from_ns(rise),
+                Time::from_ns(rise + period / 2),
+            )
+            .unwrap();
+    }
+    let spec = Spec::new()
+        .clock_port("cka", launch.0)
+        .clock_port("ckb", capture.0)
+        .input_arrival("in", EdgeSpec::new(launch.0, Transition::Rise), Time::from_ns(-1));
+    (b, clocks, spec)
+}
+
+/// Slow domain launching into a 4× fast domain: the budget is the gap to
+/// the *next* fast capture edge (5 ns), not a full fast period.
+#[test]
+fn slow_to_fast_budget_is_the_next_edge() {
+    for (delay, expected_slack) in [(3i64, 2i64), (4, 1), (7, -2)] {
+        let (b, clocks, spec) = cross_domain(delay, ("slow", 100, 0), ("fast", 25, 5));
+        let lib = exact_lib(&[delay]);
+        let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+            .unwrap()
+            .analyze();
+        // Launch FF asserts at its rising edge (t = 0); the next fast
+        // rise is at 5 ns; the ideal FF is delay-free, so slack = 5 − d.
+        assert_eq!(
+            report.worst_slack(),
+            Time::from_ns(expected_slack),
+            "delay {delay}"
+        );
+        assert_eq!(report.ok(), expected_slack > 0);
+    }
+}
+
+/// Fast domain launching into a slow domain: every fast pulse launches,
+/// and the *last* launch before the slow capture is the binding one
+/// (replica semantics: 4 launch replicas, budgets 95/70/45/20 ns).
+#[test]
+fn fast_to_slow_binding_launch_is_the_last_pulse() {
+    for (delay, expected_slack) in [(15i64, 5i64), (19, 1), (25, -5)] {
+        let (b, clocks, spec) = cross_domain(delay, ("fast", 25, 5), ("slow", 100, 0));
+        let lib = exact_lib(&[delay]);
+        let analyzer = Analyzer::new(&b.design, b.module, &lib, &clocks, spec).unwrap();
+        // 4 launch replicas + 1 capture replica.
+        assert_eq!(analyzer.replica_count(), 5);
+        let report = analyzer.analyze();
+        // Launches at 5/30/55/80 toward the capture at 100:
+        // worst budget = 100 − 80 = 20 ns.
+        assert_eq!(
+            report.worst_slack(),
+            Time::from_ns(expected_slack),
+            "delay {delay}"
+        );
+        assert_eq!(report.ok(), expected_slack > 0);
+    }
+}
+
+/// Three harmonic domains in a chain: each hop's budget follows the edge
+/// arithmetic independently.
+#[test]
+fn three_domain_chain() {
+    let lib = exact_lib(&[4, 11]);
+    let mut b = Builder::new(&lib);
+    let input = b.input("in");
+    let cka = b.input("cka");
+    let ckb = b.input("ckb");
+    let ckc = b.input("ckc");
+    let q1 = b.net("q1");
+    let d2 = b.net("d2");
+    let q2 = b.net("q2");
+    let d3 = b.net("d3");
+    let q = b.output("q");
+    b.inst("FF", &[("D", input), ("C", cka), ("Q", q1)]);
+    b.delay_chain(q1, d2, &[4]);
+    b.inst("FF", &[("D", d2), ("C", ckb), ("Q", q2)]);
+    b.delay_chain(q2, d3, &[11]);
+    b.inst("FF", &[("D", d3), ("C", ckc), ("Q", q)]);
+    let mut clocks = ClockSet::new();
+    // A: 100 ns rise 0; B: 50 ns rise 20 (rises at 20, 70);
+    // C: 25 ns rise 10 (rises at 10, 35, 60, 85).
+    clocks
+        .add_clock("a", Time::from_ns(100), Time::ZERO, Time::from_ns(50))
+        .unwrap();
+    clocks
+        .add_clock("b", Time::from_ns(50), Time::from_ns(20), Time::from_ns(45))
+        .unwrap();
+    clocks
+        .add_clock("c", Time::from_ns(25), Time::from_ns(10), Time::from_ns(22))
+        .unwrap();
+    let spec = Spec::new()
+        .clock_port("cka", "a")
+        .clock_port("ckb", "b")
+        .clock_port("ckc", "c")
+        .input_arrival("in", EdgeSpec::new("a", Transition::Rise), Time::from_ns(-1));
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    // Hop 1: launch 0 → next B rise 20, delay 4 → slack 16.
+    // Hop 2: binding launch B rise 70 → next C rise 85, delay 11 → −4... wait:
+    //   B launches at 20 and 70; captures at C rises 10/35/60/85.
+    //   From 20 → 35 (budget 15); from 70 → 85 (budget 15); delay 11 →
+    //   slack 4.
+    assert_eq!(report.worst_slack(), Time::from_ns(4), "{report}");
+    assert!(report.ok());
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the analyzer's core invariants, on designs
+//! with exact (load-independent) delays.
+
+mod common;
+
+use common::{exact_lib, Builder};
+use hb_clock::ClockSet;
+use hb_units::{Time, Transition};
+use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec};
+use proptest::prelude::*;
+
+/// `in -> DEL… -> FF(ck)` with the given chain and a given period; the
+/// capture budget is exactly one period.
+fn chain_design(delays: &[i64], period_ns: i64) -> (Builder, ClockSet, Spec) {
+    let lib = exact_lib(delays);
+    let mut b = Builder::new(&lib);
+    let input = b.input("in");
+    let ck = b.input("ck");
+    let q = b.output("q");
+    let d = b.net("d");
+    b.delay_chain(input, d, delays);
+    b.inst("FF", &[("D", d), ("C", ck), ("Q", q)]);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock(
+            "ck",
+            Time::from_ns(period_ns),
+            Time::ZERO,
+            Time::from_ns(period_ns / 2),
+        )
+        .unwrap();
+    let spec = Spec::new()
+        .clock_port("ck", "ck")
+        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    (b, clocks, spec)
+}
+
+/// Two-phase single-latch borrowing fixture with arbitrary stage delays.
+fn latch_design(
+    d_a: i64,
+    d_b: i64,
+    lead2: i64,
+    width2: i64,
+    period: i64,
+) -> (Builder, ClockSet, Spec) {
+    let lib = exact_lib(&[d_a, d_b]);
+    let mut b = Builder::new(&lib);
+    let input = b.input("in");
+    let phi1 = b.input("phi1");
+    let phi2 = b.input("phi2");
+    let q = b.output("q");
+    let mid = b.net("mid");
+    let lat_q = b.net("lat_q");
+    let ff_d = b.net("ff_d");
+    b.delay_chain(input, mid, &[d_a]);
+    b.inst("LAT", &[("D", mid), ("C", phi2), ("Q", lat_q)]);
+    b.delay_chain(lat_q, ff_d, &[d_b]);
+    b.inst("FF", &[("D", ff_d), ("C", phi1), ("Q", q)]);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock(
+            "phi1",
+            Time::from_ns(period),
+            Time::ZERO,
+            Time::from_ns(period * 2 / 5),
+        )
+        .unwrap();
+    clocks
+        .add_clock(
+            "phi2",
+            Time::from_ns(period),
+            Time::from_ns(lead2),
+            Time::from_ns(lead2 + width2),
+        )
+        .unwrap();
+    let spec = Spec::new()
+        .clock_port("phi1", "phi1")
+        .clock_port("phi2", "phi2")
+        .input_arrival("in", EdgeSpec::new("phi1", Transition::Rise), Time::ZERO);
+    (b, clocks, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The worst slack of a pure chain is exactly `period − Σ delays` —
+    /// the analyzer's arithmetic is closed-form on simple designs.
+    #[test]
+    fn chain_slack_is_closed_form(
+        delays in prop::collection::vec(1i64..20, 1..6),
+        period_ns in 10i64..200,
+    ) {
+        let (b, clocks, spec) = chain_design(&delays, period_ns);
+        let lib = exact_lib(&delays);
+        let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+            .unwrap()
+            .analyze();
+        let expected = Time::from_ns(period_ns - delays.iter().sum::<i64>());
+        prop_assert_eq!(report.worst_slack(), expected);
+        prop_assert_eq!(report.ok(), expected > Time::ZERO);
+    }
+
+    /// Analysis is deterministic.
+    #[test]
+    fn analysis_is_deterministic(
+        d_a in 1i64..60, d_b in 1i64..60,
+        lead2 in 45i64..55, width2 in 10i64..40,
+    ) {
+        let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
+        let lib = exact_lib(&[d_a, d_b]);
+        let r1 = Analyzer::new(&b.design, b.module, &lib, &clocks, spec.clone())
+            .unwrap()
+            .analyze();
+        let r2 = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+            .unwrap()
+            .analyze();
+        prop_assert_eq!(r1.worst_slack(), r2.worst_slack());
+        prop_assert_eq!(r1.ok(), r2.ok());
+    }
+
+    /// Whenever the edge-triggered baseline accepts a latch design, the
+    /// transparent analysis does too (the proposition's feasible-set
+    /// containment).
+    #[test]
+    fn transparent_subsumes_edge_triggered(
+        d_a in 1i64..90, d_b in 1i64..90,
+        lead2 in 42i64..58, width2 in 8i64..40,
+    ) {
+        let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
+        let lib = exact_lib(&[d_a, d_b]);
+        let transparent = Analyzer::new(&b.design, b.module, &lib, &clocks, spec.clone())
+            .unwrap()
+            .analyze()
+            .ok();
+        let edge = Analyzer::with_options(
+            &b.design, b.module, &lib, &clocks, spec,
+            AnalysisOptions { latch_model: LatchModel::EdgeTriggered, ..AnalysisOptions::default() },
+        )
+        .unwrap()
+        .analyze()
+        .ok();
+        prop_assert!(!edge || transparent, "edge ok but transparent not (dA={d_a} dB={d_b})");
+    }
+
+    /// The transparent verdict matches the closed-form feasibility of the
+    /// single-latch system: there must exist an assertion time
+    /// `t ∈ [lead2, lead2+width2]` with `d_a ≤ t` and `t + d_b ≤ period`,
+    /// with strict inequalities for a strictly positive verdict.
+    #[test]
+    fn borrowing_matches_closed_form_feasibility(
+        d_a in 1i64..99, d_b in 1i64..99,
+        lead2 in 40i64..60, width2 in 10i64..39,
+    ) {
+        let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
+        let lib = exact_lib(&[d_a, d_b]);
+        let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+            .unwrap()
+            .analyze();
+        // Feasible window for the latch assertion time t:
+        //   t >= lead2 (window start), t >= d_a (data arrival),
+        //   t <= lead2 + width2 (window end), t + d_b <= 100 (capture).
+        let lo = lead2.max(d_a);
+        let hi = (lead2 + width2).min(100 - d_b);
+        // Strictly feasible (slack > 0 achievable) iff lo < hi.
+        prop_assert_eq!(
+            report.ok(),
+            lo < hi,
+            "dA={} dB={} window=[{}..{}] verdict={}",
+            d_a, d_b, lo, hi, report.ok()
+        );
+    }
+
+    /// Scaling every waveform and the period together can only help a
+    /// fixed netlist: verdicts are monotone in the scale factor.
+    #[test]
+    fn proportional_period_scaling_is_monotone(
+        delays in prop::collection::vec(1i64..15, 1..5),
+        base in 8i64..40,
+    ) {
+        let lib = exact_lib(&delays);
+        let mut last_ok = false;
+        for scale in [1i64, 2, 4] {
+            let (b, clocks, spec) = chain_design(&delays, base * scale);
+            let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+                .unwrap()
+                .analyze();
+            prop_assert!(!last_ok || report.ok(), "ok at {}x but not {}x", scale / 2, scale);
+            last_ok = report.ok();
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Report-surface tests: Display output, histograms, constraint
+//! accessors.
+
+mod common;
+
+use common::{exact_lib, Builder};
+use hb_clock::ClockSet;
+use hb_units::{Time, Transition};
+use hummingbird::{Analyzer, EdgeSpec, Spec, TerminalKind};
+
+/// Three parallel chains of different lengths into three capture flops.
+fn fan(delays: &[i64], period_ns: i64) -> (Builder, ClockSet, Spec) {
+    let all: Vec<i64> = delays.to_vec();
+    let lib = exact_lib(&all);
+    let mut b = Builder::new(&lib);
+    let input = b.input("in");
+    let ck = b.input("ck");
+    for (i, &d) in delays.iter().enumerate() {
+        let mid = b.net(&format!("mid{i}"));
+        b.delay_chain(input, mid, &[d]);
+        let q = b.output(&format!("q{i}"));
+        b.inst("FF", &[("D", mid), ("C", ck), ("Q", q)]);
+    }
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock(
+            "ck",
+            Time::from_ns(period_ns),
+            Time::ZERO,
+            Time::from_ns(period_ns / 2),
+        )
+        .unwrap();
+    let spec = Spec::new()
+        .clock_port("ck", "ck")
+        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    (b, clocks, spec)
+}
+
+#[test]
+fn histogram_buckets_cover_all_terminals() {
+    let (b, clocks, spec) = fan(&[2, 5, 9], 10);
+    let lib = exact_lib(&[2, 5, 9]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    let hist = report.slack_histogram(Time::from_ns(2), 8);
+    assert_eq!(hist.len(), 8);
+    let total: usize = hist.iter().map(|(_, n)| n).sum();
+    let finite = report
+        .terminal_slacks()
+        .iter()
+        .filter(|t| t.slack.is_finite())
+        .count();
+    assert_eq!(total, finite, "every finite terminal lands in a bucket");
+    // Slacks are 1, 5, 8 ns (period − delay) for the three flop inputs,
+    // plus the PI terminal at min = 1 ns: first bucket [0, 2) holds the
+    // 1 ns pair.
+    assert_eq!(hist[0].0, Time::ZERO);
+    assert_eq!(hist[0].1, 2);
+}
+
+#[test]
+fn histogram_clamps_outliers_into_last_bucket() {
+    let (b, clocks, spec) = fan(&[2, 5, 9], 10);
+    let lib = exact_lib(&[2, 5, 9]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    let hist = report.slack_histogram(Time::from_ns(1), 2);
+    let total: usize = hist.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, 4, "outliers clamp rather than vanish");
+    assert!(hist[1].1 >= 2);
+}
+
+#[test]
+#[should_panic(expected = "bucket width must be positive")]
+fn histogram_rejects_zero_bucket() {
+    let (b, clocks, spec) = fan(&[2], 10);
+    let lib = exact_lib(&[2]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    let _ = report.slack_histogram(Time::ZERO, 4);
+}
+
+#[test]
+fn display_summarizes_verdict_and_iterations() {
+    let (b, clocks, spec) = fan(&[2, 5, 12], 10);
+    let lib = exact_lib(&[2, 5, 12]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    let text = report.to_string();
+    assert!(text.contains("VIOLATED"), "{text}");
+    assert!(text.contains("worst slack -2ns"), "{text}");
+    assert!(text.contains("passes:"), "{text}");
+    assert!(text.contains("algorithm 1:"), "{text}");
+    assert!(text.contains("slow path"), "{text}");
+}
+
+#[test]
+fn constraints_accessors_are_consistent() {
+    let (b, clocks, spec) = fan(&[2, 5, 9], 20);
+    let lib = exact_lib(&[2, 5, 9]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .generate_constraints();
+    let constraints = report.constraints().expect("generated");
+    assert_eq!(constraints.pass_count(), 1);
+    assert_eq!(constraints.pass_starts().len(), 1);
+    let module = b.design.module(b.module);
+    for name in ["mid0", "mid1", "mid2", "in"] {
+        let net = module.net_by_name(name).unwrap();
+        let per_pass = constraints.ready_in_pass(0, net).expect("reached in pass 0");
+        let merged = constraints.ready_at(net).expect("reached");
+        assert_eq!(per_pass.worst(), merged, "{name}");
+        let slack = constraints.net_slack(net).expect("both sides known");
+        assert!(slack > Time::ZERO, "{name} is fast at 20 ns");
+    }
+    // An unconstrained net (flop output) has ready (seeded by the flop)
+    // but may lack a required time; net_slack is then None.
+    let q0 = module.net_by_name("q0").unwrap();
+    assert!(constraints.required_at(q0).is_none());
+    assert!(constraints.net_slack(q0).is_none());
+}
+
+#[test]
+fn terminal_kinds_enumerate_the_boundary() {
+    let (b, clocks, spec) = fan(&[2, 5], 10);
+    let lib = exact_lib(&[2, 5]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .analyze();
+    let count = |k: TerminalKind| {
+        report
+            .terminal_slacks()
+            .iter()
+            .filter(|t| t.kind == k)
+            .count()
+    };
+    assert_eq!(count(TerminalKind::SyncInput), 2);
+    assert_eq!(count(TerminalKind::SyncOutput), 2);
+    assert_eq!(count(TerminalKind::PrimaryInput), 1);
+    assert_eq!(count(TerminalKind::PrimaryOutput), 0, "no required times set");
+    assert_eq!(TerminalKind::SyncInput.to_string(), "sync input");
+}
+
+/// Algorithm 2's guarantee (paper, problem statement ii): for nodes NOT
+/// on too-slow paths, the generated ready time precedes the generated
+/// required time — re-synthesis honouring them cannot create new
+/// violations.
+#[test]
+fn algorithm2_times_are_ordered_off_the_slow_paths() {
+    // One failing chain (12 > 10) among passing ones.
+    let (b, clocks, spec) = fan(&[2, 5, 12], 10);
+    let lib = exact_lib(&[2, 5, 12]);
+    let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
+        .unwrap()
+        .generate_constraints();
+    assert!(!report.ok());
+    let constraints = report.constraints().expect("generated");
+    let module = b.design.module(b.module);
+    let slow: std::collections::HashSet<_> = report.slow_nets().iter().copied().collect();
+    let mut checked = 0;
+    for (net, n) in module.nets() {
+        if slow.contains(&net) {
+            continue;
+        }
+        if let Some(slack) = constraints.net_slack(net) {
+            assert!(
+                slack >= Time::ZERO,
+                "net {} off the slow paths must keep ready <= required (slack {slack})",
+                n.name()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "the passing chains are checked");
+    // And on the slow path the settled budget is negative.
+    let mid2 = module.net_by_name("mid2").unwrap();
+    assert!(slow.contains(&mid2));
+    assert!(constraints.net_slack(mid2).unwrap() < Time::ZERO);
+}

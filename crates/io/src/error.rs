@@ -1,0 +1,57 @@
+//! Parse errors with line information.
+
+use std::fmt;
+
+/// An error encountered while parsing a `.hum` or BLIF file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line number the error was detected on (0 for
+    /// end-of-file conditions).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error on line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError::new(12, "unknown cell \"FOO\"");
+        assert_eq!(e.line(), 12);
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.to_string().contains("FOO"));
+        let eof = ParseError::new(0, "missing top");
+        assert!(eof.to_string().contains("end of input"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Text formats for hummingbird designs.
+//!
+//! The original Hummingbird read designs from the Berkeley OCT database.
+//! This crate provides the file-based equivalents, both hand-rolled (no
+//! external parser dependencies exist offline, and the formats are
+//! line-oriented):
+//!
+//! * the native **`.hum`** structural format ([`parse_hum`],
+//!   [`write_hum`]) — modules, ports, instances with named pin
+//!   connections, hierarchy and clock waveforms;
+//! * a **mapped-BLIF subset** ([`parse_blif`], [`write_blif`]) — the
+//!   `.model/.inputs/.outputs/.gate/.mlatch/.subckt/.end` directives
+//!   produced by SIS-era technology mappers, which is how designs moved
+//!   between Berkeley tools in practice.
+//!
+//! Both parsers resolve cell names against an [`hb_cells::Library`]
+//! whose interfaces are declared into the produced design.
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_cells::sc89;
+//!
+//! let text = "\
+//! design demo
+//! module top
+//!   port in a ck
+//!   port out y
+//!   inst u1 INV_X1 A=a Y=w
+//!   inst ff DFF D=w CK=ck Q=y
+//! end
+//! top top
+//! clock ck period 20ns rise 0ns fall 10ns
+//! ";
+//! let lib = sc89();
+//! let file = hb_io::parse_hum(text, &lib)?;
+//! assert_eq!(file.design.stats(file.design.top().unwrap()).cells, 2);
+//! assert_eq!(file.clocks.len(), 1);
+//!
+//! // Round-trip.
+//! let emitted = hb_io::write_hum(&file.design, &file.clocks);
+//! let again = hb_io::parse_hum(&emitted, &lib)?;
+//! assert_eq!(again.design.stats(again.design.top().unwrap()).cells, 2);
+//! # Ok::<(), hb_io::ParseError>(())
+//! ```
+
+mod blif;
+mod error;
+mod hum;
+mod lib_format;
+
+pub use blif::{parse_blif, write_blif};
+pub use error::ParseError;
+pub use lib_format::{parse_lib, write_lib};
+pub use hum::{parse_hum, write_hum, write_hum_with_timing, EdgeRef, HumFile, TimingDirective};

@@ -1,0 +1,508 @@
+//! A text format for cell libraries ("liberty-lite").
+//!
+//! The built-in `sc89` library is authored in code; this format lets a
+//! deployment bring its own characterized cells, in the spirit of the
+//! paper's separation between component delay estimation and system
+//! analysis. Times are picoseconds, capacitances femtofarads:
+//!
+//! ```text
+//! library <name>
+//! wireload <base_ff> <per_fanout_ff>
+//!
+//! cell <NAME> family <FAMILY> drive <N> area <N>
+//!   pin <name> <in|out> [cap <ff>]
+//!   arc <in> <out> <positive|negative|nonunate> \
+//!       intrinsic <rise> <fall> slope <rise> <fall> [minscale <pct>]
+//!   sync <trailing|transparent|tristate> data <pin> control <pin> \
+//!       out <pin> [outbar <pin>] setup <ps> hold <ps> dcx <ps> ddx <ps> \
+//!       sense <pos|neg> outslope <rise> <fall>
+//! ```
+//!
+//! A cell is closed by the next `cell` line or end of input. A cell
+//! with a `sync` line is a synchronising element; otherwise its `arc`
+//! lines define combinational timing.
+
+use std::fmt::Write as _;
+
+use hb_cells::{
+    Cell, DelayModel, DriveStrength, Function, Library, SyncKind, SyncSpec, TimingArc, WireLoad,
+};
+use hb_netlist::{LeafDef, PinDir};
+use hb_units::{RiseFall, Sense, Time};
+
+use crate::error::ParseError;
+
+/// Parses a liberty-lite library document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for unknown
+/// directives, undeclared pins, malformed numbers, or duplicate cells.
+pub fn parse_lib(text: &str) -> Result<Library, ParseError> {
+    struct PendingCell {
+        name: String,
+        family: String,
+        drive: u8,
+        area: u32,
+        pins: Vec<(String, PinDir, i64)>,
+        arcs: Vec<(String, String, Sense, DelayModel)>,
+        sync: Option<PendingSync>,
+        line: usize,
+    }
+    struct PendingSync {
+        kind: SyncKind,
+        data: String,
+        control: String,
+        out: String,
+        outbar: Option<String>,
+        setup: Time,
+        hold: Time,
+        d_cx: Time,
+        d_dx: Time,
+        sense: Sense,
+        output_delay: DelayModel,
+    }
+
+    fn finish(lib: &mut Library, cell: PendingCell) -> Result<(), ParseError> {
+        let err = |msg: String| ParseError::new(cell.line, msg);
+        let mut iface = LeafDef::new(cell.name.clone());
+        for (name, dir, _) in &cell.pins {
+            iface = iface.pin(name.clone(), *dir);
+        }
+        let pin = |name: &str| {
+            iface
+                .pin_by_name(name)
+                .ok_or_else(|| err(format!("cell {:?} has no pin {name:?}", cell.name)))
+        };
+        let function = match &cell.sync {
+            Some(s) => Function::Sync(SyncSpec {
+                kind: s.kind,
+                data: pin(&s.data)?,
+                control: pin(&s.control)?,
+                output: pin(&s.out)?,
+                output_bar: match &s.outbar {
+                    Some(p) => Some(pin(p)?),
+                    None => None,
+                },
+                setup: s.setup,
+                hold: s.hold,
+                d_cx: s.d_cx,
+                d_dx: s.d_dx,
+                control_sense: s.sense,
+                output_delay: s.output_delay,
+            }),
+            None => {
+                let mut arcs = Vec::new();
+                for (from, to, sense, delay) in &cell.arcs {
+                    arcs.push(TimingArc {
+                        from: pin(from)?,
+                        to: pin(to)?,
+                        sense: *sense,
+                        delay: *delay,
+                    });
+                }
+                Function::Combinational(arcs)
+            }
+        };
+        let caps = cell.pins.iter().map(|(_, _, c)| *c).collect();
+        lib.add_cell(Cell::new(
+            iface,
+            function,
+            caps,
+            DriveStrength(cell.drive),
+            cell.family.clone(),
+            cell.area,
+        ));
+        Ok(())
+    }
+
+    let mut lib: Option<Library> = None;
+    let mut pending: Option<PendingCell> = None;
+
+    for (index, raw) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut tokens = line.split_whitespace();
+        let Some(keyword) = tokens.next() else {
+            continue;
+        };
+        let err = |msg: String| ParseError::new(lineno, msg);
+        macro_rules! tok {
+            ($what:expr) => {
+                tokens
+                    .next()
+                    .ok_or_else(|| err(format!("expected {}", $what)))
+            };
+        }
+        macro_rules! num {
+            ($what:expr, $ty:ty) => {
+                tok!($what)?
+                    .parse::<$ty>()
+                    .map_err(|e| err(format!("bad {}: {e}", $what)))
+            };
+        }
+        match keyword {
+            "library" => {
+                let name = tok!("library name")?;
+                if lib.is_some() {
+                    return Err(err("duplicate library directive".into()));
+                }
+                lib = Some(Library::new(name));
+            }
+            "wireload" => {
+                let base = num!("wireload base", i64)?;
+                let per = num!("wireload per-fanout", i64)?;
+                lib.as_mut()
+                    .ok_or_else(|| err("wireload before library".into()))?
+                    .set_wire_load(WireLoad::new(base, per));
+            }
+            "cell" => {
+                let library = lib
+                    .as_mut()
+                    .ok_or_else(|| err("cell before library".into()))?;
+                if let Some(done) = pending.take() {
+                    finish(library, done)?;
+                }
+                let name = tok!("cell name")?.to_owned();
+                let mut family = name.clone();
+                let mut drive = 1u8;
+                let mut area = 1u32;
+                while let Some(key) = tokens.next() {
+                    match key {
+                        "family" => family = tok!("family")?.to_owned(),
+                        "drive" => drive = num!("drive", u8)?,
+                        "area" => area = num!("area", u32)?,
+                        other => return Err(err(format!("unknown cell field {other:?}"))),
+                    }
+                }
+                pending = Some(PendingCell {
+                    name,
+                    family,
+                    drive,
+                    area,
+                    pins: Vec::new(),
+                    arcs: Vec::new(),
+                    sync: None,
+                    line: lineno,
+                });
+            }
+            "pin" => {
+                let cell = pending
+                    .as_mut()
+                    .ok_or_else(|| err("pin outside a cell".into()))?;
+                let name = tok!("pin name")?.to_owned();
+                let dir = match tok!("pin direction")? {
+                    "in" => PinDir::Input,
+                    "out" => PinDir::Output,
+                    other => return Err(err(format!("pin direction {other:?}"))),
+                };
+                let mut cap = 0i64;
+                while let Some(key) = tokens.next() {
+                    match key {
+                        "cap" => cap = num!("cap", i64)?,
+                        other => return Err(err(format!("unknown pin field {other:?}"))),
+                    }
+                }
+                cell.pins.push((name, dir, cap));
+            }
+            "arc" => {
+                let cell = pending
+                    .as_mut()
+                    .ok_or_else(|| err("arc outside a cell".into()))?;
+                let from = tok!("arc input")?.to_owned();
+                let to = tok!("arc output")?.to_owned();
+                let sense = parse_sense(tok!("arc sense")?).map_err(&err)?;
+                let mut intrinsic = RiseFall::splat(Time::ZERO);
+                let mut slope = RiseFall::splat(0i64);
+                let mut minscale: Option<u8> = None;
+                while let Some(key) = tokens.next() {
+                    match key {
+                        "intrinsic" => {
+                            intrinsic = RiseFall::new(
+                                Time::from_ps(num!("intrinsic rise", i64)?),
+                                Time::from_ps(num!("intrinsic fall", i64)?),
+                            );
+                        }
+                        "slope" => {
+                            slope = RiseFall::new(
+                                num!("slope rise", i64)?,
+                                num!("slope fall", i64)?,
+                            );
+                        }
+                        "minscale" => minscale = Some(num!("minscale", u8)?),
+                        other => return Err(err(format!("unknown arc field {other:?}"))),
+                    }
+                }
+                let mut delay = DelayModel::new(intrinsic, slope);
+                if let Some(pct) = minscale {
+                    delay = delay.with_min_scale_pct(pct);
+                }
+                cell.arcs.push((from, to, sense, delay));
+            }
+            "sync" => {
+                let cell = pending
+                    .as_mut()
+                    .ok_or_else(|| err("sync outside a cell".into()))?;
+                let kind = match tok!("sync kind")? {
+                    "trailing" => SyncKind::TrailingEdge,
+                    "transparent" => SyncKind::Transparent,
+                    "tristate" => SyncKind::ClockedTristate,
+                    other => return Err(err(format!("unknown sync kind {other:?}"))),
+                };
+                let mut sync = PendingSync {
+                    kind,
+                    data: String::new(),
+                    control: String::new(),
+                    out: String::new(),
+                    outbar: None,
+                    setup: Time::ZERO,
+                    hold: Time::ZERO,
+                    d_cx: Time::ZERO,
+                    d_dx: Time::ZERO,
+                    sense: Sense::Positive,
+                    output_delay: DelayModel::zero(),
+                };
+                while let Some(key) = tokens.next() {
+                    match key {
+                        "data" => sync.data = tok!("data pin")?.to_owned(),
+                        "control" => sync.control = tok!("control pin")?.to_owned(),
+                        "out" => sync.out = tok!("out pin")?.to_owned(),
+                        "outbar" => sync.outbar = Some(tok!("outbar pin")?.to_owned()),
+                        "setup" => sync.setup = Time::from_ps(num!("setup", i64)?),
+                        "hold" => sync.hold = Time::from_ps(num!("hold", i64)?),
+                        "dcx" => sync.d_cx = Time::from_ps(num!("dcx", i64)?),
+                        "ddx" => sync.d_dx = Time::from_ps(num!("ddx", i64)?),
+                        "sense" => {
+                            sync.sense = match tok!("sense")? {
+                                "pos" => Sense::Positive,
+                                "neg" => Sense::Negative,
+                                other => return Err(err(format!("sync sense {other:?}"))),
+                            }
+                        }
+                        "outslope" => {
+                            sync.output_delay = DelayModel::new(
+                                RiseFall::splat(Time::ZERO),
+                                RiseFall::new(
+                                    num!("outslope rise", i64)?,
+                                    num!("outslope fall", i64)?,
+                                ),
+                            );
+                        }
+                        other => return Err(err(format!("unknown sync field {other:?}"))),
+                    }
+                }
+                if sync.data.is_empty() || sync.control.is_empty() || sync.out.is_empty() {
+                    return Err(err("sync needs data, control and out pins".into()));
+                }
+                cell.sync = Some(sync);
+            }
+            other => return Err(err(format!("unknown keyword {other:?}"))),
+        }
+    }
+    let mut library = lib.ok_or_else(|| ParseError::new(0, "no library directive"))?;
+    if let Some(done) = pending.take() {
+        finish(&mut library, done)?;
+    }
+    Ok(library)
+}
+
+fn parse_sense(token: &str) -> Result<Sense, String> {
+    match token {
+        "positive" => Ok(Sense::Positive),
+        "negative" => Ok(Sense::Negative),
+        "nonunate" => Ok(Sense::NonUnate),
+        other => Err(format!("unknown sense {other:?}")),
+    }
+}
+
+fn sense_token(sense: Sense) -> &'static str {
+    match sense {
+        Sense::Positive => "positive",
+        Sense::Negative => "negative",
+        Sense::NonUnate => "nonunate",
+    }
+}
+
+/// Serializes a library to liberty-lite text.
+pub fn write_lib(library: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library {}", library.name());
+    let wl = library.wire_load();
+    let _ = writeln!(out, "wireload {} {}", wl.base_ff, wl.per_fanout_ff);
+    for (_, cell) in library.cells() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "cell {} family {} drive {} area {}",
+            cell.name(),
+            cell.family(),
+            cell.drive().0,
+            cell.area()
+        );
+        for (slot, pin) in cell.interface().pins() {
+            let dir = match pin.dir() {
+                PinDir::Input => "in",
+                PinDir::Output => "out",
+            };
+            let cap = cell.pin_cap_ff(slot);
+            if cap != 0 {
+                let _ = writeln!(out, "  pin {} {dir} cap {cap}", pin.name());
+            } else {
+                let _ = writeln!(out, "  pin {} {dir}", pin.name());
+            }
+        }
+        match cell.function() {
+            Function::Combinational(arcs) => {
+                for arc in arcs {
+                    let iface = cell.interface();
+                    let _ = writeln!(
+                        out,
+                        "  arc {} {} {} intrinsic {} {} slope {} {} minscale {}",
+                        iface.pin_def(arc.from).name(),
+                        iface.pin_def(arc.to).name(),
+                        sense_token(arc.sense),
+                        arc.delay.intrinsic().rise.as_ps(),
+                        arc.delay.intrinsic().fall.as_ps(),
+                        arc.delay.slope_ps_per_ff().rise,
+                        arc.delay.slope_ps_per_ff().fall,
+                        arc.delay.min_scale_pct(),
+                    );
+                }
+            }
+            Function::Sync(spec) => {
+                let iface = cell.interface();
+                let kind = match spec.kind {
+                    SyncKind::TrailingEdge => "trailing",
+                    SyncKind::Transparent => "transparent",
+                    SyncKind::ClockedTristate => "tristate",
+                };
+                let mut line = format!(
+                    "  sync {kind} data {} control {} out {}",
+                    iface.pin_def(spec.data).name(),
+                    iface.pin_def(spec.control).name(),
+                    iface.pin_def(spec.output).name(),
+                );
+                if let Some(bar) = spec.output_bar {
+                    let _ = write!(line, " outbar {}", iface.pin_def(bar).name());
+                }
+                let _ = write!(
+                    line,
+                    " setup {} hold {} dcx {} ddx {} sense {} outslope {} {}",
+                    spec.setup.as_ps(),
+                    spec.hold.as_ps(),
+                    spec.d_cx.as_ps(),
+                    spec.d_dx.as_ps(),
+                    match spec.control_sense {
+                        Sense::Negative => "neg",
+                        _ => "pos",
+                    },
+                    spec.output_delay.slope_ps_per_ff().rise,
+                    spec.output_delay.slope_ps_per_ff().fall,
+                );
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_units::Transition;
+
+    const SAMPLE: &str = "\
+# a two-cell library
+library tiny
+wireload 2 3
+
+cell INV_X1 family INV drive 1 area 2
+  pin A in cap 4
+  pin Y out
+  arc A Y negative intrinsic 60 45 slope 6 5 minscale 50
+
+cell DLATCH family DLATCH drive 1 area 10
+  pin D in cap 5
+  pin G in cap 3
+  pin Q out
+  sync transparent data D control G out Q setup 250 hold 100 dcx 400 ddx 350 sense pos outslope 7 7
+";
+
+    #[test]
+    fn parse_sample_library() {
+        let lib = parse_lib(SAMPLE).unwrap();
+        assert_eq!(lib.name(), "tiny");
+        assert_eq!(lib.wire_load(), WireLoad::new(2, 3));
+        assert_eq!(lib.cells().count(), 2);
+        let inv = lib.cell(lib.cell_by_name("INV_X1").unwrap());
+        assert_eq!(inv.family(), "INV");
+        assert_eq!(inv.arcs().len(), 1);
+        assert_eq!(inv.arcs()[0].sense, Sense::Negative);
+        assert_eq!(
+            inv.arcs()[0].delay.eval(10).max[Transition::Rise],
+            Time::from_ps(120)
+        );
+        let lat = lib.cell(lib.cell_by_name("DLATCH").unwrap());
+        let spec = lat.sync_spec().unwrap();
+        assert_eq!(spec.kind, SyncKind::Transparent);
+        assert_eq!(spec.setup, Time::from_ps(250));
+        assert_eq!(spec.d_dx, Time::from_ps(350));
+        assert_eq!(spec.control_sense, Sense::Positive);
+    }
+
+    #[test]
+    fn sc89_roundtrips() {
+        let original = hb_cells::sc89();
+        let text = write_lib(&original);
+        let parsed = parse_lib(&text).unwrap();
+        assert_eq!(parsed.cells().count(), original.cells().count());
+        assert_eq!(parsed.wire_load(), original.wire_load());
+        for (_, cell) in original.cells() {
+            let other_id = parsed
+                .cell_by_name(cell.name())
+                .unwrap_or_else(|| panic!("{} missing", cell.name()));
+            let other = parsed.cell(other_id);
+            assert_eq!(other.family(), cell.family());
+            assert_eq!(other.drive(), cell.drive());
+            assert_eq!(other.area(), cell.area());
+            assert_eq!(other.arcs().len(), cell.arcs().len());
+            for (a, b) in cell.arcs().iter().zip(other.arcs()) {
+                assert_eq!(a.sense, b.sense, "{}", cell.name());
+                assert_eq!(a.delay.eval(17), b.delay.eval(17), "{}", cell.name());
+            }
+            match (cell.sync_spec(), other.sync_spec()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.kind, b.kind);
+                    assert_eq!(a.setup, b.setup);
+                    assert_eq!(a.hold, b.hold);
+                    assert_eq!(a.d_cx, b.d_cx);
+                    assert_eq!(a.d_dx, b.d_dx);
+                    assert_eq!(a.control_sense, b.control_sense);
+                    assert_eq!(a.output_bar.is_some(), b.output_bar.is_some());
+                }
+                _ => panic!("{}: function kind changed", cell.name()),
+            }
+        }
+        // Idempotent emission.
+        assert_eq!(write_lib(&parsed), text);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_lib("").unwrap_err().message().contains("no library"));
+        let e = parse_lib("cell X\n").unwrap_err();
+        assert!(e.message().contains("before library"));
+        let e = parse_lib("library l\npin A in\n").unwrap_err();
+        assert!(e.message().contains("outside a cell"));
+        let e = parse_lib("library l\ncell X\n  arc A Y sideways\n").unwrap_err();
+        assert!(e.message().contains("unknown sense"));
+        let e = parse_lib("library l\ncell X\n  pin A in\n  arc A Y positive\n").unwrap_err();
+        assert!(e.message().contains("no pin"), "{e}");
+        let e = parse_lib("library l\ncell X\n  sync trailing data D\n").unwrap_err();
+        assert!(e.message().contains("data, control and out"), "{}", e.message());
+    }
+}

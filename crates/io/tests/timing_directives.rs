@@ -1,0 +1,104 @@
+//! Parsing and emission of `.hum` boundary-timing directives.
+
+use hb_cells::sc89;
+use hb_io::{parse_hum, write_hum_with_timing, TimingDirective};
+use hb_units::{Time, Transition};
+
+const DESIGN: &str = "\
+design t
+module top
+  port in a ck
+  port out y
+  inst u INV_X1 A=a Y=w
+  inst ff DFF D=w CK=ck Q=y
+end
+top top
+clock ck period 20ns rise 0ns fall 10ns
+clockport ck ck
+arrive a ck rise 2ns
+require y ck rise@0 -0.5ns
+";
+
+#[test]
+fn directives_parse() {
+    let lib = sc89();
+    let file = parse_hum(DESIGN, &lib).unwrap();
+    assert_eq!(file.timing.len(), 3);
+    assert_eq!(
+        file.timing[0],
+        TimingDirective::ClockPort {
+            port: "ck".into(),
+            clock: "ck".into()
+        }
+    );
+    assert_eq!(
+        file.timing[1],
+        TimingDirective::Arrive {
+            port: "a".into(),
+            edge: ("ck".into(), Transition::Rise, 0),
+            offset: Time::from_ns(2),
+        }
+    );
+    assert_eq!(
+        file.timing[2],
+        TimingDirective::Require {
+            port: "y".into(),
+            edge: ("ck".into(), Transition::Rise, 0),
+            offset: Time::from_ps(-500),
+        }
+    );
+}
+
+#[test]
+fn directives_roundtrip() {
+    let lib = sc89();
+    let file = parse_hum(DESIGN, &lib).unwrap();
+    let text = write_hum_with_timing(&file.design, &file.clocks, &file.timing);
+    assert!(text.contains("clockport ck ck"), "{text}");
+    assert!(text.contains("arrive a ck rise 2ns"), "{text}");
+    assert!(text.contains("require y ck rise -0.500ns"), "{text}");
+    let again = parse_hum(&text, &lib).unwrap();
+    assert_eq!(again.timing, file.timing);
+}
+
+#[test]
+fn occurrences_roundtrip() {
+    let lib = sc89();
+    let text = "\
+module top
+end
+top top
+clock fast period 5ns rise 0ns fall 2ns
+arrive x fast fall@3 1ns
+";
+    let file = parse_hum(text, &lib).unwrap();
+    assert_eq!(
+        file.timing[0],
+        TimingDirective::Arrive {
+            port: "x".into(),
+            edge: ("fast".into(), Transition::Fall, 3),
+            offset: Time::from_ns(1),
+        }
+    );
+    let emitted = write_hum_with_timing(&file.design, &file.clocks, &file.timing);
+    assert!(emitted.contains("arrive x fast fall@3 1ns"), "{emitted}");
+}
+
+#[test]
+fn directive_errors() {
+    let lib = sc89();
+    for (bad, needle) in [
+        ("clockport onlyport\n", "needs a clock"),
+        ("arrive p ck sideways 1ns\n", "rise or fall"),
+        ("arrive p ck rise\n", "needs an offset"),
+        ("arrive p ck rise@x 1ns\n", "bad occurrence"),
+        ("require p ck rise nonsense\n", "bad time"),
+    ] {
+        let err = parse_hum(bad, &lib).unwrap_err();
+        assert!(
+            err.message().contains(needle),
+            "{bad:?}: got {:?}",
+            err.message()
+        );
+    }
+}

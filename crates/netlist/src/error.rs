@@ -1,0 +1,129 @@
+//! The database error type.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Design`] construction, editing and
+/// validation methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A name collided within its namespace.
+    DuplicateName {
+        /// The namespace ("leaf", "module", "instance", "net", "port").
+        kind: &'static str,
+        /// The offending name.
+        name: String,
+    },
+    /// A lookup by name failed.
+    UnknownName {
+        /// The namespace searched.
+        kind: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+    /// A pin name does not exist on the referenced interface.
+    UnknownPin {
+        /// The interface (cell or module) name.
+        interface: String,
+        /// The pin name that was not found.
+        pin: String,
+    },
+    /// A net already has a driver and a second one was connected.
+    MultipleDrivers {
+        /// The module name.
+        module: String,
+        /// The net name.
+        net: String,
+    },
+    /// A net has no driver.
+    UndrivenNet {
+        /// The module name.
+        module: String,
+        /// The net name.
+        net: String,
+    },
+    /// An input pin was left unconnected.
+    DanglingInput {
+        /// The module name.
+        module: String,
+        /// The instance name.
+        inst: String,
+        /// The pin name.
+        pin: String,
+    },
+    /// The design has no top module set.
+    NoTop,
+    /// The module hierarchy contains an instantiation cycle.
+    RecursiveHierarchy {
+        /// The module on the cycle.
+        module: String,
+    },
+    /// An instance replacement changed the interface shape.
+    InterfaceMismatch {
+        /// The instance being edited.
+        inst: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name {name:?}")
+            }
+            NetlistError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} {name:?}")
+            }
+            NetlistError::UnknownPin { interface, pin } => {
+                write!(f, "interface {interface:?} has no pin {pin:?}")
+            }
+            NetlistError::MultipleDrivers { module, net } => {
+                write!(f, "net {net:?} in module {module:?} has multiple drivers")
+            }
+            NetlistError::UndrivenNet { module, net } => {
+                write!(f, "net {net:?} in module {module:?} has no driver")
+            }
+            NetlistError::DanglingInput { module, inst, pin } => write!(
+                f,
+                "input pin {pin:?} of instance {inst:?} in module {module:?} is unconnected"
+            ),
+            NetlistError::NoTop => write!(f, "design has no top module"),
+            NetlistError::RecursiveHierarchy { module } => {
+                write!(f, "module {module:?} instantiates itself (possibly indirectly)")
+            }
+            NetlistError::InterfaceMismatch { inst, detail } => {
+                write!(f, "cannot retarget instance {inst:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateName {
+            kind: "net",
+            name: "clk".into(),
+        };
+        assert_eq!(e.to_string(), "duplicate net name \"clk\"");
+        let e = NetlistError::UnknownPin {
+            interface: "NAND2".into(),
+            pin: "Q".into(),
+        };
+        assert!(e.to_string().contains("NAND2"));
+        assert!(e.to_string().contains("Q"));
+        assert_eq!(NetlistError::NoTop.to_string(), "design has no top module");
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(NetlistError::NoTop);
+    }
+}

@@ -1,0 +1,126 @@
+//! Typed index handles into the design database.
+//!
+//! All identifiers are plain `u32` indices wrapped in newtypes so that the
+//! compiler keeps module, instance, net, port and leaf-definition spaces
+//! apart. [`InstId`], [`NetId`] and [`PortId`] are scoped to the module
+//! that created them; [`ModuleId`] and [`LeafId`] are design-global.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Intended for serialization layers and generators that mirror
+            /// the database's own numbering; an id fabricated out of thin
+            /// air will be rejected (by panic) on first use.
+            #[inline]
+            pub fn from_raw(index: u32) -> $name {
+                $name(index)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the raw index widened for slice indexing.
+            #[inline]
+            pub(crate) fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a [`crate::Module`] within a [`crate::Design`].
+    ModuleId,
+    "m"
+);
+id_type!(
+    /// Handle to a [`crate::LeafDef`] within a [`crate::Design`].
+    LeafId,
+    "l"
+);
+id_type!(
+    /// Handle to an [`crate::Instance`] within one module.
+    InstId,
+    "i"
+);
+id_type!(
+    /// Handle to a [`crate::Net`] within one module.
+    NetId,
+    "n"
+);
+id_type!(
+    /// Handle to a [`crate::Port`] within one module.
+    PortId,
+    "p"
+);
+
+/// The position of a pin within its owning interface (leaf definition or
+/// module port list).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinSlot(pub(crate) u32);
+
+impl PinSlot {
+    /// Creates a slot from a raw pin position.
+    #[inline]
+    pub fn from_raw(index: u32) -> PinSlot {
+        PinSlot(index)
+    }
+
+    /// Returns the raw pin position.
+    #[inline]
+    pub fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PinSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pin{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(ModuleId::from_raw(3).as_raw(), 3);
+        assert_eq!(InstId::from_raw(7).as_raw(), 7);
+        assert_eq!(PinSlot::from_raw(1).as_raw(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ModuleId::from_raw(0).to_string(), "m0");
+        assert_eq!(NetId::from_raw(12).to_string(), "n12");
+        assert_eq!(PinSlot::from_raw(2).to_string(), "pin2");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(InstId::from_raw(1) < InstId::from_raw(2));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of database consistency under random edit
+//! sequences.
+
+use hb_netlist::{Design, Endpoint, InstId, LeafDef, NetId, PinDir, PinSlot};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    AddNet,
+    AddInst,
+    Connect { inst: usize, pin: usize, net: usize },
+    Disconnect { inst: usize, pin: usize },
+    Retarget { inst: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::AddNet),
+        Just(Op::AddInst),
+        (0usize..64, 0usize..3, 0usize..64).prop_map(|(inst, pin, net)| Op::Connect {
+            inst,
+            pin,
+            net
+        }),
+        (0usize..64, 0usize..3).prop_map(|(inst, pin)| Op::Disconnect { inst, pin }),
+        (0usize..64).prop_map(|inst| Op::Retarget { inst }),
+    ]
+}
+
+/// Applies a random edit sequence and checks that the normalized
+/// connectivity stays consistent: every instance connection has a
+/// matching net endpoint and vice versa.
+fn run_ops(ops: Vec<Op>) {
+    let mut d = Design::new("p");
+    let g1 = d
+        .declare_leaf(
+            LeafDef::new("G1")
+                .pin("A", PinDir::Input)
+                .pin("B", PinDir::Input)
+                .pin("Y", PinDir::Output),
+        )
+        .unwrap();
+    let g2 = d
+        .declare_leaf(
+            LeafDef::new("G2")
+                .pin("A", PinDir::Input)
+                .pin("B", PinDir::Input)
+                .pin("Y", PinDir::Output),
+        )
+        .unwrap();
+    let m = d.add_module("top").unwrap();
+    d.set_top(m).unwrap();
+    let mut nets: Vec<NetId> = vec![d.add_net(m, "seed").unwrap()];
+    let mut insts: Vec<InstId> = Vec::new();
+    let mut counter = 0usize;
+
+    for op in ops {
+        counter += 1;
+        match op {
+            Op::AddNet => nets.push(d.add_net(m, format!("n{counter}")).unwrap()),
+            Op::AddInst => {
+                insts.push(d.add_leaf_instance(m, format!("i{counter}"), g1).unwrap())
+            }
+            Op::Connect { inst, pin, net } => {
+                if !insts.is_empty() {
+                    let inst = insts[inst % insts.len()];
+                    let net = nets[net % nets.len()];
+                    d.connect_slot(m, inst, PinSlot::from_raw(pin as u32), net);
+                }
+            }
+            Op::Disconnect { inst, pin } => {
+                if !insts.is_empty() {
+                    let inst = insts[inst % insts.len()];
+                    d.disconnect(m, inst, PinSlot::from_raw(pin as u32));
+                }
+            }
+            Op::Retarget { inst } => {
+                if !insts.is_empty() {
+                    let inst = insts[inst % insts.len()];
+                    d.replace_instance_ref(m, inst, g2).unwrap();
+                }
+            }
+        }
+    }
+
+    // Consistency: instance conns <-> net endpoints, one-to-one.
+    let module = d.module(m);
+    for (inst_id, inst) in module.instances() {
+        for (slot, net) in inst.conns() {
+            let found = module
+                .net(net)
+                .endpoints()
+                .iter()
+                .any(|ep| matches!(ep, Endpoint::Pin { inst, slot: s, .. } if *inst == inst_id && *s == slot));
+            assert!(found, "conn {inst_id}/{slot} missing endpoint");
+        }
+    }
+    for (net_id, net) in module.nets() {
+        for ep in net.endpoints() {
+            if let Endpoint::Pin { inst, slot, .. } = ep {
+                assert_eq!(
+                    module.instance(*inst).conn(*slot),
+                    Some(net_id),
+                    "endpoint without matching conn"
+                );
+            }
+        }
+        // No duplicate endpoints.
+        let mut eps = net.endpoints().to_vec();
+        let before = eps.len();
+        eps.sort_by_key(|e| match e {
+            Endpoint::Pin { inst, slot, .. } => (1, inst.as_raw(), slot.as_raw()),
+            Endpoint::Port(p) => (0, p.as_raw(), 0),
+        });
+        eps.dedup();
+        assert_eq!(eps.len(), before, "duplicate endpoints on {net_id}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_edits_keep_connectivity_consistent(
+        ops in prop::collection::vec(op_strategy(), 0..120)
+    ) {
+        run_ops(ops);
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors raised while building or analyzing timing graphs.
+
+use std::fmt;
+
+/// Errors from [`crate::TimingGraph`] construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaError {
+    /// A leaf instance is not bound to any library cell.
+    UnboundLeaf {
+        /// The instance name.
+        inst: String,
+    },
+    /// The combinational logic contains a directed cycle, violating the
+    /// paper's structural assumption.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: String,
+    },
+    /// A synchronising element's data or control pin is unconnected.
+    DanglingSyncPin {
+        /// The instance name.
+        inst: String,
+        /// Which pin.
+        pin: &'static str,
+    },
+    /// A hierarchical instance's child module contains synchronising
+    /// elements; only combinational modules can be abstracted into
+    /// pin-to-pin delays.
+    SyncInsideAbstractedModule {
+        /// The child module name.
+        module: String,
+        /// The offending instance inside it.
+        inst: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::UnboundLeaf { inst } => {
+                write!(f, "instance {inst:?} is not bound to a library cell")
+            }
+            StaError::CombinationalCycle { net } => {
+                write!(f, "combinational logic contains a cycle through net {net:?}")
+            }
+            StaError::DanglingSyncPin { inst, pin } => {
+                write!(f, "synchronising element {inst:?} has an unconnected {pin} pin")
+            }
+            StaError::SyncInsideAbstractedModule { module, inst } => write!(
+                f,
+                "module {module:?} cannot be abstracted: it contains synchronising element {inst:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StaError::CombinationalCycle { net: "loop".into() };
+        assert!(e.to_string().contains("loop"));
+        let e = StaError::DanglingSyncPin {
+            inst: "ff0".into(),
+            pin: "control",
+        };
+        assert!(e.to_string().contains("control"));
+    }
+}

@@ -1,0 +1,524 @@
+//! Path extraction and the path-enumeration baseline.
+//!
+//! The block method reports node slacks without materializing paths; for
+//! re-synthesis guidance and for reporting, the analyzer still needs the
+//! actual worst path through a violating endpoint
+//! ([`critical_path`]). For the ablation study, [`enumerate_max_arrival`]
+//! reproduces the naive path-enumeration procedure that the paper calls
+//! "computationally expensive" and rejects in favour of the block
+//! method.
+
+use hb_netlist::{InstId, NetId};
+use hb_units::{RiseFall, Sense, Time, Transition};
+
+use crate::analysis::TimeTable;
+use crate::graph::TimingGraph;
+
+/// One step of an extracted path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// The net reached.
+    pub net: NetId,
+    /// The instance whose arc produced this step (`None` at the path
+    /// origin).
+    pub inst: Option<InstId>,
+    /// The transition direction at the net.
+    pub transition: Transition,
+    /// The arrival time at the net.
+    pub time: Time,
+}
+
+/// A source-to-sink combinational path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Path {
+    /// The steps from source to sink, inclusive.
+    pub steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// The total path delay (sink arrival minus source arrival).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn delay(&self) -> Time {
+        let first = self.steps.first().expect("non-empty path");
+        let last = self.steps.last().expect("non-empty path");
+        last.time - first.time
+    }
+
+    /// The source net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn source(&self) -> NetId {
+        self.steps.first().expect("non-empty path").net
+    }
+
+    /// The sink net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn sink(&self) -> NetId {
+        self.steps.last().expect("non-empty path").net
+    }
+}
+
+/// Traces the worst path that establishes `ready[sink][transition]`,
+/// walking backwards over arcs whose delays exactly explain the arrival
+/// times (the standard block-method path recovery).
+///
+/// Returns `None` if the sink was never reached (sentinel arrival).
+pub fn critical_path(
+    graph: &TimingGraph,
+    ready: &TimeTable,
+    sink: NetId,
+    transition: Transition,
+) -> Option<Path> {
+    let mut time = ready[sink.as_raw() as usize][transition];
+    if !time.is_finite() {
+        return None;
+    }
+    let mut steps = vec![PathStep {
+        net: sink,
+        inst: None,
+        transition,
+        time,
+    }];
+    let mut net = sink;
+    let mut tr = transition;
+    loop {
+        let mut found = None;
+        for &ai in graph.fanin_arcs(net) {
+            let arc = graph.arc(ai);
+            let candidates: &[Transition] = match arc.sense {
+                Sense::Positive => &[tr][..],
+                Sense::Negative => match tr {
+                    Transition::Rise => &[Transition::Fall],
+                    Transition::Fall => &[Transition::Rise],
+                },
+                Sense::NonUnate => &Transition::BOTH,
+            };
+            for &tr_in in candidates {
+                let at_in = ready[arc.from.as_raw() as usize][tr_in];
+                if at_in.is_finite() && at_in.saturating_add(arc.delay.max[tr]) == time {
+                    found = Some((arc.from, tr_in, at_in, arc.inst));
+                    break;
+                }
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        match found {
+            Some((from, tr_in, at_in, inst)) => {
+                // Attribute the traversed instance to the step we already
+                // recorded at `net`.
+                let last = steps.last_mut().expect("at least the sink");
+                last.inst = Some(inst);
+                steps.push(PathStep {
+                    net: from,
+                    inst: None,
+                    transition: tr_in,
+                    time: at_in,
+                });
+                net = from;
+                tr = tr_in;
+                time = at_in;
+            }
+            None => break,
+        }
+    }
+    steps.reverse();
+    Some(Path { steps })
+}
+
+/// Enumerates the `k` worst (latest-arriving) source-to-`sink` paths
+/// for the given transition, exactly, using the block-method arrival
+/// table as an admissible bound: a partial (suffix) path from some net
+/// can complete to at best `ready[net] + suffix_delay`, so branches
+/// that cannot beat the current k-th best are pruned.
+///
+/// Paths are returned worst first. `ready` must be a completed
+/// [`crate::analysis::propagate_ready_max`] table; the paths end at
+/// `sink` and begin at seeded nets (those whose arrival no arc
+/// explains).
+pub fn k_worst_paths(
+    graph: &TimingGraph,
+    ready: &TimeTable,
+    sink: NetId,
+    transition: Transition,
+    k: usize,
+) -> Vec<Path> {
+    if k == 0 || !ready[sink.as_raw() as usize][transition].is_finite() {
+        return Vec::new();
+    }
+    let mut found: Vec<Path> = Vec::new();
+    // A suffix under construction, sink-first. Each element is
+    // (net, transition-at-net, arc-index-into-net) — the arc is the one
+    // the suffix descended through, `None` only on the current frontier.
+    let mut suffix: Vec<(NetId, Transition, Option<u32>)> = vec![(sink, transition, None)];
+
+    fn materialize(
+        graph: &TimingGraph,
+        ready: &TimeTable,
+        suffix: &[(NetId, Transition, Option<u32>)],
+    ) -> Path {
+        // Source-first order.
+        let nodes: Vec<_> = suffix.iter().rev().copied().collect();
+        let (src, src_tr, _) = nodes[0];
+        let mut time = ready[src.as_raw() as usize][src_tr];
+        let mut steps = vec![PathStep {
+            net: src,
+            inst: None,
+            transition: src_tr,
+            time,
+        }];
+        // nodes[i].2 is the arc into nodes[i-1]... careful: arcs were
+        // recorded on the *consumer* entry; entry i carries the arc that
+        // produces entry i's predecessor in suffix order, i.e. node
+        // i+1 in source-first order carries None, while node i's arc is
+        // stored on the consumer. Walk pairs and read the consumer arc.
+        for pair in nodes.windows(2) {
+            let (_, _, _) = pair[0];
+            let (net, tr, arc_idx) = pair[1];
+            let ai = arc_idx.expect("every non-frontier consumer recorded its arc");
+            let arc = graph.arc(ai);
+            time = time.saturating_add(arc.delay.max[tr]);
+            steps.push(PathStep {
+                net,
+                inst: Some(arc.inst),
+                transition: tr,
+                time,
+            });
+        }
+        Path { steps }
+    }
+
+    fn descend(
+        graph: &TimingGraph,
+        ready: &TimeTable,
+        suffix: &mut Vec<(NetId, Transition, Option<u32>)>,
+        suffix_delay: Time,
+        found: &mut Vec<Path>,
+        k: usize,
+    ) {
+        let &(net, tr, _) = suffix.last().expect("non-empty suffix");
+        let bound = ready[net.as_raw() as usize][tr].saturating_add(suffix_delay);
+        if found.len() == k
+            && bound <= found.last().expect("k > 0").steps.last().expect("steps").time
+        {
+            return;
+        }
+        let mut extended = false;
+        for &ai in graph.fanin_arcs(net) {
+            let arc = graph.arc(ai);
+            let candidates: &[Transition] = match arc.sense {
+                Sense::Positive => &[tr][..],
+                Sense::Negative => match tr {
+                    Transition::Rise => &[Transition::Fall],
+                    Transition::Fall => &[Transition::Rise],
+                },
+                Sense::NonUnate => &Transition::BOTH,
+            };
+            for &tr_in in candidates {
+                if !ready[arc.from.as_raw() as usize][tr_in].is_finite() {
+                    continue;
+                }
+                extended = true;
+                // Record which arc produced this node, then descend.
+                suffix.last_mut().expect("non-empty").2 = Some(ai);
+                suffix.push((arc.from, tr_in, None));
+                descend(
+                    graph,
+                    ready,
+                    suffix,
+                    suffix_delay.saturating_add(arc.delay.max[tr]),
+                    found,
+                    k,
+                );
+                suffix.pop();
+            }
+        }
+        if !extended {
+            let path = materialize(graph, ready, suffix);
+            let arrival = path.steps.last().expect("steps").time;
+            let pos = found
+                .binary_search_by(|p| arrival.cmp(&p.steps.last().expect("steps").time))
+                .unwrap_or_else(|e| e);
+            found.insert(pos, path);
+            found.truncate(k);
+        }
+    }
+    descend(graph, ready, &mut suffix, Time::ZERO, &mut found, k);
+    found
+}
+
+/// Statistics from a path enumeration run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EnumerationStats {
+    /// Source-to-endpoint paths visited (per transition direction).
+    pub paths: u64,
+    /// Whether the run stopped at the path limit.
+    pub truncated: bool,
+}
+
+/// Computes maximum arrival times by *enumerating every path* from the
+/// seeded nets — the expensive baseline the paper's block method
+/// replaces. Arrivals match [`crate::analysis::propagate_ready_max`]
+/// exactly (when not truncated); only the cost differs.
+///
+/// Stops after visiting `limit` paths and sets
+/// [`EnumerationStats::truncated`].
+pub fn enumerate_max_arrival(
+    graph: &TimingGraph,
+    seeds: &[(NetId, RiseFall<Time>)],
+    limit: u64,
+) -> (TimeTable, EnumerationStats) {
+    let mut ready = vec![RiseFall::splat(Time::NEG_INF); graph.node_count()];
+    let mut stats = EnumerationStats::default();
+    for &(net, at) in seeds {
+        let slot = &mut ready[net.as_raw() as usize];
+        *slot = (*slot).max(at);
+    }
+    for &(net, at) in seeds {
+        for tr in Transition::BOTH {
+            if at[tr].is_finite() {
+                dfs(graph, net, tr, at[tr], &mut ready, &mut stats, limit);
+            }
+        }
+    }
+    (ready, stats)
+}
+
+fn dfs(
+    graph: &TimingGraph,
+    net: NetId,
+    tr: Transition,
+    time: Time,
+    ready: &mut TimeTable,
+    stats: &mut EnumerationStats,
+    limit: u64,
+) {
+    if stats.paths >= limit {
+        stats.truncated = true;
+        return;
+    }
+    let slot = &mut ready[net.as_raw() as usize][tr];
+    if time > *slot {
+        *slot = time;
+    }
+    let mut extended = false;
+    for &ai in graph.fanout_arcs(net) {
+        let arc = graph.arc(ai);
+        let outs: &[Transition] = match arc.sense {
+            Sense::Positive => &[tr][..],
+            Sense::Negative => match tr {
+                Transition::Rise => &[Transition::Fall],
+                Transition::Fall => &[Transition::Rise],
+            },
+            Sense::NonUnate => &Transition::BOTH,
+        };
+        for &tr_out in outs {
+            extended = true;
+            dfs(
+                graph,
+                arc.to,
+                tr_out,
+                time.saturating_add(arc.delay.max[tr_out]),
+                ready,
+                stats,
+                limit,
+            );
+        }
+    }
+    if !extended {
+        stats.paths += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{propagate_ready_max, table};
+    use hb_cells::{sc89, Binding, Library};
+    use hb_netlist::{Design, ModuleId, PinDir};
+
+    /// A 3-deep reconvergent ladder with mixed senses.
+    fn ladder() -> (Design, ModuleId, Library) {
+        let lib = sc89();
+        let mut d = Design::new("ladder");
+        lib.declare_into(&mut d).unwrap();
+        let m = d.add_module("top").unwrap();
+        let a = d.add_net(m, "a").unwrap();
+        d.add_port(m, "a", PinDir::Input, a).unwrap();
+        let inv = d.leaf_by_name("INV_X1").unwrap();
+        let nand = d.leaf_by_name("NAND2_X1").unwrap();
+        let xor = d.leaf_by_name("XOR2_X1").unwrap();
+        // Give the first stage two distinct inputs so no gate ever sees
+        // the same net on both pins (parallel same-pin-pair arcs would
+        // make legitimately duplicate-looking paths).
+        let a2 = d.add_net(m, "a2").unwrap();
+        let pre = d.add_leaf_instance(m, "pre", inv).unwrap();
+        d.connect(m, pre, "A", a).unwrap();
+        d.connect(m, pre, "Y", a2).unwrap();
+        let mut prev = (a, a2);
+        for i in 0..3 {
+            let n1 = d.add_net(m, format!("l{i}a")).unwrap();
+            let n2 = d.add_net(m, format!("l{i}b")).unwrap();
+            let u1 = d.add_leaf_instance(m, format!("inv{i}"), inv).unwrap();
+            d.connect(m, u1, "A", prev.0).unwrap();
+            d.connect(m, u1, "Y", n1).unwrap();
+            let u2 = d
+                .add_leaf_instance(m, format!("mix{i}"), if i == 1 { xor } else { nand })
+                .unwrap();
+            d.connect(m, u2, "A", prev.0).unwrap();
+            d.connect(m, u2, "B", prev.1).unwrap();
+            d.connect(m, u2, "Y", n2).unwrap();
+            prev = (n1, n2);
+        }
+        d.set_top(m).unwrap();
+        (d, m, lib)
+    }
+
+    #[test]
+    fn enumeration_matches_block_method() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let a = d.module(m).net_by_name("a").unwrap();
+
+        let mut block = table(&g, Time::NEG_INF);
+        block[a.as_raw() as usize] = RiseFall::ZERO;
+        propagate_ready_max(&g, &mut block);
+
+        let (enumerated, stats) =
+            enumerate_max_arrival(&g, &[(a, RiseFall::ZERO)], u64::MAX);
+        assert!(!stats.truncated);
+        assert!(stats.paths > 1);
+        assert_eq!(enumerated, block, "both methods agree on arrivals");
+    }
+
+    #[test]
+    fn enumeration_truncates_at_limit() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let a = d.module(m).net_by_name("a").unwrap();
+        let (_, stats) = enumerate_max_arrival(&g, &[(a, RiseFall::ZERO)], 1);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn critical_path_walks_to_a_seed() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let module = d.module(m);
+        let a = module.net_by_name("a").unwrap();
+        let sink = module.net_by_name("l2b").unwrap();
+
+        let mut ready = table(&g, Time::NEG_INF);
+        ready[a.as_raw() as usize] = RiseFall::ZERO;
+        propagate_ready_max(&g, &mut ready);
+
+        let path = critical_path(&g, &ready, sink, Transition::Rise).expect("reached");
+        assert_eq!(path.source(), a);
+        assert_eq!(path.sink(), sink);
+        assert_eq!(path.delay(), ready[sink.as_raw() as usize].rise);
+        // Arrival times increase monotonically along the path, and every
+        // step after the origin names the instance that produced it.
+        for pair in path.steps.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+            assert!(pair[1].inst.is_some(), "non-origin steps name their instance");
+        }
+        assert!(path.steps.first().unwrap().inst.is_none());
+    }
+
+    #[test]
+    fn k_worst_paths_orders_and_bounds() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let module = d.module(m);
+        let a = module.net_by_name("a").unwrap();
+        let sink = module.net_by_name("l2b").unwrap();
+
+        let mut ready = table(&g, Time::NEG_INF);
+        ready[a.as_raw() as usize] = RiseFall::ZERO;
+        propagate_ready_max(&g, &mut ready);
+
+        let paths = k_worst_paths(&g, &ready, sink, Transition::Rise, 5);
+        assert!(!paths.is_empty());
+        // Worst first, matching the block arrival exactly.
+        assert_eq!(
+            paths[0].steps.last().unwrap().time,
+            ready[sink.as_raw() as usize].rise
+        );
+        for pair in paths.windows(2) {
+            assert!(
+                pair[0].steps.last().unwrap().time >= pair[1].steps.last().unwrap().time,
+                "worst first"
+            );
+        }
+        // Each path is internally consistent.
+        for p in &paths {
+            assert_eq!(p.source(), a);
+            assert_eq!(p.sink(), sink);
+            for pair in p.steps.windows(2) {
+                assert!(pair[0].time <= pair[1].time);
+                assert!(pair[1].inst.is_some());
+            }
+            assert!(p.steps.first().unwrap().inst.is_none());
+        }
+        // The top path agrees with critical_path.
+        let cp = critical_path(&g, &ready, sink, Transition::Rise).unwrap();
+        assert_eq!(
+            paths[0].steps.last().unwrap().time,
+            cp.steps.last().unwrap().time
+        );
+        // Requesting more paths than exist returns them all, distinct.
+        let all = k_worst_paths(&g, &ready, sink, Transition::Rise, 10_000);
+        let mut keys: Vec<Vec<(u32, Transition)>> = all
+            .iter()
+            .map(|p| p.steps.iter().map(|s| (s.net.as_raw(), s.transition)).collect())
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "no duplicate paths");
+        // k=0 and unreached sinks are empty.
+        assert!(k_worst_paths(&g, &ready, sink, Transition::Rise, 0).is_empty());
+        let cold = table(&g, Time::NEG_INF);
+        assert!(k_worst_paths(&g, &cold, sink, Transition::Rise, 3).is_empty());
+    }
+
+    #[test]
+    fn k_worst_paths_matches_full_enumeration_count() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let module = d.module(m);
+        let a = module.net_by_name("a").unwrap();
+        let sink = module.net_by_name("l2a").unwrap();
+        let mut ready = table(&g, Time::NEG_INF);
+        ready[a.as_raw() as usize] = RiseFall::ZERO;
+        propagate_ready_max(&g, &mut ready);
+        // The k=2 prefix of the exhaustive list equals the k=2 call.
+        let all = k_worst_paths(&g, &ready, sink, Transition::Fall, 10_000);
+        let two = k_worst_paths(&g, &ready, sink, Transition::Fall, 2);
+        assert_eq!(&all[..2.min(all.len())], &two[..]);
+    }
+
+    #[test]
+    fn critical_path_none_for_unreached() {
+        let (d, m, lib) = ladder();
+        let binding = Binding::new(&d, &lib);
+        let g = crate::TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let sink = d.module(m).net_by_name("l2b").unwrap();
+        let ready = table(&g, Time::NEG_INF);
+        assert_eq!(critical_path(&g, &ready, sink, Transition::Rise), None);
+    }
+}

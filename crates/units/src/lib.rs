@@ -1,0 +1,42 @@
+//! Foundational value types for the hummingbird timing analyzer.
+//!
+//! All timing arithmetic in the workspace is carried out in **integer
+//! picoseconds** through the [`Time`] newtype. The DAC'89 Hummingbird
+//! formulation relies on exact modular arithmetic over harmonically
+//! related clock periods (least common multiples, edge placement within a
+//! "broken open" clock period), and on fixpoint iterations of slack
+//! transfer; integer time makes both exact and platform independent.
+//!
+//! The crate also provides the small algebraic helpers used throughout the
+//! analyzer:
+//!
+//! * [`Transition`] and [`RiseFall`] — separate rising/falling settling
+//!   times, following Bening et al. (DAC'82), which the paper adopts;
+//! * [`MinMax`] — early/late value pairs for the supplementary (minimum
+//!   delay) path constraints;
+//! * [`Sense`] — timing-arc unateness, used when propagating rise/fall
+//!   values through inverting and non-inverting logic.
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_units::{Time, RiseFall, Transition};
+//!
+//! let clock_period = Time::from_ns(100);
+//! let pulse_width = Time::from_ns(20);
+//! assert_eq!(clock_period - pulse_width, Time::from_ns(80));
+//!
+//! let settle = RiseFall::new(Time::from_ps(350), Time::from_ps(410));
+//! assert_eq!(settle[Transition::Fall], Time::from_ps(410));
+//! assert_eq!(settle.worst(), Time::from_ps(410));
+//! ```
+
+mod minmax;
+mod risefall;
+mod sense;
+mod time;
+
+pub use minmax::MinMax;
+pub use risefall::{RiseFall, Transition};
+pub use sense::Sense;
+pub use time::{ParseTimeError, Time};

@@ -1,0 +1,127 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Time;
+
+/// An early/late value pair.
+///
+/// The primary path constraints of the paper bound the **maximum** path
+/// delay, while the supplementary constraints bound the **minimum** path
+/// delay (`dmin_p > D_p − O_x + O_y − T_β`). Component delays therefore
+/// carry both bounds.
+///
+/// # Examples
+///
+/// ```
+/// use hb_units::{MinMax, Time};
+///
+/// let d = MinMax::new(Time::from_ps(200), Time::from_ps(450));
+/// assert!(d.min <= d.max);
+/// assert_eq!(d.widen(MinMax::new(Time::from_ps(100), Time::from_ps(300))),
+///            MinMax::new(Time::from_ps(100), Time::from_ps(450)));
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MinMax<T> {
+    /// The early (minimum) value.
+    pub min: T,
+    /// The late (maximum) value.
+    pub max: T,
+}
+
+impl<T> MinMax<T> {
+    /// Creates a pair from its components.
+    #[inline]
+    pub fn new(min: T, max: T) -> MinMax<T> {
+        MinMax { min, max }
+    }
+
+    /// Creates a pair with both components equal to `value`.
+    #[inline]
+    pub fn splat(value: T) -> MinMax<T>
+    where
+        T: Clone,
+    {
+        MinMax {
+            min: value.clone(),
+            max: value,
+        }
+    }
+
+    /// Applies `f` to both components.
+    #[inline]
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> MinMax<U> {
+        MinMax {
+            min: f(self.min),
+            max: f(self.max),
+        }
+    }
+}
+
+impl MinMax<Time> {
+    /// A pair of zeros.
+    pub const ZERO: MinMax<Time> = MinMax {
+        min: Time::ZERO,
+        max: Time::ZERO,
+    };
+
+    /// Returns `true` when `min <= max`.
+    #[inline]
+    pub fn is_ordered(self) -> bool {
+        self.min <= self.max
+    }
+
+    /// The smallest interval containing both operands.
+    #[inline]
+    pub fn widen(self, other: MinMax<Time>) -> MinMax<Time> {
+        MinMax {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Component-wise saturating sum (min with min, max with max), the
+    /// series composition of two delay intervals.
+    #[inline]
+    pub fn saturating_add(self, other: MinMax<Time>) -> MinMax<Time> {
+        MinMax {
+            min: self.min.saturating_add(other.min),
+            max: self.max.saturating_add(other.max),
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for MinMax<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let m = MinMax::new(1, 2);
+        assert_eq!((m.min, m.max), (1, 2));
+        assert_eq!(MinMax::splat(5), MinMax::new(5, 5));
+        assert_eq!(m.map(|v| v * 10), MinMax::new(10, 20));
+    }
+
+    #[test]
+    fn time_ops() {
+        let a = MinMax::new(Time::from_ns(1), Time::from_ns(4));
+        let b = MinMax::new(Time::from_ns(2), Time::from_ns(3));
+        assert!(a.is_ordered());
+        assert_eq!(a.widen(b), MinMax::new(Time::from_ns(1), Time::from_ns(4)));
+        assert_eq!(
+            a.saturating_add(b),
+            MinMax::new(Time::from_ns(3), Time::from_ns(7))
+        );
+        assert!(!MinMax::new(Time::from_ns(4), Time::from_ns(1)).is_ordered());
+        assert_eq!(MinMax::<Time>::ZERO.to_string(), "[0ns, 0ns]");
+    }
+}

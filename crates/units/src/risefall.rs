@@ -1,0 +1,267 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Time;
+
+/// The direction of a signal transition.
+///
+/// The analyzer keeps rising and falling settling times separate
+/// throughout (the paper adopts this from Bening, Alexander and Smith,
+/// DAC'82), because CMOS gates routinely have asymmetric rise and fall
+/// delays and because a transition inverts through inverting logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// A low-to-high transition.
+    Rise,
+    /// A high-to-low transition.
+    Fall,
+}
+
+impl Transition {
+    /// Both transitions, in a fixed order.
+    pub const BOTH: [Transition; 2] = [Transition::Rise, Transition::Fall];
+
+    /// Returns the opposite transition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hb_units::Transition;
+    /// assert_eq!(Transition::Rise.inverted(), Transition::Fall);
+    /// ```
+    #[inline]
+    pub fn inverted(self) -> Transition {
+        match self {
+            Transition::Rise => Transition::Fall,
+            Transition::Fall => Transition::Rise,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Transition::Rise => 0,
+            Transition::Fall => 1,
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Transition::Rise => "rise",
+            Transition::Fall => "fall",
+        })
+    }
+}
+
+/// A pair of values indexed by [`Transition`].
+///
+/// Most timing quantities in the analyzer come in rise/fall pairs: arc
+/// delays, settling (ready) times, required times and slacks.
+///
+/// # Examples
+///
+/// ```
+/// use hb_units::{RiseFall, Time, Transition};
+///
+/// let delay = RiseFall::new(Time::from_ps(300), Time::from_ps(420));
+/// assert_eq!(delay[Transition::Rise], Time::from_ps(300));
+/// assert_eq!(delay.swapped()[Transition::Rise], Time::from_ps(420));
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RiseFall<T> {
+    /// The value associated with a rising transition.
+    pub rise: T,
+    /// The value associated with a falling transition.
+    pub fall: T,
+}
+
+impl<T> RiseFall<T> {
+    /// Creates a pair from its rise and fall components.
+    #[inline]
+    pub fn new(rise: T, fall: T) -> RiseFall<T> {
+        RiseFall { rise, fall }
+    }
+
+    /// Creates a pair with both components equal to `value`.
+    #[inline]
+    pub fn splat(value: T) -> RiseFall<T>
+    where
+        T: Clone,
+    {
+        RiseFall {
+            rise: value.clone(),
+            fall: value,
+        }
+    }
+
+    /// Returns the pair with rise and fall exchanged.
+    ///
+    /// This is how a pair propagates through a negative-unate
+    /// (inverting) timing arc.
+    #[inline]
+    pub fn swapped(self) -> RiseFall<T> {
+        RiseFall {
+            rise: self.fall,
+            fall: self.rise,
+        }
+    }
+
+    /// Applies `f` to both components.
+    #[inline]
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> RiseFall<U> {
+        RiseFall {
+            rise: f(self.rise),
+            fall: f(self.fall),
+        }
+    }
+
+    /// Combines two pairs component-wise.
+    #[inline]
+    pub fn zip_with<U, V>(self, other: RiseFall<U>, mut f: impl FnMut(T, U) -> V) -> RiseFall<V> {
+        RiseFall {
+            rise: f(self.rise, other.rise),
+            fall: f(self.fall, other.fall),
+        }
+    }
+
+    /// Iterates over `(transition, &value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Transition, &T)> {
+        [
+            (Transition::Rise, &self.rise),
+            (Transition::Fall, &self.fall),
+        ]
+        .into_iter()
+    }
+}
+
+impl RiseFall<Time> {
+    /// A pair of zeros.
+    pub const ZERO: RiseFall<Time> = RiseFall {
+        rise: Time::ZERO,
+        fall: Time::ZERO,
+    };
+
+    /// The later (worst-case, for max analysis) of the two components.
+    #[inline]
+    pub fn worst(self) -> Time {
+        self.rise.max(self.fall)
+    }
+
+    /// The earlier (best-case) of the two components.
+    #[inline]
+    pub fn best(self) -> Time {
+        self.rise.min(self.fall)
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: RiseFall<Time>) -> RiseFall<Time> {
+        self.zip_with(other, Time::max)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: RiseFall<Time>) -> RiseFall<Time> {
+        self.zip_with(other, Time::min)
+    }
+
+    /// Component-wise saturating addition (sentinels absorb).
+    #[inline]
+    pub fn saturating_add(self, other: RiseFall<Time>) -> RiseFall<Time> {
+        self.zip_with(other, Time::saturating_add)
+    }
+}
+
+impl<T> Index<Transition> for RiseFall<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, tr: Transition) -> &T {
+        match tr.index() {
+            0 => &self.rise,
+            _ => &self.fall,
+        }
+    }
+}
+
+impl<T> IndexMut<Transition> for RiseFall<T> {
+    #[inline]
+    fn index_mut(&mut self, tr: Transition) -> &mut T {
+        match tr.index() {
+            0 => &mut self.rise,
+            _ => &mut self.fall,
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for RiseFall<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(r {}, f {})", self.rise, self.fall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_inversion() {
+        let mut p = RiseFall::new(1, 2);
+        assert_eq!(p[Transition::Rise], 1);
+        assert_eq!(p[Transition::Fall], 2);
+        p[Transition::Rise] = 10;
+        assert_eq!(p.rise, 10);
+        assert_eq!(p.swapped(), RiseFall::new(2, 10));
+        assert_eq!(Transition::Fall.inverted(), Transition::Rise);
+        assert_eq!(Transition::Rise.inverted().inverted(), Transition::Rise);
+    }
+
+    #[test]
+    fn map_zip_iter() {
+        let p = RiseFall::new(3, 4);
+        assert_eq!(p.map(|v| v * 2), RiseFall::new(6, 8));
+        assert_eq!(
+            p.zip_with(RiseFall::new(1, 1), |a, b| a - b),
+            RiseFall::new(2, 3)
+        );
+        let collected: Vec<_> = p.iter().map(|(t, v)| (t, *v)).collect();
+        assert_eq!(
+            collected,
+            vec![(Transition::Rise, 3), (Transition::Fall, 4)]
+        );
+        assert_eq!(RiseFall::splat(7), RiseFall::new(7, 7));
+    }
+
+    #[test]
+    fn time_helpers() {
+        let a = RiseFall::new(Time::from_ns(1), Time::from_ns(5));
+        let b = RiseFall::new(Time::from_ns(2), Time::from_ns(3));
+        assert_eq!(a.worst(), Time::from_ns(5));
+        assert_eq!(a.best(), Time::from_ns(1));
+        assert_eq!(
+            a.max(b),
+            RiseFall::new(Time::from_ns(2), Time::from_ns(5))
+        );
+        assert_eq!(
+            a.min(b),
+            RiseFall::new(Time::from_ns(1), Time::from_ns(3))
+        );
+        assert_eq!(
+            a.saturating_add(b),
+            RiseFall::new(Time::from_ns(3), Time::from_ns(8))
+        );
+        let inf = RiseFall::splat(Time::NEG_INF);
+        assert_eq!(inf.saturating_add(b), inf);
+    }
+
+    #[test]
+    fn display() {
+        let a = RiseFall::new(Time::from_ns(1), Time::from_ps(500));
+        assert_eq!(a.to_string(), "(r 1ns, f 0.500ns)");
+        assert_eq!(Transition::Rise.to_string(), "rise");
+    }
+}

@@ -1,0 +1,159 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{RiseFall, Time, Transition};
+
+/// The unateness of a timing arc: how an input transition direction maps
+/// to an output transition direction.
+///
+/// The paper's synchronising-element assumption requires every control
+/// signal to be a *monotonic* function of exactly one clock — i.e. the
+/// control path must have a definite [`Sense`] (positive or negative), not
+/// [`Sense::NonUnate`].
+///
+/// # Examples
+///
+/// ```
+/// use hb_units::{Sense, Transition};
+///
+/// assert_eq!(Sense::Negative.apply(Transition::Rise), Some(Transition::Fall));
+/// assert_eq!(Sense::Positive.then(Sense::Negative), Sense::Negative);
+/// assert_eq!(Sense::NonUnate.apply(Transition::Rise), None);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Sense {
+    /// Output transitions in the same direction as the input (buffer, AND).
+    #[default]
+    Positive,
+    /// Output transitions in the opposite direction (inverter, NAND, NOR).
+    Negative,
+    /// Either direction is possible (XOR, complex arcs).
+    NonUnate,
+}
+
+impl Sense {
+    /// Maps an input transition to the resulting output transition, or
+    /// `None` when the arc is non-unate (both directions possible).
+    #[inline]
+    pub fn apply(self, tr: Transition) -> Option<Transition> {
+        match self {
+            Sense::Positive => Some(tr),
+            Sense::Negative => Some(tr.inverted()),
+            Sense::NonUnate => None,
+        }
+    }
+
+    /// Composes two arcs in series.
+    #[inline]
+    pub fn then(self, next: Sense) -> Sense {
+        match (self, next) {
+            (Sense::NonUnate, _) | (_, Sense::NonUnate) => Sense::NonUnate,
+            (Sense::Positive, s) => s,
+            (Sense::Negative, Sense::Positive) => Sense::Negative,
+            (Sense::Negative, Sense::Negative) => Sense::Positive,
+        }
+    }
+
+    /// Merges the senses of two parallel paths between the same endpoints.
+    #[inline]
+    pub fn merge(self, other: Sense) -> Sense {
+        if self == other {
+            self
+        } else {
+            Sense::NonUnate
+        }
+    }
+
+    /// Propagates a rise/fall settling-time pair through an arc of this
+    /// sense, adding the arc's rise/fall delay.
+    ///
+    /// The arc delay is indexed by the **output** transition: a negative
+    /// unate arc produces a rising output (using `delay.rise`) from a
+    /// falling input. Non-unate arcs conservatively let either input
+    /// direction produce either output direction. Input sentinel values
+    /// (`Time::NEG_INF`) stay absorbing.
+    pub fn propagate(self, input: RiseFall<Time>, delay: RiseFall<Time>) -> RiseFall<Time> {
+        match self {
+            Sense::Positive => input.saturating_add(delay),
+            Sense::Negative => input.swapped().saturating_add(delay),
+            Sense::NonUnate => {
+                let worst = input.rise.max(input.fall);
+                RiseFall::splat(worst).saturating_add(delay)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Positive => "positive",
+            Sense::Negative => "negative",
+            Sense::NonUnate => "non-unate",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply() {
+        assert_eq!(Sense::Positive.apply(Transition::Fall), Some(Transition::Fall));
+        assert_eq!(Sense::Negative.apply(Transition::Fall), Some(Transition::Rise));
+        assert_eq!(Sense::NonUnate.apply(Transition::Fall), None);
+    }
+
+    #[test]
+    fn composition_is_group_like() {
+        use Sense::*;
+        assert_eq!(Positive.then(Positive), Positive);
+        assert_eq!(Negative.then(Negative), Positive);
+        assert_eq!(Positive.then(Negative), Negative);
+        assert_eq!(Negative.then(Positive), Negative);
+        assert_eq!(NonUnate.then(Positive), NonUnate);
+        assert_eq!(Negative.then(NonUnate), NonUnate);
+    }
+
+    #[test]
+    fn merge_parallel_paths() {
+        use Sense::*;
+        assert_eq!(Positive.merge(Positive), Positive);
+        assert_eq!(Positive.merge(Negative), NonUnate);
+        assert_eq!(NonUnate.merge(NonUnate), NonUnate);
+    }
+
+    #[test]
+    fn propagation() {
+        let input = RiseFall::new(Time::from_ns(10), Time::from_ns(20));
+        let delay = RiseFall::new(Time::from_ns(1), Time::from_ns(2));
+        // Positive: rise output from rise input.
+        assert_eq!(
+            Sense::Positive.propagate(input, delay),
+            RiseFall::new(Time::from_ns(11), Time::from_ns(22))
+        );
+        // Negative: rise output from fall input (20 + 1), fall from rise (10 + 2).
+        assert_eq!(
+            Sense::Negative.propagate(input, delay),
+            RiseFall::new(Time::from_ns(21), Time::from_ns(12))
+        );
+        // Non-unate: worst input either way.
+        assert_eq!(
+            Sense::NonUnate.propagate(input, delay),
+            RiseFall::new(Time::from_ns(21), Time::from_ns(22))
+        );
+        // Sentinels absorb.
+        let quiet = RiseFall::splat(Time::NEG_INF);
+        assert_eq!(Sense::Positive.propagate(quiet, delay), quiet);
+    }
+
+    #[test]
+    fn display_and_default() {
+        assert_eq!(Sense::default(), Sense::Positive);
+        assert_eq!(Sense::NonUnate.to_string(), "non-unate");
+    }
+}

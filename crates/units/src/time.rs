@@ -1,0 +1,504 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A signed instant or duration measured in integer picoseconds.
+///
+/// `Time` is deliberately a single type for both instants and durations:
+/// the DAC'89 formulation mixes the two freely (terminal *offsets* are
+/// durations relative to ideal times, ideal times are instants within the
+/// overall clock period) and the arithmetic is always exact integer
+/// arithmetic.
+///
+/// Two sentinel values, [`Time::NEG_INF`] and [`Time::INF`], stand in for
+/// "no signal yet" and "unconstrained" during block-oriented slack
+/// computation. [`Time::saturating_add`] keeps the sentinels absorbing so
+/// that `NEG_INF + delay == NEG_INF` and `INF - delay == INF`.
+///
+/// # Examples
+///
+/// ```
+/// use hb_units::Time;
+///
+/// let t = Time::from_ns(3) + Time::from_ps(250);
+/// assert_eq!(t.as_ps(), 3_250);
+/// assert_eq!(t.to_string(), "3.250ns");
+/// assert_eq!("3.25ns".parse::<Time>()?, t);
+/// # Ok::<(), hb_units::ParseTimeError>(())
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(i64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// Sentinel for "minus infinity" (no transition has occurred).
+    ///
+    /// One quarter of the `i64` range is reserved as head-room so that
+    /// ordinary arithmetic on sentinel-free values can never collide with
+    /// the sentinels.
+    pub const NEG_INF: Time = Time(i64::MIN / 4);
+    /// Sentinel for "plus infinity" (an unconstrained required time).
+    pub const INF: Time = Time(i64::MAX / 4);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: i64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: i64) -> Time {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: i64) -> Time {
+        Time(us * 1_000_000)
+    }
+
+    /// Returns the raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the value in (possibly fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` for either of the two infinity sentinels.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self <= Time::NEG_INF || self >= Time::INF
+    }
+
+    /// Returns `true` for an ordinary (non-sentinel) value.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// Adds, keeping the infinity sentinels absorbing.
+    ///
+    /// If either operand is at or beyond a sentinel the result is clamped
+    /// back to that sentinel, so `NEG_INF + x == NEG_INF` for any finite
+    /// `x` and symmetrically for `INF`.
+    #[inline]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        if self <= Time::NEG_INF || rhs <= Time::NEG_INF {
+            Time::NEG_INF
+        } else if self >= Time::INF || rhs >= Time::INF {
+            Time::INF
+        } else {
+            Time(self.0 + rhs.0)
+        }
+    }
+
+    /// Subtracts, keeping the infinity sentinels absorbing.
+    ///
+    /// `INF - x == INF` and `NEG_INF - x == NEG_INF` for finite `x`;
+    /// `x - INF == NEG_INF` and `x - NEG_INF == INF`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        if rhs >= Time::INF {
+            Time::NEG_INF
+        } else if rhs <= Time::NEG_INF {
+            Time::INF
+        } else if self.is_infinite() {
+            self.clamp(Time::NEG_INF, Time::INF)
+        } else {
+            Time(self.0 - rhs.0)
+        }
+    }
+
+    /// Euclidean remainder: always in `[0, modulus)`.
+    ///
+    /// This is the placement primitive for locating clock edges within the
+    /// overall clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not strictly positive.
+    #[inline]
+    pub fn rem_euclid(self, modulus: Time) -> Time {
+        assert!(modulus > Time::ZERO, "modulus must be positive");
+        Time(self.0.rem_euclid(modulus.0))
+    }
+
+    /// Places a *closure* time within a window of length `modulus` that
+    /// starts at zero: the result is in `(0, modulus]`, i.e. a time that
+    /// falls exactly on the window boundary is placed at the **end**.
+    ///
+    /// The paper's pass-selection rule ("find the broken open clock period
+    /// within which the ideal closure time appears closest to the end")
+    /// relies on this asymmetry: assertion times use [`Time::rem_euclid`]
+    /// (range `[0, modulus)`) while closure times use this method, so a
+    /// flip-flop to flip-flop path on the same edge is granted exactly one
+    /// full period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is not strictly positive.
+    #[inline]
+    pub fn rem_euclid_end(self, modulus: Time) -> Time {
+        assert!(modulus > Time::ZERO, "modulus must be positive");
+        Time((self.0 - 1).rem_euclid(modulus.0) + 1)
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the absolute value.
+    #[inline]
+    pub fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// Greatest common divisor of two non-negative times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is negative.
+    pub fn gcd(self, other: Time) -> Time {
+        assert!(
+            self.0 >= 0 && other.0 >= 0,
+            "gcd is defined on non-negative times"
+        );
+        let (mut a, mut b) = (self.0, other.0);
+        while b != 0 {
+            let r = a % b;
+            a = b;
+            b = r;
+        }
+        Time(a)
+    }
+
+    /// Least common multiple of two positive times.
+    ///
+    /// Used to derive the overall clock period from a set of harmonically
+    /// related clock periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not strictly positive, or on overflow.
+    pub fn lcm(self, other: Time) -> Time {
+        assert!(
+            self.0 > 0 && other.0 > 0,
+            "lcm is defined on positive times"
+        );
+        let g = self.gcd(other).0;
+        Time((self.0 / g).checked_mul(other.0).expect("lcm overflow"))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: i64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for i64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: i64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = i64;
+    #[inline]
+    fn div(self, rhs: Time) -> i64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Time> for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self >= Time::INF {
+            return f.write_str("+inf");
+        }
+        if *self <= Time::NEG_INF {
+            return f.write_str("-inf");
+        }
+        let ps = self.0;
+        let (sign, mag) = if ps < 0 { ("-", -ps) } else { ("", ps) };
+        let ns = mag / 1_000;
+        let frac = mag % 1_000;
+        if frac == 0 {
+            write!(f, "{sign}{ns}ns")
+        } else {
+            write!(f, "{sign}{ns}.{frac:03}ns")
+        }
+    }
+}
+
+/// Error returned when parsing a [`Time`] from text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTimeError {
+    input: String,
+}
+
+impl fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid time syntax: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseTimeError {}
+
+impl FromStr for Time {
+    type Err = ParseTimeError;
+
+    /// Parses `"12ps"`, `"3ns"`, `"3.25ns"`, `"1us"`, or a bare
+    /// picosecond count such as `"1250"`.
+    fn from_str(s: &str) -> Result<Time, ParseTimeError> {
+        let err = || ParseTimeError {
+            input: s.to_owned(),
+        };
+        let s = s.trim();
+        let (num, scale_ps) = if let Some(stripped) = s.strip_suffix("ps") {
+            (stripped, 1i64)
+        } else if let Some(stripped) = s.strip_suffix("ns") {
+            (stripped, 1_000)
+        } else if let Some(stripped) = s.strip_suffix("us") {
+            (stripped, 1_000_000)
+        } else {
+            (s, 1)
+        };
+        let num = num.trim();
+        if num.is_empty() {
+            return Err(err());
+        }
+        let (sign, digits) = match num.strip_prefix('-') {
+            Some(rest) => (-1i64, rest),
+            None => (1i64, num),
+        };
+        let mut parts = digits.splitn(2, '.');
+        let int_part = parts.next().ok_or_else(err)?;
+        let int: i64 = if int_part.is_empty() {
+            0
+        } else {
+            int_part.parse().map_err(|_| err())?
+        };
+        let mut ps = int.checked_mul(scale_ps).ok_or_else(err)?;
+        if let Some(frac) = parts.next() {
+            if frac.is_empty() || frac.chars().any(|c| !c.is_ascii_digit()) {
+                return Err(err());
+            }
+            // A fraction is only exact when scale * 10^-len(frac) is integral.
+            let mut numer: i64 = frac.parse().map_err(|_| err())?;
+            let mut denom: i64 = 10i64.checked_pow(frac.len() as u32).ok_or_else(err)?;
+            let g = gcd_i64(numer.max(1), denom);
+            numer /= g;
+            denom /= g;
+            if scale_ps % denom != 0 {
+                return Err(err());
+            }
+            ps = ps.checked_add(numer * (scale_ps / denom)).ok_or_else(err)?;
+        }
+        Ok(Time(sign * ps))
+    }
+}
+
+fn gcd_i64(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(Time::from_ns(2).as_ps(), 2_000);
+        assert_eq!(Time::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Time::from_ps(7).as_ns_f64(), 0.007);
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(5);
+        let b = Time::from_ns(2);
+        assert_eq!(a + b, Time::from_ns(7));
+        assert_eq!(a - b, Time::from_ns(3));
+        assert_eq!(-a, Time::from_ns(-5));
+        assert_eq!(a * 3, Time::from_ns(15));
+        assert_eq!(3 * a, Time::from_ns(15));
+        assert_eq!(a / 5, Time::from_ns(1));
+        assert_eq!(Time::from_ns(10) / Time::from_ns(2), 5);
+        let mut c = a;
+        c += b;
+        c -= Time::from_ns(1);
+        assert_eq!(c, Time::from_ns(6));
+        assert_eq!(vec![a, b].into_iter().sum::<Time>(), Time::from_ns(7));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let d = Time::from_ns(4);
+        assert_eq!(Time::NEG_INF.saturating_add(d), Time::NEG_INF);
+        assert_eq!(Time::INF.saturating_add(-d), Time::INF);
+        assert_eq!(Time::INF.saturating_sub(d), Time::INF);
+        assert_eq!(d.saturating_sub(Time::INF), Time::NEG_INF);
+        assert_eq!(d.saturating_sub(Time::NEG_INF), Time::INF);
+        assert_eq!(d.saturating_add(d), Time::from_ns(8));
+        assert!(Time::INF.is_infinite() && Time::NEG_INF.is_infinite());
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn euclidean_placement() {
+        let t = Time::from_ns(100);
+        assert_eq!(Time::from_ns(-30).rem_euclid(t), Time::from_ns(70));
+        assert_eq!(Time::from_ns(230).rem_euclid(t), Time::from_ns(30));
+        assert_eq!(Time::ZERO.rem_euclid(t), Time::ZERO);
+        // Closure placement maps the boundary to the end of the window.
+        assert_eq!(Time::ZERO.rem_euclid_end(t), t);
+        assert_eq!(Time::from_ns(100).rem_euclid_end(t), t);
+        assert_eq!(Time::from_ns(1).rem_euclid_end(t), Time::from_ns(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn rem_euclid_rejects_nonpositive_modulus() {
+        let _ = Time::from_ns(1).rem_euclid(Time::ZERO);
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(Time::from_ns(100).gcd(Time::from_ns(40)), Time::from_ns(20));
+        assert_eq!(Time::from_ns(50).lcm(Time::from_ns(20)), Time::from_ns(100));
+        assert_eq!(
+            Time::from_ns(100).lcm(Time::from_ns(100)),
+            Time::from_ns(100)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::from_ns(3).to_string(), "3ns");
+        assert_eq!(Time::from_ps(3_250).to_string(), "3.250ns");
+        assert_eq!(Time::from_ps(-500).to_string(), "-0.500ns");
+        assert_eq!(Time::INF.to_string(), "+inf");
+        assert_eq!(Time::NEG_INF.to_string(), "-inf");
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("3ns".parse::<Time>().unwrap(), Time::from_ns(3));
+        assert_eq!("3.25ns".parse::<Time>().unwrap(), Time::from_ps(3_250));
+        assert_eq!("-1.5ns".parse::<Time>().unwrap(), Time::from_ps(-1_500));
+        assert_eq!("250ps".parse::<Time>().unwrap(), Time::from_ps(250));
+        assert_eq!("2us".parse::<Time>().unwrap(), Time::from_us(2));
+        assert_eq!("42".parse::<Time>().unwrap(), Time::from_ps(42));
+        assert!("".parse::<Time>().is_err());
+        assert!("ns".parse::<Time>().is_err());
+        assert!("1.2345ns".parse::<Time>().is_err(), "sub-ps not exact");
+        assert!("1.x ns".parse::<Time>().is_err());
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for ps in [-12_345, -1, 0, 1, 999, 1_000, 123_456_789] {
+            let t = Time::from_ps(ps);
+            assert_eq!(t.to_string().parse::<Time>().unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the unit primitives.
+
+use hb_units::{MinMax, RiseFall, Sense, Time};
+use proptest::prelude::*;
+
+/// Finite times well inside the sentinel head-room.
+fn finite_time() -> impl Strategy<Value = Time> {
+    (-1_000_000_000i64..1_000_000_000).prop_map(Time::from_ps)
+}
+
+fn positive_time() -> impl Strategy<Value = Time> {
+    (1i64..1_000_000_000).prop_map(Time::from_ps)
+}
+
+proptest! {
+    #[test]
+    fn rem_euclid_is_in_range(t in finite_time(), m in positive_time()) {
+        let r = t.rem_euclid(m);
+        prop_assert!(Time::ZERO <= r && r < m);
+        // Congruence: r == t (mod m)
+        prop_assert_eq!((t - r).rem_euclid(m), Time::ZERO);
+    }
+
+    #[test]
+    fn rem_euclid_end_is_in_half_open_end_range(t in finite_time(), m in positive_time()) {
+        let r = t.rem_euclid_end(m);
+        prop_assert!(Time::ZERO < r && r <= m);
+        prop_assert_eq!((t - r).rem_euclid(m), Time::ZERO);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(t in finite_time()) {
+        let parsed: Time = t.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn saturating_add_matches_plain_add_when_finite(a in finite_time(), b in finite_time()) {
+        prop_assert_eq!(a.saturating_add(b), a + b);
+        prop_assert_eq!(a.saturating_sub(b), a - b);
+    }
+
+    #[test]
+    fn sentinels_absorb(a in finite_time()) {
+        prop_assert_eq!(Time::NEG_INF.saturating_add(a), Time::NEG_INF);
+        prop_assert_eq!(Time::INF.saturating_add(a), Time::INF);
+        prop_assert_eq!(a.saturating_sub(Time::INF), Time::NEG_INF);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in positive_time(), b in positive_time()) {
+        let g = a.gcd(b);
+        prop_assert!(g > Time::ZERO);
+        prop_assert_eq!(a % g, Time::ZERO);
+        prop_assert_eq!(b % g, Time::ZERO);
+    }
+
+    #[test]
+    fn lcm_is_common_multiple(a in (1i64..100_000).prop_map(Time::from_ps),
+                              b in (1i64..100_000).prop_map(Time::from_ps)) {
+        let l = a.lcm(b);
+        prop_assert_eq!(l % a, Time::ZERO);
+        prop_assert_eq!(l % b, Time::ZERO);
+        prop_assert!(l <= Time::from_ps(a.as_ps() * b.as_ps()));
+    }
+
+    #[test]
+    fn sense_composition_associative(
+        s1 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
+        s2 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
+        s3 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
+    ) {
+        prop_assert_eq!(s1.then(s2).then(s3), s1.then(s2.then(s3)));
+    }
+
+    #[test]
+    fn propagate_is_monotone_in_input(
+        r1 in finite_time(), f1 in finite_time(),
+        bump in (0i64..1_000_000).prop_map(Time::from_ps),
+        dr in (0i64..1_000_000).prop_map(Time::from_ps),
+        df in (0i64..1_000_000).prop_map(Time::from_ps),
+        s in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
+    ) {
+        // Increasing an input arrival can never decrease an output arrival.
+        let input = RiseFall::new(r1, f1);
+        let later = RiseFall::new(r1 + bump, f1 + bump);
+        let delay = RiseFall::new(dr, df);
+        let out1 = s.propagate(input, delay);
+        let out2 = s.propagate(later, delay);
+        prop_assert!(out2.rise >= out1.rise);
+        prop_assert!(out2.fall >= out1.fall);
+    }
+
+    #[test]
+    fn minmax_widen_contains_both(a1 in finite_time(), a2 in finite_time(),
+                                  b1 in finite_time(), b2 in finite_time()) {
+        let a = MinMax::new(a1.min(a2), a1.max(a2));
+        let b = MinMax::new(b1.min(b2), b1.max(b2));
+        let w = a.widen(b);
+        prop_assert!(w.min <= a.min && w.min <= b.min);
+        prop_assert!(w.max >= a.max && w.max >= b.max);
+        prop_assert!(w.is_ordered());
+    }
+}

@@ -1,0 +1,649 @@
+//! The benchmark designs.
+
+use hb_cells::Library;
+use hb_clock::ClockSet;
+use hb_netlist::{Design, ModuleId, NetId};
+use hb_units::{Time, Transition};
+use hummingbird::{EdgeSpec, Spec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::build::NetlistBuilder;
+
+/// A self-contained benchmark design: netlist, clocks and boundary spec.
+pub struct Workload {
+    /// A short identifier (`"DES"`, `"ALU"`, `"SM1F"`, …).
+    pub name: String,
+    /// The design database.
+    pub design: Design,
+    /// The top module to analyze.
+    pub module: ModuleId,
+    /// The clock waveforms.
+    pub clocks: ClockSet,
+    /// The boundary spec (clock ports, arrivals, requirements).
+    pub spec: Spec,
+}
+
+impl Workload {
+    /// Cell and net counts, for Table-1 style reporting.
+    pub fn stats(&self) -> hb_netlist::DesignStats {
+        self.design.stats(self.module)
+    }
+}
+
+/// Parameters for [`random_pipeline`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineParams {
+    /// Number of register-to-register stages.
+    pub stages: usize,
+    /// Bits per register bank.
+    pub width: usize,
+    /// Random gates per stage.
+    pub gates_per_stage: usize,
+    /// Use transparent latches on alternating phases instead of
+    /// flip-flops.
+    pub transparent: bool,
+    /// Clock period in nanoseconds.
+    pub period_ns: i64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Stage imbalance in percent: even stages get this much more logic
+    /// and odd stages this much less. Unbalanced transparent pipelines
+    /// are where slack transfer (time borrowing) earns its keep.
+    pub imbalance_pct: u32,
+}
+
+impl Default for PipelineParams {
+    fn default() -> PipelineParams {
+        PipelineParams {
+            stages: 4,
+            width: 16,
+            gates_per_stage: 200,
+            transparent: false,
+            period_ns: 100,
+            seed: 1,
+            imbalance_pct: 0,
+        }
+    }
+}
+
+/// A generic seeded pipeline: `width` primary inputs, `stages` blocks of
+/// random logic separated by register banks, outputs registered.
+///
+/// With `transparent: true`, alternating banks use `DLATCH` elements on
+/// two non-overlapping phases (`phi1` high in the first 40%, `phi2` high
+/// in the second-half 40% of the period); otherwise all banks are `DFF`s
+/// on a single clock `ck`.
+pub fn random_pipeline(lib: &Library, params: PipelineParams) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut b = NetlistBuilder::new("pipeline", lib);
+    let period = Time::from_ns(params.period_ns);
+
+    let mut clocks = ClockSet::new();
+    let mut spec = Spec::new();
+    let (cks, phase_count) = if params.transparent {
+        clocks
+            .add_clock("phi1", period, Time::ZERO, period * 2 / 5)
+            .expect("valid waveform");
+        clocks
+            .add_clock("phi2", period, period / 2, period * 9 / 10)
+            .expect("valid waveform");
+        let p1 = b.input("phi1");
+        let p2 = b.input("phi2");
+        spec = spec.clock_port("phi1", "phi1").clock_port("phi2", "phi2");
+        (vec![b.clock_tree(p1), b.clock_tree(p2)], 2)
+    } else {
+        clocks
+            .add_clock("ck", period, Time::ZERO, period / 2)
+            .expect("valid waveform");
+        let ck = b.input("ck");
+        spec = spec.clock_port("ck", "ck");
+        (vec![b.clock_tree(ck)], 1)
+    };
+
+    let inputs: Vec<NetId> = (0..params.width).map(|i| b.input(&format!("in{i}"))).collect();
+    let first_clock = if params.transparent { "phi1" } else { "ck" };
+    for i in 0..params.width {
+        // Inputs are valid slightly before the launch edge, as a
+        // registered external interface would provide them; asserting
+        // exactly *at* the edge would make the first latch bank
+        // perpetually marginal (the paper's "marginally fast enough"
+        // pessimism) and mask the interesting behaviour downstream.
+        spec = spec.input_arrival(
+            format!("in{i}"),
+            EdgeSpec::new(first_clock, Transition::Rise),
+            Time::from_ps(-500),
+        );
+    }
+
+    let mut bus = inputs;
+    for stage in 0..params.stages {
+        let ck = cks[stage % phase_count];
+        bus = if params.transparent {
+            b.latch_bank(&bus, ck, &format!("s{stage}"))
+        } else {
+            b.dff_bank(&bus, ck, &format!("s{stage}"))
+        };
+        let swing = params.gates_per_stage * params.imbalance_pct as usize / 100;
+        let gates = if stage % 2 == 0 {
+            params.gates_per_stage + swing
+        } else {
+            params.gates_per_stage.saturating_sub(swing).max(params.width)
+        };
+        bus = b.random_logic(&mut rng, &bus, gates, params.width);
+    }
+    let ck = cks[params.stages % phase_count];
+    let outs = b.dff_bank(&bus, cks.first().copied().unwrap_or(ck), "out");
+    for (i, q) in outs.iter().enumerate() {
+        b.output(&format!("out{i}"), *q);
+    }
+
+    Workload {
+        name: format!(
+            "PIPE{}x{}{}",
+            params.stages,
+            params.gates_per_stage,
+            if params.transparent { "L" } else { "F" }
+        ),
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// The DES-scale workload: a 64-bit iterative data-path in the shape of
+/// a data-encryption chip — a 64-bit state register, a 56-bit key input,
+/// one large round-function cluster, and registered outputs — totalling
+/// 3681 standard cells like the paper's DES example.
+pub fn des_like(lib: &Library, seed: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("des", lib);
+    let period = Time::from_ns(250);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock("ck", period, Time::ZERO, period / 2)
+        .expect("valid waveform");
+    let ck = b.input("ck");
+    let ckb = b.clock_tree(ck);
+    let mut spec = Spec::new().clock_port("ck", "ck");
+
+    let key: Vec<NetId> = (0..56).map(|i| b.input(&format!("key{i}"))).collect();
+    for i in 0..56 {
+        spec = spec.input_arrival(
+            format!("key{i}"),
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
+    }
+    let din: Vec<NetId> = (0..64).map(|i| b.input(&format!("din{i}"))).collect();
+    for i in 0..64 {
+        spec = spec.input_arrival(
+            format!("din{i}"),
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
+    }
+
+    // State register (64 DFF), loaded from inputs xor round output — the
+    // mux logic is folded into the round cluster.
+    let state_d: Vec<NetId> = (0..64).map(|i| b.net(&format!("state_d{i}"))).collect();
+    let state_q = b.dff_bank(&state_d, ckb, "state");
+
+    // The round function: one large cluster of 8 "S-box" style blocks
+    // plus key mixing. Cell budget: 3681 total = 64 state FFs + 1 clock
+    // buffer + 64 feedback ties + the logic.
+    let logic_budget = 3681 - 64 - 64 - 1;
+    let mut round_in: Vec<NetId> = state_q.clone();
+    round_in.extend_from_slice(&key);
+    round_in.extend_from_slice(&din);
+    let per_box = logic_budget / 8;
+    let mut round_out = Vec::new();
+    for sbox in 0..8 {
+        let gates = if sbox == 7 {
+            logic_budget - per_box * 7
+        } else {
+            per_box
+        };
+        let lo = sbox * 8;
+        let mut box_in: Vec<NetId> = round_in[lo..lo + 8].to_vec();
+        box_in.extend_from_slice(&round_in[64 + sbox * 7..64 + sbox * 7 + 7]);
+        box_in.extend_from_slice(&round_in[120 + sbox * 8..120 + sbox * 8 + 8]);
+        round_out.extend(b.random_logic(&mut rng, &box_in, gates, 8));
+    }
+    for (d, y) in state_d.iter().zip(&round_out) {
+        // Tie the round outputs back into the state register inputs.
+        let inst = b.inst("BUF_X2", &[("A", *y)]);
+        b.design.connect(b.module, inst, "Y", *d).expect("pin Y");
+    }
+    // Outputs observe the state register directly (the chip's data
+    // output is the registered state).
+    for (i, q) in state_q.iter().enumerate() {
+        b.output(&format!("dout{i}"), *q);
+    }
+
+    Workload {
+        name: "DES".into(),
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// The ALU-scale workload: a 899-cell, 16-bit register-ALU-register
+/// slice in the shape of the paper's "portion of a CPU chip".
+pub fn alu(lib: &Library, seed: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new("alu", lib);
+    let period = Time::from_ns(150);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock("ck", period, Time::ZERO, period / 2)
+        .expect("valid waveform");
+    let ck = b.input("ck");
+    let ckb = b.clock_tree(ck);
+    let mut spec = Spec::new().clock_port("ck", "ck");
+
+    let a_in: Vec<NetId> = (0..16).map(|i| b.input(&format!("a{i}"))).collect();
+    let b_in: Vec<NetId> = (0..16).map(|i| b.input(&format!("b{i}"))).collect();
+    let op: Vec<NetId> = (0..3).map(|i| b.input(&format!("op{i}"))).collect();
+    for name in a_in
+        .iter()
+        .enumerate()
+        .map(|(i, _)| format!("a{i}"))
+        .chain((0..16).map(|i| format!("b{i}")))
+        .chain((0..3).map(|i| format!("op{i}")))
+    {
+        spec = spec.input_arrival(name, EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    }
+
+    let ra = b.dff_bank(&a_in, ckb, "ra");
+    let rb = b.dff_bank(&b_in, ckb, "rb");
+    // 899 = 16+16+16 FFs + 1 clkbuf + logic.
+    let logic_budget = 899 - 48 - 1;
+    let mut alu_in = ra;
+    alu_in.extend(rb);
+    alu_in.extend(op);
+    let result = b.random_logic(&mut rng, &alu_in, logic_budget, 16);
+    let rq = b.dff_bank(&result, ckb, "r");
+    for (i, q) in rq.iter().enumerate() {
+        b.output(&format!("y{i}"), *q);
+    }
+
+    Workload {
+        name: "ALU".into(),
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// The 12-bit finite state machine, in flattened (`SM1F`) or
+/// hierarchical (`SM1H`) form. Both variants contain the same logic
+/// (same seed); the hierarchical form wraps the next-state logic in a
+/// single combinational module whose pin-to-pin delays the analyzer
+/// pre-combines — the paper's module-level analysis mode.
+pub fn fsm12(lib: &Library, flat: bool) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let mut b = NetlistBuilder::new(if flat { "sm1f" } else { "sm1h" }, lib);
+    let period = Time::from_ns(120);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock("ck", period, Time::ZERO, period / 2)
+        .expect("valid waveform");
+
+    const STATE_BITS: usize = 12;
+    const INPUTS: usize = 4;
+    const OUTPUTS: usize = 8;
+    const GATES: usize = 276;
+
+    let nsl = if flat {
+        None
+    } else {
+        // The next-state logic as its own module.
+        let top = b.module;
+        let nsl = b.begin_module("nsl");
+        let mut ins = Vec::new();
+        for i in 0..STATE_BITS {
+            ins.push(b.input(&format!("s{i}")));
+        }
+        for i in 0..INPUTS {
+            ins.push(b.input(&format!("x{i}")));
+        }
+        let outs = b.random_logic(&mut rng, &ins, GATES, STATE_BITS + OUTPUTS);
+        for (i, o) in outs.iter().take(STATE_BITS).enumerate() {
+            b.output(&format!("n{i}"), *o);
+        }
+        for (i, o) in outs.iter().skip(STATE_BITS).enumerate() {
+            b.output(&format!("z{i}"), *o);
+        }
+        b.module = top;
+        Some(nsl)
+    };
+
+    let ck = b.input("ck");
+    let ckb = b.clock_tree(ck);
+    let mut spec = Spec::new().clock_port("ck", "ck");
+    let xs: Vec<NetId> = (0..INPUTS).map(|i| b.input(&format!("x{i}"))).collect();
+    for i in 0..INPUTS {
+        spec = spec.input_arrival(
+            format!("x{i}"),
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
+    }
+
+    let next: Vec<NetId> = (0..STATE_BITS).map(|i| b.net(&format!("next{i}"))).collect();
+    let state = b.dff_bank(&next, ckb, "state");
+    let zs: Vec<NetId> = (0..OUTPUTS).map(|i| b.net(&format!("z{i}"))).collect();
+
+    match nsl {
+        Some(nsl_module) => {
+            let inst = b
+                .design
+                .add_module_instance(b.module, "nsl0", nsl_module)
+                .expect("unique name");
+            for (i, s) in state.iter().enumerate() {
+                b.design
+                    .connect(b.module, inst, &format!("s{i}"), *s)
+                    .expect("port exists");
+            }
+            for (i, x) in xs.iter().enumerate() {
+                b.design
+                    .connect(b.module, inst, &format!("x{i}"), *x)
+                    .expect("port exists");
+            }
+            for (i, n) in next.iter().enumerate() {
+                b.design
+                    .connect(b.module, inst, &format!("n{i}"), *n)
+                    .expect("port exists");
+            }
+            for (i, z) in zs.iter().enumerate() {
+                b.design
+                    .connect(b.module, inst, &format!("z{i}"), *z)
+                    .expect("port exists");
+            }
+        }
+        None => {
+            let mut ins = state.clone();
+            ins.extend(&xs);
+            let outs = b.random_logic(&mut rng, &ins, GATES, STATE_BITS + OUTPUTS);
+            for (n, o) in next.iter().zip(outs.iter().take(STATE_BITS)) {
+                let inst = b.inst("BUF_X1", &[("A", *o)]);
+                b.design.connect(b.module, inst, "Y", *n).expect("pin Y");
+            }
+            for (z, o) in zs.iter().zip(outs.iter().skip(STATE_BITS)) {
+                let inst = b.inst("BUF_X1", &[("A", *o)]);
+                b.design.connect(b.module, inst, "Y", *z).expect("pin Y");
+            }
+        }
+    }
+    for (i, z) in zs.iter().enumerate() {
+        b.output(&format!("out{i}"), *z);
+        spec = spec.output_required(
+            format!("out{i}"),
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
+    }
+
+    Workload {
+        name: if flat { "SM1F".into() } else { "SM1H".into() },
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// A structured (non-random) workload: an `bits`-wide synchronous
+/// counter with a ripple carry-enable chain — the classic long unate
+/// path. `next[i] = state[i] XOR carry[i-1]`,
+/// `carry[i] = state[i] AND carry[i-1]`, `carry[-1] = en`.
+///
+/// The critical path runs the full length of the AND chain into the top
+/// bit's XOR, so the minimum period grows linearly with `bits` — a
+/// hand-checkable scaling shape for the analyzer.
+pub fn counter(lib: &Library, bits: usize, period_ns: i64) -> Workload {
+    assert!(bits >= 2, "a counter needs at least two bits");
+    let mut b = NetlistBuilder::new("counter", lib);
+    let mut clocks = ClockSet::new();
+    clocks
+        .add_clock(
+            "ck",
+            Time::from_ns(period_ns),
+            Time::ZERO,
+            Time::from_ns(period_ns / 2),
+        )
+        .expect("valid waveform");
+    let ck = b.input("ck");
+    let ckb = b.clock_tree(ck);
+    let en = b.input("en");
+    let mut spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "en",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
+
+    let next: Vec<NetId> = (0..bits).map(|i| b.net(&format!("next{i}"))).collect();
+    let state = b.dff_bank(&next, ckb, "state");
+    let mut carry = en;
+    for i in 0..bits {
+        let n = b.fresh_net("sum");
+        b.inst("XOR2_X1", &[("A", state[i]), ("B", carry), ("Y", n)]);
+        let tie = b.inst("BUF_X1", &[("A", n)]);
+        b.design
+            .connect(b.module, tie, "Y", next[i])
+            .expect("pin Y");
+        if i + 1 < bits {
+            let c = b.fresh_net("carry");
+            b.inst("AND2_X1", &[("A", state[i]), ("B", carry), ("Y", c)]);
+            carry = c;
+        }
+    }
+    b.output("msb", state[bits - 1]);
+    spec = spec.output_required("msb", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+
+    Workload {
+        name: format!("CNT{bits}"),
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// The Figure 1 circuit: a gate fed by latches controlled by four
+/// different clock phases, "time multiplexed within each overall clock
+/// period" — its cluster needs two settling times per node.
+pub fn figure1(lib: &Library) -> Workload {
+    let mut b = NetlistBuilder::new("figure1", lib);
+    let mut clocks = ClockSet::new();
+    let mut spec = Spec::new();
+    let mut gates = Vec::new();
+    for i in 0..4u32 {
+        let name = format!("p{}", i + 1);
+        let start = Time::from_ns(25 * i64::from(i));
+        clocks
+            .add_clock(&name, Time::from_ns(100), start, start + Time::from_ns(10))
+            .expect("valid waveform");
+        let net = b.input(&name);
+        spec = spec.clock_port(&name, &name);
+        gates.push(net);
+    }
+    let a = b.input("a");
+    let c = b.input("c");
+    spec = spec
+        .input_arrival("a", EdgeSpec::new("p1", Transition::Rise), Time::ZERO)
+        .input_arrival("c", EdgeSpec::new("p3", Transition::Rise), Time::ZERO);
+    let l1 = b.latch_bank(&[a], gates[0], "l1");
+    let l3 = b.latch_bank(&[c], gates[2], "l3");
+    let mix = b.fresh_net("mix");
+    b.inst("NAND2_X1", &[("A", l1[0]), ("B", l3[0]), ("Y", mix)]);
+    let l2 = b.latch_bank(&[mix], gates[1], "l2");
+    let l4 = b.latch_bank(&[mix], gates[3], "l4");
+    b.output("q2", l2[0]);
+    b.output("q4", l4[0]);
+
+    Workload {
+        name: "FIG1".into(),
+        design: b.design,
+        module: b.module,
+        clocks,
+        spec,
+    }
+}
+
+/// A two-phase transparent-latch pipeline with deliberately unbalanced
+/// stage delays — the configuration where slack transfer (time
+/// borrowing) matters and the iteration counts of Algorithm 1 become
+/// visible.
+pub fn latch_pipeline(lib: &Library, stages: usize, width: usize, seed: u64, period_ns: i64) -> Workload {
+    let mut w = random_pipeline(
+        lib,
+        PipelineParams {
+            stages,
+            width,
+            gates_per_stage: 60 + (seed as usize % 40),
+            transparent: true,
+            period_ns,
+            seed,
+            imbalance_pct: 60,
+        },
+    );
+    w.name = format!("LATCH{stages}x{width}");
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_cells::sc89;
+    use hummingbird::Analyzer;
+
+    #[test]
+    fn des_matches_paper_cell_count() {
+        let lib = sc89();
+        let w = des_like(&lib, 1989);
+        w.design.validate().unwrap();
+        let stats = w.stats();
+        assert_eq!(stats.cells, 3681, "the paper's DES cell count");
+        assert!(stats.nets > 3000);
+    }
+
+    #[test]
+    fn alu_matches_paper_cell_count() {
+        let lib = sc89();
+        let w = alu(&lib, 7);
+        w.design.validate().unwrap();
+        assert_eq!(w.stats().cells, 899);
+    }
+
+    #[test]
+    fn fsm_variants_share_structure() {
+        let lib = sc89();
+        let flat = fsm12(&lib, true);
+        let hier = fsm12(&lib, false);
+        flat.design.validate().unwrap();
+        hier.design.validate().unwrap();
+        assert_eq!(hier.design.stats(hier.module).module_insts, 1);
+        assert_eq!(flat.design.stats(flat.module).module_insts, 0);
+        // Same gate budget (flat adds buffers to tie outputs).
+        let fc = flat.stats().cells;
+        let hc = hier.stats().cells;
+        assert!(fc >= hc, "flat {fc} vs hier {hc}");
+    }
+
+    #[test]
+    fn figure1_two_settling_times() {
+        let lib = sc89();
+        let w = figure1(&lib);
+        w.design.validate().unwrap();
+        let a = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone()).unwrap();
+        assert_eq!(a.prep_stats().max_cluster_passes, 2);
+    }
+
+    #[test]
+    fn all_workloads_analyze() {
+        let lib = sc89();
+        for w in [
+            fsm12(&lib, true),
+            fsm12(&lib, false),
+            figure1(&lib),
+            latch_pipeline(&lib, 4, 8, 3, 100),
+            random_pipeline(&lib, PipelineParams::default()),
+        ] {
+            w.design.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let analyzer =
+                Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let report = analyzer.analyze();
+            // Reports must be well-formed whatever the verdict.
+            assert!(report.worst_slack().is_finite(), "{}: {report}", w.name);
+        }
+    }
+
+    #[test]
+    fn counter_critical_path_grows_with_width() {
+        let lib = sc89();
+        let w8 = counter(&lib, 8, 100);
+        let w32 = counter(&lib, 32, 100);
+        w8.design.validate().unwrap();
+        w32.design.validate().unwrap();
+        let slack = |w: &Workload| {
+            Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+                .unwrap()
+                .analyze()
+                .worst_slack()
+        };
+        let s8 = slack(&w8);
+        let s32 = slack(&w32);
+        assert!(s8 > s32, "wider counter has the longer carry chain");
+        // The delta is roughly 24 AND stages.
+        let per_stage = (s8 - s32) / 24;
+        assert!(
+            per_stage > hb_units::Time::from_ps(100)
+                && per_stage < hb_units::Time::from_ps(600),
+            "per-stage {per_stage}"
+        );
+    }
+
+    #[test]
+    fn counter_fails_with_carry_chain_as_the_slow_path() {
+        let lib = sc89();
+        let w = counter(&lib, 32, 8);
+        let report = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .unwrap()
+            .analyze();
+        assert!(!report.ok());
+        let path = &report.slow_paths()[0];
+        let ands = path
+            .steps
+            .iter()
+            .filter(|s| s.through.as_deref().is_some_and(|t| t.contains("AND2")))
+            .count();
+        assert!(ands >= 20, "the carry chain dominates: {} ANDs", ands);
+    }
+
+    #[test]
+    fn pipelines_scale_with_parameters() {
+        let lib = sc89();
+        let small = random_pipeline(
+            &lib,
+            PipelineParams {
+                gates_per_stage: 50,
+                ..PipelineParams::default()
+            },
+        );
+        let large = random_pipeline(
+            &lib,
+            PipelineParams {
+                gates_per_stage: 500,
+                ..PipelineParams::default()
+            },
+        );
+        assert!(large.stats().cells > small.stats().cells * 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic synthetic benchmark designs for the hummingbird
+//! reproduction.
+//!
+//! The original paper evaluates Hummingbird on four Berkeley Synthesis
+//! System designs (Table 1): **DES**, a complete data-encryption chip of
+//! 3681 standard cells; **ALU**, a 899-cell portion of a CPU; and
+//! **SM1F**/**SM1H**, a 12-bit finite state machine in flattened and
+//! hierarchical form. Those netlists are not available, so this crate
+//! generates *seeded, deterministic* synthetic equivalents matched in
+//! cell count, logic depth, clustering structure and clocking style —
+//! run-time scaling (which is what Table 1 reports) depends on exactly
+//! those properties, not on the specific Boolean functions.
+//!
+//! Every generator returns a self-contained [`Workload`]: design, top
+//! module, clock set and boundary spec, ready to hand to
+//! [`hummingbird::Analyzer`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_cells::sc89;
+//! use hummingbird::Analyzer;
+//!
+//! let lib = sc89();
+//! let w = hb_workloads::fsm12(&lib, true);
+//! let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone()).unwrap();
+//! let report = analyzer.analyze();
+//! println!("{report}");
+//! ```
+
+mod build;
+mod designs;
+
+pub use build::NetlistBuilder;
+pub use designs::{alu, counter, des_like, figure1, fsm12, latch_pipeline, random_pipeline, PipelineParams, Workload};

@@ -1,0 +1,78 @@
+//! Quickstart: build a small two-phase latch design by hand, analyze
+//! it, and print the report.
+//!
+//! ```sh
+//! cargo run -p hb-bench --example quickstart
+//! ```
+
+use hb_cells::sc89;
+use hb_clock::ClockSet;
+use hb_netlist::{Design, PinDir};
+use hb_units::{Time, Transition};
+use hummingbird::{Analyzer, EdgeSpec, Spec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A library and an empty design.
+    let lib = sc89();
+    let mut design = Design::new("quickstart");
+    lib.declare_into(&mut design)?;
+    let top = design.add_module("top")?;
+
+    // 2. Nets and ports.
+    let net = |d: &mut Design, name: &str| d.add_net(top, name).expect("unique");
+    let din = net(&mut design, "din");
+    let phi1 = net(&mut design, "phi1");
+    let phi2 = net(&mut design, "phi2");
+    let l1q = net(&mut design, "l1q");
+    let w1 = net(&mut design, "w1");
+    let w2 = net(&mut design, "w2");
+    let l2q = net(&mut design, "l2q");
+    design.add_port(top, "din", PinDir::Input, din)?;
+    design.add_port(top, "phi1", PinDir::Input, phi1)?;
+    design.add_port(top, "phi2", PinDir::Input, phi2)?;
+    design.add_port(top, "dout", PinDir::Output, l2q)?;
+
+    // 3. Two transparent latches on opposite phases with logic between.
+    let lat = design.leaf_by_name("DLATCH").expect("library cell");
+    let inv = design.leaf_by_name("INV_X1").expect("library cell");
+    let nand = design.leaf_by_name("NAND2_X1").expect("library cell");
+    let l1 = design.add_leaf_instance(top, "l1", lat)?;
+    design.connect(top, l1, "D", din)?;
+    design.connect(top, l1, "G", phi1)?;
+    design.connect(top, l1, "Q", l1q)?;
+    let u1 = design.add_leaf_instance(top, "u1", inv)?;
+    design.connect(top, u1, "A", l1q)?;
+    design.connect(top, u1, "Y", w1)?;
+    let u2 = design.add_leaf_instance(top, "u2", nand)?;
+    design.connect(top, u2, "A", w1)?;
+    design.connect(top, u2, "B", l1q)?;
+    design.connect(top, u2, "Y", w2)?;
+    let l2 = design.add_leaf_instance(top, "l2", lat)?;
+    design.connect(top, l2, "D", w2)?;
+    design.connect(top, l2, "G", phi2)?;
+    design.connect(top, l2, "Q", l2q)?;
+    design.set_top(top)?;
+    design.validate()?;
+
+    // 4. Two non-overlapping 25 MHz phases.
+    let mut clocks = ClockSet::new();
+    clocks.add_clock("phi1", Time::from_ns(40), Time::ZERO, Time::from_ns(16))?;
+    clocks.add_clock("phi2", Time::from_ns(40), Time::from_ns(20), Time::from_ns(36))?;
+
+    // 5. The boundary spec: which ports are clocks, when data arrives.
+    let spec = Spec::new()
+        .clock_port("phi1", "phi1")
+        .clock_port("phi2", "phi2")
+        .input_arrival("din", EdgeSpec::new("phi1", Transition::Rise), Time::from_ns(1));
+
+    // 6. Analyze.
+    let analyzer = Analyzer::new(&design, top, &lib, &clocks, spec)?;
+    let report = analyzer.analyze();
+    println!("{report}");
+    println!("terminal slacks:");
+    for t in report.terminal_slacks() {
+        println!("  {:<14} {:<8} pulse {}: {}", t.name, t.kind.to_string(), t.pulse, t.slack);
+    }
+    assert!(report.ok(), "this little pipeline meets 40 ns comfortably");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Agreement between the fast block method and the exhaustive
+//! path-enumeration baseline, on generated designs.
+
+use hb_cells::{sc89, Binding};
+use hb_sta::analysis::{propagate_ready_max, table};
+use hb_sta::paths::enumerate_max_arrival;
+use hb_sta::TimingGraph;
+use hb_units::{RiseFall, Time};
+use hb_workloads::{random_pipeline, PipelineParams};
+
+#[test]
+fn block_method_equals_path_enumeration() {
+    let lib = sc89();
+    for seed in [1u64, 2, 3] {
+        let w = random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 2,
+                width: 6,
+                gates_per_stage: 60,
+                transparent: false,
+                period_ns: 100,
+                seed,
+                imbalance_pct: 0,
+            },
+        );
+        let binding = Binding::new(&w.design, &lib);
+        let graph = TimingGraph::build(&w.design, w.module, &binding, &lib)
+            .expect("generated pipelines are acyclic");
+        let seeds: Vec<_> = graph
+            .syncs()
+            .iter()
+            .filter_map(|s| s.output_net)
+            .map(|n| (n, RiseFall::ZERO))
+            .collect();
+
+        let mut block = table(&graph, Time::NEG_INF);
+        for &(net, at) in &seeds {
+            block[net.as_raw() as usize] = at;
+        }
+        propagate_ready_max(&graph, &mut block);
+
+        let (enumerated, stats) = enumerate_max_arrival(&graph, &seeds, 50_000_000);
+        assert!(!stats.truncated, "seed {seed}: raise the limit");
+        assert!(stats.paths > 100, "seed {seed}: the ablation needs real path counts");
+        assert_eq!(enumerated, block, "seed {seed}");
+    }
+}
+
+#[test]
+fn enumeration_path_counts_grow_much_faster_than_graph_size() {
+    let lib = sc89();
+    let mut counts = Vec::new();
+    for gates in [30usize, 60, 90] {
+        let w = random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 1,
+                width: 6,
+                gates_per_stage: gates,
+                transparent: false,
+                period_ns: 100,
+                seed: 5,
+                imbalance_pct: 0,
+            },
+        );
+        let binding = Binding::new(&w.design, &lib);
+        let graph = TimingGraph::build(&w.design, w.module, &binding, &lib)
+            .expect("acyclic");
+        let seeds: Vec<_> = graph
+            .syncs()
+            .iter()
+            .filter_map(|s| s.output_net)
+            .map(|n| (n, RiseFall::ZERO))
+            .collect();
+        let (_, stats) = enumerate_max_arrival(&graph, &seeds, u64::MAX / 2);
+        counts.push((gates, stats.paths));
+    }
+    // Path counts must grow super-linearly in gate count (the paper's
+    // reason for rejecting enumeration).
+    let (g0, p0) = counts[0];
+    let (g2, p2) = counts[2];
+    assert!(
+        p2 / p0 > ((g2 / g0) as u64) * 4,
+        "expected super-linear growth: {counts:?}"
+    );
+}

@@ -1,0 +1,101 @@
+//! Whole-system flow: generate → serialize → re-parse → analyze →
+//! annotate, plus flat-vs-hierarchical agreement.
+
+use hb_cells::sc89;
+use hb_io::{parse_hum, write_hum};
+use hb_workloads::{fsm12, latch_pipeline};
+use hummingbird::Analyzer;
+
+#[test]
+fn serialized_design_analyzes_identically() {
+    let lib = sc89();
+    let w = fsm12(&lib, true);
+    let original = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze();
+
+    let text = write_hum(&w.design, &w.clocks);
+    let file = parse_hum(&text, &lib).expect("writer output re-parses");
+    file.design.validate().expect("valid after round-trip");
+    let top = file.design.top().expect("top preserved");
+    let reparsed = Analyzer::new(&file.design, top, &lib, &file.clocks, w.spec.clone())
+        .expect("round-tripped design conforms")
+        .analyze();
+
+    assert_eq!(original.ok(), reparsed.ok());
+    assert_eq!(original.worst_slack(), reparsed.worst_slack());
+    assert_eq!(
+        original.prep_stats().requirements,
+        reparsed.prep_stats().requirements
+    );
+}
+
+#[test]
+fn hierarchical_and_flat_analyses_agree_on_verdict() {
+    let lib = sc89();
+    let hier = fsm12(&lib, false);
+    let report_hier = Analyzer::new(&hier.design, hier.module, &lib, &hier.clocks, hier.spec.clone())
+        .expect("conforming workload")
+        .analyze();
+
+    // Flatten the hierarchy and re-analyze: the module abstraction is an
+    // approximation of the flat network, so on a comfortable clock both
+    // must agree.
+    let flat_design = hier.design.flatten(hier.module).expect("flattenable");
+    let flat_top = flat_design.top().expect("flatten sets top");
+    let report_flat = Analyzer::new(&flat_design, flat_top, &lib, &hier.clocks, hier.spec.clone())
+        .expect("flat design conforms")
+        .analyze();
+
+    assert!(report_hier.worst_slack().is_finite());
+    assert!(report_flat.worst_slack().is_finite());
+    assert_eq!(
+        report_hier.ok(),
+        report_flat.ok(),
+        "hier {} vs flat {}",
+        report_hier.worst_slack(),
+        report_flat.worst_slack()
+    );
+}
+
+#[test]
+fn annotation_marks_slow_nets_in_the_database() {
+    let lib = sc89();
+    // Squeeze a latch pipeline until it fails, then flag the database.
+    let mut w = latch_pipeline(&lib, 6, 8, 11, 10);
+    let report = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze();
+    assert!(!report.ok(), "10 ns is far too fast for six stages");
+    assert!(!report.slow_nets().is_empty());
+    assert!(!report.slow_paths().is_empty());
+    report.annotate(&mut w.design);
+    let module = w.design.module(w.module);
+    let flagged = module
+        .nets()
+        .filter(|(_, n)| n.attr("hb.slow") == Some("1"))
+        .count();
+    assert_eq!(flagged, report.slow_nets().len());
+}
+
+#[test]
+fn slow_paths_are_well_formed() {
+    let lib = sc89();
+    let w = latch_pipeline(&lib, 6, 8, 11, 10);
+    let report = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze();
+    for path in report.slow_paths() {
+        assert!(path.slack <= hb_units::Time::ZERO);
+        assert!(!path.steps.is_empty());
+        assert!(path.steps.first().unwrap().through.is_none());
+        for pair in path.steps.windows(2) {
+            assert!(pair[0].time <= pair[1].time, "monotone arrivals");
+            assert!(pair[1].through.is_some(), "steps name their instance");
+        }
+    }
+    // Worst first.
+    for pair in report.slow_paths().windows(2) {
+        assert!(pair[0].slack <= pair[1].slack);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-crate checks of the transparent-latch semantics on real
+//! library cells (sc89, with non-zero setup and element delays).
+
+use hb_cells::sc89;
+use hb_workloads::{latch_pipeline, random_pipeline, PipelineParams};
+use hummingbird::{AnalysisOptions, Analyzer, LatchModel};
+
+fn verdicts(period_ns: i64) -> (bool, bool) {
+    let lib = sc89();
+    let w = latch_pipeline(&lib, 6, 8, 11, period_ns);
+    let transparent = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze()
+        .ok();
+    let edge = Analyzer::with_options(
+        &w.design,
+        w.module,
+        &lib,
+        &w.clocks,
+        w.spec.clone(),
+        AnalysisOptions {
+            latch_model: LatchModel::EdgeTriggered,
+            ..AnalysisOptions::default()
+        },
+    )
+    .expect("conforming workload")
+    .analyze()
+    .ok();
+    (transparent, edge)
+}
+
+/// The transparent model's feasible clock set contains the
+/// edge-triggered model's: whenever the baseline passes, so does the
+/// paper's analysis (the trailing-edge position is one point of the
+/// transparency window).
+#[test]
+fn transparent_subsumes_edge_triggered() {
+    for period_ns in [10i64, 16, 24, 40, 80, 160] {
+        let (transparent, edge) = verdicts(period_ns);
+        assert!(
+            !edge || transparent,
+            "period {period_ns} ns: edge-triggered passes but transparent fails"
+        );
+    }
+}
+
+/// Somewhere in the sweep there is a crossover band where only the
+/// transparent model closes timing — the paper's central motivation.
+#[test]
+fn borrowing_buys_a_faster_clock() {
+    let found = [14i64, 16, 20, 24, 30, 36, 40]
+        .iter()
+        .any(|&p| {
+            let (transparent, edge) = verdicts(p);
+            transparent && !edge
+        });
+    assert!(
+        found,
+        "expected at least one period where only the transparent model passes"
+    );
+}
+
+/// On a flip-flop-only design the latch model is irrelevant: both modes
+/// must produce identical worst slacks.
+#[test]
+fn latch_model_is_a_no_op_for_flip_flops() {
+    let lib = sc89();
+    let w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 3,
+            width: 8,
+            gates_per_stage: 100,
+            transparent: false,
+            period_ns: 20,
+            seed: 9,
+            imbalance_pct: 0,
+        },
+    );
+    let a = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze();
+    let b = Analyzer::with_options(
+        &w.design,
+        w.module,
+        &lib,
+        &w.clocks,
+        w.spec.clone(),
+        AnalysisOptions {
+            latch_model: LatchModel::EdgeTriggered,
+            ..AnalysisOptions::default()
+        },
+    )
+    .expect("conforming workload")
+    .analyze();
+    assert_eq!(a.worst_slack(), b.worst_slack());
+    assert_eq!(a.ok(), b.ok());
+}
+
+/// On feasible designs Algorithm 1 stays within the paper's iteration
+/// bound: each complete iteration takes at most one more cycle than the
+/// number of synchronising elements along a directed path (here: the
+/// number of latch banks plus the capture flops). On infeasible designs
+/// our merged-slack variant may take more complete-backward cycles than
+/// the paper's bound (node slacks merge over paths, so one cycle may
+/// under-transfer), but must still terminate well under the safety cap.
+#[test]
+fn iteration_counts_stay_bounded() {
+    let lib = sc89();
+    let stages = 6;
+    for period_ns in [16i64, 20, 30, 60] {
+        let w = latch_pipeline(&lib, stages, 8, 11, period_ns);
+        let report = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("conforming workload")
+            .analyze();
+        assert!(report.ok(), "period {period_ns} is feasible");
+        let s = report.algorithm1_stats();
+        assert!(
+            s.forward_cycles <= stages + 2 && s.backward_cycles <= stages + 2,
+            "period {period_ns}: {s:?}"
+        );
+        assert!(!s.cycle_cap_hit);
+    }
+    for period_ns in [8i64, 12] {
+        let w = latch_pipeline(&lib, stages, 8, 11, period_ns);
+        let report = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("conforming workload")
+            .analyze();
+        assert!(!report.ok(), "period {period_ns} is infeasible");
+        let s = report.algorithm1_stats();
+        assert!(!s.cycle_cap_hit, "period {period_ns}: {s:?}");
+    }
+}

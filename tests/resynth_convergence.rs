@@ -1,0 +1,115 @@
+//! Algorithm 3 convergence across generated designs.
+
+use hb_cells::sc89;
+use hb_resynth::{optimize, ResynthOptions};
+use hb_workloads::{random_pipeline, PipelineParams};
+use hummingbird::Analyzer;
+
+#[test]
+fn redesign_never_worsens_and_often_fixes() {
+    let lib = sc89();
+    let mut fixed = 0usize;
+    for seed in [3u64, 5, 23] {
+        let mut w = random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 3,
+                width: 8,
+                gates_per_stage: 120,
+                transparent: false,
+                period_ns: 7,
+                seed,
+                imbalance_pct: 0,
+            },
+        );
+        let before = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("conforming workload")
+            .analyze()
+            .worst_slack();
+        let outcome = optimize(
+            &mut w.design,
+            w.module,
+            &lib,
+            &w.clocks,
+            &w.spec,
+            ResynthOptions::default(),
+        )
+        .expect("loop runs");
+        w.design.validate().expect("edits keep the netlist valid");
+        let after = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("still conforming")
+            .analyze()
+            .worst_slack();
+        assert!(after >= before, "seed {seed}: {before} -> {after}");
+        if outcome.met && before <= hb_units::Time::ZERO {
+            fixed += 1;
+            assert!(outcome.edits > 0, "seed {seed}: fixed a violation without edits?");
+        }
+    }
+    assert!(fixed >= 1, "at least one failing seed must be closed by the loop");
+}
+
+#[test]
+fn loop_terminates_without_edits_on_met_designs() {
+    let lib = sc89();
+    let mut w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 3,
+            width: 8,
+            gates_per_stage: 120,
+            transparent: false,
+            period_ns: 60,
+            seed: 3,
+            imbalance_pct: 0,
+        },
+    );
+    let outcome = optimize(
+        &mut w.design,
+        w.module,
+        &lib,
+        &w.clocks,
+        &w.spec,
+        ResynthOptions::default(),
+    )
+    .expect("loop runs");
+    assert!(outcome.met);
+    assert_eq!(outcome.iterations, 1);
+    assert_eq!(outcome.edits, 0);
+}
+
+#[test]
+fn transparent_pipelines_can_be_optimized_too() {
+    let lib = sc89();
+    let mut w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 4,
+            width: 8,
+            gates_per_stage: 80,
+            transparent: true,
+            period_ns: 24,
+            seed: 11,
+            imbalance_pct: 0,
+        },
+    );
+    let before = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("conforming workload")
+        .analyze()
+        .worst_slack();
+    let outcome = optimize(
+        &mut w.design,
+        w.module,
+        &lib,
+        &w.clocks,
+        &w.spec,
+        ResynthOptions::default(),
+    )
+    .expect("loop runs");
+    let after = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+        .expect("still conforming")
+        .analyze()
+        .worst_slack();
+    assert!(after >= before, "{before} -> {after} ({outcome:?})");
+    w.design.validate().expect("valid after edits");
+}
