@@ -3,40 +3,29 @@
 //! speeds"), and constraint generation (Algorithm 2) on top of
 //! Algorithm 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::microbench::bench;
 use hb_cells::sc89;
 use hb_workloads::latch_pipeline;
 use hummingbird::Analyzer;
 
-fn bench_algorithm1_vs_clock(c: &mut Criterion) {
+fn main() {
     let lib = sc89();
-    let mut group = c.benchmark_group("algorithm1/clock_sweep");
-    group.sample_size(10);
     for period_ns in [10i64, 14, 20] {
         let w = latch_pipeline(&lib, 6, 8, 11, period_ns);
         let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
             .expect("conforming workload");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(period_ns),
-            &analyzer,
-            |b, a| b.iter(|| a.analyze()),
+        bench(
+            &format!("algorithm1/clock_sweep/{period_ns}"),
+            2,
+            10,
+            || analyzer.analyze(),
         );
     }
-    group.finish();
-}
 
-fn bench_constraint_generation(c: &mut Criterion) {
-    let lib = sc89();
-    let mut group = c.benchmark_group("algorithm2/constraints");
-    group.sample_size(10);
     let w = latch_pipeline(&lib, 6, 8, 11, 14);
     let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
         .expect("conforming workload");
-    group.bench_function("latch_pipeline_14ns", |b| {
-        b.iter(|| analyzer.generate_constraints())
+    bench("algorithm2/constraints/latch_pipeline_14ns", 2, 10, || {
+        analyzer.generate_constraints()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_algorithm1_vs_clock, bench_constraint_generation);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! single topological sweep while enumeration visits every path, whose
 //! count grows exponentially with reconvergent depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::microbench::bench;
 use hb_cells::{sc89, Binding};
 use hb_netlist::NetId;
 use hb_sta::analysis::{propagate_ready_max, table};
@@ -34,37 +34,25 @@ fn fixture(gates: usize) -> (TimingGraph, Vec<NetId>) {
     let graph = TimingGraph::build(&w.design, w.module, &binding, &lib)
         .expect("generated pipelines are acyclic");
     // Seeds: every synchronising-element output.
-    let seeds = graph
-        .syncs()
-        .iter()
-        .filter_map(|s| s.output_net)
-        .collect();
+    let seeds = graph.syncs().iter().filter_map(|s| s.output_net).collect();
     (graph, seeds)
 }
 
-fn bench_block_vs_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_vs_paths");
-    group.sample_size(10);
+fn main() {
     for gates in [40usize, 80, 160] {
         let (graph, seeds) = fixture(gates);
-        group.bench_with_input(BenchmarkId::new("block", gates), &gates, |b, _| {
-            b.iter(|| {
-                let mut ready = table(&graph, Time::NEG_INF);
-                for &net in &seeds {
-                    ready[net.as_raw() as usize] = RiseFall::ZERO;
-                }
-                propagate_ready_max(&graph, &mut ready);
-                ready
-            })
+        bench(&format!("block_vs_paths/block/{gates}"), 2, 10, || {
+            let mut ready = table(&graph, Time::NEG_INF);
+            for &net in &seeds {
+                ready[net.as_raw() as usize] = RiseFall::ZERO;
+            }
+            propagate_ready_max(&graph, &mut ready);
+            ready
         });
         let seed_pairs: Vec<(NetId, RiseFall<Time>)> =
             seeds.iter().map(|&n| (n, RiseFall::ZERO)).collect();
-        group.bench_with_input(BenchmarkId::new("enumerate", gates), &gates, |b, _| {
-            b.iter(|| enumerate_max_arrival(&graph, &seed_pairs, 2_000_000))
+        bench(&format!("block_vs_paths/enumerate/{gates}"), 2, 10, || {
+            enumerate_max_arrival(&graph, &seed_pairs, 2_000_000)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_block_vs_paths);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! clock edge — which is what "a number of settling times … for each
 //! node" costs without the minimisation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::microbench::bench;
 use hb_clock::{ClockSet, EdgeGraph, Requirement};
 use hb_units::Time;
 
@@ -16,12 +16,7 @@ fn phase_set(phases: i64) -> ClockSet {
     for i in 0..phases {
         let start = Time::from_ps(120_000 / phases * i);
         clocks
-            .add_clock(
-                format!("p{i}"),
-                period,
-                start,
-                start + Time::from_ns(10),
-            )
+            .add_clock(format!("p{i}"), period, start, start + Time::from_ns(10))
             .expect("valid waveform");
     }
     clocks
@@ -63,31 +58,20 @@ fn all_pairs(clocks: &ClockSet) -> (Vec<Requirement>, usize) {
     (reqs, ids.len())
 }
 
-fn bench_pass_cover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pass_cover");
+fn main() {
     for phases in [2i64, 4, 8] {
         let clocks = phase_set(phases);
         let timeline = clocks.timeline();
         let pipeline = pipeline_requirements(&clocks);
         let (adversarial, edge_count) = all_pairs(&clocks);
-        group.bench_with_input(
-            BenchmarkId::new("pipeline", phases),
-            &phases,
-            |b, _| {
-                let graph = EdgeGraph::new(&timeline);
-                b.iter(|| graph.minimal_passes(&pipeline))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("all_pairs", phases),
-            &phases,
-            |b, _| {
-                let graph = EdgeGraph::new(&timeline);
-                b.iter(|| graph.minimal_passes(&adversarial))
-            },
-        );
-        // Report the ablation numbers once per configuration.
         let graph = EdgeGraph::new(&timeline);
+        bench(&format!("pass_cover/pipeline/{phases}"), 2, 10, || {
+            graph.minimal_passes(&pipeline)
+        });
+        bench(&format!("pass_cover/all_pairs/{phases}"), 2, 10, || {
+            graph.minimal_passes(&adversarial)
+        });
+        // Report the ablation numbers once per configuration.
         let pipe_plan = graph.minimal_passes(&pipeline);
         let adv_plan = graph.minimal_passes(&adversarial);
         eprintln!(
@@ -96,8 +80,4 @@ fn bench_pass_cover(c: &mut Criterion) {
             adv_plan.pass_count(),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pass_cover);
-criterion_main!(benches);

@@ -2,15 +2,13 @@
 //! Table 1's "very fast": block analysis is a constant number of
 //! topological sweeps, so cost grows linearly in cells).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hb_bench::microbench::bench;
 use hb_cells::sc89;
 use hb_workloads::{random_pipeline, PipelineParams};
 use hummingbird::Analyzer;
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let lib = sc89();
-    let mut group = c.benchmark_group("scaling/analysis");
-    group.sample_size(10);
     for gates_per_stage in [125usize, 250, 500, 1000, 2000] {
         let w = random_pipeline(
             &lib,
@@ -27,13 +25,12 @@ fn bench_scaling(c: &mut Criterion) {
         let cells = w.stats().cells;
         let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
             .expect("conforming workload");
-        group.throughput(Throughput::Elements(cells as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(cells), &analyzer, |b, a| {
-            b.iter(|| a.analyze())
+        let m = bench(&format!("scaling/analysis/{cells}_cells"), 2, 10, || {
+            analyzer.analyze()
         });
+        println!(
+            "scaling/analysis/{cells}_cells: {:.1} cells/s",
+            cells as f64 / m.median
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion version of the Table 1 reproduction: pre-processing and
-//! analysis time per evaluation design.
+//! Micro-benchmark version of the Table 1 reproduction: pre-processing
+//! and analysis time per evaluation design.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::microbench::bench;
 use hb_cells::sc89;
 use hb_workloads::{alu, des_like, fsm12, Workload};
 use hummingbird::Analyzer;
@@ -16,36 +16,19 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-fn bench_preprocessing(c: &mut Criterion) {
+fn main() {
     let lib = sc89();
-    let mut group = c.benchmark_group("table1/preprocessing");
-    group.sample_size(10);
     for w in workloads() {
-        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
-            b.iter(|| {
-                Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
-                    .expect("conforming workload")
-            })
+        bench(&format!("table1/preprocessing/{}", w.name), 1, 10, || {
+            Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+                .expect("conforming workload")
         });
     }
-    group.finish();
-}
-
-fn bench_analysis(c: &mut Criterion) {
-    let lib = sc89();
-    let mut group = c.benchmark_group("table1/analysis");
-    group.sample_size(10);
     for w in workloads() {
         let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
             .expect("conforming workload");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&w.name),
-            &analyzer,
-            |b, a| b.iter(|| a.analyze()),
-        );
+        bench(&format!("table1/analysis/{}", w.name), 1, 10, || {
+            analyzer.analyze()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_preprocessing, bench_analysis);
-criterion_main!(benches);

@@ -17,7 +17,10 @@ fn main() {
     println!("Figure 1 — four-phase time-multiplexed logic");
     println!("  clusters with sources/sinks : {}", stats.active_clusters);
     println!("  ordering requirements       : {}", stats.requirements);
-    println!("  max settling times per node : {}", stats.max_cluster_passes);
+    println!(
+        "  max settling times per node : {}",
+        stats.max_cluster_passes
+    );
     println!("  global analysis windows     : {}", stats.global_passes);
     for (i, start) in analyzer.pass_starts().iter().enumerate() {
         println!("  pass {i}: clock period broken open at {start}");

@@ -60,7 +60,12 @@ fn main() {
     println!("worked example (Section 5): O_zd = 5 ns after the leading edge");
     let mut r = latch(2);
     r.transfer_forward(Time::from_ns(15));
-    println!("  O_zd = {}  O_dx = {}  O_xc = {}", r.o_zd(), r.o_dx(), r.o_xc());
+    println!(
+        "  O_zd = {}  O_dx = {}  O_xc = {}",
+        r.o_zd(),
+        r.o_dx(),
+        r.o_xc()
+    );
     assert_eq!(r.o_zd(), Time::from_ns(5));
     assert_eq!(r.o_dx(), Time::from_ns(-15));
     assert_eq!(r.o_xc(), Time::from_ns(2));

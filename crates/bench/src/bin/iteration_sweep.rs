@@ -21,9 +21,8 @@ fn main() {
     );
     for period_ns in [8i64, 10, 12, 14, 16, 20, 30, 60] {
         let w = latch_pipeline(&lib, 6, 8, 11, period_ns);
-        let analyzer =
-            Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
-                .expect("pipeline conforms");
+        let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .expect("pipeline conforms");
         let report = analyzer.analyze();
         let s = report.algorithm1_stats();
         println!(

@@ -15,7 +15,10 @@ use hummingbird::{AnalysisOptions, LatchModel};
 fn main() {
     let lib = sc89();
     println!("Transparent vs edge-triggered latch modelling");
-    println!("{:>10} {:>13} {:>15}", "period", "transparent", "edge-triggered");
+    println!(
+        "{:>10} {:>13} {:>15}",
+        "period", "transparent", "edge-triggered"
+    );
     let mut crossover = 0usize;
     for period_ns in [10i64, 14, 16, 20, 24, 30, 40, 60] {
         let w = latch_pipeline(&lib, 6, 8, 11, period_ns);

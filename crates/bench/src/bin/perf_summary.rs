@@ -1,0 +1,180 @@
+//! Machine-readable performance summary of the slack engines.
+//!
+//! Runs the Table 1 style workloads through the reference (dense,
+//! sequential) engine and the sharded engine at several thread counts,
+//! and writes `BENCH_perf.json` with the measured times, the cache
+//! reuse counters and the derived speedups. Run with
+//! `cargo run --release -p hb-bench --bin perf_summary`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hb_cells::sc89;
+use hb_workloads::{des_like, random_pipeline, PipelineParams, Workload};
+use hummingbird::{AnalysisOptions, Analyzer, EngineKind, TimingReport};
+
+const WARMUP: usize = 1;
+const ITERS: usize = 7;
+
+struct EngineRun {
+    label: String,
+    threads: usize,
+    seconds: f64,
+    report: TimingReport,
+}
+
+fn median_time(mut f: impl FnMut() -> TimingReport) -> (f64, TimingReport) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples = Vec::with_capacity(ITERS);
+    let mut last = None;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let report = f();
+        samples.push(start.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[samples.len() / 2], last.expect("ITERS > 0"))
+}
+
+fn run_engines(w: &Workload, lib: &hb_cells::Library) -> (f64, usize, Vec<EngineRun>) {
+    let mut runs = Vec::new();
+    let mut prep_seconds = 0.0;
+    let mut cells = 0;
+    let configs: Vec<(String, AnalysisOptions)> = [
+        (
+            "reference".to_string(),
+            AnalysisOptions {
+                engine: EngineKind::Reference,
+                threads: 1,
+                ..AnalysisOptions::default()
+            },
+        ),
+        (
+            "sharded-1".to_string(),
+            AnalysisOptions {
+                threads: 1,
+                ..AnalysisOptions::default()
+            },
+        ),
+        (
+            "sharded-8".to_string(),
+            AnalysisOptions {
+                threads: 8,
+                ..AnalysisOptions::default()
+            },
+        ),
+    ]
+    .into_iter()
+    .collect();
+    for (label, options) in configs {
+        let analyzer =
+            Analyzer::with_options(&w.design, w.module, lib, &w.clocks, w.spec.clone(), options)
+                .expect("conforming workload");
+        if label == "sharded-1" {
+            prep_seconds = analyzer.prep_seconds();
+            cells = w.stats().cells;
+        }
+        let (seconds, report) = median_time(|| analyzer.analyze());
+        runs.push(EngineRun {
+            label,
+            threads: options.threads,
+            seconds,
+            report,
+        });
+    }
+    (prep_seconds, cells, runs)
+}
+
+fn main() {
+    let lib = sc89();
+    let workloads = [
+        des_like(&lib, 1989),
+        random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 6,
+                width: 16,
+                gates_per_stage: 600,
+                transparent: true,
+                period_ns: 30,
+                seed: 1203,
+                imbalance_pct: 40,
+            },
+        ),
+    ];
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    json.push_str("  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        let (prep_seconds, cells, runs) = run_engines(w, &lib);
+        let t1 = runs
+            .iter()
+            .find(|r| r.label == "sharded-1")
+            .expect("configured")
+            .seconds;
+        let reference = runs
+            .iter()
+            .find(|r| r.label == "reference")
+            .expect("configured")
+            .seconds;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"cells\": {cells},");
+        let _ = writeln!(json, "      \"prep_seconds\": {prep_seconds:.6},");
+        let _ = writeln!(json, "      \"engines\": [");
+        for (i, r) in runs.iter().enumerate() {
+            let stats = r.report.engine_stats();
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"engine\": \"{}\",", r.label);
+            let _ = writeln!(json, "          \"threads\": {},", r.threads);
+            let _ = writeln!(json, "          \"analysis_seconds\": {:.6},", r.seconds);
+            let _ = writeln!(
+                json,
+                "          \"speedup_vs_1_thread\": {:.3},",
+                t1 / r.seconds
+            );
+            let _ = writeln!(
+                json,
+                "          \"speedup_vs_reference\": {:.3},",
+                reference / r.seconds
+            );
+            let _ = writeln!(
+                json,
+                "          \"items_scheduled\": {},",
+                stats.items_scheduled
+            );
+            let _ = writeln!(json, "          \"items_reused\": {}", stats.items_reused);
+            let _ = writeln!(
+                json,
+                "        }}{}",
+                if i + 1 < runs.len() { "," } else { "" }
+            );
+            eprintln!(
+                "{}/{}: {:.3} ms ({} threads, {}/{} items from cache)",
+                w.name,
+                r.label,
+                r.seconds * 1e3,
+                r.threads,
+                stats.items_reused,
+                stats.items_scheduled
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("{json}");
+}

@@ -22,10 +22,12 @@ use hb_workloads::{alu, des_like, fsm12};
 
 fn main() {
     let lib = sc89();
-    let workloads = [des_like(&lib, 1989),
+    let workloads = [
+        des_like(&lib, 1989),
         alu(&lib, 7),
         fsm12(&lib, true),
-        fsm12(&lib, false)];
+        fsm12(&lib, false),
+    ];
     let rows: Vec<_> = workloads.iter().map(|w| table1_row(&lib, w)).collect();
     println!("Table 1 reproduction — run times (host seconds, not VAX 8800)");
     println!("{}", format_table1(&rows));

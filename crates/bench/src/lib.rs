@@ -13,11 +13,16 @@
 //! | `iteration_sweep` | §8 — iteration count vs clock speed |
 //! | `latch_baseline` | §2/§4 — transparent vs edge-triggered modelling |
 //!
-//! Criterion benchmarks (`cargo bench -p hb-bench`) cover the same
+//! Micro-benchmarks (`cargo bench -p hb-bench`) cover the same
 //! workloads plus the ablations (block method vs path enumeration,
-//! minimal pass cover vs naive).
+//! minimal pass cover vs naive); they use the dependency-free
+//! [`microbench`] harness so offline builds work. The `perf_summary`
+//! binary emits `BENCH_perf.json` for tracking the perf curve across
+//! PRs.
 
 use std::time::Instant;
+
+pub mod microbench;
 
 use hb_cells::Library;
 use hb_workloads::Workload;

@@ -1,0 +1,85 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces the external `criterion` dependency for offline builds.
+//! It is deliberately simple: a warm-up phase, a fixed number of timed
+//! iterations, and median/mean reporting. Numbers are indicative, not
+//! statistically rigorous — good enough for the coarse ablations the
+//! benches document (orders of magnitude, scaling trends).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The timing result of one benchmark case.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median seconds per iteration.
+    pub median: f64,
+    /// Mean seconds per iteration.
+    pub mean: f64,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Times `f` over `iters` iterations after `warmup` untimed runs and
+/// prints a `name: median … mean …` line. The closure's return value is
+/// passed through [`black_box`] so the computation is not optimised
+/// away.
+pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(iters > 0, "need at least one timed iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name}: median {} mean {} ({iters} iters)",
+        fmt_s(median),
+        fmt_s(mean)
+    );
+    Measurement {
+        median,
+        mean,
+        iters,
+    }
+}
+
+/// Formats seconds with an adaptive unit (s/ms/µs/ns).
+pub fn fmt_s(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3}µs", secs * 1e6)
+    } else {
+        format!("{:.1}ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_times() {
+        let m = bench("noop", 2, 5, || 1 + 1);
+        assert_eq!(m.iters, 5);
+        assert!(m.median >= 0.0 && m.mean >= 0.0);
+        assert!(m.median < 1.0, "a no-op cannot take a second");
+    }
+
+    #[test]
+    fn fmt_s_picks_units() {
+        assert!(fmt_s(2.5).ends_with('s'));
+        assert!(fmt_s(2.5e-3).ends_with("ms"));
+        assert!(fmt_s(2.5e-6).ends_with("µs"));
+        assert!(fmt_s(2.5e-9).ends_with("ns"));
+    }
+}

@@ -113,24 +113,22 @@ impl Library {
         lib.set_wire_load(self.wire_load);
         for cell in &self.cells {
             let function = match cell.function() {
-                crate::cell::Function::Combinational(arcs) => {
-                    crate::cell::Function::Combinational(
-                        arcs.iter()
-                            .map(|a| crate::cell::TimingArc {
-                                delay: a.delay.derated(pct),
-                                ..*a
-                            })
-                            .collect(),
-                    )
-                }
-                crate::cell::Function::Sync(spec) => crate::cell::Function::Sync(
-                    crate::cell::SyncSpec {
+                crate::cell::Function::Combinational(arcs) => crate::cell::Function::Combinational(
+                    arcs.iter()
+                        .map(|a| crate::cell::TimingArc {
+                            delay: a.delay.derated(pct),
+                            ..*a
+                        })
+                        .collect(),
+                ),
+                crate::cell::Function::Sync(spec) => {
+                    crate::cell::Function::Sync(crate::cell::SyncSpec {
                         d_cx: scale_time(spec.d_cx),
                         d_dx: scale_time(spec.d_dx),
                         output_delay: spec.output_delay.derated(pct),
                         ..*spec
-                    },
-                ),
+                    })
+                }
             };
             lib.add_cell(Cell::new(
                 cell.interface().clone(),
@@ -318,7 +316,10 @@ mod tests {
 
         let binding = Binding::new(&d, &lib);
         assert_eq!(binding.cell_for_leaf(inv), lib.cell_by_name("INV_X1"));
-        assert_eq!(binding.cell_for_instance(&d, m, u1), lib.cell_by_name("INV_X1"));
+        assert_eq!(
+            binding.cell_for_instance(&d, m, u1),
+            lib.cell_by_name("INV_X1")
+        );
         // 2 sinks × 4 fF pins + wire (2 + 3·2) = 16.
         assert_eq!(binding.net_load_ff(&d, &lib, m, n), 16);
     }

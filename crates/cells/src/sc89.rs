@@ -36,24 +36,168 @@ struct CombSpec {
 }
 
 const COMB_CELLS: &[CombSpec] = &[
-    CombSpec { family: "INV", inputs: &["A"], sense: Sense::Negative, intrinsic: (60, 45), slope: (6, 5), cap: 4, area: 2, drives: &[1, 2, 4] },
-    CombSpec { family: "BUF", inputs: &["A"], sense: Sense::Positive, intrinsic: (110, 95), slope: (5, 4), cap: 4, area: 3, drives: &[1, 2, 4] },
-    CombSpec { family: "NAND2", inputs: &["A", "B"], sense: Sense::Negative, intrinsic: (90, 65), slope: (8, 6), cap: 5, area: 3, drives: &[1, 2, 4] },
-    CombSpec { family: "NAND3", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (120, 85), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
-    CombSpec { family: "NAND4", inputs: &["A", "B", "C", "D"], sense: Sense::Negative, intrinsic: (150, 105), slope: (12, 8), cap: 7, area: 5, drives: &[1] },
-    CombSpec { family: "NOR2", inputs: &["A", "B"], sense: Sense::Negative, intrinsic: (110, 60), slope: (11, 6), cap: 5, area: 3, drives: &[1, 2, 4] },
-    CombSpec { family: "NOR3", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (150, 75), slope: (14, 7), cap: 6, area: 4, drives: &[1, 2] },
-    CombSpec { family: "AND2", inputs: &["A", "B"], sense: Sense::Positive, intrinsic: (160, 135), slope: (6, 5), cap: 5, area: 4, drives: &[1, 2] },
-    CombSpec { family: "OR2", inputs: &["A", "B"], sense: Sense::Positive, intrinsic: (175, 140), slope: (6, 5), cap: 5, area: 4, drives: &[1, 2] },
-    CombSpec { family: "XOR2", inputs: &["A", "B"], sense: Sense::NonUnate, intrinsic: (220, 200), slope: (9, 8), cap: 7, area: 6, drives: &[1, 2] },
-    CombSpec { family: "XNOR2", inputs: &["A", "B"], sense: Sense::NonUnate, intrinsic: (225, 205), slope: (9, 8), cap: 7, area: 6, drives: &[1] },
-    CombSpec { family: "AOI21", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (130, 90), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
-    CombSpec { family: "OAI21", inputs: &["A", "B", "C"], sense: Sense::Negative, intrinsic: (135, 95), slope: (10, 7), cap: 6, area: 4, drives: &[1, 2] },
-    CombSpec { family: "MUX2", inputs: &["A", "B", "S"], sense: Sense::NonUnate, intrinsic: (240, 215), slope: (8, 7), cap: 6, area: 7, drives: &[1, 2] },
+    CombSpec {
+        family: "INV",
+        inputs: &["A"],
+        sense: Sense::Negative,
+        intrinsic: (60, 45),
+        slope: (6, 5),
+        cap: 4,
+        area: 2,
+        drives: &[1, 2, 4],
+    },
+    CombSpec {
+        family: "BUF",
+        inputs: &["A"],
+        sense: Sense::Positive,
+        intrinsic: (110, 95),
+        slope: (5, 4),
+        cap: 4,
+        area: 3,
+        drives: &[1, 2, 4],
+    },
+    CombSpec {
+        family: "NAND2",
+        inputs: &["A", "B"],
+        sense: Sense::Negative,
+        intrinsic: (90, 65),
+        slope: (8, 6),
+        cap: 5,
+        area: 3,
+        drives: &[1, 2, 4],
+    },
+    CombSpec {
+        family: "NAND3",
+        inputs: &["A", "B", "C"],
+        sense: Sense::Negative,
+        intrinsic: (120, 85),
+        slope: (10, 7),
+        cap: 6,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "NAND4",
+        inputs: &["A", "B", "C", "D"],
+        sense: Sense::Negative,
+        intrinsic: (150, 105),
+        slope: (12, 8),
+        cap: 7,
+        area: 5,
+        drives: &[1],
+    },
+    CombSpec {
+        family: "NOR2",
+        inputs: &["A", "B"],
+        sense: Sense::Negative,
+        intrinsic: (110, 60),
+        slope: (11, 6),
+        cap: 5,
+        area: 3,
+        drives: &[1, 2, 4],
+    },
+    CombSpec {
+        family: "NOR3",
+        inputs: &["A", "B", "C"],
+        sense: Sense::Negative,
+        intrinsic: (150, 75),
+        slope: (14, 7),
+        cap: 6,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "AND2",
+        inputs: &["A", "B"],
+        sense: Sense::Positive,
+        intrinsic: (160, 135),
+        slope: (6, 5),
+        cap: 5,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "OR2",
+        inputs: &["A", "B"],
+        sense: Sense::Positive,
+        intrinsic: (175, 140),
+        slope: (6, 5),
+        cap: 5,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "XOR2",
+        inputs: &["A", "B"],
+        sense: Sense::NonUnate,
+        intrinsic: (220, 200),
+        slope: (9, 8),
+        cap: 7,
+        area: 6,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "XNOR2",
+        inputs: &["A", "B"],
+        sense: Sense::NonUnate,
+        intrinsic: (225, 205),
+        slope: (9, 8),
+        cap: 7,
+        area: 6,
+        drives: &[1],
+    },
+    CombSpec {
+        family: "AOI21",
+        inputs: &["A", "B", "C"],
+        sense: Sense::Negative,
+        intrinsic: (130, 90),
+        slope: (10, 7),
+        cap: 6,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "OAI21",
+        inputs: &["A", "B", "C"],
+        sense: Sense::Negative,
+        intrinsic: (135, 95),
+        slope: (10, 7),
+        cap: 6,
+        area: 4,
+        drives: &[1, 2],
+    },
+    CombSpec {
+        family: "MUX2",
+        inputs: &["A", "B", "S"],
+        sense: Sense::NonUnate,
+        intrinsic: (240, 215),
+        slope: (8, 7),
+        cap: 6,
+        area: 7,
+        drives: &[1, 2],
+    },
     // Clock-tree cells: monotonic (the paper requires control signals to
     // be monotonic functions of exactly one clock).
-    CombSpec { family: "CLKBUF", inputs: &["A"], sense: Sense::Positive, intrinsic: (120, 110), slope: (4, 4), cap: 5, area: 4, drives: &[1, 2, 4] },
-    CombSpec { family: "CLKINV", inputs: &["A"], sense: Sense::Negative, intrinsic: (70, 60), slope: (4, 4), cap: 5, area: 3, drives: &[1, 2] },
+    CombSpec {
+        family: "CLKBUF",
+        inputs: &["A"],
+        sense: Sense::Positive,
+        intrinsic: (120, 110),
+        slope: (4, 4),
+        cap: 5,
+        area: 4,
+        drives: &[1, 2, 4],
+    },
+    CombSpec {
+        family: "CLKINV",
+        inputs: &["A"],
+        sense: Sense::Negative,
+        intrinsic: (70, 60),
+        slope: (4, 4),
+        cap: 5,
+        area: 3,
+        drives: &[1, 2],
+    },
 ];
 
 fn add_comb_family(lib: &mut Library, spec: &CombSpec) {
@@ -163,11 +307,61 @@ pub fn sc89() -> Library {
     for spec in COMB_CELLS {
         add_comb_family(&mut lib, spec);
     }
-    add_sync(&mut lib, "DFF", "DFF", SyncKind::TrailingEdge, "CK", Sense::Negative, 300, 450, 0);
-    add_sync(&mut lib, "DFFN", "DFFN", SyncKind::TrailingEdge, "CK", Sense::Positive, 300, 450, 0);
-    add_sync(&mut lib, "DLATCH", "DLATCH", SyncKind::Transparent, "G", Sense::Positive, 250, 400, 350);
-    add_sync(&mut lib, "DLATCHN", "DLATCHN", SyncKind::Transparent, "G", Sense::Negative, 250, 400, 350);
-    add_sync(&mut lib, "TBUF", "TBUF", SyncKind::ClockedTristate, "EN", Sense::Positive, 200, 350, 300);
+    add_sync(
+        &mut lib,
+        "DFF",
+        "DFF",
+        SyncKind::TrailingEdge,
+        "CK",
+        Sense::Negative,
+        300,
+        450,
+        0,
+    );
+    add_sync(
+        &mut lib,
+        "DFFN",
+        "DFFN",
+        SyncKind::TrailingEdge,
+        "CK",
+        Sense::Positive,
+        300,
+        450,
+        0,
+    );
+    add_sync(
+        &mut lib,
+        "DLATCH",
+        "DLATCH",
+        SyncKind::Transparent,
+        "G",
+        Sense::Positive,
+        250,
+        400,
+        350,
+    );
+    add_sync(
+        &mut lib,
+        "DLATCHN",
+        "DLATCHN",
+        SyncKind::Transparent,
+        "G",
+        Sense::Negative,
+        250,
+        400,
+        350,
+    );
+    add_sync(
+        &mut lib,
+        "TBUF",
+        "TBUF",
+        SyncKind::ClockedTristate,
+        "EN",
+        Sense::Positive,
+        200,
+        350,
+        300,
+    );
     add_dffqn(&mut lib);
     lib
 }
@@ -258,7 +452,10 @@ mod tests {
             assert!(spec.setup > Time::ZERO);
             assert!(spec.d_cx > Time::ZERO);
             if spec.kind.is_transparent() {
-                assert!(spec.d_dx > Time::ZERO, "{name} needs a data-to-output delay");
+                assert!(
+                    spec.d_dx > Time::ZERO,
+                    "{name} needs a data-to-output delay"
+                );
             }
         }
         let dff = lib.cell(lib.cell_by_name("DFF").unwrap());

@@ -38,8 +38,14 @@ fn library_derating_scales_arcs_and_sync_delays() {
     let derated = slow_nand.arcs()[0].delay.eval(10).max.worst();
     assert_eq!(derated, Time::from_ps(base.as_ps() * 2));
 
-    let dff = lib.cell(lib.cell_by_name("DFF").unwrap()).sync_spec().unwrap();
-    let slow_dff = slow.cell(slow.cell_by_name("DFF").unwrap()).sync_spec().unwrap();
+    let dff = lib
+        .cell(lib.cell_by_name("DFF").unwrap())
+        .sync_spec()
+        .unwrap();
+    let slow_dff = slow
+        .cell(slow.cell_by_name("DFF").unwrap())
+        .sync_spec()
+        .unwrap();
     assert_eq!(slow_dff.d_cx, Time::from_ps(dff.d_cx.as_ps() * 2));
     // Constraints (setup/hold) are untouched.
     assert_eq!(slow_dff.setup, dff.setup);
@@ -85,18 +91,24 @@ fn derated_analysis_flips_a_marginal_design() {
         .add_clock("ck", Time::from_ns(3), Time::ZERO, Time::from_ps(1_500))
         .unwrap();
     let spec = || {
-        Spec::new()
-            .clock_port("ck", "ck")
-            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO)
+        Spec::new().clock_port("ck", "ck").input_arrival(
+            "in",
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        )
     };
 
     let (d, m) = build(&lib);
-    let nominal = Analyzer::new(&d, m, &lib, &clocks, spec()).unwrap().analyze();
+    let nominal = Analyzer::new(&d, m, &lib, &clocks, spec())
+        .unwrap()
+        .analyze();
     assert!(nominal.ok(), "nominal corner meets 3 ns: {nominal}");
 
     let slow_lib = lib.derated(300);
     let (d, m) = build(&slow_lib);
-    let slow = Analyzer::new(&d, m, &slow_lib, &clocks, spec()).unwrap().analyze();
+    let slow = Analyzer::new(&d, m, &slow_lib, &clocks, spec())
+        .unwrap()
+        .analyze();
     assert!(!slow.ok(), "3× derate must miss 3 ns: {slow}");
     assert!(slow.worst_slack() < nominal.worst_slack());
 }

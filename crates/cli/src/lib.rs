@@ -70,6 +70,7 @@ struct Options {
     max_paths: usize,
     scales: Vec<u32>,
     library: Option<String>,
+    threads: usize,
 }
 
 fn parse_args(args: &[&str]) -> Result<Options, CliError> {
@@ -78,8 +79,15 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
         .next()
         .ok_or_else(|| CliError(USAGE.to_owned()))?
         .to_string();
-    if !["check", "analyze", "constraints", "passes", "resynth", "sweep"]
-        .contains(&command.as_str())
+    if ![
+        "check",
+        "analyze",
+        "constraints",
+        "passes",
+        "resynth",
+        "sweep",
+    ]
+    .contains(&command.as_str())
     {
         return Err(CliError(format!("unknown command {command:?}\n{USAGE}")));
     }
@@ -95,6 +103,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
         max_paths: 5,
         scales: vec![50, 75, 100, 150, 200],
         library: None,
+        threads: 0,
     };
     while let Some(&arg) = it.next() {
         let mut value = |name: &str| -> Result<String, CliError> {
@@ -131,6 +140,11 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|e| CliError(format!("bad --paths value: {e}")))?;
             }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads value: {e}")))?;
+            }
             "--scales" => {
                 let list = value("--scales")?;
                 opts.scales = list
@@ -158,12 +172,14 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
 
 const USAGE: &str = "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
-[--edge-triggered] [--min-delays] [--paths N] [--scales 50,100,150] \
-[--library LIB.txt] [-o OUT.hum]";
+[--edge-triggered] [--min-delays] [--paths N] [--threads N] [--scales 50,100,150] \
+[--library LIB.txt] [-o OUT.hum]
+  --threads N   worker threads for the slack engine's per-cluster sweeps
+                (0 = all available cores; results are identical at any count)";
 
 fn load(path: &str, library: &Library) -> Result<HumFile, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     hb_io::parse_hum(&text, library).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
@@ -292,6 +308,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             LatchModel::Transparent
         },
         check_min_delays: opts.min_delays,
+        threads: opts.threads,
         ..AnalysisOptions::default()
     };
 
@@ -330,15 +347,9 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         .map_err(io)?;
         for &pct in &opts.scales {
             let scaled = scale_clocks(&file.clocks, pct)?;
-            let analyzer = Analyzer::with_options(
-                &design,
-                top,
-                &library,
-                &scaled,
-                spec.clone(),
-                options,
-            )
-            .map_err(|e| CliError(e.to_string()))?;
+            let analyzer =
+                Analyzer::with_options(&design, top, &library, &scaled, spec.clone(), options)
+                    .map_err(|e| CliError(e.to_string()))?;
             let report = analyzer.analyze();
             writeln!(
                 out,
@@ -393,11 +404,22 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     writeln!(out, "terminal slack distribution:").map_err(io)?;
     for (lo, n) in report.slack_histogram(Time::from_ns(1), 12) {
         if n > 0 {
-            writeln!(out, "  {:>10} .. | {}", lo.to_string(), "#".repeat(n.min(60))).map_err(io)?;
+            writeln!(
+                out,
+                "  {:>10} .. | {}",
+                lo.to_string(),
+                "#".repeat(n.min(60))
+            )
+            .map_err(io)?;
         }
     }
     for path in report.slow_paths().iter().take(opts.max_paths) {
-        writeln!(out, "slow path into {} (slack {}):", path.endpoint, path.slack).map_err(io)?;
+        writeln!(
+            out,
+            "slow path into {} (slack {}):",
+            path.endpoint, path.slack
+        )
+        .map_err(io)?;
         for step in &path.steps {
             match &step.through {
                 Some(inst) => writeln!(out, "    -> {} via {} at {}", step.net, inst, step.time)
@@ -414,8 +436,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         writeln!(out, "net constraints (ready / required):").map_err(io)?;
         let module = design.module(top);
         for (net, n) in module.nets() {
-            if let (Some(r), Some(q)) = (constraints.ready_at(net), constraints.required_at(net))
-            {
+            if let (Some(r), Some(q)) = (constraints.ready_at(net), constraints.required_at(net)) {
                 writeln!(out, "  {:<24} {} / {}", n.name(), r, q).map_err(io)?;
             }
         }
@@ -452,12 +473,15 @@ mod tests {
             "--min-delays",
             "--paths",
             "9",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(o.command, "analyze");
         assert_eq!(o.input, "d.hum");
         assert_eq!(o.clock_ports, vec![("ck".into(), "phi1".into())]);
         assert_eq!(o.arrivals, vec![("a".into(), Time::from_ns(2))]);
+        assert_eq!(o.threads, 4);
         assert_eq!(o.requireds, vec![("y".into(), Time::ZERO)]);
         assert!(o.edge_triggered && o.min_delays);
         assert_eq!(o.max_paths, 9);

@@ -75,7 +75,10 @@ fn constraints_lists_net_budgets() {
     let (code, out) = run_capture(&["constraints", &path]);
     assert_eq!(code, 0);
     assert!(out.contains("net constraints"), "{out}");
-    assert!(out.contains(" v "), "the flop input net is constrained: {out}");
+    assert!(
+        out.contains(" v "),
+        "the flop input net is constrained: {out}"
+    );
 }
 
 #[test]

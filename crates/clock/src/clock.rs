@@ -4,12 +4,11 @@ use std::collections::HashMap;
 use std::fmt;
 
 use hb_units::Time;
-use serde::{Deserialize, Serialize};
 
 use crate::timeline::Timeline;
 
 /// Handle to a [`Clock`] within a [`ClockSet`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClockId(pub(crate) u32);
 
 impl ClockId {
@@ -34,7 +33,7 @@ impl fmt::Display for ClockId {
 ///
 /// The signal is high in the window `[rise, fall)` (modulo the period),
 /// which may wrap around the period boundary.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Clock {
     name: String,
     period: Time,
@@ -133,10 +132,9 @@ impl std::error::Error for ClockError {}
 /// periods — the paper's assumption that "there is an overall period
 /// which is an integer multiple of the period of each clock signal" is
 /// thereby satisfied by construction for integer-picosecond periods.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ClockSet {
     clocks: Vec<Clock>,
-    #[serde(skip)]
     by_name: HashMap<String, ClockId>,
 }
 
@@ -277,7 +275,12 @@ mod tests {
     fn wrapping_pulse_widths() {
         let mut set = ClockSet::new();
         let a = set
-            .add_clock("a", Time::from_ns(100), Time::from_ns(80), Time::from_ns(30))
+            .add_clock(
+                "a",
+                Time::from_ns(100),
+                Time::from_ns(80),
+                Time::from_ns(30),
+            )
             .unwrap();
         // High from 80 to 130 (=30): width 50.
         assert_eq!(set.clock(a).high_width(), Time::from_ns(50));

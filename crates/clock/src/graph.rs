@@ -196,9 +196,7 @@ impl<'a> EdgeGraph<'a> {
             })
             .collect();
         let covers = |chosen: &[usize]| -> bool {
-            (0..blocks).all(|b| {
-                chosen.iter().fold(0u64, |acc, &c| acc | sat[c][b]) == full[b]
-            })
+            (0..blocks).all(|b| chosen.iter().fold(0u64, |acc, &c| acc | sat[c][b]) == full[b])
         };
 
         let n = self.starts.len();

@@ -62,7 +62,11 @@ pub fn render_waveforms(set: &ClockSet, columns: usize) -> String {
     // Time ruler: tick marks every quarter of the overall period.
     let _ = write!(out, "{:>name_width$} ", "");
     for col in 0..columns {
-        out.push(if col % (columns / 4).max(1) == 0 { '|' } else { ' ' });
+        out.push(if col % (columns / 4).max(1) == 0 {
+            '|'
+        } else {
+            ' '
+        });
     }
     let _ = writeln!(out);
     let _ = write!(out, "{:>name_width$} ", "");
@@ -79,12 +83,7 @@ pub fn render_waveforms(set: &ClockSet, columns: usize) -> String {
 /// Renders a marker line aligned with [`render_waveforms`] output,
 /// placing `^` at each of `times` (modulo the overall period). Useful
 /// for pointing at break-open window starts.
-pub fn render_markers(
-    set: &ClockSet,
-    columns: usize,
-    times: &[Time],
-    label: &str,
-) -> String {
+pub fn render_markers(set: &ClockSet, columns: usize, times: &[Time], label: &str) -> String {
     assert!(columns > 0, "need at least one column");
     let overall = set.overall_period();
     let name_width = set
@@ -113,8 +112,13 @@ mod tests {
         let mut set = ClockSet::new();
         set.add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
             .unwrap();
-        set.add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
-            .unwrap();
+        set.add_clock(
+            "phi2",
+            Time::from_ns(100),
+            Time::from_ns(50),
+            Time::from_ns(90),
+        )
+        .unwrap();
         set
     }
 
@@ -144,8 +148,13 @@ mod tests {
     #[test]
     fn wrapping_pulse_renders_high_at_both_ends() {
         let mut set = ClockSet::new();
-        set.add_clock("w", Time::from_ns(100), Time::from_ns(80), Time::from_ns(20))
-            .unwrap();
+        set.add_clock(
+            "w",
+            Time::from_ns(100),
+            Time::from_ns(80),
+            Time::from_ns(20),
+        )
+        .unwrap();
         let art = render_waveforms(&set, 10);
         let line = art.lines().next().unwrap();
         let samples: Vec<char> = line.chars().filter(|c| matches!(c, '▔' | '▁')).collect();

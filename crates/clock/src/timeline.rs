@@ -250,8 +250,13 @@ mod tests {
         let mut set = ClockSet::new();
         set.add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
             .unwrap();
-        set.add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
-            .unwrap();
+        set.add_clock(
+            "phi2",
+            Time::from_ns(100),
+            Time::from_ns(50),
+            Time::from_ns(90),
+        )
+        .unwrap();
         set
     }
 
@@ -273,7 +278,12 @@ mod tests {
             .add_clock("slow", Time::from_ns(100), Time::ZERO, Time::from_ns(50))
             .unwrap();
         let fast = set
-            .add_clock("fast", Time::from_ns(25), Time::from_ns(5), Time::from_ns(15))
+            .add_clock(
+                "fast",
+                Time::from_ns(25),
+                Time::from_ns(5),
+                Time::from_ns(15),
+            )
             .unwrap();
         let tl = set.timeline();
         assert_eq!(tl.overall_period(), Time::from_ns(100));
@@ -327,7 +337,10 @@ mod tests {
         let tl = set.timeline();
         let e = tl.find_edge(ClockId(0), Transition::Rise, Time::from_ns(100));
         assert!(e.is_some(), "time is taken modulo the overall period");
-        assert_eq!(tl.find_edge(ClockId(0), Transition::Rise, Time::from_ns(1)), None);
+        assert_eq!(
+            tl.find_edge(ClockId(0), Transition::Rise, Time::from_ns(1)),
+            None
+        );
     }
 
     #[test]

@@ -1,118 +1,136 @@
-//! Property-based tests of the timeline and pass-minimisation machinery.
+//! Property-style tests of the timeline and pass-minimisation
+//! machinery, driven by a seeded deterministic generator.
 
 use hb_clock::{ClockSet, EdgeGraph, Requirement};
+use hb_rng::SmallRng;
 use hb_units::{Sense, Time};
-use proptest::prelude::*;
 
-/// A random harmonically related clock set: a base period with 1–4
+const CASES: u64 = 64;
+
+/// A random harmonically related clock set: a base period with 1–3
 /// clocks at divisors of it, each with a random non-degenerate pulse.
-fn clock_set_strategy() -> impl Strategy<Value = ClockSet> {
-    (
-        2i64..6, // base period in 12 ns units (divisible by 1..=4)
-        prop::collection::vec((1i64..5, 0i64..100, 1i64..99), 1..4),
-    )
-        .prop_map(|(base, specs)| {
-            let mut set = ClockSet::new();
-            let base_ps = base * 12_000;
-            for (i, (div, rise_pct, width_pct)) in specs.into_iter().enumerate() {
-                // True harmonic divisors keep the overall period equal to
-                // the base (12 is divisible by 1..=4), so edge counts stay
-                // small.
-                let period = base_ps / div;
-                let rise = period * (rise_pct % 100) / 100;
-                let width = (period * width_pct / 100).max(1);
-                let fall = (rise + width) % period;
-                let fall = if fall == rise { (rise + 1) % period } else { fall };
-                // Degenerate corners can still collide; skip those clocks.
-                let _ = set.add_clock(
-                    format!("c{i}"),
-                    Time::from_ps(period),
-                    Time::from_ps(rise),
-                    Time::from_ps(fall),
-                );
-            }
-            if set.is_empty() {
-                set.add_clock("fallback", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
-                    .expect("valid");
-            }
-            set
-        })
+fn random_clock_set(rng: &mut SmallRng) -> ClockSet {
+    let base = rng.gen_range(2..6) as i64;
+    let count = rng.gen_range(1..4);
+    let mut set = ClockSet::new();
+    let base_ps = base * 12_000;
+    for i in 0..count {
+        // True harmonic divisors keep the overall period equal to the
+        // base (12 is divisible by 1..=4), so edge counts stay small.
+        let div = rng.gen_range(1..5) as i64;
+        let rise_pct = rng.gen_range(0..100) as i64;
+        let width_pct = rng.gen_range(1..99) as i64;
+        let period = base_ps / div;
+        let rise = period * (rise_pct % 100) / 100;
+        let width = (period * width_pct / 100).max(1);
+        let fall = (rise + width) % period;
+        let fall = if fall == rise {
+            (rise + 1) % period
+        } else {
+            fall
+        };
+        // Degenerate corners can still collide; skip those clocks.
+        let _ = set.add_clock(
+            format!("c{i}"),
+            Time::from_ps(period),
+            Time::from_ps(rise),
+            Time::from_ps(fall),
+        );
+    }
+    if set.is_empty() {
+        set.add_clock("fallback", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
+            .expect("valid");
+    }
+    set
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Edge times are sorted, within the overall period, and pulses pair
-    /// lead/trail edges `width` apart.
-    #[test]
-    fn timeline_is_well_formed(set in clock_set_strategy()) {
+/// Edge times are sorted, within the overall period, and pulses pair
+/// lead/trail edges `width` apart.
+#[test]
+fn timeline_is_well_formed() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3001 + case);
+        let set = random_clock_set(&mut rng);
         let tl = set.timeline();
         let overall = tl.overall_period();
         let mut last = Time::from_ps(-1);
         for (_, e) in tl.edges() {
-            prop_assert!(Time::ZERO <= e.time && e.time < overall);
-            prop_assert!(e.time >= last);
+            assert!(Time::ZERO <= e.time && e.time < overall);
+            assert!(e.time >= last);
             last = e.time;
         }
         for (id, clock) in set.clocks() {
             let n = (overall / clock.period()) as usize;
             for sense in [Sense::Positive, Sense::Negative] {
                 let pulses = tl.pulses(id, sense);
-                prop_assert_eq!(pulses.len(), n);
+                assert_eq!(pulses.len(), n);
                 for p in pulses {
                     let lead = tl.edge_time(p.lead);
                     let trail = tl.edge_time(p.trail);
-                    prop_assert_eq!((trail - lead).rem_euclid_end(clock.period()), p.width);
+                    assert_eq!((trail - lead).rem_euclid_end(clock.period()), p.width);
                 }
             }
         }
     }
+}
 
-    /// `minimal_passes` covers every requirement, and the
-    /// closure-latest pass of each requirement's close edge satisfies it.
-    #[test]
-    fn pass_plans_cover_all_requirements(
-        set in clock_set_strategy(),
-        picks in prop::collection::vec((0usize..64, 0usize..64), 0..24),
-    ) {
+fn random_requirements(
+    rng: &mut SmallRng,
+    tl: &hb_clock::Timeline,
+    max: usize,
+) -> Vec<Requirement> {
+    let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
+    let count = rng.gen_range(0..max);
+    (0..count)
+        .map(|_| Requirement {
+            assert_edge: ids[rng.gen_range(0..64) % ids.len()],
+            close_edge: ids[rng.gen_range(0..64) % ids.len()],
+        })
+        .collect()
+}
+
+/// `minimal_passes` covers every requirement, and the closure-latest
+/// pass of each requirement's close edge satisfies it.
+#[test]
+fn pass_plans_cover_all_requirements() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3002 + case);
+        let set = random_clock_set(&mut rng);
         let tl = set.timeline();
-        let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
-        let reqs: Vec<Requirement> = picks
-            .into_iter()
-            .map(|(a, c)| Requirement {
-                assert_edge: ids[a % ids.len()],
-                close_edge: ids[c % ids.len()],
-            })
-            .collect();
+        let reqs = random_requirements(&mut rng, &tl, 24);
         let graph = EdgeGraph::new(&tl);
         let plan = graph.minimal_passes(&reqs);
-        prop_assert!(plan.pass_count() >= 1);
+        assert!(plan.pass_count() >= 1);
         for r in &reqs {
             let a = tl.edge_time(r.assert_edge);
             let c = tl.edge_time(r.close_edge);
             let covered = (0..plan.pass_count()).any(|p| plan.satisfies(p, a, c));
-            prop_assert!(covered, "requirement {r:?} not covered");
+            assert!(covered, "requirement {r:?} not covered");
             let chosen = plan.pass_for_closure(c);
-            prop_assert!(plan.satisfies(chosen, a, c), "closure-latest pass misses {r:?}");
+            assert!(
+                plan.satisfies(chosen, a, c),
+                "closure-latest pass misses {r:?}"
+            );
         }
     }
+}
 
-    /// The minimal plan never uses more passes than one per distinct
-    /// closure edge (the trivial upper bound: break just after each).
-    #[test]
-    fn pass_count_is_bounded_by_distinct_closures(
-        set in clock_set_strategy(),
-        picks in prop::collection::vec((0usize..64, 0usize..64), 1..24),
-    ) {
+/// The minimal plan never uses more passes than one per distinct
+/// closure edge (the trivial upper bound: break just after each).
+#[test]
+fn pass_count_is_bounded_by_distinct_closures() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3003 + case);
+        let set = random_clock_set(&mut rng);
         let tl = set.timeline();
-        let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
-        let reqs: Vec<Requirement> = picks
-            .into_iter()
-            .map(|(a, c)| Requirement {
-                assert_edge: ids[a % ids.len()],
-                close_edge: ids[c % ids.len()],
-            })
-            .collect();
+        let mut reqs = random_requirements(&mut rng, &tl, 24);
+        if reqs.is_empty() {
+            let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
+            reqs.push(Requirement {
+                assert_edge: ids[0],
+                close_edge: ids[ids.len() - 1],
+            });
+        }
         let distinct_closures = {
             let mut times: Vec<Time> = reqs.iter().map(|r| tl.edge_time(r.close_edge)).collect();
             times.sort();
@@ -121,22 +139,26 @@ proptest! {
         };
         let graph = EdgeGraph::new(&tl);
         let plan = graph.minimal_passes(&reqs);
-        prop_assert!(plan.pass_count() <= distinct_closures.max(1));
+        assert!(plan.pass_count() <= distinct_closures.max(1));
     }
+}
 
-    /// Ideal path constraints are in `(0, overall]` and respect the
-    /// next-occurrence semantics.
-    #[test]
-    fn ideal_constraints_are_in_range(set in clock_set_strategy()) {
+/// Ideal path constraints are in `(0, overall]` and respect the
+/// next-occurrence semantics.
+#[test]
+fn ideal_constraints_are_in_range() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x3004 + case);
+        let set = random_clock_set(&mut rng);
         let tl = set.timeline();
         let overall = tl.overall_period();
         let ids: Vec<_> = tl.edges().map(|(id, _)| id).collect();
         for &a in &ids {
             for &c in &ids {
                 let d = tl.ideal_constraint(a, c);
-                prop_assert!(Time::ZERO < d && d <= overall);
+                assert!(Time::ZERO < d && d <= overall);
                 if tl.edge_time(a) == tl.edge_time(c) {
-                    prop_assert_eq!(d, overall);
+                    assert_eq!(d, overall);
                 }
             }
         }

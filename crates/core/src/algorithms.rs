@@ -17,6 +17,7 @@
 use hb_units::Time;
 
 use crate::analysis::{Prepared, SlackView};
+use crate::engine::SlackCache;
 use crate::sync::Replica;
 
 /// Iteration counters from Algorithm 1.
@@ -47,14 +48,18 @@ pub struct Algorithm2Stats {
 
 /// Runs Algorithm 1, mutating `replicas` in place, and returns the final
 /// slack view plus statistics.
-pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (SlackView, Algorithm1Stats) {
+pub(crate) fn algorithm1(
+    prep: &Prepared<'_>,
+    replicas: &mut [Replica],
+    cache: &mut SlackCache,
+) -> (SlackView, Algorithm1Stats) {
     let mut stats = Algorithm1Stats::default();
     let cap = prep.options.max_cycles;
     let divisor = prep.options.partial_divisor.max(2);
 
     // Iteration 1: complete forward slack transfer to a fixpoint.
     loop {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         if view.all_positive() {
             stats.converged_early = true;
             return (view, stats);
@@ -78,7 +83,7 @@ pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (Slac
 
     // Iteration 2: complete backward slack transfer to a fixpoint.
     loop {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         if view.all_positive() {
             stats.converged_early = true;
             return (view, stats);
@@ -104,13 +109,11 @@ pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (Slac
     // cycle made — returns time to paths that are fast enough so they
     // finish with strictly positive slack.
     for _ in 0..stats.backward_cycles {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         let mut any = false;
         for (k, r) in replicas.iter_mut().enumerate() {
             let n_x = view.replica_in[k];
-            if n_x > Time::ZERO
-                && n_x.is_finite()
-                && r.transfer_forward(n_x / divisor) > Time::ZERO
+            if n_x > Time::ZERO && n_x.is_finite() && r.transfer_forward(n_x / divisor) > Time::ZERO
             {
                 any = true;
             }
@@ -124,7 +127,7 @@ pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (Slac
     // Iteration 4: partial backward transfer, once per complete forward
     // cycle made.
     for _ in 0..stats.forward_cycles {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         let mut any = false;
         for (k, r) in replicas.iter_mut().enumerate() {
             let n_y = view.replica_out[k];
@@ -142,7 +145,7 @@ pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (Slac
     }
 
     // Final step: find all node slacks.
-    let view = prep.compute_slacks(replicas);
+    let view = prep.compute_slacks(replicas, cache);
     (view, stats)
 }
 
@@ -154,6 +157,7 @@ pub(crate) fn algorithm1(prep: &Prepared<'_>, replicas: &mut [Replica]) -> (Slac
 pub(crate) fn algorithm2(
     prep: &Prepared<'_>,
     replicas: &mut [Replica],
+    cache: &mut SlackCache,
 ) -> (SlackView, SlackView, Algorithm2Stats) {
     let mut stats = Algorithm2Stats::default();
     let cap = prep.options.max_cycles;
@@ -163,7 +167,7 @@ pub(crate) fn algorithm2(
     // replica's *input* terminal is too slow (negative slack), move its
     // closure later by up to the deficit, regardless of the output side.
     let ready_view = loop {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         let mut any = false;
         for (k, r) in replicas.iter_mut().enumerate() {
             let n_x = view.replica_in[k];
@@ -182,7 +186,7 @@ pub(crate) fn algorithm2(
     // a replica's *output* terminal is too slow, move its assertion
     // earlier by up to the deficit.
     let required_view = loop {
-        let view = prep.compute_slacks(replicas);
+        let view = prep.compute_slacks(replicas, cache);
         let mut any = false;
         for (k, r) in replicas.iter_mut().enumerate() {
             let n_y = view.replica_out[k];

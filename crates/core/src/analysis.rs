@@ -12,6 +12,7 @@
 //! pass that places its ideal closure time closest to the window end.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hb_cells::{Binding, Library};
 use hb_clock::{ClockId, ClockSet, EdgeGraph, EdgeId, PassPlan, Requirement, Timeline};
@@ -22,8 +23,9 @@ use hb_sta::analysis::{
 use hb_sta::TimingGraph;
 use hb_units::{RiseFall, Sense, Time};
 
+use crate::engine::{Engine, ItemTables, SlackCache};
 use crate::error::AnalyzeError;
-use crate::spec::{AnalysisOptions, EdgeSpec, LatchModel, Spec};
+use crate::spec::{AnalysisOptions, EdgeSpec, EngineKind, LatchModel, Spec};
 use crate::sync::{Replica, ReplicaTiming};
 
 /// A boundary timing point: a primary input (source) or primary output
@@ -79,15 +81,32 @@ pub(crate) struct Prepared<'a> {
     pub replica_pass: Vec<usize>,
     /// Per primary output: assigned global pass.
     pub po_pass: Vec<usize>,
+    /// The sharded engine schedule (shards + `(cluster, pass)` items).
+    pub engine: Engine,
     pub stats: PrepStats,
+}
+
+/// The backing storage of a [`SlackView`]'s ready/required tables.
+pub(crate) enum SlackStorage {
+    /// Dense whole-graph tables, one pair per global pass (the
+    /// reference engine's native format).
+    Dense {
+        ready: Vec<TimeTable>,
+        required: Vec<TimeTable>,
+    },
+    /// Per-work-item local tables (the sharded engine's native format),
+    /// positionally parallel to `Prepared::engine.items`. Nets outside
+    /// an item keep their sentinel values, exactly as in the dense
+    /// format.
+    Sharded { items: Vec<Arc<ItemTables>> },
 }
 
 /// The result of one full multi-pass slack evaluation at fixed offsets.
 pub(crate) struct SlackView {
-    /// Per global pass: forward ready times.
-    pub ready: Vec<TimeTable>,
-    /// Per global pass: backward required times.
-    pub required: Vec<TimeTable>,
+    /// Ready/required tables, in engine-native form; use
+    /// [`SlackView::ready_for_pass`] / [`SlackView::dense_ready`] to
+    /// view them densely.
+    pub storage: SlackStorage,
     /// Per net: the smallest scalar slack over all passes.
     pub net_slack: Vec<Time>,
     /// Per replica: node slack at the data-input terminal.
@@ -123,6 +142,65 @@ impl SlackView {
             .copied()
             .min()
             .unwrap_or(Time::INF)
+    }
+
+    /// Materialises the dense forward ready table of one pass.
+    pub fn ready_for_pass(&self, prep: &Prepared<'_>, pass: usize) -> TimeTable {
+        match &self.storage {
+            SlackStorage::Dense { ready, .. } => ready[pass].clone(),
+            SlackStorage::Sharded { items } => {
+                let mut out = table(&prep.graph, Time::NEG_INF);
+                self.scatter_pass(prep, items, pass, &mut out, |t| &t.ready);
+                out
+            }
+        }
+    }
+
+    /// Materialises the dense ready tables of every pass.
+    pub fn dense_ready(&self, prep: &Prepared<'_>) -> Vec<TimeTable> {
+        match &self.storage {
+            SlackStorage::Dense { ready, .. } => ready.clone(),
+            SlackStorage::Sharded { .. } => (0..prep.passes.len())
+                .map(|p| self.ready_for_pass(prep, p))
+                .collect(),
+        }
+    }
+
+    /// Materialises the dense required tables of every pass.
+    pub fn dense_required(&self, prep: &Prepared<'_>) -> Vec<TimeTable> {
+        match &self.storage {
+            SlackStorage::Dense { required, .. } => required.clone(),
+            SlackStorage::Sharded { items } => (0..prep.passes.len())
+                .map(|p| {
+                    let mut out = table(&prep.graph, Time::INF);
+                    self.scatter_pass(prep, items, p, &mut out, |t| &t.required);
+                    out
+                })
+                .collect(),
+        }
+    }
+
+    fn scatter_pass<'t>(
+        &self,
+        prep: &Prepared<'_>,
+        items: &'t [Arc<ItemTables>],
+        pass: usize,
+        out: &mut TimeTable,
+        select: impl Fn(&'t ItemTables) -> &'t [RiseFall<Time>],
+    ) {
+        for (i, item) in prep.engine.items.iter().enumerate() {
+            if item.pass != pass {
+                continue;
+            }
+            let shard = prep
+                .engine
+                .sharded
+                .shard(hb_sta::ClusterId::from_raw(item.cluster));
+            let local = select(&items[i]);
+            for (l, &net) in shard.nets().iter().enumerate() {
+                out[net.as_raw() as usize] = local[l];
+            }
+        }
     }
 }
 
@@ -203,12 +281,11 @@ pub(crate) fn prepare<'a>(
         let pid = m
             .port_by_name(port)
             .ok_or_else(|| AnalyzeError::UnknownPort { port: port.into() })?;
-        let clock =
-            clocks
-                .clock_by_name(clock_name)
-                .ok_or_else(|| AnalyzeError::UnknownClock {
-                    clock: clock_name.into(),
-                })?;
+        let clock = clocks
+            .clock_by_name(clock_name)
+            .ok_or_else(|| AnalyzeError::UnknownClock {
+                clock: clock_name.into(),
+            })?;
         clock_sources.push((m.port(pid).net(), clock));
     }
 
@@ -475,11 +552,7 @@ pub(crate) fn prepare<'a>(
     let stats = PrepStats {
         active_clusters: cluster_active.iter().filter(|&&a| a).count(),
         requirements,
-        total_cluster_passes: plans
-            .iter()
-            .flatten()
-            .map(|p| p.pass_count())
-            .sum(),
+        total_cluster_passes: plans.iter().flatten().map(|p| p.pass_count()).sum(),
         max_cluster_passes: plans
             .iter()
             .flatten()
@@ -488,6 +561,18 @@ pub(crate) fn prepare<'a>(
             .unwrap_or(0),
         global_passes: passes.len(),
     };
+
+    let engine = Engine::new(
+        &graph,
+        &timeline,
+        &passes,
+        &cluster_passes,
+        &replicas,
+        &replica_pass,
+        &pis,
+        &pos,
+        &po_pass,
+    );
 
     Ok(Prepared {
         design,
@@ -505,6 +590,7 @@ pub(crate) fn prepare<'a>(
         cluster_passes,
         replica_pass,
         po_pass,
+        engine,
         stats,
     })
 }
@@ -526,12 +612,91 @@ impl Prepared<'_> {
         self.cluster_passes[self.graph.cluster_of(net).as_raw() as usize].contains(&p)
     }
 
-    /// Evaluates all slacks at the given replica offsets.
-    pub fn compute_slacks(&self, replicas: &[Replica]) -> SlackView {
-        let pass_count = self.passes.len();
+    /// Evaluates all slacks at the given replica offsets, dispatching
+    /// on [`AnalysisOptions::engine`]. Both engines produce
+    /// bit-identical views.
+    pub fn compute_slacks(&self, replicas: &[Replica], cache: &mut SlackCache) -> SlackView {
+        match self.options.engine {
+            EngineKind::Reference => self.compute_slacks_reference(replicas),
+            EngineKind::Sharded => self.compute_slacks_sharded(replicas, cache),
+        }
+    }
+
+    /// The sharded evaluation: every participating `(cluster, pass)`
+    /// pair is swept over its compact shard — in parallel when
+    /// [`AnalysisOptions::threads`] allows, and skipped entirely when
+    /// `cache` still holds tables for the item's seed signature.
+    fn compute_slacks_sharded(&self, replicas: &[Replica], cache: &mut SlackCache) -> SlackView {
+        let tables = self
+            .engine
+            .evaluate(replicas, cache, self.options.effective_threads());
         let mut view = SlackView {
-            ready: Vec::with_capacity(pass_count),
-            required: Vec::with_capacity(pass_count),
+            storage: SlackStorage::Sharded { items: tables },
+            net_slack: vec![Time::INF; self.graph.node_count()],
+            replica_in: vec![Time::INF; replicas.len()],
+            replica_out: vec![Time::INF; replicas.len()],
+            pi_slack: vec![Time::INF; self.pis.len()],
+            po_slack: vec![Time::INF; self.pos.len()],
+        };
+        let SlackStorage::Sharded { items } = &view.storage else {
+            unreachable!("just constructed sharded storage");
+        };
+        for (i, item) in self.engine.items.iter().enumerate() {
+            let t = &items[i];
+            let shard = self
+                .engine
+                .sharded
+                .shard(hb_sta::ClusterId::from_raw(item.cluster));
+            // Node slacks: `required − ready` exactly as in
+            // `slack_table`, minimised over passes.
+            for (l, &net) in shard.nets().iter().enumerate() {
+                let s = scalar_slack(t.required[l].zip_with(t.ready[l], Time::saturating_sub));
+                let slot = &mut view.net_slack[net.as_raw() as usize];
+                if s < *slot {
+                    *slot = s;
+                }
+            }
+            // Terminal slacks, gated exactly as in the reference
+            // engine: the seed lists were built from the same gates.
+            for s in &item.close_replica_seeds {
+                let k = s.k as usize;
+                let close = s.base + replicas[k].input_close_offset();
+                let arrive = t.ready[s.local as usize].worst();
+                view.replica_in[k] = view.replica_in[k].min(close.saturating_sub(arrive));
+            }
+            for s in &item.ready_replica_seeds {
+                let k = s.k as usize;
+                let l = s.local as usize;
+                let sl = scalar_slack(t.required[l].zip_with(t.ready[l], Time::saturating_sub));
+                view.replica_out[k] = view.replica_out[k].min(sl);
+            }
+            for s in &item.ready_pi_seeds {
+                let k = s.k as usize;
+                let l = s.local as usize;
+                let sl = scalar_slack(t.required[l].zip_with(t.ready[l], Time::saturating_sub));
+                view.pi_slack[k] = view.pi_slack[k].min(sl);
+            }
+            for s in &item.close_po_seeds {
+                let k = s.k as usize;
+                let arrive = t.ready[s.local as usize].worst();
+                view.po_slack[k] = view.po_slack[k].min(s.at.saturating_sub(arrive));
+            }
+        }
+        view
+    }
+
+    /// The reference evaluation: dense whole-graph sweeps per pass,
+    /// single-threaded. Kept verbatim for differential testing and as
+    /// the benchmark baseline.
+    pub fn compute_slacks_reference(&self, replicas: &[Replica]) -> SlackView {
+        let pass_count = self.passes.len();
+        let mut ready_tables: Vec<TimeTable> = Vec::with_capacity(pass_count);
+        let mut required_tables: Vec<TimeTable> = Vec::with_capacity(pass_count);
+        let mut view = SlackView {
+            storage: SlackStorage::Dense {
+                ready: Vec::new(),
+                required: Vec::new(),
+            },
             net_slack: vec![Time::INF; self.graph.node_count()],
             replica_in: vec![Time::INF; replicas.len()],
             replica_out: vec![Time::INF; replicas.len()],
@@ -613,9 +778,13 @@ impl Prepared<'_> {
                 }
             }
 
-            view.ready.push(ready);
-            view.required.push(required);
+            ready_tables.push(ready);
+            required_tables.push(required);
         }
+        view.storage = SlackStorage::Dense {
+            ready: ready_tables,
+            required: required_tables,
+        };
         view
     }
 }

@@ -1,5 +1,6 @@
 //! The top-level analyzer facade.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use hb_cells::Library;
@@ -9,10 +10,13 @@ use hb_sta::paths::critical_path;
 use hb_units::{Time, Transition};
 
 use crate::algorithms::{algorithm1, algorithm2};
-use crate::analysis::{prepare, Prepared, PrepStats, SlackView};
+use crate::analysis::{prepare, PrepStats, Prepared, SlackView};
+use crate::engine::SlackCache;
 use crate::error::AnalyzeError;
 use crate::mindelay::check_min_delays;
-use crate::report::{SlowPath, SlowStep, TerminalKind, TerminalSlack, TimingConstraints, TimingReport};
+use crate::report::{
+    SlowPath, SlowStep, TerminalKind, TerminalSlack, TimingConstraints, TimingReport,
+};
 use crate::spec::{AnalysisOptions, Spec};
 use crate::sync::Replica;
 
@@ -61,7 +65,14 @@ impl<'a> Analyzer<'a> {
         clocks: &ClockSet,
         spec: Spec,
     ) -> Result<Analyzer<'a>, AnalyzeError> {
-        Analyzer::with_options(design, module, library, clocks, spec, AnalysisOptions::default())
+        Analyzer::with_options(
+            design,
+            module,
+            library,
+            clocks,
+            spec,
+            AnalysisOptions::default(),
+        )
     }
 
     /// Prepares an analysis with explicit options (latch model, partial
@@ -115,7 +126,8 @@ impl<'a> Analyzer<'a> {
     pub fn analyze(&self) -> TimingReport {
         let start = Instant::now();
         let mut replicas = self.prep.replicas.clone();
-        let (view, alg1) = algorithm1(&self.prep, &mut replicas);
+        let mut cache = SlackCache::new(self.prep.engine.items.len());
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas, &mut cache);
         let min_delay = if self.prep.options.check_min_delays {
             check_min_delays(&self.prep, &replicas)
         } else {
@@ -123,6 +135,7 @@ impl<'a> Analyzer<'a> {
         };
         let mut report = self.build_report(&replicas, &view);
         report.alg1 = alg1;
+        report.engine = cache.stats();
         report.min_delay_violations = min_delay;
         report.prep_seconds = self.prep_seconds;
         report.analysis_seconds = start.elapsed().as_secs_f64();
@@ -134,20 +147,22 @@ impl<'a> Analyzer<'a> {
     pub fn generate_constraints(&self) -> TimingReport {
         let start = Instant::now();
         let mut replicas = self.prep.replicas.clone();
-        let (view, alg1) = algorithm1(&self.prep, &mut replicas);
+        let mut cache = SlackCache::new(self.prep.engine.items.len());
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas, &mut cache);
         let min_delay = if self.prep.options.check_min_delays {
             check_min_delays(&self.prep, &replicas)
         } else {
             Vec::new()
         };
         let mut report = self.build_report(&replicas, &view);
-        let (ready_view, required_view, alg2) = algorithm2(&self.prep, &mut replicas);
+        let (ready_view, required_view, alg2) = algorithm2(&self.prep, &mut replicas, &mut cache);
         report.alg1 = alg1;
         report.alg2 = Some(alg2);
+        report.engine = cache.stats();
         report.constraints = Some(TimingConstraints::new(
             self.prep.passes.clone(),
-            ready_view.ready,
-            required_view.required,
+            ready_view.dense_ready(&self.prep),
+            required_view.dense_required(&self.prep),
         ));
         report.min_delay_violations = min_delay;
         report.prep_seconds = self.prep_seconds;
@@ -208,6 +223,9 @@ impl<'a> Analyzer<'a> {
         endpoints.sort_by_key(|&(s, _, _)| s);
 
         let mut slow_paths = Vec::new();
+        // Slow-path tracing needs dense per-pass ready tables;
+        // materialise each needed pass once.
+        let mut ready_memo: HashMap<usize, hb_sta::analysis::TimeTable> = HashMap::new();
         for &(slack, k, is_replica) in endpoints.iter().take(MAX_SLOW_PATHS) {
             let (net, pass, endpoint) = if is_replica {
                 let r = &replicas[k];
@@ -219,7 +237,9 @@ impl<'a> Analyzer<'a> {
             } else {
                 (prep.pos[k].net, prep.po_pass[k], prep.pos[k].port.clone())
             };
-            let ready = &view.ready[pass];
+            let ready = ready_memo
+                .entry(pass)
+                .or_insert_with(|| view.ready_for_pass(prep, pass));
             let arrival = ready[net.as_raw() as usize];
             let tr = if arrival.rise >= arrival.fall {
                 Transition::Rise
@@ -265,6 +285,7 @@ impl<'a> Analyzer<'a> {
             prep_stats: prep.stats,
             alg1: Default::default(),
             alg2: None,
+            engine: Default::default(),
             constraints: None,
             min_delay_violations: Vec::new(),
             prep_seconds: self.prep_seconds,

@@ -1,0 +1,356 @@
+//! The cluster-sharded slack engine.
+//!
+//! [`Prepared::compute_slacks`](crate::analysis::Prepared) needs, for
+//! every global pass, one forward ready sweep and one backward required
+//! sweep. The reference implementation runs both over the *whole*
+//! graph per pass; but arcs never leave their cluster and the Section 7
+//! pass plans already tell us which clusters participate in which pass,
+//! so the real unit of work is one `(cluster, pass)` pair. This module
+//! schedules exactly those pairs:
+//!
+//! * each pair becomes a [`WorkItem`] over the cluster's
+//!   [`ClusterShard`] (compact CSR subgraph, local indices), with the
+//!   pass-dependent seed positions resolved at build time and only the
+//!   replica *offsets* left dynamic;
+//! * items are executed by a work-stealing pool on
+//!   [`std::thread::scope`] — workers claim items off a shared atomic
+//!   counter (largest shards first) and the results are merged on the
+//!   calling thread, so the outcome is bit-identical to the sequential
+//!   engine at any thread count;
+//! * a [`SlackCache`] keyed by each item's dynamic seed vector skips
+//!   the sweeps of every cluster whose seeds did not move since the
+//!   last evaluation — the incremental layer exploited heavily by
+//!   Algorithms 1 and 2, which move only a few replica offsets per
+//!   cycle.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hb_clock::{EdgeId, Timeline};
+use hb_netlist::NetId;
+use hb_sta::{ShardedGraph, TimingGraph};
+use hb_units::{RiseFall, Time};
+
+use crate::analysis::Boundary;
+use crate::sync::Replica;
+
+/// A seed whose position depends on a replica's movable offset:
+/// the seed value is `base + offset(replicas[k])`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ReplicaSeed {
+    /// Replica index.
+    pub k: u32,
+    /// Local node index within the item's shard.
+    pub local: u32,
+    /// The pass-window position of the reference edge.
+    pub base: Time,
+}
+
+/// A fully static boundary seed (primary input or output).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BoundarySeed {
+    /// Boundary index (into `Prepared::pis` or `Prepared::pos`).
+    pub k: u32,
+    /// Local node index within the item's shard.
+    pub local: u32,
+    /// The seed value (fully resolved at build time).
+    pub at: Time,
+}
+
+/// One `(cluster, pass)` unit of sweep work.
+#[derive(Clone, Debug)]
+pub(crate) struct WorkItem {
+    /// Raw cluster index.
+    pub cluster: u32,
+    /// Global pass index.
+    pub pass: usize,
+    /// Ready seeds at replica outputs (assertion positions).
+    pub ready_replica_seeds: Vec<ReplicaSeed>,
+    /// Ready seeds at primary inputs.
+    pub ready_pi_seeds: Vec<BoundarySeed>,
+    /// Required seeds at replica data inputs (closure positions);
+    /// only present when this item is the replica's assigned pass.
+    pub close_replica_seeds: Vec<ReplicaSeed>,
+    /// Required seeds at primary outputs assigned to this pass.
+    pub close_po_seeds: Vec<BoundarySeed>,
+}
+
+/// The swept local tables of one work item.
+#[derive(Clone, Debug)]
+pub(crate) struct ItemTables {
+    /// Local forward ready times.
+    pub ready: Vec<RiseFall<Time>>,
+    /// Local backward required times.
+    pub required: Vec<RiseFall<Time>>,
+}
+
+/// The static schedule: shards plus one work item per participating
+/// `(cluster, pass)` pair, largest shards first.
+pub(crate) struct Engine {
+    pub sharded: ShardedGraph,
+    pub items: Vec<WorkItem>,
+}
+
+fn pos_assert(timeline: &Timeline, start: Time, edge: EdgeId) -> Time {
+    (timeline.edge_time(edge) - start).rem_euclid(timeline.overall_period())
+}
+
+fn pos_close(timeline: &Timeline, start: Time, edge: EdgeId) -> Time {
+    (timeline.edge_time(edge) - start).rem_euclid_end(timeline.overall_period())
+}
+
+impl Engine {
+    /// Builds the schedule from the prepared pass plans. Seed bases are
+    /// resolved here; only replica offsets stay dynamic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: &TimingGraph,
+        timeline: &Timeline,
+        passes: &[Time],
+        cluster_passes: &[Vec<usize>],
+        replicas: &[Replica],
+        replica_pass: &[usize],
+        pis: &[Boundary],
+        pos: &[Boundary],
+        po_pass: &[usize],
+    ) -> Engine {
+        let sharded = ShardedGraph::new(graph);
+        let mut items: Vec<WorkItem> = Vec::new();
+        let mut index: HashMap<(u32, usize), usize> = HashMap::new();
+        for (c, passes_of) in cluster_passes.iter().enumerate() {
+            for &p in passes_of {
+                index.insert((c as u32, p), items.len());
+                items.push(WorkItem {
+                    cluster: c as u32,
+                    pass: p,
+                    ready_replica_seeds: Vec::new(),
+                    ready_pi_seeds: Vec::new(),
+                    close_replica_seeds: Vec::new(),
+                    close_po_seeds: Vec::new(),
+                });
+            }
+        }
+        let cluster_of = |net: NetId| graph.cluster_of(net).as_raw();
+        for (k, r) in replicas.iter().enumerate() {
+            for out in [r.output_net, r.output_bar_net].into_iter().flatten() {
+                let c = cluster_of(out);
+                for &p in &cluster_passes[c as usize] {
+                    let item = &mut items[index[&(c, p)]];
+                    item.ready_replica_seeds.push(ReplicaSeed {
+                        k: k as u32,
+                        local: sharded.local_of(out),
+                        base: pos_assert(timeline, passes[p], r.assert_edge),
+                    });
+                }
+            }
+            let c = cluster_of(r.data_net);
+            let p = replica_pass[k];
+            let item = &mut items[index[&(c, p)]];
+            item.close_replica_seeds.push(ReplicaSeed {
+                k: k as u32,
+                local: sharded.local_of(r.data_net),
+                base: pos_close(timeline, passes[p], r.close_edge),
+            });
+        }
+        for (k, pi) in pis.iter().enumerate() {
+            let c = cluster_of(pi.net);
+            for &p in &cluster_passes[c as usize] {
+                let item = &mut items[index[&(c, p)]];
+                item.ready_pi_seeds.push(BoundarySeed {
+                    k: k as u32,
+                    local: sharded.local_of(pi.net),
+                    at: pos_assert(timeline, passes[p], pi.edge) + pi.offset,
+                });
+            }
+        }
+        for (k, po) in pos.iter().enumerate() {
+            let c = cluster_of(po.net);
+            let p = po_pass[k];
+            let item = &mut items[index[&(c, p)]];
+            item.close_po_seeds.push(BoundarySeed {
+                k: k as u32,
+                local: sharded.local_of(po.net),
+                at: pos_close(timeline, passes[p], po.edge) + po.offset,
+            });
+        }
+        // Schedule the heaviest sweeps first so the pool drains evenly.
+        items.sort_by_key(|it| {
+            std::cmp::Reverse(
+                sharded
+                    .shard(hb_sta::ClusterId::from_raw(it.cluster))
+                    .arc_count(),
+            )
+        });
+        Engine { sharded, items }
+    }
+
+    fn shard_of(&self, item: &WorkItem) -> &hb_sta::ClusterShard {
+        self.sharded
+            .shard(hb_sta::ClusterId::from_raw(item.cluster))
+    }
+
+    /// The dynamic seed values of an item — the cache key. Two calls
+    /// with equal signatures are guaranteed to sweep to equal tables.
+    pub fn signature(&self, item: &WorkItem, replicas: &[Replica]) -> Vec<Time> {
+        let mut sig =
+            Vec::with_capacity(item.ready_replica_seeds.len() + item.close_replica_seeds.len());
+        for s in &item.ready_replica_seeds {
+            sig.push(s.base + replicas[s.k as usize].output_assert_offset());
+        }
+        for s in &item.close_replica_seeds {
+            sig.push(s.base + replicas[s.k as usize].input_close_offset());
+        }
+        sig
+    }
+
+    /// Seeds and sweeps one item. Mirrors the reference engine's
+    /// per-pass seeding and the dense sweeps operation for operation.
+    pub fn compute_item(&self, item: &WorkItem, replicas: &[Replica]) -> ItemTables {
+        let shard = self.shard_of(item);
+        let mut ready = shard.table(Time::NEG_INF);
+        for s in &item.ready_replica_seeds {
+            let at = s.base + replicas[s.k as usize].output_assert_offset();
+            let slot = &mut ready[s.local as usize];
+            *slot = (*slot).max(RiseFall::splat(at));
+        }
+        for s in &item.ready_pi_seeds {
+            let slot = &mut ready[s.local as usize];
+            *slot = (*slot).max(RiseFall::splat(s.at));
+        }
+        shard.sweep_ready_max(&mut ready);
+
+        let mut required = shard.table(Time::INF);
+        for s in &item.close_replica_seeds {
+            let at = s.base + replicas[s.k as usize].input_close_offset();
+            let slot = &mut required[s.local as usize];
+            *slot = (*slot).min(RiseFall::splat(at));
+        }
+        for s in &item.close_po_seeds {
+            let slot = &mut required[s.local as usize];
+            *slot = (*slot).min(RiseFall::splat(s.at));
+        }
+        shard.sweep_required(&mut required);
+
+        ItemTables { ready, required }
+    }
+
+    /// Evaluates every item, reusing cached tables for items whose seed
+    /// signature did not change, and computing the rest on `threads`
+    /// workers. Results are positionally indexed by item, so the merge
+    /// is deterministic regardless of which worker computed what.
+    pub fn evaluate(
+        &self,
+        replicas: &[Replica],
+        cache: &mut SlackCache,
+        threads: usize,
+    ) -> Vec<Arc<ItemTables>> {
+        let n = self.items.len();
+        let mut sigs: Vec<Vec<Time>> = Vec::with_capacity(n);
+        let mut tables: Vec<Option<Arc<ItemTables>>> = vec![None; n];
+        let mut todo: Vec<usize> = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            let sig = self.signature(item, replicas);
+            if let Some((cached_sig, t)) = cache.entries[i].as_ref() {
+                if *cached_sig == sig {
+                    tables[i] = Some(t.clone());
+                }
+            }
+            sigs.push(sig);
+            if tables[i].is_none() {
+                todo.push(i);
+            }
+        }
+        cache.scheduled += n as u64;
+        cache.reused += (n - todo.len()) as u64;
+
+        let threads = threads.min(todo.len()).max(1);
+        if threads <= 1 {
+            for &i in &todo {
+                tables[i] = Some(Arc::new(self.compute_item(&self.items[i], replicas)));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let computed: Vec<Vec<(usize, ItemTables)>> = std::thread::scope(|scope| {
+                let next = &next;
+                let todo = &todo;
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let t = next.fetch_add(1, Ordering::Relaxed);
+                                if t >= todo.len() {
+                                    break;
+                                }
+                                let i = todo[t];
+                                out.push((i, self.compute_item(&self.items[i], replicas)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            for worker in computed {
+                for (i, t) in worker {
+                    tables[i] = Some(Arc::new(t));
+                }
+            }
+        }
+
+        for &i in &todo {
+            cache.entries[i] = Some((
+                std::mem::take(&mut sigs[i]),
+                tables[i].as_ref().expect("computed above").clone(),
+            ));
+        }
+        tables
+            .into_iter()
+            .map(|t| t.expect("every item evaluated"))
+            .collect()
+    }
+}
+
+/// Per-item memo of the last swept tables, keyed by the item's dynamic
+/// seed signature. This is the dirty-cluster tracking: a cluster whose
+/// replica offsets moved gets a different signature and is re-swept;
+/// everything else is reused.
+pub(crate) struct SlackCache {
+    entries: Vec<Option<(Vec<Time>, Arc<ItemTables>)>>,
+    /// Item evaluations requested over the cache's lifetime.
+    pub scheduled: u64,
+    /// Evaluations answered from cache (clean clusters).
+    pub reused: u64,
+}
+
+impl SlackCache {
+    /// An empty cache for an engine with `items` work items.
+    pub fn new(items: usize) -> SlackCache {
+        SlackCache {
+            entries: vec![None; items],
+            scheduled: 0,
+            reused: 0,
+        }
+    }
+
+    /// The reuse counters, for reporting.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            items_scheduled: self.scheduled,
+            items_reused: self.reused,
+        }
+    }
+}
+
+/// Work counters of the sharded engine over one analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total `(cluster, pass)` evaluations requested by the algorithms.
+    pub items_scheduled: u64,
+    /// Evaluations served from the incremental cache without sweeping.
+    pub items_reused: u64,
+}

@@ -76,6 +76,7 @@
 mod algorithms;
 mod analysis;
 mod analyzer;
+mod engine;
 mod error;
 mod mindelay;
 mod report;
@@ -85,10 +86,11 @@ mod sync;
 pub use algorithms::{Algorithm1Stats, Algorithm2Stats};
 pub use analysis::PrepStats;
 pub use analyzer::Analyzer;
+pub use engine::EngineStats;
 pub use error::AnalyzeError;
 pub use mindelay::MinDelayViolation;
 pub use report::{
     SlowPath, SlowStep, TerminalKind, TerminalSlack, TimingConstraints, TimingReport,
 };
-pub use spec::{AnalysisOptions, EdgeSpec, LatchModel, Spec};
+pub use spec::{AnalysisOptions, EdgeSpec, EngineKind, LatchModel, Spec};
 pub use sync::{Replica, ReplicaTiming};

@@ -76,8 +76,7 @@ pub(crate) fn check_min_delays(
         }
         for pi in &prep.pis {
             if prep.cluster_passes[prep.graph.cluster_of(pi.net).as_raw() as usize].contains(&p) {
-                let at =
-                    (prep.timeline.edge_time(pi.edge) - start).rem_euclid(overall) + pi.offset;
+                let at = (prep.timeline.edge_time(pi.edge) - start).rem_euclid(overall) + pi.offset;
                 seed(&mut early, pi.net, at);
                 seeded = true;
             }
@@ -100,8 +99,7 @@ pub(crate) fn check_min_delays(
             // overall cycle) happened at `close − T_β` *plus* the
             // control-path delay. New data arriving within the hold
             // window after that earlier capture races it.
-            let close =
-                (prep.timeline.edge_time(r.close_edge) - start).rem_euclid_end(overall);
+            let close = (prep.timeline.edge_time(r.close_edge) - start).rem_euclid_end(overall);
             let prev_close = close - prep.replica_period[k];
             if arrive < close && arrive >= prev_close {
                 let bound = prev_close + r.cdel() + r.hold();

@@ -60,6 +60,21 @@ pub enum LatchModel {
     EdgeTriggered,
 }
 
+/// Which slack-evaluation engine runs the per-pass sweeps.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The cluster-sharded engine: per-`(cluster, pass)` sweeps over
+    /// compact CSR subgraphs, scheduled onto a thread pool, with
+    /// incremental reuse of clusters whose seeds did not move.
+    /// Bit-identical to [`EngineKind::Reference`] at any thread count.
+    #[default]
+    Sharded,
+    /// The reference engine: one dense whole-graph forward and backward
+    /// sweep per global pass, single-threaded. Kept for differential
+    /// testing and benchmarking.
+    Reference,
+}
+
 /// Tuning knobs for the analysis algorithms.
 #[derive(Clone, Copy, Debug)]
 pub struct AnalysisOptions {
@@ -77,6 +92,12 @@ pub struct AnalysisOptions {
     /// after Algorithm 1. The paper defines these but notes its
     /// algorithms do not check them; this is an extension.
     pub check_min_delays: bool,
+    /// Worker threads for the sharded engine's sweeps. `0` (the
+    /// default) uses [`std::thread::available_parallelism`]. The result
+    /// is bit-identical at any thread count.
+    pub threads: usize,
+    /// Which slack-evaluation engine to use.
+    pub engine: EngineKind,
 }
 
 impl Default for AnalysisOptions {
@@ -86,6 +107,22 @@ impl Default for AnalysisOptions {
             partial_divisor: 2,
             max_cycles: 64,
             check_min_delays: false,
+            threads: 0,
+            engine: EngineKind::Sharded,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Resolves [`AnalysisOptions::threads`]: `0` becomes the machine's
+    /// available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 }
@@ -130,12 +167,7 @@ impl Spec {
     }
 
     /// Declares that input port `port` is asserted `offset` after `edge`.
-    pub fn input_arrival(
-        mut self,
-        port: impl Into<String>,
-        edge: EdgeSpec,
-        offset: Time,
-    ) -> Spec {
+    pub fn input_arrival(mut self, port: impl Into<String>, edge: EdgeSpec, offset: Time) -> Spec {
         self.input_arrivals.insert(port.into(), (edge, offset));
         self
     }
@@ -198,7 +230,11 @@ mod tests {
         let spec = Spec::new()
             .clock_port("ck1", "phi1")
             .clock_port("ck2", "phi2")
-            .input_arrival("a", EdgeSpec::new("phi1", Transition::Rise), Time::from_ns(1))
+            .input_arrival(
+                "a",
+                EdgeSpec::new("phi1", Transition::Rise),
+                Time::from_ns(1),
+            )
             .output_required("y", EdgeSpec::new("phi2", Transition::Fall), Time::ZERO);
         assert_eq!(spec.clock_for_port("ck1"), Some("phi1"));
         assert_eq!(spec.clock_for_port("nope"), None);

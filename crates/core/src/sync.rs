@@ -251,7 +251,13 @@ impl Replica {
 mod tests {
     use super::*;
 
-    fn timing(width_ns: i64, setup_ps: i64, d_cx_ps: i64, d_dx_ps: i64, cdel_ps: i64) -> ReplicaTiming {
+    fn timing(
+        width_ns: i64,
+        setup_ps: i64,
+        d_cx_ps: i64,
+        d_dx_ps: i64,
+        cdel_ps: i64,
+    ) -> ReplicaTiming {
         ReplicaTiming {
             width: Time::from_ns(width_ns),
             setup: Time::from_ps(setup_ps),

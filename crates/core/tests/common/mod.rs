@@ -4,7 +4,9 @@
 //! whose cells have load-independent delays, so every scenario's
 //! arithmetic can be checked by hand.
 
-use hb_cells::{Cell, DelayModel, DriveStrength, Function, Library, SyncKind, SyncSpec, TimingArc, WireLoad};
+use hb_cells::{
+    Cell, DelayModel, DriveStrength, Function, Library, SyncKind, SyncSpec, TimingArc, WireLoad,
+};
 use hb_netlist::{Design, LeafDef, ModuleId, NetId, PinDir};
 use hb_units::{Sense, Time};
 

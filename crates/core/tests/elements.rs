@@ -51,7 +51,11 @@ impl Rig {
         let mut prev = from;
         for i in 0..n {
             let next = self.net(&format!("{tag}{i}"));
-            self.inst(&format!("u_{tag}{i}"), "BUF_X1", &[("A", prev), ("Y", next)]);
+            self.inst(
+                &format!("u_{tag}{i}"),
+                "BUF_X1",
+                &[("A", prev), ("Y", next)],
+            );
             prev = next;
         }
         prev
@@ -59,14 +63,23 @@ impl Rig {
 }
 
 /// `in -> chain(n) -> <latch cell> -> chain(m) -> DFF`, two-phase.
-fn latch_rig(latch_cell: &str, control_pin: &str, pre: usize, post: usize) -> (Rig, ClockSet, Spec) {
+fn latch_rig(
+    latch_cell: &str,
+    control_pin: &str,
+    pre: usize,
+    post: usize,
+) -> (Rig, ClockSet, Spec) {
     let mut r = Rig::new();
     let input = r.input("in");
     let phi1 = r.input("phi1");
     let phi2 = r.input("phi2");
     let mid = r.buf_chain(input, pre, "pre");
     let lat_q = r.net("lat_q");
-    r.inst("lat", latch_cell, &[("D", mid), (control_pin, phi2), ("Q", lat_q)]);
+    r.inst(
+        "lat",
+        latch_cell,
+        &[("D", mid), (control_pin, phi2), ("Q", lat_q)],
+    );
     let ff_d = r.buf_chain(lat_q, post, "post");
     let q = r.net("q");
     r.inst("cap", "DFF", &[("D", ff_d), ("CK", phi1), ("Q", q)]);
@@ -75,7 +88,12 @@ fn latch_rig(latch_cell: &str, control_pin: &str, pre: usize, post: usize) -> (R
         .add_clock("phi1", Time::from_ns(20), Time::ZERO, Time::from_ns(8))
         .unwrap();
     clocks
-        .add_clock("phi2", Time::from_ns(20), Time::from_ns(10), Time::from_ns(18))
+        .add_clock(
+            "phi2",
+            Time::from_ns(20),
+            Time::from_ns(10),
+            Time::from_ns(18),
+        )
         .unwrap();
     let spec = Spec::new()
         .clock_port("phi1", "phi1")
@@ -134,7 +152,11 @@ fn active_low_rig(latch_cell: &str, invert_control: bool) -> (Rig, ClockSet, Spe
     };
     let mid = r.buf_chain(input, 40, "pre");
     let lat_q = r.net("lat_q");
-    r.inst("lat", latch_cell, &[("D", mid), ("G", control), ("Q", lat_q)]);
+    r.inst(
+        "lat",
+        latch_cell,
+        &[("D", mid), ("G", control), ("Q", lat_q)],
+    );
     let ff_d = r.buf_chain(lat_q, 20, "post");
     let q = r.net("q");
     r.inst("cap", "DFF", &[("D", ff_d), ("CK", phi1), ("Q", q)]);
@@ -143,7 +165,12 @@ fn active_low_rig(latch_cell: &str, invert_control: bool) -> (Rig, ClockSet, Spe
         .add_clock("phi1", Time::from_ns(20), Time::from_ns(12), Time::ZERO)
         .unwrap();
     clocks
-        .add_clock("phi2", Time::from_ns(20), Time::from_ns(10), Time::from_ns(18))
+        .add_clock(
+            "phi2",
+            Time::from_ns(20),
+            Time::from_ns(10),
+            Time::from_ns(18),
+        )
         .unwrap();
     let spec = Spec::new()
         .clock_port("phi1", "phi1")
@@ -194,7 +221,12 @@ fn multirate_transparent_latch_replicates() {
         .add_clock("slow", Time::from_ns(40), Time::ZERO, Time::from_ns(20))
         .unwrap();
     clocks
-        .add_clock("fast", Time::from_ns(20), Time::from_ns(4), Time::from_ns(12))
+        .add_clock(
+            "fast",
+            Time::from_ns(20),
+            Time::from_ns(4),
+            Time::from_ns(12),
+        )
         .unwrap();
     let spec = Spec::new()
         .clock_port("slow", "slow")
@@ -226,7 +258,12 @@ fn edge_occurrences_shift_boundary_timing() {
             .add_clock("slow", Time::from_ns(100), Time::ZERO, Time::from_ns(50))
             .unwrap();
         clocks
-            .add_clock("fast", Time::from_ns(25), Time::from_ns(5), Time::from_ns(15))
+            .add_clock(
+                "fast",
+                Time::from_ns(25),
+                Time::from_ns(5),
+                Time::from_ns(15),
+            )
             .unwrap();
         let spec = Spec::new()
             .clock_port("slow", "slow")
@@ -270,7 +307,10 @@ fn out_of_range_occurrence_is_an_error() {
     );
     let err = Analyzer::new(&r.design, r.module, &lib, &clocks, spec).unwrap_err();
     assert!(
-        matches!(err, AnalyzeError::EdgeOccurrenceOutOfRange { occurrence: 5, .. }),
+        matches!(
+            err,
+            AnalyzeError::EdgeOccurrenceOutOfRange { occurrence: 5, .. }
+        ),
         "{err}"
     );
 }

@@ -40,7 +40,11 @@ fn cross_domain(
     let spec = Spec::new()
         .clock_port("cka", launch.0)
         .clock_port("ckb", capture.0)
-        .input_arrival("in", EdgeSpec::new(launch.0, Transition::Rise), Time::from_ns(-1));
+        .input_arrival(
+            "in",
+            EdgeSpec::new(launch.0, Transition::Rise),
+            Time::from_ns(-1),
+        );
     (b, clocks, spec)
 }
 
@@ -124,7 +128,11 @@ fn three_domain_chain() {
         .clock_port("cka", "a")
         .clock_port("ckb", "b")
         .clock_port("ckc", "c")
-        .input_arrival("in", EdgeSpec::new("a", Transition::Rise), Time::from_ns(-1));
+        .input_arrival(
+            "in",
+            EdgeSpec::new("a", Transition::Rise),
+            Time::from_ns(-1),
+        );
     let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
         .unwrap()
         .analyze();

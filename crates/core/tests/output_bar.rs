@@ -55,9 +55,11 @@ fn dffqn_design(q_chain: usize, qn_chain: usize) -> (Design, ModuleId, ClockSet,
     clocks
         .add_clock("ck", Time::from_ns(6), Time::ZERO, Time::from_ns(3))
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     (d, m, clocks, spec)
 }
 

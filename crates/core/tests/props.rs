@@ -1,13 +1,16 @@
-//! Property-based tests of the analyzer's core invariants, on designs
-//! with exact (load-independent) delays.
+//! Property-style tests of the analyzer's core invariants, on designs
+//! with exact (load-independent) delays, driven by a seeded
+//! deterministic generator.
 
 mod common;
 
 use common::{exact_lib, Builder};
 use hb_clock::ClockSet;
+use hb_rng::SmallRng;
 use hb_units::{Time, Transition};
 use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// `in -> DEL… -> FF(ck)` with the given chain and a given period; the
 /// capture budget is exactly one period.
@@ -29,9 +32,11 @@ fn chain_design(delays: &[i64], period_ns: i64) -> (Builder, ClockSet, Spec) {
             Time::from_ns(period_ns / 2),
         )
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     (b, clocks, spec)
 }
 
@@ -80,32 +85,35 @@ fn latch_design(
     (b, clocks, spec)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The worst slack of a pure chain is exactly `period − Σ delays` —
-    /// the analyzer's arithmetic is closed-form on simple designs.
-    #[test]
-    fn chain_slack_is_closed_form(
-        delays in prop::collection::vec(1i64..20, 1..6),
-        period_ns in 10i64..200,
-    ) {
+/// The worst slack of a pure chain is exactly `period − Σ delays` — the
+/// analyzer's arithmetic is closed-form on simple designs.
+#[test]
+fn chain_slack_is_closed_form() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5001 + case);
+        let n = rng.gen_range(1..6);
+        let delays: Vec<i64> = (0..n).map(|_| rng.gen_range(1..20) as i64).collect();
+        let period_ns = rng.gen_range(10..200) as i64;
         let (b, clocks, spec) = chain_design(&delays, period_ns);
         let lib = exact_lib(&delays);
         let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
             .unwrap()
             .analyze();
         let expected = Time::from_ns(period_ns - delays.iter().sum::<i64>());
-        prop_assert_eq!(report.worst_slack(), expected);
-        prop_assert_eq!(report.ok(), expected > Time::ZERO);
+        assert_eq!(report.worst_slack(), expected);
+        assert_eq!(report.ok(), expected > Time::ZERO);
     }
+}
 
-    /// Analysis is deterministic.
-    #[test]
-    fn analysis_is_deterministic(
-        d_a in 1i64..60, d_b in 1i64..60,
-        lead2 in 45i64..55, width2 in 10i64..40,
-    ) {
+/// Analysis is deterministic.
+#[test]
+fn analysis_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5002 + case);
+        let d_a = rng.gen_range(1..60) as i64;
+        let d_b = rng.gen_range(1..60) as i64;
+        let lead2 = rng.gen_range(45..55) as i64;
+        let width2 = rng.gen_range(10..40) as i64;
         let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
         let lib = exact_lib(&[d_a, d_b]);
         let r1 = Analyzer::new(&b.design, b.module, &lib, &clocks, spec.clone())
@@ -114,18 +122,22 @@ proptest! {
         let r2 = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
             .unwrap()
             .analyze();
-        prop_assert_eq!(r1.worst_slack(), r2.worst_slack());
-        prop_assert_eq!(r1.ok(), r2.ok());
+        assert_eq!(r1.worst_slack(), r2.worst_slack());
+        assert_eq!(r1.ok(), r2.ok());
     }
+}
 
-    /// Whenever the edge-triggered baseline accepts a latch design, the
-    /// transparent analysis does too (the proposition's feasible-set
-    /// containment).
-    #[test]
-    fn transparent_subsumes_edge_triggered(
-        d_a in 1i64..90, d_b in 1i64..90,
-        lead2 in 42i64..58, width2 in 8i64..40,
-    ) {
+/// Whenever the edge-triggered baseline accepts a latch design, the
+/// transparent analysis does too (the proposition's feasible-set
+/// containment).
+#[test]
+fn transparent_subsumes_edge_triggered() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5003 + case);
+        let d_a = rng.gen_range(1..90) as i64;
+        let d_b = rng.gen_range(1..90) as i64;
+        let lead2 = rng.gen_range(42..58) as i64;
+        let width2 = rng.gen_range(8..40) as i64;
         let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
         let lib = exact_lib(&[d_a, d_b]);
         let transparent = Analyzer::new(&b.design, b.module, &lib, &clocks, spec.clone())
@@ -133,24 +145,38 @@ proptest! {
             .analyze()
             .ok();
         let edge = Analyzer::with_options(
-            &b.design, b.module, &lib, &clocks, spec,
-            AnalysisOptions { latch_model: LatchModel::EdgeTriggered, ..AnalysisOptions::default() },
+            &b.design,
+            b.module,
+            &lib,
+            &clocks,
+            spec,
+            AnalysisOptions {
+                latch_model: LatchModel::EdgeTriggered,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap()
         .analyze()
         .ok();
-        prop_assert!(!edge || transparent, "edge ok but transparent not (dA={d_a} dB={d_b})");
+        assert!(
+            !edge || transparent,
+            "edge ok but transparent not (dA={d_a} dB={d_b})"
+        );
     }
+}
 
-    /// The transparent verdict matches the closed-form feasibility of the
-    /// single-latch system: there must exist an assertion time
-    /// `t ∈ [lead2, lead2+width2]` with `d_a ≤ t` and `t + d_b ≤ period`,
-    /// with strict inequalities for a strictly positive verdict.
-    #[test]
-    fn borrowing_matches_closed_form_feasibility(
-        d_a in 1i64..99, d_b in 1i64..99,
-        lead2 in 40i64..60, width2 in 10i64..39,
-    ) {
+/// The transparent verdict matches the closed-form feasibility of the
+/// single-latch system: there must exist an assertion time
+/// `t ∈ [lead2, lead2+width2]` with `d_a ≤ t` and `t + d_b ≤ period`,
+/// with strict inequalities for a strictly positive verdict.
+#[test]
+fn borrowing_matches_closed_form_feasibility() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5004 + case);
+        let d_a = rng.gen_range(1..99) as i64;
+        let d_b = rng.gen_range(1..99) as i64;
+        let lead2 = rng.gen_range(40..60) as i64;
+        let width2 = rng.gen_range(10..39) as i64;
         let (b, clocks, spec) = latch_design(d_a, d_b, lead2, width2, 100);
         let lib = exact_lib(&[d_a, d_b]);
         let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
@@ -162,21 +188,28 @@ proptest! {
         let lo = lead2.max(d_a);
         let hi = (lead2 + width2).min(100 - d_b);
         // Strictly feasible (slack > 0 achievable) iff lo < hi.
-        prop_assert_eq!(
+        assert_eq!(
             report.ok(),
             lo < hi,
             "dA={} dB={} window=[{}..{}] verdict={}",
-            d_a, d_b, lo, hi, report.ok()
+            d_a,
+            d_b,
+            lo,
+            hi,
+            report.ok()
         );
     }
+}
 
-    /// Scaling every waveform and the period together can only help a
-    /// fixed netlist: verdicts are monotone in the scale factor.
-    #[test]
-    fn proportional_period_scaling_is_monotone(
-        delays in prop::collection::vec(1i64..15, 1..5),
-        base in 8i64..40,
-    ) {
+/// Scaling every waveform and the period together can only help a fixed
+/// netlist: verdicts are monotone in the scale factor.
+#[test]
+fn proportional_period_scaling_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5005 + case);
+        let n = rng.gen_range(1..5);
+        let delays: Vec<i64> = (0..n).map(|_| rng.gen_range(1..15) as i64).collect();
+        let base = rng.gen_range(8..40) as i64;
         let lib = exact_lib(&delays);
         let mut last_ok = false;
         for scale in [1i64, 2, 4] {
@@ -184,7 +217,12 @@ proptest! {
             let report = Analyzer::new(&b.design, b.module, &lib, &clocks, spec)
                 .unwrap()
                 .analyze();
-            prop_assert!(!last_ok || report.ok(), "ok at {}x but not {}x", scale / 2, scale);
+            assert!(
+                !last_ok || report.ok(),
+                "ok at {}x but not {}x",
+                scale / 2,
+                scale
+            );
             last_ok = report.ok();
         }
     }

@@ -30,9 +30,11 @@ fn fan(delays: &[i64], period_ns: i64) -> (Builder, ClockSet, Spec) {
             Time::from_ns(period_ns / 2),
         )
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     (b, clocks, spec)
 }
 
@@ -111,7 +113,9 @@ fn constraints_accessors_are_consistent() {
     let module = b.design.module(b.module);
     for name in ["mid0", "mid1", "mid2", "in"] {
         let net = module.net_by_name(name).unwrap();
-        let per_pass = constraints.ready_in_pass(0, net).expect("reached in pass 0");
+        let per_pass = constraints
+            .ready_in_pass(0, net)
+            .expect("reached in pass 0");
         let merged = constraints.ready_at(net).expect("reached");
         assert_eq!(per_pass.worst(), merged, "{name}");
         let slack = constraints.net_slack(net).expect("both sides known");
@@ -141,7 +145,11 @@ fn terminal_kinds_enumerate_the_boundary() {
     assert_eq!(count(TerminalKind::SyncInput), 2);
     assert_eq!(count(TerminalKind::SyncOutput), 2);
     assert_eq!(count(TerminalKind::PrimaryInput), 1);
-    assert_eq!(count(TerminalKind::PrimaryOutput), 0, "no required times set");
+    assert_eq!(
+        count(TerminalKind::PrimaryOutput),
+        0,
+        "no required times set"
+    );
     assert_eq!(TerminalKind::SyncInput.to_string(), "sync input");
 }
 

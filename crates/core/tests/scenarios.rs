@@ -5,9 +5,7 @@ mod common;
 use common::{exact_lib, Builder};
 use hb_clock::ClockSet;
 use hb_units::{Time, Transition};
-use hummingbird::{
-    AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec, TerminalKind,
-};
+use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec, TerminalKind};
 
 /// `in -> DEL(d) -> FF(ck) -> out`, 10 ns clock. The flip-flop captures
 /// on the rising edge; the input is asserted at the rising edge, so the
@@ -25,9 +23,11 @@ fn ff_pipeline(delay_ns: i64) -> (Builder, ClockSet, Spec) {
     clocks
         .add_clock("ck", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     (b, clocks, spec)
 }
 
@@ -94,7 +94,12 @@ fn borrowing() -> (Builder, ClockSet, Spec) {
         .add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
         .unwrap();
     clocks
-        .add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
+        .add_clock(
+            "phi2",
+            Time::from_ns(100),
+            Time::from_ns(50),
+            Time::from_ns(90),
+        )
         .unwrap();
     let spec = Spec::new()
         .clock_port("phi1", "phi1")
@@ -158,7 +163,12 @@ fn borrowing_fails_when_total_exceeds_budget() {
         .add_clock("phi1", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
         .unwrap();
     clocks
-        .add_clock("phi2", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
+        .add_clock(
+            "phi2",
+            Time::from_ns(100),
+            Time::from_ns(50),
+            Time::from_ns(90),
+        )
         .unwrap();
     let spec = Spec::new()
         .clock_port("phi1", "phi1")
@@ -175,7 +185,11 @@ fn borrowing_fails_when_total_exceeds_budget() {
         .filter(|t| t.kind == TerminalKind::SyncInput && t.slack <= Time::ZERO)
         .map(|t| t.name.as_str())
         .collect();
-    assert_eq!(slow_inputs.len(), 2, "latch and flop inputs: {slow_inputs:?}");
+    assert_eq!(
+        slow_inputs.len(),
+        2,
+        "latch and flop inputs: {slow_inputs:?}"
+    );
 }
 
 /// The Figure 1 configuration: a gate fed by latches on phases 1 and 3,
@@ -251,7 +265,12 @@ fn multirate_capture_uses_next_pulse() {
             .unwrap();
         // Fast rises at 5, 30, 55, 80.
         clocks
-            .add_clock("fast", Time::from_ns(25), Time::from_ns(5), Time::from_ns(15))
+            .add_clock(
+                "fast",
+                Time::from_ns(25),
+                Time::from_ns(5),
+                Time::from_ns(15),
+            )
             .unwrap();
         let spec = Spec::new()
             .clock_port("slow", "slow")
@@ -292,9 +311,16 @@ fn latch_loop(d_ab: i64, d_ba: i64) -> (Builder, ClockSet, Spec) {
         .add_clock("phiA", Time::from_ns(100), Time::ZERO, Time::from_ns(40))
         .unwrap();
     clocks
-        .add_clock("phiB", Time::from_ns(100), Time::from_ns(50), Time::from_ns(90))
+        .add_clock(
+            "phiB",
+            Time::from_ns(100),
+            Time::from_ns(50),
+            Time::from_ns(90),
+        )
         .unwrap();
-    let spec = Spec::new().clock_port("phiA", "phiA").clock_port("phiB", "phiB");
+    let spec = Spec::new()
+        .clock_port("phiA", "phiA")
+        .clock_port("phiB", "phiB");
     (b, clocks, spec)
 }
 
@@ -360,7 +386,10 @@ fn constraints_settle_actual_times_on_slow_paths() {
     let module = b.design.module(b.module);
     let bd = module.net_by_name("bd").unwrap();
     let slack = constraints.net_slack(bd).expect("constrained net");
-    assert!(slack < Time::ZERO, "slow net keeps a negative budget: {slack}");
+    assert!(
+        slack < Time::ZERO,
+        "slow net keeps a negative budget: {slack}"
+    );
 }
 
 #[test]
@@ -390,15 +419,16 @@ fn min_delay_skew_race_detected() {
         clocks
             .add_clock("ck", Time::from_ns(50), Time::ZERO, Time::from_ns(25))
             .unwrap();
-        let spec = Spec::new()
-            .clock_port("ck", "ck")
-            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::from_ns(1));
+        let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+            "in",
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::from_ns(1),
+        );
         let options = AnalysisOptions {
             check_min_delays: true,
             ..AnalysisOptions::default()
         };
-        let a =
-            Analyzer::with_options(&b.design, b.module, &lib, &clocks, spec, options).unwrap();
+        let a = Analyzer::with_options(&b.design, b.module, &lib, &clocks, spec, options).unwrap();
         let report = a.analyze();
         assert!(report.ok(), "max-delay constraints are easy here");
         assert_eq!(
@@ -424,11 +454,18 @@ fn widening_the_clock_fixes_violations_monotonically() {
         b.inst("FF", &[("D", d), ("C", ck), ("Q", q)]);
         let mut clocks = ClockSet::new();
         clocks
-            .add_clock("ck", Time::from_ns(period_ns), Time::ZERO, Time::from_ns(period_ns / 2))
+            .add_clock(
+                "ck",
+                Time::from_ns(period_ns),
+                Time::ZERO,
+                Time::from_ns(period_ns / 2),
+            )
             .unwrap();
-        let spec = Spec::new()
-            .clock_port("ck", "ck")
-            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+        let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+            "in",
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
         let a = Analyzer::new(&b.design, b.module, &lib, &clocks, spec).unwrap();
         let ok = a.analyze().ok();
         assert!(
@@ -457,7 +494,10 @@ fn structural_assumption_errors() {
     // "fake" is not declared as a clock port.
     let spec = Spec::new();
     let err = Analyzer::new(&b.design, b.module, &lib, &clocks, spec).unwrap_err();
-    assert!(matches!(err, AnalyzeError::UnclockedControl { .. }), "{err}");
+    assert!(
+        matches!(err, AnalyzeError::UnclockedControl { .. }),
+        "{err}"
+    );
 
     // Unknown clock port in the spec.
     let spec = Spec::new().clock_port("nonexistent", "ck");
@@ -488,9 +528,11 @@ fn enable_path_rejected() {
     clocks
         .add_clock("ck", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     let err = Analyzer::new(&b.design, b.module, &lib, &clocks, spec).unwrap_err();
     assert!(matches!(err, AnalyzeError::EnablePath { .. }), "{err}");
 }
@@ -517,9 +559,11 @@ fn clock_skew_tightens_paths() {
     clocks
         .add_clock("ck", Time::from_ns(10), Time::ZERO, Time::from_ns(5))
         .unwrap();
-    let spec = Spec::new()
-        .clock_port("ck", "ck")
-        .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+    let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+        "in",
+        EdgeSpec::new("ck", Transition::Rise),
+        Time::ZERO,
+    );
     let a = Analyzer::new(&b.design, b.module, &lib, &clocks, spec).unwrap();
     let report = a.analyze();
     // Launch asserts at 4 (skew) and the capture closes at 10:

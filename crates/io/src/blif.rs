@@ -130,8 +130,7 @@ pub fn parse_blif(text: &str, library: &Library) -> Result<Design, ParseError> {
                 for token in tokens {
                     match token.split_once('=') {
                         Some((pin, net_name)) => {
-                            let net =
-                                net_or_new(&mut design, module, net_name).map_err(&err)?;
+                            let net = net_or_new(&mut design, module, net_name).map_err(&err)?;
                             design
                                 .connect(module, inst, pin, net)
                                 .map_err(|e| err(e.to_string()))?;
@@ -157,8 +156,7 @@ pub fn parse_blif(text: &str, library: &Library) -> Result<Design, ParseError> {
                         .pin_def(spec.control)
                         .name()
                         .to_owned();
-                    let net = net_or_new(&mut design, module, control_net_name)
-                        .map_err(&err)?;
+                    let net = net_or_new(&mut design, module, control_net_name).map_err(&err)?;
                     design
                         .connect(module, inst, &control_pin, net)
                         .map_err(|e| err(e.to_string()))?;
@@ -201,7 +199,9 @@ pub fn parse_blif(text: &str, library: &Library) -> Result<Design, ParseError> {
         return Err(ParseError::new(0, "unterminated model (missing .end)"));
     }
     let top = first_model.ok_or_else(|| ParseError::new(0, "no .model in input"))?;
-    design.set_top(top).map_err(|e| ParseError::new(0, e.to_string()))?;
+    design
+        .set_top(top)
+        .map_err(|e| ParseError::new(0, e.to_string()))?;
     Ok(design)
 }
 
@@ -296,8 +296,8 @@ pub fn write_blif(design: &Design, library: &Library) -> String {
                     for (slot, net) in inst.conns() {
                         // Match the child's BLIF port identity: its net
                         // name (see the `.inputs`/`.outputs` comment).
-                        let child_port = child_module
-                            .port(hb_netlist::PortId::from_raw(slot.as_raw()));
+                        let child_port =
+                            child_module.port(hb_netlist::PortId::from_raw(slot.as_raw()));
                         let _ = write!(
                             line,
                             " {}={}",
@@ -391,13 +391,13 @@ mod tests {
         // `pair` is defined after `top`: BLIF allows forward references,
         // but this subset requires definition-before-use, so reverse the
         // models.
-        let reordered = text
-            .split("\n.model")
-            .collect::<Vec<_>>()
-            .join("\n.model");
+        let reordered = text.split("\n.model").collect::<Vec<_>>().join("\n.model");
         let _ = reordered;
         let forward = parse_blif(text, &lib);
-        assert!(forward.is_err(), "forward reference rejected with a clear error");
+        assert!(
+            forward.is_err(),
+            "forward reference rejected with a clear error"
+        );
         let swapped = "\
 .model pair
 .inputs a
@@ -420,7 +420,10 @@ mod tests {
     #[test]
     fn errors() {
         let lib = sc89();
-        assert!(parse_blif("", &lib).unwrap_err().message().contains("no .model"));
+        assert!(parse_blif("", &lib)
+            .unwrap_err()
+            .message()
+            .contains("no .model"));
         let e = parse_blif(".model t\n.gate NOPE A=a\n.end\n", &lib).unwrap_err();
         assert_eq!(e.line(), 2);
         let e = parse_blif(".model t\n.mlatch INV_X1 A=a ck\n.end\n", &lib).unwrap_err();

@@ -128,9 +128,7 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
                 let name = tokens
                     .next()
                     .ok_or_else(|| err("module needs a name".into()))?;
-                let id = design
-                    .add_module(name)
-                    .map_err(|e| err(e.to_string()))?;
+                let id = design.add_module(name).map_err(|e| err(e.to_string()))?;
                 current = Some(id);
             }
             "end" => {
@@ -156,8 +154,7 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
                         Some((p, n)) => (p, n),
                         None => (token, token),
                     };
-                    let net = net_by_name_or_new(&mut design, module, net_name)
-                        .map_err(&err)?;
+                    let net = net_by_name_or_new(&mut design, module, net_name).map_err(&err)?;
                     design
                         .add_port(module, name, dir, net)
                         .map_err(|e| err(e.to_string()))?;
@@ -186,8 +183,7 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
                     let (pin, net_name) = conn
                         .split_once('=')
                         .ok_or_else(|| err(format!("expected pin=net, got {conn:?}")))?;
-                    let net = net_by_name_or_new(&mut design, module, net_name)
-                        .map_err(&err)?;
+                    let net = net_by_name_or_new(&mut design, module, net_name).map_err(&err)?;
                     design
                         .connect(module, inst, pin, net)
                         .map_err(|e| err(e.to_string()))?;
@@ -299,11 +295,7 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
     })
 }
 
-fn net_by_name_or_new(
-    design: &mut Design,
-    module: ModuleId,
-    name: &str,
-) -> Result<NetId, String> {
+fn net_by_name_or_new(design: &mut Design, module: ModuleId, name: &str) -> Result<NetId, String> {
     if let Some(net) = design.module(module).net_by_name(name) {
         return Ok(net);
     }
@@ -535,7 +527,10 @@ top top
         assert!(err.message().contains("NO_SUCH_CELL"));
 
         let bad = "inst u1 INV_X1 A=a\n";
-        assert!(parse_hum(bad, &lib).unwrap_err().message().contains("outside"));
+        assert!(parse_hum(bad, &lib)
+            .unwrap_err()
+            .message()
+            .contains("outside"));
 
         let bad = "module top\n";
         assert_eq!(parse_hum(bad, &lib).unwrap_err().line(), 0);
@@ -547,7 +542,10 @@ top top
             .contains("period, rise and fall"));
 
         let bad = "module top\n  port sideways a\nend\n";
-        assert!(parse_hum(bad, &lib).unwrap_err().message().contains("direction"));
+        assert!(parse_hum(bad, &lib)
+            .unwrap_err()
+            .message()
+            .contains("direction"));
     }
 
     #[test]

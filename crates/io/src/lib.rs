@@ -51,5 +51,5 @@ mod lib_format;
 
 pub use blif::{parse_blif, write_blif};
 pub use error::ParseError;
-pub use lib_format::{parse_lib, write_lib};
 pub use hum::{parse_hum, write_hum, write_hum_with_timing, EdgeRef, HumFile, TimingDirective};
+pub use lib_format::{parse_lib, write_lib};

@@ -227,10 +227,8 @@ pub fn parse_lib(text: &str) -> Result<Library, ParseError> {
                             );
                         }
                         "slope" => {
-                            slope = RiseFall::new(
-                                num!("slope rise", i64)?,
-                                num!("slope fall", i64)?,
-                            );
+                            slope =
+                                RiseFall::new(num!("slope rise", i64)?, num!("slope fall", i64)?);
                         }
                         "minscale" => minscale = Some(num!("minscale", u8)?),
                         other => return Err(err(format!("unknown arc field {other:?}"))),
@@ -503,6 +501,10 @@ cell DLATCH family DLATCH drive 1 area 10
         let e = parse_lib("library l\ncell X\n  pin A in\n  arc A Y positive\n").unwrap_err();
         assert!(e.message().contains("no pin"), "{e}");
         let e = parse_lib("library l\ncell X\n  sync trailing data D\n").unwrap_err();
-        assert!(e.message().contains("data, control and out"), "{}", e.message());
+        assert!(
+            e.message().contains("data, control and out"),
+            "{}",
+            e.message()
+        );
     }
 }

@@ -296,10 +296,16 @@ impl Design {
     ) -> Result<PinSlot, NetlistError> {
         let instance = &self.modules[module.idx()].insts[inst.idx()];
         let (slot, iface_name) = match instance.target {
-            InstRef::Leaf(l) => (self.leaves[l.idx()].pin_by_name(pin), self.leaves[l.idx()].name()),
+            InstRef::Leaf(l) => (
+                self.leaves[l.idx()].pin_by_name(pin),
+                self.leaves[l.idx()].name(),
+            ),
             InstRef::Module(child) => {
                 let cm = &self.modules[child.idx()];
-                (cm.port_by_name(pin).map(|p| PinSlot::from_raw(p.as_raw())), cm.name())
+                (
+                    cm.port_by_name(pin).map(|p| PinSlot::from_raw(p.as_raw())),
+                    cm.name(),
+                )
             }
         };
         slot.ok_or_else(|| NetlistError::UnknownPin {
@@ -418,11 +424,7 @@ impl Design {
         if old.pin_count() != new.pin_count() {
             return Err(NetlistError::InterfaceMismatch {
                 inst: instance.name.clone(),
-                detail: format!(
-                    "pin count {} vs {}",
-                    old.pin_count(),
-                    new.pin_count()
-                ),
+                detail: format!("pin count {} vs {}", old.pin_count(), new.pin_count()),
             });
         }
         for (slot, pin) in old.pins() {
@@ -479,9 +481,9 @@ impl Design {
 }
 
 fn detach_endpoint(net: &mut Net, inst: InstId, slot: PinSlot) {
-    net.endpoints.retain(|ep| {
-        !matches!(ep, Endpoint::Pin { inst: i, slot: s, .. } if *i == inst && *s == slot)
-    });
+    net.endpoints.retain(
+        |ep| !matches!(ep, Endpoint::Pin { inst: i, slot: s, .. } if *i == inst && *s == slot),
+    );
 }
 
 impl fmt::Display for Design {
@@ -650,6 +652,9 @@ mod tests {
         let slot = d.pin_slot(top, ci, "out").unwrap();
         assert_eq!(d.pin_dir(top, ci, slot), PinDir::Output);
         assert_eq!(d.pin_name(top, ci, slot), "out");
-        assert!(matches!(d.module(top).driver(n), Some(Endpoint::Pin { .. })));
+        assert!(matches!(
+            d.module(top).driver(n),
+            Some(Endpoint::Pin { .. })
+        ));
     }
 }

@@ -90,7 +90,10 @@ impl fmt::Display for NetlistError {
             ),
             NetlistError::NoTop => write!(f, "design has no top module"),
             NetlistError::RecursiveHierarchy { module } => {
-                write!(f, "module {module:?} instantiates itself (possibly indirectly)")
+                write!(
+                    f,
+                    "module {module:?} instantiates itself (possibly indirectly)"
+                )
             }
             NetlistError::InterfaceMismatch { inst, detail } => {
                 write!(f, "cannot retarget instance {inst:?}: {detail}")

@@ -34,8 +34,8 @@ impl Design {
         let no_binding: Vec<Option<NetId>> = vec![None; self.module(root).ports().count()];
         let root_nets = inline(self, &mut out, flat, root, "", &no_binding)?;
         for (_, port) in self.module(root).ports() {
-            let net = root_nets[port.net().as_raw() as usize]
-                .expect("root nets are always materialized");
+            let net =
+                root_nets[port.net().as_raw() as usize].expect("root nets are always materialized");
             out.add_port(flat, port.name().to_owned(), port.dir(), net)?;
         }
         out.set_top(flat)?;

@@ -155,7 +155,9 @@ impl LeafDef {
 
     /// Returns the slots of all input pins.
     pub fn input_slots(&self) -> impl Iterator<Item = PinSlot> + '_ {
-        self.pins().filter(|(_, p)| p.dir() == PinDir::Input).map(|(s, _)| s)
+        self.pins()
+            .filter(|(_, p)| p.dir() == PinDir::Input)
+            .map(|(s, _)| s)
     }
 
     /// Returns the slots of all output pins.

@@ -289,11 +289,7 @@ impl Module {
     ///
     /// Attributes stand in for OCT "flags": the original program could flag
     /// slow paths in the database for later viewing in VEM.
-    pub fn set_attr(
-        &mut self,
-        key: impl Into<String>,
-        value: impl Into<String>,
-    ) -> Option<String> {
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
         self.attrs.insert(key.into(), value.into())
     }
 
@@ -308,7 +304,9 @@ impl Module {
         key: impl Into<String>,
         value: impl Into<String>,
     ) -> Option<String> {
-        self.insts[inst.idx()].attrs.insert(key.into(), value.into())
+        self.insts[inst.idx()]
+            .attrs
+            .insert(key.into(), value.into())
     }
 
     /// Sets an attribute on a net; returns the previous value.

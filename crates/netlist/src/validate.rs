@@ -32,11 +32,7 @@ impl Design {
 
     fn check_acyclic(&self, root: ModuleId) -> Result<(), NetlistError> {
         // Colors: 0 = white, 1 = on stack, 2 = done.
-        fn visit(
-            design: &Design,
-            m: ModuleId,
-            colors: &mut Vec<u8>,
-        ) -> Result<(), NetlistError> {
+        fn visit(design: &Design, m: ModuleId, colors: &mut Vec<u8>) -> Result<(), NetlistError> {
             match colors[m.as_raw() as usize] {
                 1 => {
                     return Err(NetlistError::RecursiveHierarchy {

@@ -1,8 +1,8 @@
-//! Property-based tests of database consistency under random edit
-//! sequences.
+//! Property-style tests of database consistency under random edit
+//! sequences, driven by a seeded deterministic generator.
 
 use hb_netlist::{Design, Endpoint, InstId, LeafDef, NetId, PinDir, PinSlot};
-use proptest::prelude::*;
+use hb_rng::SmallRng;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,18 +13,23 @@ enum Op {
     Retarget { inst: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::AddNet),
-        Just(Op::AddInst),
-        (0usize..64, 0usize..3, 0usize..64).prop_map(|(inst, pin, net)| Op::Connect {
-            inst,
-            pin,
-            net
-        }),
-        (0usize..64, 0usize..3).prop_map(|(inst, pin)| Op::Disconnect { inst, pin }),
-        (0usize..64).prop_map(|inst| Op::Retarget { inst }),
-    ]
+fn random_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..5) {
+        0 => Op::AddNet,
+        1 => Op::AddInst,
+        2 => Op::Connect {
+            inst: rng.gen_range(0..64),
+            pin: rng.gen_range(0..3),
+            net: rng.gen_range(0..64),
+        },
+        3 => Op::Disconnect {
+            inst: rng.gen_range(0..64),
+            pin: rng.gen_range(0..3),
+        },
+        _ => Op::Retarget {
+            inst: rng.gen_range(0..64),
+        },
+    }
 }
 
 /// Applies a random edit sequence and checks that the normalized
@@ -58,9 +63,7 @@ fn run_ops(ops: Vec<Op>) {
         counter += 1;
         match op {
             Op::AddNet => nets.push(d.add_net(m, format!("n{counter}")).unwrap()),
-            Op::AddInst => {
-                insts.push(d.add_leaf_instance(m, format!("i{counter}"), g1).unwrap())
-            }
+            Op::AddInst => insts.push(d.add_leaf_instance(m, format!("i{counter}"), g1).unwrap()),
             Op::Connect { inst, pin, net } => {
                 if !insts.is_empty() {
                     let inst = insts[inst % insts.len()];
@@ -117,13 +120,12 @@ fn run_ops(ops: Vec<Op>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn random_edits_keep_connectivity_consistent(
-        ops in prop::collection::vec(op_strategy(), 0..120)
-    ) {
+#[test]
+fn random_edits_keep_connectivity_consistent() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x2000 + case);
+        let len = rng.gen_range(0..120);
+        let ops: Vec<Op> = (0..len).map(|_| random_op(&mut rng)).collect();
         run_ops(ops);
     }
 }

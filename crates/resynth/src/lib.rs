@@ -154,7 +154,14 @@ pub fn optimize(
                 edits_this_round += 1;
                 continue;
             }
-            if try_isolate(design, module, net, library, constraints, options.buffer_cost) {
+            if try_isolate(
+                design,
+                module,
+                net,
+                library,
+                constraints,
+                options.buffer_cost,
+            ) {
                 outcome.buffers += 1;
                 edits_this_round += 1;
             }
@@ -314,7 +321,8 @@ mod tests {
         let ck = d.add_net(m, "ck").unwrap();
         d.add_port(m, "ck", hb_netlist::PinDir::Input, ck).unwrap();
         let input = d.add_net(m, "in").unwrap();
-        d.add_port(m, "in", hb_netlist::PinDir::Input, input).unwrap();
+        d.add_port(m, "in", hb_netlist::PinDir::Input, input)
+            .unwrap();
         let inv = d.leaf_by_name("INV_X1").unwrap();
         let dff = d.leaf_by_name("DFF").unwrap();
 
@@ -360,9 +368,11 @@ mod tests {
         clocks
             .add_clock("ck", Time::from_ps(2_900), Time::ZERO, Time::from_ps(1_450))
             .unwrap();
-        let spec = Spec::new()
-            .clock_port("ck", "ck")
-            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+        let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+            "in",
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
         (d, m, clocks, spec)
     }
 
@@ -411,7 +421,8 @@ mod tests {
         let w = d.add_net(m, "w").unwrap();
         let q = d.add_net(m, "q").unwrap();
         d.add_port(m, "ck", hb_netlist::PinDir::Input, ck).unwrap();
-        d.add_port(m, "in", hb_netlist::PinDir::Input, input).unwrap();
+        d.add_port(m, "in", hb_netlist::PinDir::Input, input)
+            .unwrap();
         d.add_port(m, "q", hb_netlist::PinDir::Output, q).unwrap();
         let inv = d.leaf_by_name("INV_X1").unwrap();
         let dff = d.leaf_by_name("DFF").unwrap();
@@ -427,19 +438,13 @@ mod tests {
         clocks
             .add_clock("ck", Time::from_ps(100), Time::ZERO, Time::from_ps(50))
             .unwrap();
-        let spec = Spec::new()
-            .clock_port("ck", "ck")
-            .input_arrival("in", EdgeSpec::new("ck", Transition::Rise), Time::ZERO);
+        let spec = Spec::new().clock_port("ck", "ck").input_arrival(
+            "in",
+            EdgeSpec::new("ck", Transition::Rise),
+            Time::ZERO,
+        );
 
-        let outcome = optimize(
-            &mut d,
-            m,
-            &lib,
-            &clocks,
-            &spec,
-            ResynthOptions::default(),
-        )
-        .unwrap();
+        let outcome = optimize(&mut d, m, &lib, &clocks, &spec, ResynthOptions::default()).unwrap();
         assert!(!outcome.met);
         assert!(outcome.iterations <= ResynthOptions::default().max_iterations);
         d.validate().unwrap();

@@ -102,7 +102,7 @@ pub fn propagate_required_min(graph: &TimingGraph, lower: &mut TimeTable) {
 /// Maps a required time at an arc's output back to the arc's input: the
 /// input transition `tr` must arrive by
 /// `min over reachable output transitions (required_out − delay)`.
-fn required_backward(
+pub(crate) fn required_backward(
     sense: Sense,
     required_out: RiseFall<Time>,
     delay: RiseFall<Time>,
@@ -303,8 +303,7 @@ mod tests {
         let g = graph_of(&d, m, &lib);
 
         let mut required = table(&g, Time::INF);
-        required[y.as_raw() as usize] =
-            RiseFall::new(Time::from_ns(8), Time::from_ns(5));
+        required[y.as_raw() as usize] = RiseFall::new(Time::from_ns(8), Time::from_ns(5));
         propagate_required(&g, &mut required);
         let ra = required[a.as_raw() as usize];
         // Both input transitions see the tighter (5 ns) output bound.

@@ -41,10 +41,16 @@ impl fmt::Display for StaError {
                 write!(f, "instance {inst:?} is not bound to a library cell")
             }
             StaError::CombinationalCycle { net } => {
-                write!(f, "combinational logic contains a cycle through net {net:?}")
+                write!(
+                    f,
+                    "combinational logic contains a cycle through net {net:?}"
+                )
             }
             StaError::DanglingSyncPin { inst, pin } => {
-                write!(f, "synchronising element {inst:?} has an unconnected {pin} pin")
+                write!(
+                    f,
+                    "synchronising element {inst:?} has an unconnected {pin} pin"
+                )
             }
             StaError::SyncInsideAbstractedModule { module, inst } => write!(
                 f,

@@ -59,6 +59,12 @@ impl ClusterId {
     pub fn as_raw(self) -> u32 {
         self.0
     }
+
+    /// Reconstructs a handle from a raw index (as returned by
+    /// [`ClusterId::as_raw`]).
+    pub fn from_raw(raw: u32) -> ClusterId {
+        ClusterId(raw)
+    }
 }
 
 impl fmt::Display for ClusterId {
@@ -137,11 +143,12 @@ impl TimingGraph {
         for (inst_id, inst) in m.instances() {
             match inst.target() {
                 InstRef::Leaf(leaf) => {
-                    let cell_id = binding.cell_for_leaf(leaf).ok_or_else(|| {
-                        StaError::UnboundLeaf {
-                            inst: inst.name().to_owned(),
-                        }
-                    })?;
+                    let cell_id =
+                        binding
+                            .cell_for_leaf(leaf)
+                            .ok_or_else(|| StaError::UnboundLeaf {
+                                inst: inst.name().to_owned(),
+                            })?;
                     let cell = library.cell(cell_id);
                     match cell.function() {
                         Function::Combinational(cell_arcs) => {
@@ -168,12 +175,12 @@ impl TimingGraph {
                                     inst: inst.name().to_owned(),
                                 });
                             }
-                            let data_net = inst.conn(spec.data).ok_or_else(|| {
-                                StaError::DanglingSyncPin {
-                                    inst: inst.name().to_owned(),
-                                    pin: "data",
-                                }
-                            })?;
+                            let data_net =
+                                inst.conn(spec.data)
+                                    .ok_or_else(|| StaError::DanglingSyncPin {
+                                        inst: inst.name().to_owned(),
+                                        pin: "data",
+                                    })?;
                             let control_net = inst.conn(spec.control).ok_or_else(|| {
                                 StaError::DanglingSyncPin {
                                     inst: inst.name().to_owned(),
@@ -205,8 +212,7 @@ impl TimingGraph {
                     let abs = match cache.get(&child) {
                         Some(abs) => abs.clone(),
                         None => {
-                            let abs =
-                                abstract_module(design, child, binding, library, cache)?;
+                            let abs = abstract_module(design, child, binding, library, cache)?;
                             cache.insert(child, abs.clone());
                             abs
                         }
@@ -561,9 +567,7 @@ mod tests {
         assert_eq!(d.module(m).net(sync.data_net).name(), "y");
         assert_eq!(d.module(m).net(sync.control_net).name(), "ck");
         assert_eq!(
-            d.module(m)
-                .net(sync.output_net.expect("connected"))
-                .name(),
+            d.module(m).net(sync.output_net.expect("connected")).name(),
             "q"
         );
         assert_eq!(g.max_depth(), 2);
@@ -593,20 +597,8 @@ mod tests {
         }
         let binding = Binding::new(&d, &lib);
         let g = TimingGraph::build(&d, m, &binding, &lib).unwrap();
-        let d1 = g
-            .arcs()
-            .iter()
-            .find(|arc| arc.to == y1)
-            .unwrap()
-            .delay
-            .max[Transition::Rise];
-        let d2 = g
-            .arcs()
-            .iter()
-            .find(|arc| arc.to == y2)
-            .unwrap()
-            .delay
-            .max[Transition::Rise];
+        let d1 = g.arcs().iter().find(|arc| arc.to == y1).unwrap().delay.max[Transition::Rise];
+        let d2 = g.arcs().iter().find(|arc| arc.to == y2).unwrap().delay.max[Transition::Rise];
         assert!(d1 > d2, "heavier load means longer delay: {d1} vs {d2}");
     }
 

@@ -57,6 +57,8 @@ pub mod analysis;
 mod error;
 mod graph;
 pub mod paths;
+pub mod shard;
 
 pub use error::StaError;
 pub use graph::{Cluster, ClusterId, GraphArc, SyncInst, TimingGraph};
+pub use shard::{ClusterShard, ShardedGraph};

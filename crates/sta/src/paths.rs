@@ -208,7 +208,14 @@ pub fn k_worst_paths(
         let &(net, tr, _) = suffix.last().expect("non-empty suffix");
         let bound = ready[net.as_raw() as usize][tr].saturating_add(suffix_delay);
         if found.len() == k
-            && bound <= found.last().expect("k > 0").steps.last().expect("steps").time
+            && bound
+                <= found
+                    .last()
+                    .expect("k > 0")
+                    .steps
+                    .last()
+                    .expect("steps")
+                    .time
         {
             return;
         }
@@ -394,8 +401,7 @@ mod tests {
         block[a.as_raw() as usize] = RiseFall::ZERO;
         propagate_ready_max(&g, &mut block);
 
-        let (enumerated, stats) =
-            enumerate_max_arrival(&g, &[(a, RiseFall::ZERO)], u64::MAX);
+        let (enumerated, stats) = enumerate_max_arrival(&g, &[(a, RiseFall::ZERO)], u64::MAX);
         assert!(!stats.truncated);
         assert!(stats.paths > 1);
         assert_eq!(enumerated, block, "both methods agree on arrivals");
@@ -432,7 +438,10 @@ mod tests {
         // step after the origin names the instance that produced it.
         for pair in path.steps.windows(2) {
             assert!(pair[0].time <= pair[1].time);
-            assert!(pair[1].inst.is_some(), "non-origin steps name their instance");
+            assert!(
+                pair[1].inst.is_some(),
+                "non-origin steps name their instance"
+            );
         }
         assert!(path.steps.first().unwrap().inst.is_none());
     }
@@ -483,7 +492,12 @@ mod tests {
         let all = k_worst_paths(&g, &ready, sink, Transition::Rise, 10_000);
         let mut keys: Vec<Vec<(u32, Transition)>> = all
             .iter()
-            .map(|p| p.steps.iter().map(|s| (s.net.as_raw(), s.transition)).collect())
+            .map(|p| {
+                p.steps
+                    .iter()
+                    .map(|s| (s.net.as_raw(), s.transition))
+                    .collect()
+            })
             .collect();
         let n = keys.len();
         keys.sort();

@@ -1,0 +1,336 @@
+//! Cluster-sharded CSR subgraphs for per-`(cluster, pass)` sweeps.
+//!
+//! The dense tables in [`crate::analysis`] span the whole graph even
+//! though every sweep only ever moves values *within* one cluster (arcs
+//! never cross cluster boundaries by construction). A [`ShardedGraph`]
+//! re-packs each cluster into a compact subgraph with local node
+//! indices in topological order and CSR fanin/fanout arc arrays, so a
+//! per-cluster sweep touches `O(cluster)` memory instead of
+//! `O(graph)` — and independent `(cluster, pass)` sweeps can run on
+//! different threads without sharing mutable state.
+//!
+//! The local sweeps mirror [`crate::analysis::propagate_ready_max`]
+//! and [`crate::analysis::propagate_required`] operation for
+//! operation; because all merges are exact `i64` max/min, a local
+//! sweep scattered back into a dense table is bit-identical to the
+//! whole-graph sweep.
+
+use hb_netlist::NetId;
+use hb_units::{RiseFall, Time};
+
+use crate::analysis::required_backward;
+use crate::graph::{ClusterId, TimingGraph};
+
+/// One arc of a [`ClusterShard`], with endpoints as local indices and
+/// only the max-delay half (the min half stays on the whole-graph path
+/// used by the supplementary checks).
+#[derive(Clone, Copy, Debug)]
+struct LocalArc {
+    from: u32,
+    to: u32,
+    sense: hb_units::Sense,
+    delay_max: RiseFall<Time>,
+}
+
+/// A compact per-cluster subgraph: nets renumbered to `0..len` in
+/// topological order, arcs in CSR form.
+#[derive(Clone, Debug)]
+pub struct ClusterShard {
+    cluster: ClusterId,
+    /// Local index → global net, in topological order.
+    nets: Vec<NetId>,
+    arcs: Vec<LocalArc>,
+    /// CSR heads over local nodes into `fanout_arcs` (len `len + 1`).
+    fanout_heads: Vec<u32>,
+    fanout_arcs: Vec<u32>,
+    /// CSR heads over local nodes into `fanin_arcs` (len `len + 1`).
+    fanin_heads: Vec<u32>,
+    fanin_arcs: Vec<u32>,
+}
+
+impl ClusterShard {
+    /// The cluster this shard packs.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// The number of member nets.
+    pub fn len(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the cluster has no member nets.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// The number of member arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Member nets in topological order; position is the local index.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// A local table filled with the given sentinel.
+    pub fn table(&self, fill: Time) -> Vec<RiseFall<Time>> {
+        vec![RiseFall::splat(fill); self.nets.len()]
+    }
+
+    /// Forward maximum-arrival sweep over the shard — the local
+    /// equivalent of [`crate::analysis::propagate_ready_max`]. Seeds
+    /// must already be placed; unreached nodes keep [`Time::NEG_INF`].
+    pub fn sweep_ready_max(&self, ready: &mut [RiseFall<Time>]) {
+        debug_assert_eq!(ready.len(), self.nets.len());
+        for u in 0..self.nets.len() {
+            let at = ready[u];
+            if at.rise <= Time::NEG_INF && at.fall <= Time::NEG_INF {
+                continue;
+            }
+            let arcs =
+                &self.fanout_arcs[self.fanout_heads[u] as usize..self.fanout_heads[u + 1] as usize];
+            for &ai in arcs {
+                let arc = &self.arcs[ai as usize];
+                let out = arc.sense.propagate(at, arc.delay_max);
+                let slot = &mut ready[arc.to as usize];
+                *slot = (*slot).max(out);
+            }
+        }
+    }
+
+    /// Backward required-time sweep over the shard — the local
+    /// equivalent of [`crate::analysis::propagate_required`].
+    /// Unconstrained nodes keep [`Time::INF`].
+    pub fn sweep_required(&self, required: &mut [RiseFall<Time>]) {
+        debug_assert_eq!(required.len(), self.nets.len());
+        for v in (0..self.nets.len()).rev() {
+            let req_out = required[v];
+            if req_out.rise >= Time::INF && req_out.fall >= Time::INF {
+                continue;
+            }
+            let arcs =
+                &self.fanin_arcs[self.fanin_heads[v] as usize..self.fanin_heads[v + 1] as usize];
+            for &ai in arcs {
+                let arc = &self.arcs[ai as usize];
+                let req_in = required_backward(arc.sense, req_out, arc.delay_max);
+                let slot = &mut required[arc.from as usize];
+                *slot = (*slot).min(req_in);
+            }
+        }
+    }
+}
+
+/// The whole graph partitioned into per-cluster shards.
+#[derive(Clone, Debug)]
+pub struct ShardedGraph {
+    shards: Vec<ClusterShard>,
+    /// Global net raw index → local index within its cluster.
+    local_of: Vec<u32>,
+}
+
+impl ShardedGraph {
+    /// Partitions `graph` into one shard per cluster. Every net appears
+    /// in exactly one shard; every arc stays within its shard.
+    pub fn new(graph: &TimingGraph) -> ShardedGraph {
+        let cluster_count = graph.clusters().count();
+        let mut shards: Vec<ClusterShard> = (0..cluster_count as u32)
+            .map(|c| ClusterShard {
+                cluster: ClusterId(c),
+                nets: Vec::new(),
+                arcs: Vec::new(),
+                fanout_heads: Vec::new(),
+                fanout_arcs: Vec::new(),
+                fanin_heads: Vec::new(),
+                fanin_arcs: Vec::new(),
+            })
+            .collect();
+        // Local indices follow the global topological order, so each
+        // shard's net list is a topological order of its subgraph.
+        let mut local_of = vec![0u32; graph.node_count()];
+        for &net in graph.topo() {
+            let c = graph.cluster_of(net).as_raw() as usize;
+            local_of[net.as_raw() as usize] = shards[c].nets.len() as u32;
+            shards[c].nets.push(net);
+        }
+        for arc in graph.arcs() {
+            let c = graph.cluster_of(arc.from).as_raw() as usize;
+            debug_assert_eq!(c, graph.cluster_of(arc.to).as_raw() as usize);
+            shards[c].arcs.push(LocalArc {
+                from: local_of[arc.from.as_raw() as usize],
+                to: local_of[arc.to.as_raw() as usize],
+                sense: arc.sense,
+                delay_max: arc.delay.max,
+            });
+        }
+        for shard in &mut shards {
+            let n = shard.nets.len();
+            let mut out_deg = vec![0u32; n + 1];
+            let mut in_deg = vec![0u32; n + 1];
+            for arc in &shard.arcs {
+                out_deg[arc.from as usize + 1] += 1;
+                in_deg[arc.to as usize + 1] += 1;
+            }
+            for i in 0..n {
+                out_deg[i + 1] += out_deg[i];
+                in_deg[i + 1] += in_deg[i];
+            }
+            let mut out_next = out_deg.clone();
+            let mut in_next = in_deg.clone();
+            shard.fanout_arcs = vec![0u32; shard.arcs.len()];
+            shard.fanin_arcs = vec![0u32; shard.arcs.len()];
+            for (ai, arc) in shard.arcs.iter().enumerate() {
+                let o = &mut out_next[arc.from as usize];
+                shard.fanout_arcs[*o as usize] = ai as u32;
+                *o += 1;
+                let i = &mut in_next[arc.to as usize];
+                shard.fanin_arcs[*i as usize] = ai as u32;
+                *i += 1;
+            }
+            shard.fanout_heads = out_deg;
+            shard.fanin_heads = in_deg;
+        }
+        ShardedGraph { shards, local_of }
+    }
+
+    /// The number of shards (= clusters).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard of a cluster.
+    pub fn shard(&self, cluster: ClusterId) -> &ClusterShard {
+        &self.shards[cluster.as_raw() as usize]
+    }
+
+    /// The local index of `net` within its cluster's shard.
+    pub fn local_of(&self, net: NetId) -> u32 {
+        self.local_of[net.as_raw() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{propagate_ready_max, propagate_required, table};
+    use hb_cells::{sc89, Binding};
+    use hb_netlist::Design;
+
+    /// Two independent INV chains: two clusters, and the sharded sweeps
+    /// must agree bit-for-bit with the dense whole-graph sweeps.
+    #[test]
+    fn sharded_sweeps_match_dense() {
+        let lib = sc89();
+        let mut d = Design::new("s");
+        lib.declare_into(&mut d).unwrap();
+        let m = d.add_module("top").unwrap();
+        let inv = d.leaf_by_name("INV_X1").unwrap();
+        let nand = d.leaf_by_name("NAND2_X1").unwrap();
+        let mut heads = Vec::new();
+        let mut tails = Vec::new();
+        for c in 0..2 {
+            let a = d.add_net(m, format!("a{c}")).unwrap();
+            let b = d.add_net(m, format!("b{c}")).unwrap();
+            let y = d.add_net(m, format!("y{c}")).unwrap();
+            d.add_port(m, format!("a{c}"), hb_netlist::PinDir::Input, a)
+                .unwrap();
+            d.add_port(m, format!("y{c}"), hb_netlist::PinDir::Output, y)
+                .unwrap();
+            let u1 = d.add_leaf_instance(m, format!("u{c}_1"), inv).unwrap();
+            let u2 = d.add_leaf_instance(m, format!("u{c}_2"), nand).unwrap();
+            d.connect(m, u1, "A", a).unwrap();
+            d.connect(m, u1, "Y", b).unwrap();
+            d.connect(m, u2, "A", a).unwrap();
+            d.connect(m, u2, "B", b).unwrap();
+            d.connect(m, u2, "Y", y).unwrap();
+            heads.push(a);
+            tails.push(y);
+        }
+        d.set_top(m).unwrap();
+        let binding = Binding::new(&d, &lib);
+        let graph = TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let sharded = ShardedGraph::new(&graph);
+
+        // Dense reference.
+        let mut ready = table(&graph, Time::NEG_INF);
+        for (i, &a) in heads.iter().enumerate() {
+            ready[a.as_raw() as usize] = RiseFall::splat(Time::from_ns(i as i64));
+        }
+        propagate_ready_max(&graph, &mut ready);
+        let mut required = table(&graph, Time::INF);
+        for &y in &tails {
+            required[y.as_raw() as usize] = RiseFall::splat(Time::from_ns(10));
+        }
+        propagate_required(&graph, &mut required);
+
+        // Sharded: seed the same values at local indices, sweep each
+        // shard, scatter back, compare.
+        let mut ready2 = table(&graph, Time::NEG_INF);
+        let mut required2 = table(&graph, Time::INF);
+        for c in 0..sharded.shard_count() {
+            let shard = &sharded.shards[c];
+            let mut r = shard.table(Time::NEG_INF);
+            let mut q = shard.table(Time::INF);
+            for (i, &a) in heads.iter().enumerate() {
+                if graph.cluster_of(a) == shard.cluster() {
+                    r[sharded.local_of(a) as usize] = RiseFall::splat(Time::from_ns(i as i64));
+                }
+            }
+            for &y in &tails {
+                if graph.cluster_of(y) == shard.cluster() {
+                    q[sharded.local_of(y) as usize] = RiseFall::splat(Time::from_ns(10));
+                }
+            }
+            shard.sweep_ready_max(&mut r);
+            shard.sweep_required(&mut q);
+            for (local, &net) in shard.nets().iter().enumerate() {
+                ready2[net.as_raw() as usize] = r[local];
+                required2[net.as_raw() as usize] = q[local];
+            }
+        }
+        assert_eq!(ready, ready2);
+        assert_eq!(required, required2);
+    }
+
+    /// Every net lands in exactly one shard, at a consistent local
+    /// index, and arcs never cross shards.
+    #[test]
+    fn partition_is_total_and_consistent() {
+        let lib = sc89();
+        let mut d = Design::new("p");
+        lib.declare_into(&mut d).unwrap();
+        let m = d.add_module("top").unwrap();
+        let a = d.add_net(m, "a").unwrap();
+        let y = d.add_net(m, "y").unwrap();
+        let lone = d.add_net(m, "lone").unwrap();
+        d.add_port(m, "a", hb_netlist::PinDir::Input, a).unwrap();
+        d.add_port(m, "y", hb_netlist::PinDir::Output, y).unwrap();
+        d.add_port(m, "lone", hb_netlist::PinDir::Input, lone)
+            .unwrap();
+        let inv = d.leaf_by_name("INV_X1").unwrap();
+        let u = d.add_leaf_instance(m, "u", inv).unwrap();
+        d.connect(m, u, "A", a).unwrap();
+        d.connect(m, u, "Y", y).unwrap();
+        d.set_top(m).unwrap();
+        let binding = Binding::new(&d, &lib);
+        let graph = TimingGraph::build(&d, m, &binding, &lib).unwrap();
+        let sharded = ShardedGraph::new(&graph);
+
+        let total: usize = (0..sharded.shard_count())
+            .map(|c| sharded.shards[c].len())
+            .sum();
+        assert_eq!(total, graph.node_count());
+        for (c, cluster) in graph.clusters() {
+            let shard = sharded.shard(c);
+            assert_eq!(shard.len(), cluster.nets.len());
+            for &net in &cluster.nets {
+                assert_eq!(shard.nets()[sharded.local_of(net) as usize], net);
+            }
+        }
+        let arc_total: usize = (0..sharded.shard_count())
+            .map(|c| sharded.shards[c].arc_count())
+            .sum();
+        assert_eq!(arc_total, graph.arc_count());
+    }
+}

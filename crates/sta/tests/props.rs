@@ -1,15 +1,17 @@
-//! Property-based tests of the block-analysis engine on random
-//! generated networks.
+//! Property-style tests of the block-analysis engine on random
+//! generated networks, driven by a seeded deterministic generator.
 
 use hb_cells::{sc89, Binding};
 use hb_netlist::{Design, ModuleId, NetId, PinDir};
+use hb_rng::SmallRng;
 use hb_sta::analysis::{
     propagate_ready_max, propagate_ready_min, propagate_required, slack_table, table,
 };
 use hb_sta::paths::{critical_path, enumerate_max_arrival};
 use hb_sta::TimingGraph;
 use hb_units::{RiseFall, Time, Transition};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Builds a random DAG of library gates over `n` levels; returns the
 /// design and the input net.
@@ -40,17 +42,20 @@ fn random_dag(gate_picks: &[u8], fan_picks: &[u8]) -> (Design, ModuleId, NetId) 
     (d, m, a)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_picks(rng: &mut SmallRng, lo: usize, hi: usize) -> (Vec<u8>, Vec<u8>) {
+    let n = rng.gen_range(lo..hi);
+    let gates = (0..n).map(|_| rng.gen_range(0..256) as u8).collect();
+    let fans = (0..n).map(|_| rng.gen_range(0..256) as u8).collect();
+    (gates, fans)
+}
 
-    /// The block method and exhaustive enumeration agree exactly.
-    #[test]
-    fn block_equals_enumeration(
-        gates in prop::collection::vec(any::<u8>(), 1..24),
-        fans in prop::collection::vec(any::<u8>(), 1..24),
-    ) {
-        let n = gates.len().min(fans.len());
-        let (d, m, a) = random_dag(&gates[..n], &fans[..n]);
+/// The block method and exhaustive enumeration agree exactly.
+#[test]
+fn block_equals_enumeration() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4001 + case);
+        let (gates, fans) = random_picks(&mut rng, 1, 24);
+        let (d, m, a) = random_dag(&gates, &fans);
         let lib = sc89();
         let binding = Binding::new(&d, &lib);
         let g = TimingGraph::build(&d, m, &binding, &lib).unwrap();
@@ -59,18 +64,18 @@ proptest! {
         block[a.as_raw() as usize] = RiseFall::ZERO;
         propagate_ready_max(&g, &mut block);
         let (enumerated, stats) = enumerate_max_arrival(&g, &[(a, RiseFall::ZERO)], u64::MAX / 2);
-        prop_assert!(!stats.truncated);
-        prop_assert_eq!(enumerated, block);
+        assert!(!stats.truncated);
+        assert_eq!(enumerated, block);
     }
+}
 
-    /// Minimum arrivals never exceed maximum arrivals on reached nets.
-    #[test]
-    fn min_arrival_below_max(
-        gates in prop::collection::vec(any::<u8>(), 1..24),
-        fans in prop::collection::vec(any::<u8>(), 1..24),
-    ) {
-        let n = gates.len().min(fans.len());
-        let (d, m, a) = random_dag(&gates[..n], &fans[..n]);
+/// Minimum arrivals never exceed maximum arrivals on reached nets.
+#[test]
+fn min_arrival_below_max() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4002 + case);
+        let (gates, fans) = random_picks(&mut rng, 1, 24);
+        let (d, m, a) = random_dag(&gates, &fans);
         let lib = sc89();
         let binding = Binding::new(&d, &lib);
         let g = TimingGraph::build(&d, m, &binding, &lib).unwrap();
@@ -84,22 +89,22 @@ proptest! {
         for i in 0..g.node_count() {
             for tr in Transition::BOTH {
                 if rmax[i][tr].is_finite() {
-                    prop_assert!(rmin[i][tr] <= rmax[i][tr]);
+                    assert!(rmin[i][tr] <= rmax[i][tr]);
                 }
             }
         }
     }
+}
 
-    /// Every critical path is explainable: monotone arrivals, endpoints
-    /// consistent, and the block-method invariant that the path slack is
-    /// constant along a critical path.
-    #[test]
-    fn critical_paths_are_consistent(
-        gates in prop::collection::vec(any::<u8>(), 2..24),
-        fans in prop::collection::vec(any::<u8>(), 2..24),
-    ) {
-        let n = gates.len().min(fans.len());
-        let (d, m, a) = random_dag(&gates[..n], &fans[..n]);
+/// Every critical path is explainable: monotone arrivals, endpoints
+/// consistent, and the block-method invariant that the path slack is
+/// constant along a critical path.
+#[test]
+fn critical_paths_are_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x4003 + case);
+        let (gates, fans) = random_picks(&mut rng, 2, 24);
+        let (d, m, a) = random_dag(&gates, &fans);
         let lib = sc89();
         let binding = Binding::new(&d, &lib);
         let g = TimingGraph::build(&d, m, &binding, &lib).unwrap();
@@ -118,13 +123,15 @@ proptest! {
                 }
             }
         }
-        prop_assume!(worst.2.is_finite());
+        if !worst.2.is_finite() {
+            continue;
+        }
         let path = critical_path(&g, &ready, worst.0, worst.1).expect("reached");
-        prop_assert_eq!(path.source(), a, "worst path originates at the only seed");
-        prop_assert_eq!(path.sink(), worst.0);
-        prop_assert_eq!(path.delay(), worst.2);
+        assert_eq!(path.source(), a, "worst path originates at the only seed");
+        assert_eq!(path.sink(), worst.0);
+        assert_eq!(path.delay(), worst.2);
         for pair in path.steps.windows(2) {
-            prop_assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].time <= pair[1].time);
         }
 
         // Slack constancy along the critical path when the endpoint is
@@ -135,7 +142,7 @@ proptest! {
         let slacks = slack_table(&ready, &required);
         for step in &path.steps {
             let s = slacks[step.net.as_raw() as usize][step.transition];
-            prop_assert_eq!(s, Time::ZERO, "critical path has zero slack throughout");
+            assert_eq!(s, Time::ZERO, "critical path has zero slack throughout");
         }
     }
 }

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Time;
 
 /// An early/late value pair.
@@ -21,9 +19,7 @@ use crate::Time;
 /// assert_eq!(d.widen(MinMax::new(Time::from_ps(100), Time::from_ps(300))),
 ///            MinMax::new(Time::from_ps(100), Time::from_ps(450)));
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MinMax<T> {
     /// The early (minimum) value.
     pub min: T,

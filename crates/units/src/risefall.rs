@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
-
 use crate::Time;
 
 /// The direction of a signal transition.
@@ -11,7 +9,7 @@ use crate::Time;
 /// throughout (the paper adopts this from Bening, Alexander and Smith,
 /// DAC'82), because CMOS gates routinely have asymmetric rise and fall
 /// delays and because a transition inverts through inverting logic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Transition {
     /// A low-to-high transition.
     Rise,
@@ -70,9 +68,7 @@ impl fmt::Display for Transition {
 /// assert_eq!(delay[Transition::Rise], Time::from_ps(300));
 /// assert_eq!(delay.swapped()[Transition::Rise], Time::from_ps(420));
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RiseFall<T> {
     /// The value associated with a rising transition.
     pub rise: T,
@@ -242,14 +238,8 @@ mod tests {
         let b = RiseFall::new(Time::from_ns(2), Time::from_ns(3));
         assert_eq!(a.worst(), Time::from_ns(5));
         assert_eq!(a.best(), Time::from_ns(1));
-        assert_eq!(
-            a.max(b),
-            RiseFall::new(Time::from_ns(2), Time::from_ns(5))
-        );
-        assert_eq!(
-            a.min(b),
-            RiseFall::new(Time::from_ns(1), Time::from_ns(3))
-        );
+        assert_eq!(a.max(b), RiseFall::new(Time::from_ns(2), Time::from_ns(5)));
+        assert_eq!(a.min(b), RiseFall::new(Time::from_ns(1), Time::from_ns(3)));
         assert_eq!(
             a.saturating_add(b),
             RiseFall::new(Time::from_ns(3), Time::from_ns(8))

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{RiseFall, Time, Transition};
 
 /// The unateness of a timing arc: how an input transition direction maps
@@ -21,9 +19,7 @@ use crate::{RiseFall, Time, Transition};
 /// assert_eq!(Sense::Positive.then(Sense::Negative), Sense::Negative);
 /// assert_eq!(Sense::NonUnate.apply(Transition::Rise), None);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Sense {
     /// Output transitions in the same direction as the input (buffer, AND).
     #[default]
@@ -103,8 +99,14 @@ mod tests {
 
     #[test]
     fn apply() {
-        assert_eq!(Sense::Positive.apply(Transition::Fall), Some(Transition::Fall));
-        assert_eq!(Sense::Negative.apply(Transition::Fall), Some(Transition::Rise));
+        assert_eq!(
+            Sense::Positive.apply(Transition::Fall),
+            Some(Transition::Fall)
+        );
+        assert_eq!(
+            Sense::Negative.apply(Transition::Fall),
+            Some(Transition::Rise)
+        );
         assert_eq!(Sense::NonUnate.apply(Transition::Fall), None);
     }
 

@@ -3,8 +3,6 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Sub, SubAssign};
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A signed instant or duration measured in integer picoseconds.
 ///
 /// `Time` is deliberately a single type for both instants and durations:
@@ -29,10 +27,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!("3.25ns".parse::<Time>()?, t);
 /// # Ok::<(), hb_units::ParseTimeError>(())
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Time(i64);
 
 impl Time {

@@ -1,104 +1,148 @@
-//! Property-based tests for the unit primitives.
+//! Property-style tests for the unit primitives, driven by a seeded
+//! deterministic generator (no external dependency).
 
+use hb_rng::SmallRng;
 use hb_units::{MinMax, RiseFall, Sense, Time};
-use proptest::prelude::*;
+
+const CASES: usize = 512;
 
 /// Finite times well inside the sentinel head-room.
-fn finite_time() -> impl Strategy<Value = Time> {
-    (-1_000_000_000i64..1_000_000_000).prop_map(Time::from_ps)
+fn finite_time(rng: &mut SmallRng) -> Time {
+    Time::from_ps(rng.gen_range(0..2_000_000_000) as i64 - 1_000_000_000)
 }
 
-fn positive_time() -> impl Strategy<Value = Time> {
-    (1i64..1_000_000_000).prop_map(Time::from_ps)
+fn positive_time(rng: &mut SmallRng) -> Time {
+    Time::from_ps(rng.gen_range(1..1_000_000_000) as i64)
 }
 
-proptest! {
-    #[test]
-    fn rem_euclid_is_in_range(t in finite_time(), m in positive_time()) {
+fn sense(rng: &mut SmallRng) -> Sense {
+    [Sense::Positive, Sense::Negative, Sense::NonUnate][rng.gen_range(0..3)]
+}
+
+#[test]
+fn rem_euclid_is_in_range() {
+    let mut rng = SmallRng::seed_from_u64(0x1001);
+    for _ in 0..CASES {
+        let t = finite_time(&mut rng);
+        let m = positive_time(&mut rng);
         let r = t.rem_euclid(m);
-        prop_assert!(Time::ZERO <= r && r < m);
+        assert!(Time::ZERO <= r && r < m, "{t} rem {m} = {r}");
         // Congruence: r == t (mod m)
-        prop_assert_eq!((t - r).rem_euclid(m), Time::ZERO);
+        assert_eq!((t - r).rem_euclid(m), Time::ZERO);
     }
+}
 
-    #[test]
-    fn rem_euclid_end_is_in_half_open_end_range(t in finite_time(), m in positive_time()) {
+#[test]
+fn rem_euclid_end_is_in_half_open_end_range() {
+    let mut rng = SmallRng::seed_from_u64(0x1002);
+    for _ in 0..CASES {
+        let t = finite_time(&mut rng);
+        let m = positive_time(&mut rng);
         let r = t.rem_euclid_end(m);
-        prop_assert!(Time::ZERO < r && r <= m);
-        prop_assert_eq!((t - r).rem_euclid(m), Time::ZERO);
+        assert!(Time::ZERO < r && r <= m, "{t} rem_end {m} = {r}");
+        assert_eq!((t - r).rem_euclid(m), Time::ZERO);
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(t in finite_time()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x1003);
+    for _ in 0..CASES {
+        let t = finite_time(&mut rng);
         let parsed: Time = t.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
+}
 
-    #[test]
-    fn saturating_add_matches_plain_add_when_finite(a in finite_time(), b in finite_time()) {
-        prop_assert_eq!(a.saturating_add(b), a + b);
-        prop_assert_eq!(a.saturating_sub(b), a - b);
+#[test]
+fn saturating_add_matches_plain_add_when_finite() {
+    let mut rng = SmallRng::seed_from_u64(0x1004);
+    for _ in 0..CASES {
+        let a = finite_time(&mut rng);
+        let b = finite_time(&mut rng);
+        assert_eq!(a.saturating_add(b), a + b);
+        assert_eq!(a.saturating_sub(b), a - b);
     }
+}
 
-    #[test]
-    fn sentinels_absorb(a in finite_time()) {
-        prop_assert_eq!(Time::NEG_INF.saturating_add(a), Time::NEG_INF);
-        prop_assert_eq!(Time::INF.saturating_add(a), Time::INF);
-        prop_assert_eq!(a.saturating_sub(Time::INF), Time::NEG_INF);
+#[test]
+fn sentinels_absorb() {
+    let mut rng = SmallRng::seed_from_u64(0x1005);
+    for _ in 0..CASES {
+        let a = finite_time(&mut rng);
+        assert_eq!(Time::NEG_INF.saturating_add(a), Time::NEG_INF);
+        assert_eq!(Time::INF.saturating_add(a), Time::INF);
+        assert_eq!(a.saturating_sub(Time::INF), Time::NEG_INF);
     }
+}
 
-    #[test]
-    fn gcd_divides_both(a in positive_time(), b in positive_time()) {
+#[test]
+fn gcd_divides_both() {
+    let mut rng = SmallRng::seed_from_u64(0x1006);
+    for _ in 0..CASES {
+        let a = positive_time(&mut rng);
+        let b = positive_time(&mut rng);
         let g = a.gcd(b);
-        prop_assert!(g > Time::ZERO);
-        prop_assert_eq!(a % g, Time::ZERO);
-        prop_assert_eq!(b % g, Time::ZERO);
+        assert!(g > Time::ZERO);
+        assert_eq!(a % g, Time::ZERO);
+        assert_eq!(b % g, Time::ZERO);
     }
+}
 
-    #[test]
-    fn lcm_is_common_multiple(a in (1i64..100_000).prop_map(Time::from_ps),
-                              b in (1i64..100_000).prop_map(Time::from_ps)) {
+#[test]
+fn lcm_is_common_multiple() {
+    let mut rng = SmallRng::seed_from_u64(0x1007);
+    for _ in 0..CASES {
+        let a = Time::from_ps(rng.gen_range(1..100_000) as i64);
+        let b = Time::from_ps(rng.gen_range(1..100_000) as i64);
         let l = a.lcm(b);
-        prop_assert_eq!(l % a, Time::ZERO);
-        prop_assert_eq!(l % b, Time::ZERO);
-        prop_assert!(l <= Time::from_ps(a.as_ps() * b.as_ps()));
+        assert_eq!(l % a, Time::ZERO);
+        assert_eq!(l % b, Time::ZERO);
+        assert!(l <= Time::from_ps(a.as_ps() * b.as_ps()));
     }
+}
 
-    #[test]
-    fn sense_composition_associative(
-        s1 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
-        s2 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
-        s3 in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
-    ) {
-        prop_assert_eq!(s1.then(s2).then(s3), s1.then(s2.then(s3)));
+#[test]
+fn sense_composition_associative() {
+    let mut rng = SmallRng::seed_from_u64(0x1008);
+    for _ in 0..CASES {
+        let (s1, s2, s3) = (sense(&mut rng), sense(&mut rng), sense(&mut rng));
+        assert_eq!(s1.then(s2).then(s3), s1.then(s2.then(s3)));
     }
+}
 
-    #[test]
-    fn propagate_is_monotone_in_input(
-        r1 in finite_time(), f1 in finite_time(),
-        bump in (0i64..1_000_000).prop_map(Time::from_ps),
-        dr in (0i64..1_000_000).prop_map(Time::from_ps),
-        df in (0i64..1_000_000).prop_map(Time::from_ps),
-        s in prop_oneof![Just(Sense::Positive), Just(Sense::Negative), Just(Sense::NonUnate)],
-    ) {
+#[test]
+fn propagate_is_monotone_in_input() {
+    let mut rng = SmallRng::seed_from_u64(0x1009);
+    for _ in 0..CASES {
         // Increasing an input arrival can never decrease an output arrival.
+        let r1 = finite_time(&mut rng);
+        let f1 = finite_time(&mut rng);
+        let bump = Time::from_ps(rng.gen_range(0..1_000_000) as i64);
+        let dr = Time::from_ps(rng.gen_range(0..1_000_000) as i64);
+        let df = Time::from_ps(rng.gen_range(0..1_000_000) as i64);
+        let s = sense(&mut rng);
         let input = RiseFall::new(r1, f1);
         let later = RiseFall::new(r1 + bump, f1 + bump);
         let delay = RiseFall::new(dr, df);
         let out1 = s.propagate(input, delay);
         let out2 = s.propagate(later, delay);
-        prop_assert!(out2.rise >= out1.rise);
-        prop_assert!(out2.fall >= out1.fall);
+        assert!(out2.rise >= out1.rise);
+        assert!(out2.fall >= out1.fall);
     }
+}
 
-    #[test]
-    fn minmax_widen_contains_both(a1 in finite_time(), a2 in finite_time(),
-                                  b1 in finite_time(), b2 in finite_time()) {
+#[test]
+fn minmax_widen_contains_both() {
+    let mut rng = SmallRng::seed_from_u64(0x100a);
+    for _ in 0..CASES {
+        let (a1, a2) = (finite_time(&mut rng), finite_time(&mut rng));
+        let (b1, b2) = (finite_time(&mut rng), finite_time(&mut rng));
         let a = MinMax::new(a1.min(a2), a1.max(a2));
         let b = MinMax::new(b1.min(b2), b1.max(b2));
         let w = a.widen(b);
-        prop_assert!(w.min <= a.min && w.min <= b.min);
-        prop_assert!(w.max >= a.max && w.max >= b.max);
-        prop_assert!(w.is_ordered());
+        assert!(w.min <= a.min && w.min <= b.min);
+        assert!(w.max >= a.max && w.max >= b.max);
+        assert!(w.is_ordered());
     }
 }

@@ -2,8 +2,7 @@
 
 use hb_cells::Library;
 use hb_netlist::{Design, InstId, ModuleId, NetId, PinDir};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use hb_rng::SmallRng;
 
 /// A design under construction against a library, with naming and
 /// random-logic helpers.
@@ -182,7 +181,6 @@ impl NetlistBuilder {
 mod tests {
     use super::*;
     use hb_cells::sc89;
-    use rand::SeedableRng;
 
     #[test]
     fn random_logic_is_valid_and_deterministic() {

@@ -3,10 +3,9 @@
 use hb_cells::Library;
 use hb_clock::ClockSet;
 use hb_netlist::{Design, ModuleId, NetId};
+use hb_rng::SmallRng;
 use hb_units::{Time, Transition};
 use hummingbird::{EdgeSpec, Spec};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::build::NetlistBuilder;
 
@@ -101,7 +100,9 @@ pub fn random_pipeline(lib: &Library, params: PipelineParams) -> Workload {
         (vec![b.clock_tree(ck)], 1)
     };
 
-    let inputs: Vec<NetId> = (0..params.width).map(|i| b.input(&format!("in{i}"))).collect();
+    let inputs: Vec<NetId> = (0..params.width)
+        .map(|i| b.input(&format!("in{i}")))
+        .collect();
     let first_clock = if params.transparent { "phi1" } else { "ck" };
     for i in 0..params.width {
         // Inputs are valid slightly before the launch edge, as a
@@ -128,7 +129,10 @@ pub fn random_pipeline(lib: &Library, params: PipelineParams) -> Workload {
         let gates = if stage % 2 == 0 {
             params.gates_per_stage + swing
         } else {
-            params.gates_per_stage.saturating_sub(swing).max(params.width)
+            params
+                .gates_per_stage
+                .saturating_sub(swing)
+                .max(params.width)
         };
         bus = b.random_logic(&mut rng, &bus, gates, params.width);
     }
@@ -335,7 +339,9 @@ pub fn fsm12(lib: &Library, flat: bool) -> Workload {
         );
     }
 
-    let next: Vec<NetId> = (0..STATE_BITS).map(|i| b.net(&format!("next{i}"))).collect();
+    let next: Vec<NetId> = (0..STATE_BITS)
+        .map(|i| b.net(&format!("next{i}")))
+        .collect();
     let state = b.dff_bank(&next, ckb, "state");
     let zs: Vec<NetId> = (0..OUTPUTS).map(|i| b.net(&format!("z{i}"))).collect();
 
@@ -500,7 +506,13 @@ pub fn figure1(lib: &Library) -> Workload {
 /// stage delays — the configuration where slack transfer (time
 /// borrowing) matters and the iteration counts of Algorithm 1 become
 /// visible.
-pub fn latch_pipeline(lib: &Library, stages: usize, width: usize, seed: u64, period_ns: i64) -> Workload {
+pub fn latch_pipeline(
+    lib: &Library,
+    stages: usize,
+    width: usize,
+    seed: u64,
+    period_ns: i64,
+) -> Workload {
     let mut w = random_pipeline(
         lib,
         PipelineParams {
@@ -575,10 +587,11 @@ mod tests {
             latch_pipeline(&lib, 4, 8, 3, 100),
             random_pipeline(&lib, PipelineParams::default()),
         ] {
-            w.design.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let analyzer =
-                Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
-                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.design
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let report = analyzer.analyze();
             // Reports must be well-formed whatever the verdict.
             assert!(report.worst_slack().is_finite(), "{}: {report}", w.name);
@@ -604,8 +617,7 @@ mod tests {
         // The delta is roughly 24 AND stages.
         let per_stage = (s8 - s32) / 24;
         assert!(
-            per_stage > hb_units::Time::from_ps(100)
-                && per_stage < hb_units::Time::from_ps(600),
+            per_stage > hb_units::Time::from_ps(100) && per_stage < hb_units::Time::from_ps(600),
             "per-stage {per_stage}"
         );
     }

@@ -32,4 +32,7 @@ mod build;
 mod designs;
 
 pub use build::NetlistBuilder;
-pub use designs::{alu, counter, des_like, figure1, fsm12, latch_pipeline, random_pipeline, PipelineParams, Workload};
+pub use designs::{
+    alu, counter, des_like, figure1, fsm12, latch_pipeline, random_pipeline, PipelineParams,
+    Workload,
+};

@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let before = Analyzer::new(&design, top, &lib, &file.clocks, spec.clone())?.analyze();
-    println!("parsed {:?}: worst slack {}", design.name(), before.worst_slack());
+    println!(
+        "parsed {:?}: worst slack {}",
+        design.name(),
+        before.worst_slack()
+    );
     for path in before.slow_paths().iter().take(2) {
         println!("  slow into {} (slack {})", path.endpoint, path.slack);
     }
@@ -97,7 +101,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec,
     )?
     .analyze();
-    println!("re-parsed verdict: ok={} worst {}", verify.ok(), verify.worst_slack());
+    println!(
+        "re-parsed verdict: ok={} worst {}",
+        verify.ok(),
+        verify.worst_slack()
+    );
     assert_eq!(verify.ok(), outcome.met);
     let _ = Time::ZERO;
     let _ = Transition::Rise;

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let period = Time::from_ns(80);
 
     println!("sweeping the phi2 pulse start across the 80 ns period");
-    println!("{:>12} {:>12} {:>12} {:>6}", "phi2 rise", "phi2 fall", "worst slack", "ok");
+    println!(
+        "{:>12} {:>12} {:>12} {:>6}",
+        "phi2 rise", "phi2 fall", "worst slack", "ok"
+    );
     let mut best: Option<(Time, Time)> = None;
     for start_ns in (8..=64).step_by(8) {
         let rise = Time::from_ns(start_ns);

@@ -13,9 +13,9 @@
 //! ```
 
 use hb_cells::sc89;
+use hb_units::{Time, Transition};
 use hb_workloads::figure1;
 use hummingbird::{Analyzer, EdgeSpec, Spec};
-use hb_units::{Time, Transition};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = sc89();
@@ -42,10 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Squeeze phase 3's data arrival until its capture fails: the slow
     // path lands on the phase-4 latch while the phase-2 capture of the
     // same gate stays clean — the per-pass analysis keeps them apart.
-    let squeezed: Spec = w
-        .spec
-        .clone()
-        .input_arrival("c", EdgeSpec::new("p3", Transition::Rise), Time::from_ns(33));
+    let squeezed: Spec = w.spec.clone().input_arrival(
+        "c",
+        EdgeSpec::new("p3", Transition::Rise),
+        Time::from_ns(33),
+    );
     let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, squeezed)?;
     let report = analyzer.analyze();
     println!("with `c` arriving 33 ns after the p3 leading edge:\n{report}");

@@ -57,13 +57,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Two non-overlapping 25 MHz phases.
     let mut clocks = ClockSet::new();
     clocks.add_clock("phi1", Time::from_ns(40), Time::ZERO, Time::from_ns(16))?;
-    clocks.add_clock("phi2", Time::from_ns(40), Time::from_ns(20), Time::from_ns(36))?;
+    clocks.add_clock(
+        "phi2",
+        Time::from_ns(40),
+        Time::from_ns(20),
+        Time::from_ns(36),
+    )?;
 
     // 5. The boundary spec: which ports are clocks, when data arrives.
     let spec = Spec::new()
         .clock_port("phi1", "phi1")
         .clock_port("phi2", "phi2")
-        .input_arrival("din", EdgeSpec::new("phi1", Transition::Rise), Time::from_ns(1));
+        .input_arrival(
+            "din",
+            EdgeSpec::new("phi1", Transition::Rise),
+            Time::from_ns(1),
+        );
 
     // 6. Analyze.
     let analyzer = Analyzer::new(&design, top, &lib, &clocks, spec)?;
@@ -71,7 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{report}");
     println!("terminal slacks:");
     for t in report.terminal_slacks() {
-        println!("  {:<14} {:<8} pulse {}: {}", t.name, t.kind.to_string(), t.pulse, t.slack);
+        println!(
+            "  {:<14} {:<8} pulse {}: {}",
+            t.name,
+            t.kind.to_string(),
+            t.pulse,
+            t.slack
+        );
     }
     assert!(report.ok(), "this little pipeline meets 40 ns comfortably");
     Ok(())

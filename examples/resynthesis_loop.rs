@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("initial design: worst slack {}", before.worst_slack());
     for path in before.slow_paths().iter().take(3) {
-        println!("  slow: {} (slack {}, {} steps)", path.endpoint, path.slack, path.steps.len());
+        println!(
+            "  slow: {} (slack {}, {} steps)",
+            path.endpoint,
+            path.slack,
+            path.steps.len()
+        );
     }
 
     let outcome = optimize(

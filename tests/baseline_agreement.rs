@@ -42,7 +42,10 @@ fn block_method_equals_path_enumeration() {
 
         let (enumerated, stats) = enumerate_max_arrival(&graph, &seeds, 50_000_000);
         assert!(!stats.truncated, "seed {seed}: raise the limit");
-        assert!(stats.paths > 100, "seed {seed}: the ablation needs real path counts");
+        assert!(
+            stats.paths > 100,
+            "seed {seed}: the ablation needs real path counts"
+        );
         assert_eq!(enumerated, block, "seed {seed}");
     }
 }
@@ -65,8 +68,7 @@ fn enumeration_path_counts_grow_much_faster_than_graph_size() {
             },
         );
         let binding = Binding::new(&w.design, &lib);
-        let graph = TimingGraph::build(&w.design, w.module, &binding, &lib)
-            .expect("acyclic");
+        let graph = TimingGraph::build(&w.design, w.module, &binding, &lib).expect("acyclic");
         let seeds: Vec<_> = graph
             .syncs()
             .iter()

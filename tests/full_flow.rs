@@ -34,18 +34,30 @@ fn serialized_design_analyzes_identically() {
 fn hierarchical_and_flat_analyses_agree_on_verdict() {
     let lib = sc89();
     let hier = fsm12(&lib, false);
-    let report_hier = Analyzer::new(&hier.design, hier.module, &lib, &hier.clocks, hier.spec.clone())
-        .expect("conforming workload")
-        .analyze();
+    let report_hier = Analyzer::new(
+        &hier.design,
+        hier.module,
+        &lib,
+        &hier.clocks,
+        hier.spec.clone(),
+    )
+    .expect("conforming workload")
+    .analyze();
 
     // Flatten the hierarchy and re-analyze: the module abstraction is an
     // approximation of the flat network, so on a comfortable clock both
     // must agree.
     let flat_design = hier.design.flatten(hier.module).expect("flattenable");
     let flat_top = flat_design.top().expect("flatten sets top");
-    let report_flat = Analyzer::new(&flat_design, flat_top, &lib, &hier.clocks, hier.spec.clone())
-        .expect("flat design conforms")
-        .analyze();
+    let report_flat = Analyzer::new(
+        &flat_design,
+        flat_top,
+        &lib,
+        &hier.clocks,
+        hier.spec.clone(),
+    )
+    .expect("flat design conforms")
+    .analyze();
 
     assert!(report_hier.worst_slack().is_finite());
     assert!(report_flat.worst_slack().is_finite());

@@ -43,10 +43,16 @@ fn redesign_never_worsens_and_often_fixes() {
         assert!(after >= before, "seed {seed}: {before} -> {after}");
         if outcome.met && before <= hb_units::Time::ZERO {
             fixed += 1;
-            assert!(outcome.edits > 0, "seed {seed}: fixed a violation without edits?");
+            assert!(
+                outcome.edits > 0,
+                "seed {seed}: fixed a violation without edits?"
+            );
         }
     }
-    assert!(fixed >= 1, "at least one failing seed must be closed by the loop");
+    assert!(
+        fixed >= 1,
+        "at least one failing seed must be closed by the loop"
+    );
 }
 
 #[test]
