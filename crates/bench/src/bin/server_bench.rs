@@ -1,0 +1,211 @@
+//! Daemon-mode benchmark: queries/sec and request latency through the
+//! `hummingbird serve` TCP loop, plus the cost of a warm ECO
+//! re-analysis against a cold one-shot analysis of the same design.
+//!
+//! Runs an in-process server on a loopback socket, drives it with the
+//! blocking [`Client`], and writes `BENCH_server.json`. Run with
+//! `cargo run --release -p hb-bench --bin server_bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hb_cells::{sc89, Binding, Library};
+use hb_io::Frame;
+use hb_netlist::InstRef;
+use hb_server::{directives_from_spec, Client, Server, ServerOptions};
+use hb_workloads::{des_like, random_pipeline, PipelineParams, Workload};
+
+const COLD_ITERS: usize = 5;
+const SLACK_ITERS: usize = 200;
+const ECO_ITERS: usize = 40;
+
+struct Latencies(Vec<f64>);
+
+impl Latencies {
+    fn measure(n: usize, mut f: impl FnMut()) -> Latencies {
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Latencies(samples)
+    }
+
+    fn p50(&self) -> f64 {
+        self.0[self.0.len() / 2]
+    }
+
+    fn p99(&self) -> f64 {
+        self.0[(self.0.len() * 99 / 100).min(self.0.len() - 1)]
+    }
+
+    fn qps(&self) -> f64 {
+        self.0.len() as f64 / self.0.iter().sum::<f64>()
+    }
+}
+
+/// The first leaf instance with drive headroom — the resize target.
+fn resizable_instance(w: &Workload, lib: &Library) -> String {
+    let binding = Binding::new(&w.design, lib);
+    let module = w.design.module(w.module);
+    for (_, inst) in module.instances() {
+        let InstRef::Leaf(leaf) = inst.target() else {
+            continue;
+        };
+        let Some(cell) = binding.cell_for_leaf(leaf) else {
+            continue;
+        };
+        let variants = lib.family_variants(lib.cell(cell).family());
+        let pos = variants.iter().position(|&v| v == cell).expect("bound");
+        if pos + 1 < variants.len() {
+            return inst.name().to_owned();
+        }
+    }
+    panic!("workload has no resizable instance");
+}
+
+fn expect_ok(reply: &Frame, what: &str) {
+    assert_eq!(
+        reply.verb,
+        "ok",
+        "{what} failed: {:?}",
+        reply.payload.as_deref().unwrap_or("")
+    );
+}
+
+fn main() {
+    let lib = sc89();
+    let workloads = [
+        random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 6,
+                width: 16,
+                gates_per_stage: 600,
+                transparent: true,
+                period_ns: 30,
+                seed: 1203,
+                imbalance_pct: 40,
+            },
+        ),
+        des_like(&lib, 1989),
+    ];
+
+    let server =
+        Server::bind("127.0.0.1:0", lib.clone(), ServerOptions::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut request = |frame: &Frame| client.request(frame).expect("daemon reply");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"transport\": \"tcp-loopback\",");
+    json.push_str("  \"workloads\": [\n");
+
+    for (wi, w) in workloads.iter().enumerate() {
+        let text =
+            hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+        let cells = w.stats().cells;
+        let inst = resizable_instance(w, &lib);
+        let probe_net = w
+            .design
+            .module(w.module)
+            .nets()
+            .next()
+            .expect("nets")
+            .1
+            .name()
+            .to_owned();
+
+        // Cold analysis: a fresh load resets the resident cache, so
+        // each timed analyze sweeps every cluster from scratch.
+        let cold = Latencies::measure(COLD_ITERS, || {
+            expect_ok(
+                &request(&Frame::new("load").with_payload(text.clone())),
+                "load",
+            );
+            expect_ok(&request(&Frame::new("analyze")), "cold analyze");
+        });
+
+        // Settled-analysis slack queries: the server's read path.
+        let slack_req = Frame::new("slack").arg("node", probe_net.clone());
+        let slack = Latencies::measure(SLACK_ITERS, || {
+            expect_ok(&request(&slack_req), "slack");
+        });
+
+        // Warm ECOs: alternate the resize direction so the design keeps
+        // changing; every request re-analyzes through the warm cache.
+        let mut reused = 0u64;
+        let mut swept = 0u64;
+        let mut step = 1i64;
+        let eco = Latencies::measure(ECO_ITERS, || {
+            let reply = request(
+                &Frame::new("eco")
+                    .arg("op", "resize")
+                    .arg("inst", inst.clone())
+                    .arg("steps", step),
+            );
+            expect_ok(&reply, "eco");
+            reused = reply.get("items_reused").unwrap().parse().expect("count");
+            swept = reply.get("items_swept").unwrap().parse().expect("count");
+            step = -step;
+        });
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"cells\": {cells},");
+        let _ = writeln!(
+            json,
+            "      \"cold_analyze_seconds_p50\": {:.6},",
+            cold.p50()
+        );
+        let _ = writeln!(json, "      \"slack_query\": {{");
+        let _ = writeln!(json, "        \"requests\": {SLACK_ITERS},");
+        let _ = writeln!(json, "        \"queries_per_second\": {:.1},", slack.qps());
+        let _ = writeln!(json, "        \"p50_ms\": {:.4},", slack.p50() * 1e3);
+        let _ = writeln!(json, "        \"p99_ms\": {:.4}", slack.p99() * 1e3);
+        let _ = writeln!(json, "      }},");
+        let _ = writeln!(json, "      \"eco_resize\": {{");
+        let _ = writeln!(json, "        \"requests\": {ECO_ITERS},");
+        let _ = writeln!(json, "        \"queries_per_second\": {:.1},", eco.qps());
+        let _ = writeln!(json, "        \"p50_ms\": {:.4},", eco.p50() * 1e3);
+        let _ = writeln!(json, "        \"p99_ms\": {:.4},", eco.p99() * 1e3);
+        let _ = writeln!(json, "        \"items_reused_last\": {reused},");
+        let _ = writeln!(json, "        \"items_swept_last\": {swept},");
+        let _ = writeln!(
+            json,
+            "        \"warm_eco_speedup_vs_cold_analyze\": {:.3}",
+            cold.p50() / eco.p50()
+        );
+        let _ = writeln!(json, "      }}");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+        eprintln!(
+            "{}: cold {:.1} ms | slack p50 {:.3} ms ({:.0}/s) | eco p50 {:.1} ms, \
+             {}/{} sweeps reused",
+            w.name,
+            cold.p50() * 1e3,
+            slack.p50() * 1e3,
+            slack.qps(),
+            eco.p50() * 1e3,
+            reused,
+            reused + swept
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    expect_ok(&request(&Frame::new("shutdown")), "shutdown");
+    daemon.join().expect("server thread").expect("server exit");
+
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+}

@@ -47,5 +47,5 @@ mod sc89;
 
 pub use cell::{Cell, CellId, DriveStrength, Function, SyncKind, SyncSpec, TimingArc};
 pub use delay::{DelayModel, WireLoad};
-pub use library::{Binding, Library};
+pub use library::{Binding, Library, LOAD_SCALE_ATTR};
 pub use sc89::sc89;

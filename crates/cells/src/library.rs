@@ -7,6 +7,12 @@ use hb_netlist::{Design, InstId, LeafId, ModuleId, NetId, NetlistError, PinSlot}
 use crate::cell::{Cell, CellId};
 use crate::delay::WireLoad;
 
+/// Net attribute rescaling the estimated capacitive load to a
+/// percentage of its structural value (100 = unscaled). Consulted by
+/// [`Binding::net_load_ff`]; written by ECO edits that model wiring
+/// changes without touching connectivity.
+pub const LOAD_SCALE_ATTR: &str = "hb.load_pct";
+
 /// A named collection of [`Cell`]s plus a wire-load estimate.
 ///
 /// A library owns the interface declarations of its cells. Declaring a
@@ -200,6 +206,12 @@ impl Binding {
     /// the sum of bound sink-pin capacitances plus the library wire-load
     /// estimate. Unbound sinks (e.g. module pins) contribute a default
     /// pin load so hierarchical boundaries are not free.
+    ///
+    /// A net carrying an `hb.load_pct` attribute has the estimate
+    /// rescaled to that percentage (100 = unscaled). This is the ECO
+    /// hook for modelling routing detours or buffering decisions made
+    /// outside the netlist: the scaled load feeds the driving arcs'
+    /// delay evaluation, so timing follows the annotation.
     pub fn net_load_ff(
         &self,
         design: &Design,
@@ -223,7 +235,11 @@ impl Binding {
                 hb_netlist::Endpoint::Port(_) => load += DEFAULT_PIN_FF,
             }
         }
-        load + library.wire_load().wire_cap_ff(fanout)
+        let total = load + library.wire_load().wire_cap_ff(fanout);
+        match m.net(net).attr(LOAD_SCALE_ATTR).map(str::parse::<i64>) {
+            Some(Ok(pct)) if pct > 0 => total * pct / 100,
+            _ => total,
+        }
     }
 
     /// The capacitance of one bound pin, with the default used for

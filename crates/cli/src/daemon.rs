@@ -1,0 +1,225 @@
+//! The `serve` and `query` subcommands: the thin shell around
+//! [`hb_server`].
+//!
+//! ```text
+//! hummingbird serve [--listen ADDR] [--stdio] [--library FILE]
+//! hummingbird query ADDR <request> [args...] [key=value...]
+//!
+//! requests:
+//!   load FILE                 send a .hum (or .blif) design to the daemon
+//!   analyze | constraints     (re-)run the analysis on the resident design
+//!   slack NODE                slack at a net or synchronizer instance
+//!   worst-paths [K]           the K slowest paths (default 5)
+//!   eco resize INST [STEPS]   retarget an instance's drive strength
+//!   eco scale-net NET PCT     scale a net's load to PCT percent
+//!   dump | stats | shutdown
+//! ```
+//!
+//! `serve` prints `listening on IP:PORT` once the socket is bound (bind
+//! port 0 for an ephemeral port), then blocks until a client sends
+//! `shutdown`. Any trailing `key=value` words on a `query` are passed
+//! through verbatim as request arguments — e.g. `clock=ck:20:0:10` when
+//! loading a BLIF netlist.
+
+use std::io::Write;
+
+use hb_io::Frame;
+use hb_server::{serve_stream, Client, Server, ServerOptions};
+
+use crate::{load_library, CliError};
+
+const SERVE_USAGE: &str = "usage: hummingbird serve [--listen ADDR] [--stdio] [--library LIB.txt]";
+const QUERY_USAGE: &str = "usage: hummingbird query ADDR \
+<load FILE | analyze | constraints | slack NODE | worst-paths [K] | \
+eco resize INST [STEPS] | eco scale-net NET PCT | dump | stats | shutdown> \
+[key=value...]";
+
+/// `hummingbird serve`: bind, announce, block until `shutdown`.
+pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut stdio = false;
+    let mut library = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--listen" => {
+                listen = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--listen needs a value"))?
+                    .to_string();
+            }
+            "--stdio" => stdio = true,
+            "--library" => library = it.next().map(|s| s.to_string()),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument {other:?}\n{SERVE_USAGE}"
+                )))
+            }
+        }
+    }
+    let library = load_library(library.as_deref())?;
+
+    if stdio {
+        let stdin = std::io::stdin();
+        serve_stream(library, stdin.lock(), out)
+            .map_err(|e| CliError::io(format!("serve --stdio: {e}")))?;
+        return Ok(0);
+    }
+
+    let server = Server::bind(&listen, library, ServerOptions::default())
+        .map_err(|e| CliError::io(format!("cannot bind {listen}: {e}")))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::io(format!("serve: {e}")))?;
+    // Announce before blocking so wrappers can scrape the port.
+    writeln!(out, "listening on {addr}").map_err(|e| CliError::io(e.to_string()))?;
+    out.flush().map_err(|e| CliError::io(e.to_string()))?;
+    server
+        .run()
+        .map_err(|e| CliError::io(format!("serve: {e}")))?;
+    writeln!(out, "shutdown complete").map_err(|e| CliError::io(e.to_string()))?;
+    Ok(0)
+}
+
+/// `hummingbird query`: one request, one reply, one exit code.
+pub fn run_query(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
+    let (addr, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::usage(QUERY_USAGE))?;
+    let (&cmd, rest) = rest
+        .split_first()
+        .ok_or_else(|| CliError::usage(QUERY_USAGE))?;
+    let request = build_request(cmd, rest)?;
+
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::io(format!("cannot connect {addr}: {e}")))?;
+    let reply = client
+        .request(&request)
+        .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+
+    let io = |e: std::io::Error| CliError::io(format!("write failed: {e}"));
+    let mut line = reply.verb.clone();
+    for (key, value) in &reply.args {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(value);
+    }
+    writeln!(out, "{line}").map_err(io)?;
+    if let Some(payload) = &reply.payload {
+        out.write_all(payload.as_bytes()).map_err(io)?;
+        if !payload.ends_with('\n') {
+            writeln!(out).map_err(io)?;
+        }
+    }
+
+    if reply.verb == "error" {
+        let code = reply.get("code").unwrap_or("unknown");
+        return Err(CliError::analysis(format!(
+            "daemon refused {cmd:?}: {code}"
+        )));
+    }
+    // Analysis-bearing replies carry the one-shot driver's verdict.
+    Ok(match reply.get("ok") {
+        Some("0") => 1,
+        _ => 0,
+    })
+}
+
+/// Translates a query command line into a request frame. Trailing
+/// `key=value` words pass through as arguments.
+fn build_request(cmd: &str, rest: &[&str]) -> Result<Frame, CliError> {
+    let need = |what: &str, value: Option<&&str>| -> Result<String, CliError> {
+        value
+            .map(|s| s.to_string())
+            .ok_or_else(|| CliError::usage(format!("query {cmd} needs {what}\n{QUERY_USAGE}")))
+    };
+    let (mut frame, used) = match cmd {
+        "hello" | "analyze" | "constraints" | "dump" | "stats" | "shutdown" => (Frame::new(cmd), 0),
+        "load" => {
+            let path = need("a design file", rest.first())?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+            let mut frame = Frame::new("load").with_payload(text);
+            if path.ends_with(".blif") {
+                frame = frame.arg("format", "blif");
+            }
+            (frame, 1)
+        }
+        "slack" => (
+            Frame::new("slack").arg("node", need("a node name", rest.first())?),
+            1,
+        ),
+        "worst-paths" => match rest.first().filter(|s| !s.contains('=')) {
+            Some(&k) => (Frame::new("worst-paths").arg("k", k), 1),
+            None => (Frame::new("worst-paths"), 0),
+        },
+        "eco" => match rest.first().copied() {
+            Some("resize") => {
+                let inst = need("an instance name", rest.get(1))?;
+                let steps = rest.get(2).filter(|s| !s.contains('=')).copied();
+                let frame = Frame::new("eco")
+                    .arg("op", "resize")
+                    .arg("inst", inst)
+                    .arg("steps", steps.unwrap_or("1"));
+                (frame, if steps.is_some() { 3 } else { 2 })
+            }
+            Some("scale-net") => (
+                Frame::new("eco")
+                    .arg("op", "scale-net")
+                    .arg("net", need("a net name", rest.get(1))?)
+                    .arg("percent", need("a percentage", rest.get(2))?),
+                3,
+            ),
+            _ => {
+                return Err(CliError::usage(format!(
+                    "query eco needs resize or scale-net\n{QUERY_USAGE}"
+                )))
+            }
+        },
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown request {other:?}\n{QUERY_USAGE}"
+            )))
+        }
+    };
+    for extra in &rest[used..] {
+        let (key, value) = extra.split_once('=').ok_or_else(|| {
+            CliError::usage(format!("expected key=value, got {extra:?}\n{QUERY_USAGE}"))
+        })?;
+        frame = frame.arg(key, value);
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_building() {
+        let f = build_request("analyze", &["latch=edge"]).unwrap();
+        assert_eq!(f.verb, "analyze");
+        assert_eq!(f.get("latch"), Some("edge"));
+
+        let f = build_request("slack", &["mid"]).unwrap();
+        assert_eq!(f.get("node"), Some("mid"));
+
+        let f = build_request("worst-paths", &[]).unwrap();
+        assert!(f.get("k").is_none());
+        let f = build_request("worst-paths", &["7"]).unwrap();
+        assert_eq!(f.get("k"), Some("7"));
+
+        let f = build_request("eco", &["resize", "u1"]).unwrap();
+        assert_eq!(f.get("steps"), Some("1"));
+        let f = build_request("eco", &["resize", "u1", "-1"]).unwrap();
+        assert_eq!(f.get("steps"), Some("-1"));
+        let f = build_request("eco", &["scale-net", "w", "150"]).unwrap();
+        assert_eq!(f.get("percent"), Some("150"));
+
+        assert!(build_request("eco", &[]).is_err());
+        assert!(build_request("slack", &[]).is_err());
+        assert!(build_request("teleport", &[]).is_err());
+        assert!(build_request("analyze", &["positional"]).is_err());
+    }
+}

@@ -7,6 +7,8 @@
 //! hummingbird passes      <design.hum> [options]
 //! hummingbird resynth     <design.hum> -o <out.hum> [options]
 //! hummingbird sweep       <design.hum> [--scales 50,75,100,150] [options]
+//! hummingbird serve       [--listen ADDR | --stdio] [--library FILE]
+//! hummingbird query       <ADDR> <request> [args...]
 //!
 //! options:
 //!   --clock-port PORT=CLOCK   bind a module port to a clock waveform
@@ -39,23 +41,91 @@ use hb_netlist::{Design, ModuleId};
 use hb_units::{Time, Transition};
 use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec};
 
+mod daemon;
+
+/// What went wrong, for exit-code purposes. Scripts driving the CLI
+/// can tell a typo from a corrupt netlist from a full disk:
+///
+/// | exit | meaning                                         |
+/// |------|-------------------------------------------------|
+/// | 0    | success (timing met, where applicable)          |
+/// | 1    | analysis ran; timing is infeasible              |
+/// | 2    | bad command-line usage                          |
+/// | 3    | the OS refused a read, write, bind, or connect  |
+/// | 4    | an input file failed to parse                   |
+/// | 5    | the design is invalid or outside the supported  |
+/// |      | class, or a daemon request was refused          |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad command-line usage.
+    Usage,
+    /// A filesystem or network operation failed.
+    Io,
+    /// An input file (design, library, BLIF) failed to parse.
+    Parse,
+    /// The analyzer or daemon refused the request.
+    Analysis,
+}
+
 /// A fatal driver error (bad usage, unreadable file, analysis refusal).
 #[derive(Debug)]
-pub struct CliError(String);
+pub struct CliError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    fn io(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Io,
+            message: message.into(),
+        }
+    }
+
+    fn parse(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Parse,
+            message: message.into(),
+        }
+    }
+
+    fn analysis(message: impl Into<String>) -> CliError {
+        CliError {
+            kind: ErrorKind::Analysis,
+            message: message.into(),
+        }
+    }
+
+    /// The error's category.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The process exit code this error maps to (see [`ErrorKind`]).
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Usage => 2,
+            ErrorKind::Io => 3,
+            ErrorKind::Parse => 4,
+            ErrorKind::Analysis => 5,
+        }
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
-
-impl From<String> for CliError {
-    fn from(s: String) -> CliError {
-        CliError(s)
-    }
-}
 
 /// Parsed command-line options.
 struct Options {
@@ -75,10 +145,7 @@ struct Options {
 
 fn parse_args(args: &[&str]) -> Result<Options, CliError> {
     let mut it = args.iter();
-    let command = it
-        .next()
-        .ok_or_else(|| CliError(USAGE.to_owned()))?
-        .to_string();
+    let command = it.next().ok_or_else(|| CliError::usage(USAGE))?.to_string();
     if ![
         "check",
         "analyze",
@@ -89,7 +156,9 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
     ]
     .contains(&command.as_str())
     {
-        return Err(CliError(format!("unknown command {command:?}\n{USAGE}")));
+        return Err(CliError::usage(format!(
+            "unknown command {command:?}\n{USAGE}"
+        )));
     }
     let mut opts = Options {
         command,
@@ -109,24 +178,24 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
         let mut value = |name: &str| -> Result<String, CliError> {
             it.next()
                 .map(|s| s.to_string())
-                .ok_or_else(|| CliError(format!("{name} needs a value")))
+                .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
         };
         match arg {
             "--clock-port" => {
                 let v = value("--clock-port")?;
                 let (p, c) = v
                     .split_once('=')
-                    .ok_or_else(|| CliError("--clock-port expects PORT=CLOCK".into()))?;
+                    .ok_or_else(|| CliError::usage("--clock-port expects PORT=CLOCK"))?;
                 opts.clock_ports.push((p.to_owned(), c.to_owned()));
             }
             "--arrive" | "--require" => {
                 let v = value(arg)?;
                 let (p, t) = v
                     .split_once('=')
-                    .ok_or_else(|| CliError(format!("{arg} expects PORT=TIME")))?;
+                    .ok_or_else(|| CliError::usage(format!("{arg} expects PORT=TIME")))?;
                 let t: Time = t
                     .parse()
-                    .map_err(|e| CliError(format!("bad time in {arg}: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("bad time in {arg}: {e}")))?;
                 if arg == "--arrive" {
                     opts.arrivals.push((p.to_owned(), t));
                 } else {
@@ -138,12 +207,12 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
             "--paths" => {
                 opts.max_paths = value("--paths")?
                     .parse()
-                    .map_err(|e| CliError(format!("bad --paths value: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("bad --paths value: {e}")))?;
             }
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|e| CliError(format!("bad --threads value: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("bad --threads value: {e}")))?;
             }
             "--scales" => {
                 let list = value("--scales")?;
@@ -151,9 +220,9 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
                     .split(',')
                     .map(|t| t.trim().parse::<u32>())
                     .collect::<Result<_, _>>()
-                    .map_err(|e| CliError(format!("bad --scales value: {e}")))?;
+                    .map_err(|e| CliError::usage(format!("bad --scales value: {e}")))?;
                 if opts.scales.is_empty() || opts.scales.contains(&0) {
-                    return Err(CliError("--scales needs positive percentages".into()));
+                    return Err(CliError::usage("--scales needs positive percentages"));
                 }
             }
             "--library" => opts.library = Some(value("--library")?),
@@ -161,26 +230,42 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_owned();
             }
-            other => return Err(CliError(format!("unexpected argument {other:?}\n{USAGE}"))),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument {other:?}\n{USAGE}"
+                )))
+            }
         }
     }
     if opts.input.is_empty() {
-        return Err(CliError(format!("missing input file\n{USAGE}")));
+        return Err(CliError::usage(format!("missing input file\n{USAGE}")));
     }
     Ok(opts)
 }
 
-const USAGE: &str = "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep> \
+const USAGE: &str =
+    "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
 [--edge-triggered] [--min-delays] [--paths N] [--threads N] [--scales 50,100,150] \
 [--library LIB.txt] [-o OUT.hum]
   --threads N   worker threads for the slack engine's per-cluster sweeps
                 (0 = all available cores; results are identical at any count)";
 
+fn load_library(path: Option<&str>) -> Result<Library, CliError> {
+    match path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+            hb_io::parse_lib(&text).map_err(|e| CliError::parse(format!("{path}: {e}")))
+        }
+        None => Ok(sc89()),
+    }
+}
+
 fn load(path: &str, library: &Library) -> Result<HumFile, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    hb_io::parse_hum(&text, library).map_err(|e| CliError(format!("{path}: {e}")))
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    hb_io::parse_hum(&text, library).map_err(|e| CliError::parse(format!("{path}: {e}")))
 }
 
 fn build_spec(
@@ -234,7 +319,7 @@ fn build_spec(
         .clocks()
         .next()
         .map(|(_, c)| c.name().to_owned())
-        .ok_or_else(|| CliError("the design declares no clocks".into()))?;
+        .ok_or_else(|| CliError::analysis("the design declares no clocks"))?;
     for (port, offset) in &opts.arrivals {
         spec = spec.input_arrival(port, EdgeSpec::new(&first_clock, Transition::Rise), *offset);
     }
@@ -256,7 +341,7 @@ fn scale_clocks(clocks: &ClockSet, pct: u32) -> Result<ClockSet, CliError> {
                 scale(clock.rise()),
                 scale(clock.fall()),
             )
-            .map_err(|e| CliError(format!("scale {pct}%: {e}")))?;
+            .map_err(|e| CliError::analysis(format!("scale {pct}%: {e}")))?;
     }
     Ok(scaled)
 }
@@ -269,25 +354,23 @@ fn scale_clocks(clocks: &ClockSet, pct: u32) -> Result<ClockSet, CliError> {
 /// Returns [`CliError`] for usage errors, unreadable or unparsable
 /// inputs, and designs outside the analyzer's supported class.
 pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
+    match args.first() {
+        Some(&"serve") => return daemon::run_serve(&args[1..], out),
+        Some(&"query") => return daemon::run_query(&args[1..], out),
+        _ => {}
+    }
     let opts = parse_args(args)?;
-    let library = match &opts.library {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            hb_io::parse_lib(&text).map_err(|e| CliError(format!("{path}: {e}")))?
-        }
-        None => sc89(),
-    };
+    let library = load_library(opts.library.as_deref())?;
     let file = load(&opts.input, &library)?;
     let design = file.design;
     let top = design
         .top()
-        .ok_or_else(|| CliError("the design has no `top` directive".into()))?;
+        .ok_or_else(|| CliError::parse("the design has no `top` directive"))?;
     design
         .validate()
-        .map_err(|e| CliError(format!("invalid design: {e}")))?;
+        .map_err(|e| CliError::analysis(format!("invalid design: {e}")))?;
 
-    let io = |e: std::io::Error| CliError(format!("write failed: {e}"));
+    let io = |e: std::io::Error| CliError::io(format!("write failed: {e}"));
 
     if opts.command == "check" {
         let stats = design.stats(top);
@@ -322,7 +405,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             &spec,
             hb_resynth::ResynthOptions::default(),
         )
-        .map_err(|e| CliError(e.to_string()))?;
+        .map_err(|e| CliError::analysis(e.to_string()))?;
         writeln!(
             out,
             "resynthesis: met={} after {} iterations, {} resizes, {} buffers",
@@ -332,7 +415,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         if let Some(path) = &opts.output {
             let text = hb_io::write_hum(&design, &file.clocks);
             std::fs::write(path, text)
-                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
             writeln!(out, "wrote {path}").map_err(io)?;
         }
         return Ok(u8::from(!outcome.met));
@@ -349,7 +432,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             let scaled = scale_clocks(&file.clocks, pct)?;
             let analyzer =
                 Analyzer::with_options(&design, top, &library, &scaled, spec.clone(), options)
-                    .map_err(|e| CliError(e.to_string()))?;
+                    .map_err(|e| CliError::analysis(e.to_string()))?;
             let report = analyzer.analyze();
             writeln!(
                 out,
@@ -365,7 +448,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     }
 
     let analyzer = Analyzer::with_options(&design, top, &library, &file.clocks, spec, options)
-        .map_err(|e| CliError(e.to_string()))?;
+        .map_err(|e| CliError::analysis(e.to_string()))?;
 
     if opts.command == "passes" {
         write!(out, "{}", hb_clock::render_waveforms(&file.clocks, 64)).map_err(io)?;

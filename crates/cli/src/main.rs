@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         Err(e) if e.to_string().contains("Broken pipe") => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hummingbird: {e}");
-            ExitCode::from(2)
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -197,6 +197,118 @@ fn passes_renders_waveforms() {
 }
 
 #[test]
+fn exit_codes_distinguish_failure_classes() {
+    let mut buf = Vec::new();
+    // Timing verdicts are return values, not errors.
+    let pass = write_temp("codes_pass.hum", DESIGN);
+    assert_eq!(run_capture(&["analyze", &pass]).0, 0);
+    let fail = write_temp("codes_fail.hum", SLOW_DESIGN);
+    assert_eq!(run_capture(&["analyze", &fail]).0, 1);
+    // Usage mistakes: exit 2.
+    let err = hb_cli::run(&[], &mut buf).unwrap_err();
+    assert_eq!((err.kind(), err.exit_code()), (hb_cli::ErrorKind::Usage, 2));
+    let err = hb_cli::run(&["analyze", &pass, "--paths", "NaN"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    // Unreadable input: exit 3.
+    let err = hb_cli::run(&["analyze", "/nonexistent/x.hum"], &mut buf).unwrap_err();
+    assert_eq!((err.kind(), err.exit_code()), (hb_cli::ErrorKind::Io, 3));
+    // Parse failure: exit 4, distinct from both.
+    let garbage = write_temp(
+        "codes_garbage.hum",
+        "design broken\nmodule top\n  inst ???\n",
+    );
+    let err = hb_cli::run(&["analyze", &garbage], &mut buf).unwrap_err();
+    assert_eq!((err.kind(), err.exit_code()), (hb_cli::ErrorKind::Parse, 4));
+    // Analyzable-but-refused (no clocks declared): exit 5.
+    let unclocked = write_temp(
+        "codes_unclocked.hum",
+        "design unclocked\nmodule top\n  port in a\n  port out y\n  inst u1 INV_X1 A=a Y=y\nend\ntop top\n",
+    );
+    let err = hb_cli::run(&["analyze", &unclocked], &mut buf).unwrap_err();
+    assert_eq!(
+        (err.kind(), err.exit_code()),
+        (hb_cli::ErrorKind::Analysis, 5)
+    );
+}
+
+/// Captures the `listening on ADDR` announcement so the test can
+/// connect to a daemon serving an ephemeral port on another thread.
+struct Announce {
+    sent: Option<std::sync::mpsc::Sender<String>>,
+    line: String,
+}
+
+impl std::io::Write for Announce {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.line.push_str(&String::from_utf8_lossy(buf));
+        // One writeln! may arrive as several writes; wait for the
+        // complete line before scraping the address out of it.
+        if self.line.contains('\n') {
+            if let Some(rest) = self.line.strip_prefix("listening on ") {
+                if let Some(addr) = rest.split_whitespace().next() {
+                    if let Some(sent) = self.sent.take() {
+                        let _ = sent.send(addr.to_owned());
+                    }
+                }
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn serve_and_query_round_trip() {
+    let (sent, announced) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let mut out = Announce {
+            sent: Some(sent),
+            line: String::new(),
+        };
+        hb_cli::run(&["serve", "--listen", "127.0.0.1:0"], &mut out).expect("serve runs")
+    });
+    let addr = announced
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve announces its port");
+
+    let path = write_temp("served.hum", DESIGN);
+    let (code, out) = run_capture(&["query", &addr, "load", &path]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run_capture(&["query", &addr, "analyze"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("timing OK"), "{out}");
+    let (code, out) = run_capture(&["query", &addr, "eco", "resize", "u1"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("desc=u1:INV_X1->INV_X2"), "{out}");
+    let (code, out) = run_capture(&["query", &addr, "slack", "v"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("kind=net"), "{out}");
+    // A refused request surfaces as an Analysis error, exit 5.
+    let mut buf = Vec::new();
+    let err = hb_cli::run(&["query", &addr, "slack", "nosuch"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 5);
+    let (code, _) = run_capture(&["query", &addr, "shutdown"]);
+    assert_eq!(code, 0);
+    assert_eq!(server.join().unwrap(), 0);
+}
+
+#[test]
+fn serve_stdio_round_trip_via_subprocess_free_path() {
+    // `--stdio` is exercised through hb_server::serve_stream in its own
+    // crate; here just check the flag parses and rejects junk.
+    let mut buf = Vec::new();
+    let err = hb_cli::run(&["serve", "--port", "99"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    let err = hb_cli::run(&["query"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    let err = hb_cli::run(&["query", "127.0.0.1:1", "teleport"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+}
+
+#[test]
 fn custom_library_via_flag() {
     // A minimal library whose inverter is wildly slow: the same design
     // that passes with sc89 must fail with it.

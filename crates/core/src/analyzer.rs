@@ -124,10 +124,21 @@ impl<'a> Analyzer<'a> {
 
     /// Runs Algorithm 1 and reports all paths that are too slow.
     pub fn analyze(&self) -> TimingReport {
+        self.analyze_with_cache(&mut SlackCache::new())
+    }
+
+    /// Runs Algorithm 1 through a caller-owned [`SlackCache`].
+    ///
+    /// The cache is content-addressed, so it may come from an earlier
+    /// analysis of this design — or of an *edited* revision of it: only
+    /// the `(cluster, pass)` sweeps whose shard fingerprint or seed
+    /// signature moved are recomputed. The report's engine counters
+    /// cover this call only, not the cache's lifetime.
+    pub fn analyze_with_cache(&self, cache: &mut SlackCache) -> TimingReport {
         let start = Instant::now();
+        let before = cache.stats();
         let mut replicas = self.prep.replicas.clone();
-        let mut cache = SlackCache::new(self.prep.engine.items.len());
-        let (view, alg1) = algorithm1(&self.prep, &mut replicas, &mut cache);
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas, cache);
         let min_delay = if self.prep.options.check_min_delays {
             check_min_delays(&self.prep, &replicas)
         } else {
@@ -135,7 +146,7 @@ impl<'a> Analyzer<'a> {
         };
         let mut report = self.build_report(&replicas, &view);
         report.alg1 = alg1;
-        report.engine = cache.stats();
+        report.engine = cache.stats().since(before);
         report.min_delay_violations = min_delay;
         report.prep_seconds = self.prep_seconds;
         report.analysis_seconds = start.elapsed().as_secs_f64();
@@ -145,20 +156,26 @@ impl<'a> Analyzer<'a> {
     /// Runs Algorithm 1 followed by Algorithm 2 and attaches the
     /// generated ready/required-time constraints to the report.
     pub fn generate_constraints(&self) -> TimingReport {
+        self.generate_constraints_with_cache(&mut SlackCache::new())
+    }
+
+    /// Runs Algorithms 1 and 2 through a caller-owned [`SlackCache`];
+    /// see [`Analyzer::analyze_with_cache`] for the reuse contract.
+    pub fn generate_constraints_with_cache(&self, cache: &mut SlackCache) -> TimingReport {
         let start = Instant::now();
+        let before = cache.stats();
         let mut replicas = self.prep.replicas.clone();
-        let mut cache = SlackCache::new(self.prep.engine.items.len());
-        let (view, alg1) = algorithm1(&self.prep, &mut replicas, &mut cache);
+        let (view, alg1) = algorithm1(&self.prep, &mut replicas, cache);
         let min_delay = if self.prep.options.check_min_delays {
             check_min_delays(&self.prep, &replicas)
         } else {
             Vec::new()
         };
         let mut report = self.build_report(&replicas, &view);
-        let (ready_view, required_view, alg2) = algorithm2(&self.prep, &mut replicas, &mut cache);
+        let (ready_view, required_view, alg2) = algorithm2(&self.prep, &mut replicas, cache);
         report.alg1 = alg1;
         report.alg2 = Some(alg2);
-        report.engine = cache.stats();
+        report.engine = cache.stats().since(before);
         report.constraints = Some(TimingConstraints::new(
             self.prep.passes.clone(),
             ready_view.dense_ready(&self.prep),

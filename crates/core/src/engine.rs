@@ -65,6 +65,12 @@ pub(crate) struct WorkItem {
     pub cluster: u32,
     /// Global pass index.
     pub pass: usize,
+    /// Hash of everything static that the sweep result depends on:
+    /// the shard's timing content plus every resolved seed position.
+    /// Combined with the dynamic [`Engine::signature`], it makes cached
+    /// tables reusable across design edits, not just across cycles of
+    /// one analysis.
+    pub fingerprint: u64,
     /// Ready seeds at replica outputs (assertion positions).
     pub ready_replica_seeds: Vec<ReplicaSeed>,
     /// Ready seeds at primary inputs.
@@ -124,6 +130,7 @@ impl Engine {
                 items.push(WorkItem {
                     cluster: c as u32,
                     pass: p,
+                    fingerprint: 0,
                     ready_replica_seeds: Vec::new(),
                     ready_pi_seeds: Vec::new(),
                     close_replica_seeds: Vec::new(),
@@ -173,6 +180,35 @@ impl Engine {
                 local: sharded.local_of(po.net),
                 at: pos_close(timeline, passes[p], po.edge) + po.offset,
             });
+        }
+        // Resolve each item's static fingerprint: shard content plus
+        // every seed position. Replica seeds keep only their static
+        // base here — the movable offsets are covered by the dynamic
+        // signature at evaluation time.
+        for item in &mut items {
+            let shard = sharded.shard(hb_sta::ClusterId::from_raw(item.cluster));
+            let mut h = hb_rng::mix64(shard.fingerprint(), item.pass as u64);
+            for s in &item.ready_replica_seeds {
+                h = hb_rng::mix64(h, 1);
+                h = hb_rng::mix64(h, (s.k as u64) << 32 | s.local as u64);
+                h = hb_rng::mix64(h, s.base.as_ps() as u64);
+            }
+            for s in &item.ready_pi_seeds {
+                h = hb_rng::mix64(h, 2);
+                h = hb_rng::mix64(h, (s.k as u64) << 32 | s.local as u64);
+                h = hb_rng::mix64(h, s.at.as_ps() as u64);
+            }
+            for s in &item.close_replica_seeds {
+                h = hb_rng::mix64(h, 3);
+                h = hb_rng::mix64(h, (s.k as u64) << 32 | s.local as u64);
+                h = hb_rng::mix64(h, s.base.as_ps() as u64);
+            }
+            for s in &item.close_po_seeds {
+                h = hb_rng::mix64(h, 4);
+                h = hb_rng::mix64(h, (s.k as u64) << 32 | s.local as u64);
+                h = hb_rng::mix64(h, s.at.as_ps() as u64);
+            }
+            item.fingerprint = h;
         }
         // Schedule the heaviest sweeps first so the pool drains evenly.
         items.sort_by_key(|it| {
@@ -251,9 +287,9 @@ impl Engine {
         let mut todo: Vec<usize> = Vec::new();
         for (i, item) in self.items.iter().enumerate() {
             let sig = self.signature(item, replicas);
-            if let Some((cached_sig, t)) = cache.entries[i].as_ref() {
-                if *cached_sig == sig {
-                    tables[i] = Some(t.clone());
+            if let Some(entry) = cache.entries.get(&(item.cluster, item.pass as u32)) {
+                if entry.fingerprint == item.fingerprint && entry.sig == sig {
+                    tables[i] = Some(entry.tables.clone());
                 }
             }
             sigs.push(sig);
@@ -303,10 +339,15 @@ impl Engine {
         }
 
         for &i in &todo {
-            cache.entries[i] = Some((
-                std::mem::take(&mut sigs[i]),
-                tables[i].as_ref().expect("computed above").clone(),
-            ));
+            let item = &self.items[i];
+            cache.entries.insert(
+                (item.cluster, item.pass as u32),
+                CacheEntry {
+                    fingerprint: item.fingerprint,
+                    sig: std::mem::take(&mut sigs[i]),
+                    tables: tables[i].as_ref().expect("computed above").clone(),
+                },
+            );
         }
         tables
             .into_iter()
@@ -315,26 +356,58 @@ impl Engine {
     }
 }
 
-/// Per-item memo of the last swept tables, keyed by the item's dynamic
-/// seed signature. This is the dirty-cluster tracking: a cluster whose
-/// replica offsets moved gets a different signature and is re-swept;
-/// everything else is reused.
-pub(crate) struct SlackCache {
-    entries: Vec<Option<(Vec<Time>, Arc<ItemTables>)>>,
+/// One memoised `(cluster, pass)` sweep result.
+struct CacheEntry {
+    /// Static fingerprint of the shard and seed positions that
+    /// produced the tables.
+    fingerprint: u64,
+    /// Dynamic seed signature that produced the tables.
+    sig: Vec<Time>,
+    tables: Arc<ItemTables>,
+}
+
+/// Memo of the last swept tables per `(cluster, pass)` pair, keyed by
+/// the item's static fingerprint and dynamic seed signature. This is
+/// the dirty-cluster tracking: a cluster whose replica offsets moved
+/// gets a different signature and is re-swept; a cluster whose arc
+/// delays or seed structure changed (an ECO edit) gets a different
+/// fingerprint and is re-swept; everything else is reused.
+///
+/// Because entries are keyed by content rather than by item position,
+/// one cache may outlive the [`Analyzer`] that filled it: a resident
+/// session can re-prepare an edited design and hand the same cache to
+/// [`Analyzer::analyze_with_cache`](crate::Analyzer::analyze_with_cache),
+/// paying sweeps only for the clusters the edit actually touched.
+#[derive(Default)]
+pub struct SlackCache {
+    entries: HashMap<(u32, u32), CacheEntry>,
     /// Item evaluations requested over the cache's lifetime.
-    pub scheduled: u64,
+    pub(crate) scheduled: u64,
     /// Evaluations answered from cache (clean clusters).
-    pub reused: u64,
+    pub(crate) reused: u64,
 }
 
 impl SlackCache {
-    /// An empty cache for an engine with `items` work items.
-    pub fn new(items: usize) -> SlackCache {
-        SlackCache {
-            entries: vec![None; items],
-            scheduled: 0,
-            reused: 0,
-        }
+    /// An empty cache. It adapts to whatever engine uses it, so one
+    /// cache can serve successive analyses of successively edited
+    /// designs.
+    pub fn new() -> SlackCache {
+        SlackCache::default()
+    }
+
+    /// The number of memoised `(cluster, pass)` sweep results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no memoised sweeps.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every memoised sweep but keeps the lifetime counters.
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
     }
 
     /// The reuse counters, for reporting.
@@ -353,4 +426,20 @@ pub struct EngineStats {
     pub items_scheduled: u64,
     /// Evaluations served from the incremental cache without sweeping.
     pub items_reused: u64,
+}
+
+impl EngineStats {
+    /// Counters accumulated since an `earlier` snapshot of the same
+    /// cache — the per-analysis delta when a cache outlives a session.
+    pub fn since(self, earlier: EngineStats) -> EngineStats {
+        EngineStats {
+            items_scheduled: self.items_scheduled - earlier.items_scheduled,
+            items_reused: self.items_reused - earlier.items_reused,
+        }
+    }
+
+    /// Evaluations that actually ran the sweeps (scheduled − reused).
+    pub fn items_swept(&self) -> u64 {
+        self.items_scheduled - self.items_reused
+    }
 }

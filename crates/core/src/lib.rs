@@ -86,7 +86,7 @@ mod sync;
 pub use algorithms::{Algorithm1Stats, Algorithm2Stats};
 pub use analysis::PrepStats;
 pub use analyzer::Analyzer;
-pub use engine::EngineStats;
+pub use engine::{EngineStats, SlackCache};
 pub use error::AnalyzeError;
 pub use mindelay::MinDelayViolation;
 pub use report::{

@@ -11,7 +11,10 @@
 //! * a **mapped-BLIF subset** ([`parse_blif`], [`write_blif`]) — the
 //!   `.model/.inputs/.outputs/.gate/.mlatch/.subckt/.end` directives
 //!   produced by SIS-era technology mappers, which is how designs moved
-//!   between Berkeley tools in practice.
+//!   between Berkeley tools in practice;
+//! * the **daemon wire protocol** ([`proto`]) — newline-delimited
+//!   frames with length-prefixed payloads, spoken between
+//!   `hummingbird serve` and its clients.
 //!
 //! Both parsers resolve cell names against an [`hb_cells::Library`]
 //! whose interfaces are declared into the produced design.
@@ -48,8 +51,10 @@ mod blif;
 mod error;
 mod hum;
 mod lib_format;
+pub mod proto;
 
 pub use blif::{parse_blif, write_blif};
 pub use error::ParseError;
 pub use hum::{parse_hum, write_hum, write_hum_with_timing, EdgeRef, HumFile, TimingDirective};
 pub use lib_format::{parse_lib, write_lib};
+pub use proto::{write_frame, Frame, FrameReader, ProtoError};

@@ -1,0 +1,409 @@
+//! The newline-delimited framed protocol of the `hummingbird serve`
+//! daemon.
+//!
+//! A frame is one header line plus an optional length-prefixed payload:
+//!
+//! ```text
+//! frame   = header LF [ payload LF ]
+//! header  = verb *( SP key "=" value ) [ SP "payload=" length ]
+//! payload = <length bytes of UTF-8, NUL-free>
+//! ```
+//!
+//! The header is plain text with whitespace-free tokens, so a session
+//! can be driven by hand (`printf 'stats\n' | nc ...`); anything that
+//! needs spaces or newlines — designs, reports, error messages — rides
+//! in the payload, whose byte length is declared up front. Because the
+//! payload is length-prefixed, the reader never scans it, and because
+//! the header is line-delimited, a reader that rejects a malformed
+//! header is resynchronised at the next newline and the connection
+//! survives.
+//!
+//! [`FrameReader`] reads from any [`BufRead`], so short reads from a
+//! TCP stream (frames split across segments) reassemble naturally.
+//! Hard limits on header and payload size make a hostile peer's worst
+//! case a bounded allocation followed by a structured error.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted header-line length in bytes (including newline).
+pub const MAX_HEADER: usize = 64 * 1024;
+/// Maximum accepted declared payload length in bytes.
+pub const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// One protocol frame: a verb, `key=value` arguments, and an optional
+/// payload for content that does not fit a whitespace-free token.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Frame {
+    /// The request or response verb (`load`, `ok`, `error`, ...).
+    pub verb: String,
+    /// Arguments in transmission order; keys may repeat.
+    pub args: Vec<(String, String)>,
+    /// Optional free-form body (a design, a report, an error message).
+    pub payload: Option<String>,
+}
+
+impl Frame {
+    /// A frame with the given verb and no arguments.
+    pub fn new(verb: impl Into<String>) -> Frame {
+        Frame {
+            verb: verb.into(),
+            args: Vec::new(),
+            payload: None,
+        }
+    }
+
+    /// Appends a `key=value` argument (builder style).
+    pub fn arg(mut self, key: impl Into<String>, value: impl fmt::Display) -> Frame {
+        self.args.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Sets the payload (builder style).
+    pub fn with_payload(mut self, payload: impl Into<String>) -> Frame {
+        self.payload = Some(payload.into());
+        self
+    }
+
+    /// The first value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of `key`, in order (for repeatable arguments).
+    pub fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> {
+        self.args
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes the frame as wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the verb or any argument token contains whitespace,
+    /// `=` in a key, or a NUL — such content belongs in the payload.
+    /// (All tokens produced by this codebase are identifiers or
+    /// numbers; the assertion catches misrouted content in tests.)
+    pub fn encode(&self) -> String {
+        assert!(token_ok(&self.verb), "verb is not a bare token");
+        let mut out = String::with_capacity(64);
+        out.push_str(&self.verb);
+        for (k, v) in &self.args {
+            assert!(
+                token_ok(k) && !k.contains('=') && token_ok(v),
+                "argument `{k}` is not a bare token pair"
+            );
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        if let Some(p) = &self.payload {
+            assert!(!p.contains('\0'), "payload contains NUL");
+            out.push_str(&format!(" payload={}", p.len()));
+            out.push('\n');
+            out.push_str(p);
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn token_ok(s: &str) -> bool {
+    !s.is_empty() && !s.contains(|c: char| c.is_whitespace() || c == '\0')
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The header line is syntactically invalid. The stream is still
+    /// aligned on a frame boundary; reading may continue.
+    Malformed(String),
+    /// A declared size exceeds the protocol limit. The remaining
+    /// stream position is undefined; the connection should close.
+    Oversized {
+        /// What overflowed (`header` or `payload`).
+        what: &'static str,
+        /// The enforced limit in bytes.
+        limit: usize,
+    },
+    /// The frame embeds a NUL byte.
+    Nul,
+    /// The frame is not valid UTF-8.
+    Encoding,
+    /// The stream ended inside a frame.
+    Truncated,
+}
+
+impl ProtoError {
+    /// Whether the stream is still aligned on a frame boundary after
+    /// this error, i.e. the reader may keep serving the connection.
+    pub fn recoverable(&self) -> bool {
+        matches!(self, ProtoError::Malformed(_) | ProtoError::Nul)
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "protocol stream error: {e}"),
+            ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            ProtoError::Oversized { what, limit } => {
+                write!(f, "frame {what} exceeds {limit} bytes")
+            }
+            ProtoError::Nul => write!(f, "frame contains a NUL byte"),
+            ProtoError::Encoding => write!(f, "frame is not valid UTF-8"),
+            ProtoError::Truncated => write!(f, "stream ended inside a frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one frame and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates the underlying write or flush failure. On a TCP stream
+/// whose peer vanished this surfaces as an ordinary [`io::Error`]
+/// (Rust ignores `SIGPIPE`), which a server treats as a disconnect.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(frame.encode().as_bytes())?;
+    w.flush()
+}
+
+/// An incremental frame decoder over any buffered byte stream.
+pub struct FrameReader<R> {
+    inner: R,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps a buffered stream.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner }
+    }
+
+    /// Unwraps the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Reads the next frame; `Ok(None)` on a clean end-of-stream (the
+    /// previous frame was complete).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`]; [`ProtoError::recoverable`] distinguishes
+    /// errors that leave the stream aligned from those that do not.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        let line = match self.read_header_line()? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        if line.contains('\0') {
+            return Err(ProtoError::Nul);
+        }
+        let mut tokens = line.split_whitespace();
+        let verb = tokens
+            .next()
+            .ok_or_else(|| ProtoError::Malformed("empty header line".into()))?
+            .to_owned();
+        let mut frame = Frame::new(verb);
+        let mut payload_len: Option<usize> = None;
+        for token in tokens {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| ProtoError::Malformed(format!("argument `{token}` lacks `=`")))?;
+            if key.is_empty() {
+                return Err(ProtoError::Malformed(format!(
+                    "argument `{token}` lacks a key"
+                )));
+            }
+            if key == "payload" {
+                let n: usize = value.parse().map_err(|_| {
+                    ProtoError::Malformed(format!("payload length `{value}` is not a number"))
+                })?;
+                if n > MAX_PAYLOAD {
+                    return Err(ProtoError::Oversized {
+                        what: "payload",
+                        limit: MAX_PAYLOAD,
+                    });
+                }
+                payload_len = Some(n);
+            } else {
+                frame.args.push((key.to_owned(), value.to_owned()));
+            }
+        }
+        if let Some(n) = payload_len {
+            frame.payload = Some(self.read_payload(n)?);
+        }
+        Ok(Some(frame))
+    }
+
+    /// Reads one newline-terminated header line, enforcing
+    /// [`MAX_HEADER`]. Returns `None` on immediate end-of-stream.
+    fn read_header_line(&mut self) -> Result<Option<String>, ProtoError> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let chunk = self.inner.fill_buf().map_err(ProtoError::Io)?;
+            if chunk.is_empty() {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ProtoError::Truncated)
+                };
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if buf.len() + pos > MAX_HEADER {
+                        return Err(ProtoError::Oversized {
+                            what: "header",
+                            limit: MAX_HEADER,
+                        });
+                    }
+                    buf.extend_from_slice(&chunk[..pos]);
+                    self.inner.consume(pos + 1);
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    if buf.len() + len > MAX_HEADER {
+                        return Err(ProtoError::Oversized {
+                            what: "header",
+                            limit: MAX_HEADER,
+                        });
+                    }
+                    buf.extend_from_slice(chunk);
+                    self.inner.consume(len);
+                }
+            }
+        }
+        String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| ProtoError::Encoding)
+    }
+
+    /// Reads exactly `n` payload bytes plus the trailing newline.
+    fn read_payload(&mut self, n: usize) -> Result<String, ProtoError> {
+        let mut bytes = vec![0u8; n + 1];
+        self.inner.read_exact(&mut bytes).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ProtoError::Truncated
+            } else {
+                ProtoError::Io(e)
+            }
+        })?;
+        let newline = bytes.pop().expect("n + 1 > 0");
+        if newline != b'\n' {
+            return Err(ProtoError::Malformed(
+                "payload is not newline-terminated at its declared length".into(),
+            ));
+        }
+        if bytes.contains(&b'\0') {
+            return Err(ProtoError::Nul);
+        }
+        String::from_utf8(bytes).map_err(|_| ProtoError::Encoding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn decode_all(bytes: &[u8]) -> Result<Vec<Frame>, ProtoError> {
+        let mut reader = FrameReader::new(Cursor::new(bytes.to_vec()));
+        let mut frames = Vec::new();
+        while let Some(f) = reader.read_frame()? {
+            frames.push(f);
+        }
+        Ok(frames)
+    }
+
+    #[test]
+    fn round_trip_basics() {
+        let frames = [
+            Frame::new("stats"),
+            Frame::new("slack").arg("node", "ff3").arg("pass", 2),
+            Frame::new("load")
+                .arg("format", "hum")
+                .with_payload("design d\nmodule top\nend\ntop top\n"),
+            Frame::new("ok").with_payload(""),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let decoded = decode_all(&wire).unwrap();
+        assert_eq!(decoded.as_slice(), frames.as_slice());
+    }
+
+    #[test]
+    fn header_errors_are_classified() {
+        assert!(matches!(
+            decode_all(b"slack node\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_all(b"load payload=abc\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_all(b"load payload=99999999999\n"),
+            Err(ProtoError::Oversized {
+                what: "payload",
+                ..
+            })
+        ));
+        assert!(matches!(decode_all(b"st\0ats\n"), Err(ProtoError::Nul)));
+        assert!(matches!(decode_all(b"stats"), Err(ProtoError::Truncated)));
+        assert!(matches!(
+            decode_all(b"load payload=100\nshort\n"),
+            Err(ProtoError::Truncated)
+        ));
+        assert!(matches!(
+            decode_all(b"load payload=2\nabcdef\n"),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_header_leaves_stream_aligned() {
+        let mut reader = FrameReader::new(Cursor::new(b"bad arg\nstats\n".to_vec()));
+        let err = reader.read_frame().unwrap_err();
+        assert!(err.recoverable());
+        let next = reader.read_frame().unwrap().unwrap();
+        assert_eq!(next.verb, "stats");
+        assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected() {
+        let mut wire = vec![b'a'; MAX_HEADER + 10];
+        wire.push(b'\n');
+        assert!(matches!(
+            decode_all(&wire),
+            Err(ProtoError::Oversized { what: "header", .. })
+        ));
+    }
+}

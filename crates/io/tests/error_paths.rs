@@ -1,0 +1,187 @@
+//! Error paths across every hb-io surface: malformed `.hum` headers,
+//! truncated BLIF, and the daemon protocol codec under both random and
+//! hostile inputs. Each failure must be a structured [`ParseError`] or
+//! [`ProtoError`] carrying a useful position — never a panic, never a
+//! silent partial parse.
+
+use std::io::BufReader;
+
+use hb_cells::sc89;
+use hb_io::{parse_blif, parse_hum, write_frame, Frame, FrameReader, ProtoError};
+use hb_rng::SmallRng;
+
+#[test]
+fn malformed_hum_headers_report_the_line() {
+    let lib = sc89();
+    let cases: &[(&str, &str, usize)] = &[
+        ("design\n", "design needs a name", 1),
+        ("design d\nmodule\n", "module needs a name", 2),
+        ("design d\nmodule a\nmodule b\n", "nested module", 3),
+        ("design d\nend\n", "outside a module", 2),
+        ("design d\nmodule t\nport sideways x\nend\n", "direction", 3),
+        ("design d\nmodule t\n", "unterminated module", 0),
+    ];
+    for &(text, needle, line) in cases {
+        let e = parse_hum(text, &lib).unwrap_err();
+        assert!(
+            e.message().contains(needle),
+            "{text:?}: expected {needle:?} in {:?}",
+            e.message()
+        );
+        assert_eq!(e.line(), line, "{text:?}: wrong line in {e}");
+    }
+}
+
+#[test]
+fn malformed_hum_clock_and_timing_lines() {
+    let lib = sc89();
+    let prefix = "design d\nmodule top\n  port in a\nend\ntop top\n";
+    for bad in [
+        "clock ck\n",
+        "clock ck period banana rise 0ns fall 5ns\n",
+        "clock ck period 10ns rise 0ns fall 5ns stretch 1ns\n",
+        "clockport onlyaport\n",
+        "arrive a ck sideways 1ns\n",
+        "arrive a ck rise\n",
+    ] {
+        let text = format!("{prefix}{bad}");
+        assert!(parse_hum(&text, &lib).is_err(), "{bad:?} must be rejected");
+    }
+    // The prefix alone is fine — failures above are the suffix's fault.
+    assert!(parse_hum(prefix, &lib).is_ok());
+}
+
+#[test]
+fn truncated_blif_is_rejected() {
+    let lib = sc89();
+    let e = parse_blif("", &lib).unwrap_err();
+    assert!(e.message().contains("no .model"), "{e}");
+    let e = parse_blif(".model t\n.inputs a\n.outputs y\n", &lib).unwrap_err();
+    assert!(e.message().contains("unterminated model"), "{e}");
+    let e = parse_blif(".model a\n.model b\n.end\n", &lib).unwrap_err();
+    assert!(e.message().contains("nested .model"), "{e}");
+    // A continuation backslash at end-of-input must not lose the line.
+    let e = parse_blif(".model t\n.inputs a \\\n", &lib).unwrap_err();
+    assert!(e.message().contains("unterminated"), "{e}");
+}
+
+/// Random frames survive an encode → decode round trip even when the
+/// transport hands the decoder tiny buffers (frames split mid-header
+/// and mid-payload).
+#[test]
+fn codec_round_trip_fuzz_with_split_reads() {
+    let mut rng = SmallRng::seed_from_u64(0x1989_0625);
+    let token = |rng: &mut SmallRng| -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-.:";
+        let len = rng.gen_range(1..12);
+        (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect()
+    };
+    for round in 0..50 {
+        let mut frames = Vec::new();
+        for _ in 0..rng.gen_range(1..8) {
+            let mut frame = Frame::new(token(&mut rng));
+            for _ in 0..rng.gen_range(0..4) {
+                frame = frame.arg(token(&mut rng), token(&mut rng));
+            }
+            if rng.gen_bool(0.5) {
+                // Payloads may hold anything printable, including the
+                // header's own delimiters.
+                let mut payload = String::new();
+                for _ in 0..rng.gen_range(0..120) {
+                    payload.push(match rng.gen_range(0..8) {
+                        0 => ' ',
+                        1 => '\n',
+                        2 => '=',
+                        3 => 'λ', // multi-byte UTF-8
+                        _ => ALPHANUM(rng.gen_range(0..36)),
+                    });
+                }
+                frame = frame.with_payload(payload);
+            }
+            frames.push(frame);
+        }
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        // A 3-byte transport buffer forces every split-read path.
+        let cursor = std::io::Cursor::new(wire);
+        let mut reader = FrameReader::new(BufReader::with_capacity(3, cursor));
+        let mut decoded = Vec::new();
+        while let Some(frame) = reader.read_frame().unwrap() {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames, "round {round} mangled the frames");
+    }
+}
+
+#[allow(non_snake_case)]
+fn ALPHANUM(i: usize) -> char {
+    (b"abcdefghijklmnopqrstuvwxyz0123456789"[i]) as char
+}
+
+fn decode_one(bytes: &[u8]) -> Result<Option<Frame>, ProtoError> {
+    FrameReader::new(std::io::Cursor::new(bytes.to_vec())).read_frame()
+}
+
+#[test]
+fn hostile_frames_fail_closed() {
+    // Oversized header: rejected before the line is buffered whole.
+    let mut huge = vec![b'x'; hb_io::proto::MAX_HEADER + 1];
+    huge.push(b'\n');
+    assert!(matches!(
+        decode_one(&huge),
+        Err(ProtoError::Oversized { what: "header", .. })
+    ));
+    // ...even with no newline at all (a peer streaming garbage forever
+    // must not grow the buffer unboundedly).
+    let unending = vec![b'x'; hb_io::proto::MAX_HEADER + 1];
+    assert!(matches!(
+        decode_one(&unending),
+        Err(ProtoError::Oversized { what: "header", .. })
+    ));
+
+    // A 16 MiB+1 declared payload is refused without allocating it.
+    let decl = format!("load payload={}\n", hb_io::proto::MAX_PAYLOAD + 1);
+    assert!(matches!(
+        decode_one(decl.as_bytes()),
+        Err(ProtoError::Oversized {
+            what: "payload",
+            ..
+        })
+    ));
+
+    // Embedded NUL: recoverable (the line was consumed), but rejected.
+    let err = decode_one(b"sta\0ts\n").unwrap_err();
+    assert!(matches!(err, ProtoError::Nul) && err.recoverable());
+    let err = decode_one(b"load payload=3\na\0b\n").unwrap_err();
+    assert!(matches!(err, ProtoError::Nul));
+
+    // Truncations at every stage.
+    assert!(matches!(decode_one(b"stats"), Err(ProtoError::Truncated)));
+    assert!(matches!(
+        decode_one(b"load payload=10\nabc"),
+        Err(ProtoError::Truncated)
+    ));
+    // Declared length shorter than the actual body: the reader must
+    // notice the missing terminator rather than resync mid-payload.
+    let err = decode_one(b"load payload=2\nabcd\n").unwrap_err();
+    assert!(matches!(err, ProtoError::Malformed(_)), "{err}");
+
+    // Bad UTF-8 in header and payload.
+    assert!(matches!(
+        decode_one(b"st\xffats\n"),
+        Err(ProtoError::Encoding)
+    ));
+    assert!(matches!(
+        decode_one(b"load payload=2\n\xff\xfe\n"),
+        Err(ProtoError::Encoding)
+    ));
+
+    // Arguments without `=` stay recoverable: the server answers with
+    // a structured error and keeps the connection.
+    let err = decode_one(b"slack node\n").unwrap_err();
+    assert!(err.recoverable(), "{err}");
+}

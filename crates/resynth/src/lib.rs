@@ -42,6 +42,10 @@
 //! # }
 //! ```
 
+mod eco;
+
+pub use eco::{apply_eco, EcoError, EcoOp, EcoOutcome};
+
 use hb_cells::{Binding, Library};
 use hb_clock::ClockSet;
 use hb_netlist::{Design, Endpoint, InstId, InstRef, ModuleId, NetId};

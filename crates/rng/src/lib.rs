@@ -19,6 +19,18 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Folds `value` into a running 64-bit hash with SplitMix64 avalanche
+/// mixing. Not cryptographic; used for structural fingerprints (shard
+/// content, protocol fuzzing) where only collision resistance against
+/// accidental equality matters. The output for a given input sequence
+/// is stable and must stay so: cached-state fingerprints depend on it.
+pub fn mix64(acc: u64, value: u64) -> u64 {
+    let mut state = acc
+        .rotate_left(29)
+        .wrapping_add(value.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    splitmix64(&mut state)
+}
+
 /// A seeded deterministic generator (xoshiro256**).
 ///
 /// Named after the `rand` type it replaces so call sites read the same;

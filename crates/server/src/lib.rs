@@ -1,0 +1,150 @@
+//! A persistent timing-analysis daemon for hummingbird.
+//!
+//! The original Hummingbird lived inside a synthesis loop and
+//! round-tripped the whole design through the OCT database on every
+//! redesign iteration; every run paid full preparation from cold
+//! state. This crate keeps the analyzed state *resident* instead: a
+//! long-running process owns the design, the library binding and —
+//! crucially — the content-addressed
+//! [`SlackCache`](hummingbird::SlackCache), so an engineering-change
+//! edit pays only for the cluster shards it actually dirtied.
+//!
+//! Three layers:
+//!
+//! * [`Session`] — transport-agnostic request handling over one loaded
+//!   design ([`Frame`](hb_io::Frame) in, frame out): `load`,
+//!   `analyze`, `slack`, `worst-paths`, `constraints`, `eco`, `dump`,
+//!   `stats`, `shutdown`;
+//! * [`Server`] — a thread-per-connection TCP daemon sharing one
+//!   session behind an `RwLock` with per-request lock deadlines, and
+//!   [`serve_stream`] — the same loop over arbitrary byte streams
+//!   (`hummingbird serve --stdio`);
+//! * [`Client`] — a small blocking request/reply client, used by
+//!   `hummingbird query`, the benches, and the loopback smoke test.
+//!
+//! The wire protocol is the newline-delimited framed codec of
+//! [`hb_io::proto`]. See DESIGN.md §6 for the frame grammar, the
+//! session lifecycle, and the ECO invalidation flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use hb_cells::sc89;
+//! use hb_io::Frame;
+//! use hb_server::Session;
+//!
+//! let mut session = Session::new(sc89());
+//! let text = std::fs::read_to_string("../../designs/two_phase_pipeline.hum").unwrap();
+//! let reply = session.handle(&Frame::new("load").with_payload(text));
+//! assert_eq!(reply.verb, "ok");
+//! let reply = session.handle(&Frame::new("analyze"));
+//! assert_eq!(reply.verb, "ok");
+//! // An ECO re-analysis through the resident cache reports its reuse.
+//! let reply = session.handle(
+//!     &Frame::new("eco").arg("op", "resize").arg("inst", "a0").arg("steps", 1),
+//! );
+//! assert_eq!(reply.verb, "ok");
+//! assert!(reply.get("items_reused").is_some());
+//! ```
+
+mod net;
+mod session;
+
+pub use net::{serve_stream, Client, Server, ServerOptions};
+pub use session::{directives_from_spec, spec_from_directives, Session};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_cells::sc89;
+    use hb_io::Frame;
+
+    const PIPE: &str = "\
+design two_phase
+module top
+  port in din phi1 phi2
+  port out dout
+  inst a0 BUF_X1 A=din Y=a0y
+  inst a1 XOR2_X1 A=a0y B=din Y=a1y
+  inst mid DLATCH D=a1y G=phi2 Q=midq
+  inst b0 INV_X1 A=midq Y=b0y
+  inst cap DFF D=b0y CK=phi1 Q=dout
+end
+top top
+clock phi1 period 12ns rise 0ns fall 5ns
+clock phi2 period 12ns rise 6ns fall 11ns
+clockport phi1 phi1
+clockport phi2 phi2
+arrive din phi1 rise 0.5ns
+";
+
+    #[test]
+    fn session_lifecycle() {
+        let mut s = Session::new(sc89());
+        // Queries before a load are structured errors, not panics.
+        let reply = s.handle(&Frame::new("slack").arg("node", "x"));
+        assert_eq!(reply.verb, "error");
+        assert_eq!(reply.get("code"), Some("no-design"));
+
+        let reply = s.handle(&Frame::new("load").with_payload(PIPE));
+        assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+        assert_eq!(reply.get("clocks"), Some("2"));
+
+        let reply = s.handle(&Frame::new("analyze"));
+        assert_eq!(reply.verb, "ok");
+        assert!(reply.get("worst").is_some());
+
+        // A net query answers from the settled analysis (read-only).
+        let reply = s
+            .handle_readonly(&Frame::new("slack").arg("node", "a1y"))
+            .expect("analysis is fresh");
+        assert_eq!(reply.verb, "ok");
+        assert_eq!(reply.get("kind"), Some("net"));
+
+        // A terminal query aggregates the instance's replicas.
+        let reply = s.handle(&Frame::new("slack").arg("node", "mid"));
+        assert_eq!(reply.get("kind"), Some("terminal"));
+
+        // The ECO dirties the analysis: read-only queries step aside...
+        let reply = s.handle(
+            &Frame::new("eco")
+                .arg("op", "resize")
+                .arg("inst", "b0")
+                .arg("steps", 1),
+        );
+        assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+        assert_eq!(reply.get("desc"), Some("b0:INV_X1->INV_X2"));
+
+        // ...and a failed ECO leaves the design untouched.
+        let reply = s.handle(&Frame::new("eco").arg("op", "resize").arg("inst", "nosuch"));
+        assert_eq!(reply.get("code"), Some("eco"));
+
+        let reply = s.handle(&Frame::new("stats"));
+        assert_eq!(reply.get("ecos"), Some("1"));
+        assert_eq!(reply.get("design"), Some("two_phase"));
+
+        let reply = s.handle(&Frame::new("nonsense"));
+        assert_eq!(reply.get("code"), Some("unknown-verb"));
+    }
+
+    #[test]
+    fn stdio_loop_round_trips() {
+        let mut wire = Vec::new();
+        for f in [
+            Frame::new("hello"),
+            Frame::new("load").with_payload(PIPE),
+            Frame::new("analyze"),
+            Frame::new("shutdown"),
+        ] {
+            wire.extend_from_slice(f.encode().as_bytes());
+        }
+        let mut out = Vec::new();
+        serve_stream(sc89(), std::io::Cursor::new(wire), &mut out).unwrap();
+        let mut replies = hb_io::FrameReader::new(std::io::Cursor::new(out));
+        let mut verbs = Vec::new();
+        while let Some(f) = replies.read_frame().unwrap() {
+            verbs.push(f.verb);
+        }
+        assert_eq!(verbs, ["ok", "ok", "ok", "ok"]);
+    }
+}

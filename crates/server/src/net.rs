@@ -1,0 +1,316 @@
+//! Transports for the resident session: a concurrent TCP daemon, a
+//! single-threaded stdio loop for test harnesses, and a small blocking
+//! client.
+//!
+//! The TCP server is thread-per-connection over one shared
+//! [`Session`] behind an [`RwLock`]: read-only queries of a settled
+//! analysis run concurrently; anything that may mutate (load, analyze,
+//! eco) serialises on the write lock. Lock acquisition polls with a
+//! per-request deadline so a long-running analysis degrades concurrent
+//! requests into structured `busy` errors instead of unbounded stalls.
+//!
+//! Teardown is cooperative: `shutdown` flips a flag, closes the read
+//! half of every connection (idle readers see EOF; in-flight replies
+//! still flush over the untouched write halves), pokes the listener
+//! loose with a loopback connection, and `run` then joins every
+//! connection thread before returning — requests that were already
+//! being served complete and their replies are flushed.
+//! Peers that vanish mid-reply surface as ordinary write errors (Rust
+//! ignores `SIGPIPE`), which close that connection only.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hb_cells::Library;
+use hb_io::{write_frame, Frame, FrameReader, ProtoError};
+
+use crate::session::Session;
+
+/// Transport tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// How long one request may wait for the session lock before it is
+    /// answered with `error code=busy`.
+    pub lock_deadline: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            lock_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    session: RwLock<Session>,
+    shutdown: AtomicBool,
+    options: ServerOptions,
+    /// Read-half handles of every accepted connection, so `shutdown`
+    /// can unblock idle readers without cutting in-flight replies.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] consumes it and
+/// blocks until a client requests `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and prepares a
+    /// fresh session over `library`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        library: Library,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                session: RwLock::new(Session::new(library)),
+                shutdown: AtomicBool::new(false),
+                options,
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address — needed when binding port 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a `shutdown` request, then drains
+    /// in-flight connection threads and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures; per-connection errors only close
+    /// that connection.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            workers.push(thread::spawn(move || {
+                serve_connection(stream, &shared, addr)
+            }));
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection's framing and teardown; the request loop proper is
+/// [`serve_requests`]. Whatever ends the loop, the socket is shut down
+/// on exit so the peer sees EOF rather than a half-dead connection.
+fn serve_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), shared.conns.lock()) {
+        conns.push(clone);
+    }
+    let mut requests = FrameReader::new(BufReader::new(read_half));
+    let mut replies = BufWriter::new(&stream);
+    serve_requests(&mut requests, &mut replies, shared, addr);
+    drop(replies);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One connection's read/reply loop.
+fn serve_requests(
+    requests: &mut FrameReader<BufReader<TcpStream>>,
+    replies: &mut BufWriter<&TcpStream>,
+    shared: &Shared,
+    addr: SocketAddr,
+) {
+    loop {
+        match requests.read_frame() {
+            Ok(Some(req)) => {
+                let stop = req.verb == "shutdown";
+                let reply = handle_with_deadline(shared, &req);
+                let sent_ok = write_frame(replies, &reply).is_ok();
+                if stop && reply.verb == "ok" {
+                    shared.shutdown.store(true, Ordering::Release);
+                    // Stop the intake everywhere: idle readers see EOF
+                    // while in-flight replies still flush over the
+                    // untouched write halves...
+                    if let Ok(conns) = shared.conns.lock() {
+                        for conn in conns.iter() {
+                            let _ = conn.shutdown(Shutdown::Read);
+                        }
+                    }
+                    // ...and unblock the accept loop so `run` can join.
+                    let _ = TcpStream::connect(addr);
+                    return;
+                }
+                if !sent_ok {
+                    return; // peer closed mid-reply
+                }
+            }
+            Ok(None) => return, // clean disconnect
+            Err(ProtoError::Io(_)) => return,
+            Err(e) => {
+                let reply = Frame::new("error")
+                    .arg("code", "proto")
+                    .with_payload(e.to_string());
+                if write_frame(replies, &reply).is_err() || !e.recoverable() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Routes a request through the session lock, degrading to `busy`
+/// after the configured deadline. Read-only requests of a settled
+/// analysis take the shared path and run concurrently.
+fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
+    let deadline = Instant::now() + shared.options.lock_deadline;
+    let busy = || {
+        Frame::new("error")
+            .arg("code", "busy")
+            .with_payload("session lock deadline exceeded")
+    };
+    loop {
+        match shared.session.try_read() {
+            Ok(session) => {
+                if let Some(reply) = session.handle_readonly(req) {
+                    return reply;
+                }
+                break; // needs the write path
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                return if let Some(reply) = e.get_ref().handle_readonly(req) {
+                    reply
+                } else {
+                    poisoned()
+                }
+            }
+            Err(TryLockError::WouldBlock) => {
+                if Instant::now() >= deadline {
+                    return busy();
+                }
+                thread::sleep(Duration::from_micros(250));
+            }
+        }
+    }
+    loop {
+        match shared.session.try_write() {
+            Ok(mut session) => return session.handle(req),
+            Err(TryLockError::Poisoned(_)) => return poisoned(),
+            Err(TryLockError::WouldBlock) => {
+                if Instant::now() >= deadline {
+                    return busy();
+                }
+                thread::sleep(Duration::from_micros(250));
+            }
+        }
+    }
+}
+
+fn poisoned() -> Frame {
+    Frame::new("error")
+        .arg("code", "poisoned")
+        .with_payload("a previous request panicked while holding the session")
+}
+
+/// Serves one session over arbitrary byte streams — the `--stdio`
+/// mode test harnesses drive. Single-threaded: requests are answered
+/// in order until `shutdown`, end-of-input, or an unrecoverable
+/// protocol error.
+///
+/// # Errors
+///
+/// Propagates write failures on `output`; read-side protocol errors
+/// are answered in-band and only unrecoverable ones end the loop.
+pub fn serve_stream(
+    library: Library,
+    input: impl io::BufRead,
+    output: &mut impl io::Write,
+) -> io::Result<()> {
+    let mut session = Session::new(library);
+    let mut requests = FrameReader::new(input);
+    loop {
+        match requests.read_frame() {
+            Ok(Some(req)) => {
+                let stop = req.verb == "shutdown";
+                let reply = session.handle(&req);
+                write_frame(output, &reply)?;
+                if stop && reply.verb == "ok" {
+                    return Ok(());
+                }
+            }
+            Ok(None) => return Ok(()),
+            Err(ProtoError::Io(e)) => return Err(e),
+            Err(e) => {
+                let reply = Frame::new("error")
+                    .arg("code", "proto")
+                    .with_payload(e.to_string());
+                write_frame(output, &reply)?;
+                if !e.recoverable() {
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// A blocking request/reply client for the daemon protocol.
+pub struct Client {
+    requests: TcpStream,
+    replies: FrameReader<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            requests: stream,
+            replies: FrameReader::new(BufReader::new(read_half)),
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] on transport failure or a malformed
+    /// reply; [`ProtoError::Truncated`] when the server closed without
+    /// replying.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, ProtoError> {
+        write_frame(&mut self.requests, frame)?;
+        self.replies.read_frame()?.ok_or(ProtoError::Truncated)
+    }
+}

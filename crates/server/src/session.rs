@@ -1,0 +1,585 @@
+//! The resident analysis session: one loaded design, one persistent
+//! slack cache, and the request handlers that operate on them.
+//!
+//! A [`Session`] is transport-agnostic — it maps request
+//! [`Frame`]s to response frames and can therefore be driven by the
+//! TCP server, the `--stdio` loop, or a test directly. All state a
+//! request can observe lives here; the transport layer only adds
+//! locking and deadlines.
+
+use std::time::Instant;
+
+use hb_cells::Library;
+use hb_clock::ClockSet;
+use hb_io::{Frame, TimingDirective};
+use hb_netlist::{Design, ModuleId};
+use hb_resynth::{apply_eco, EcoOp};
+use hummingbird::{
+    AnalysisOptions, Analyzer, EdgeSpec, EngineKind, LatchModel, SlackCache, Spec, TerminalKind,
+    TimingReport,
+};
+
+/// The state a `load` request installs.
+struct Loaded {
+    design: Design,
+    top: ModuleId,
+    clocks: ClockSet,
+    timing: Vec<TimingDirective>,
+    options: AnalysisOptions,
+    /// The content-addressed sweep cache. Survives ECO edits — that is
+    /// the point of the daemon.
+    cache: SlackCache,
+    report: Option<TimingReport>,
+    /// Bumped on every mutation of the design.
+    generation: u64,
+    /// Generation `report` was computed for (`None` = never analyzed).
+    analyzed: Option<u64>,
+    /// Whether `report` carries Algorithm 2 constraints.
+    with_constraints: bool,
+}
+
+/// A resident analysis session: library, loaded design, persistent
+/// cache and counters.
+pub struct Session {
+    library: Library,
+    loaded: Option<Loaded>,
+    started: Instant,
+    requests: u64,
+    loads: u64,
+    ecos: u64,
+}
+
+fn ok() -> Frame {
+    Frame::new("ok")
+}
+
+fn err(code: &str, message: impl std::fmt::Display) -> Frame {
+    Frame::new("error")
+        .arg("code", code)
+        .with_payload(message.to_string())
+}
+
+fn kind_str(kind: TerminalKind) -> &'static str {
+    match kind {
+        TerminalKind::SyncInput => "sync-input",
+        TerminalKind::SyncOutput => "sync-output",
+        TerminalKind::PrimaryInput => "primary-input",
+        TerminalKind::PrimaryOutput => "primary-output",
+    }
+}
+
+/// Builds the boundary [`Spec`] from a design's timing directives,
+/// with the CLI's default rule: absent explicit `clockport`
+/// directives, every clock binds the module port carrying its own
+/// name.
+pub fn spec_from_directives(
+    design: &Design,
+    top: ModuleId,
+    clocks: &ClockSet,
+    directives: &[TimingDirective],
+) -> Result<Spec, String> {
+    if clocks.is_empty() {
+        return Err("the design declares no clocks".into());
+    }
+    let mut spec = Spec::new();
+    let mut has_clock_ports = false;
+    for d in directives {
+        match d {
+            TimingDirective::ClockPort { port, clock } => {
+                spec = spec.clock_port(port, clock);
+                has_clock_ports = true;
+            }
+            TimingDirective::Arrive { port, edge, offset } => {
+                spec = spec.input_arrival(
+                    port,
+                    EdgeSpec::new(&edge.0, edge.1).at_occurrence(edge.2),
+                    *offset,
+                );
+            }
+            TimingDirective::Require { port, edge, offset } => {
+                spec = spec.output_required(
+                    port,
+                    EdgeSpec::new(&edge.0, edge.1).at_occurrence(edge.2),
+                    *offset,
+                );
+            }
+        }
+    }
+    if !has_clock_ports {
+        for (_, clock) in clocks.clocks() {
+            if design.module(top).port_by_name(clock.name()).is_some() {
+                spec = spec.clock_port(clock.name(), clock.name());
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Serialises a [`Spec`] into the equivalent `.hum` timing directives
+/// (sorted by port so the output is deterministic). This is how a
+/// programmatically built workload travels to a daemon through `load`.
+pub fn directives_from_spec(spec: &Spec) -> Vec<TimingDirective> {
+    let mut out = Vec::new();
+    let mut clock_ports: Vec<_> = spec.clock_ports().collect();
+    clock_ports.sort_unstable();
+    for (port, clock) in clock_ports {
+        out.push(TimingDirective::ClockPort {
+            port: port.to_owned(),
+            clock: clock.to_owned(),
+        });
+    }
+    let mut arrivals: Vec<_> = spec.input_arrivals().collect();
+    arrivals.sort_unstable_by_key(|(p, _, _)| p.to_owned());
+    for (port, edge, offset) in arrivals {
+        out.push(TimingDirective::Arrive {
+            port: port.to_owned(),
+            edge: (edge.clock.clone(), edge.transition, edge.occurrence),
+            offset,
+        });
+    }
+    let mut requireds: Vec<_> = spec.output_requireds().collect();
+    requireds.sort_unstable_by_key(|(p, _, _)| p.to_owned());
+    for (port, edge, offset) in requireds {
+        out.push(TimingDirective::Require {
+            port: port.to_owned(),
+            edge: (edge.clock.clone(), edge.transition, edge.occurrence),
+            offset,
+        });
+    }
+    out
+}
+
+impl Session {
+    /// A session resolving cells against `library`, with nothing
+    /// loaded.
+    pub fn new(library: Library) -> Session {
+        Session {
+            library,
+            loaded: None,
+            started: Instant::now(),
+            requests: 0,
+            loads: 0,
+            ecos: 0,
+        }
+    }
+
+    /// The last computed report, if the loaded design has been
+    /// analyzed. Exposed for parity testing against one-shot runs.
+    pub fn last_report(&self) -> Option<&TimingReport> {
+        self.loaded.as_ref().and_then(|l| l.report.as_ref())
+    }
+
+    /// Answers `req` without mutating the session, or `None` when the
+    /// request needs (or may need) the write path. The transport uses
+    /// this under a read lock so concurrent queries of a settled
+    /// analysis never serialise.
+    pub fn handle_readonly(&self, req: &Frame) -> Option<Frame> {
+        match req.verb.as_str() {
+            "hello" | "stats" | "shutdown" => Some(self.dispatch_readonly(req)),
+            "slack" | "worst-paths" | "dump" => {
+                let fresh = self
+                    .loaded
+                    .as_ref()
+                    .is_some_and(|l| l.analyzed == Some(l.generation));
+                fresh.then(|| self.dispatch_readonly(req))
+            }
+            _ => None,
+        }
+    }
+
+    fn dispatch_readonly(&self, req: &Frame) -> Frame {
+        match req.verb.as_str() {
+            "hello" => ok().arg("server", "hummingbird").arg("proto", 1),
+            "shutdown" => ok().arg("draining", 1),
+            "stats" => self.stats(),
+            "slack" => self.slack(req),
+            "worst-paths" => self.worst_paths(req),
+            "dump" => self.dump(),
+            _ => unreachable!("gated by handle_readonly"),
+        }
+    }
+
+    /// Answers one request, mutating the session as needed. Every verb
+    /// returns a structured reply; unknown or ill-formed requests earn
+    /// an `error` frame, never a dropped connection.
+    pub fn handle(&mut self, req: &Frame) -> Frame {
+        self.requests += 1;
+        match req.verb.as_str() {
+            "hello" | "stats" | "shutdown" | "dump" => self.dispatch_readonly(req),
+            "load" => self.load(req),
+            "analyze" => self.analyze(req),
+            "constraints" => self.constraints(req),
+            "slack" => {
+                if let Some(reply) = self.ensure_analyzed().err() {
+                    return reply;
+                }
+                self.slack(req)
+            }
+            "worst-paths" => {
+                if let Some(reply) = self.ensure_analyzed().err() {
+                    return reply;
+                }
+                self.worst_paths(req)
+            }
+            "eco" => self.eco(req),
+            verb => err("unknown-verb", format!("unknown request verb `{verb}`")),
+        }
+    }
+
+    fn stats(&self) -> Frame {
+        let mut reply = ok()
+            .arg(
+                "uptime_seconds",
+                format!("{:.3}", self.started.elapsed().as_secs_f64()),
+            )
+            .arg("requests", self.requests)
+            .arg("loads", self.loads)
+            .arg("ecos", self.ecos);
+        if let Some(l) = &self.loaded {
+            let stats = l.cache.stats();
+            reply = reply
+                .arg("design", l.design.name())
+                .arg("cached_items", l.cache.len())
+                .arg("items_scheduled_total", stats.items_scheduled)
+                .arg("items_reused_total", stats.items_reused)
+                .arg("generation", l.generation)
+                .arg("analyzed", u8::from(l.analyzed == Some(l.generation)));
+        }
+        reply
+    }
+
+    fn load(&mut self, req: &Frame) -> Frame {
+        let Some(text) = req.payload.as_deref() else {
+            return err("usage", "load needs the design text as payload");
+        };
+        let format = req.get("format").unwrap_or("hum");
+        let (design, clocks, timing) = match format {
+            "hum" => match hb_io::parse_hum(text, &self.library) {
+                Ok(file) => (file.design, file.clocks, file.timing),
+                Err(e) => return err("parse", e),
+            },
+            "blif" => {
+                let design = match hb_io::parse_blif(text, &self.library) {
+                    Ok(d) => d,
+                    Err(e) => return err("parse", e),
+                };
+                // BLIF carries no waveforms: clocks arrive as repeated
+                // `clock=NAME:PERIOD:RISE:FALL` arguments.
+                let mut clocks = ClockSet::new();
+                for spec in req.get_all("clock") {
+                    let parts: Vec<&str> = spec.split(':').collect();
+                    let parsed = match parts.as_slice() {
+                        [name, period, rise, fall] => {
+                            match (period.parse(), rise.parse(), fall.parse()) {
+                                (Ok(p), Ok(r), Ok(f)) => Some((*name, p, r, f)),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    let Some((name, period, rise, fall)) = parsed else {
+                        return err(
+                            "usage",
+                            format!("bad clock spec `{spec}` (want NAME:PERIOD:RISE:FALL)"),
+                        );
+                    };
+                    if let Err(e) = clocks.add_clock(name, period, rise, fall) {
+                        return err("usage", format!("bad clock `{spec}`: {e}"));
+                    }
+                }
+                (design, clocks, Vec::new())
+            }
+            other => return err("usage", format!("unknown design format `{other}`")),
+        };
+        let Some(top) = design.top() else {
+            return err("analysis", "the design has no `top` directive");
+        };
+        if let Err(e) = design.validate() {
+            return err("analysis", format!("invalid design: {e}"));
+        }
+        let stats = design.stats(top);
+        let reply = ok()
+            .arg("design", design.name())
+            .arg("cells", stats.cells)
+            .arg("nets", stats.nets)
+            .arg("clocks", clocks.len());
+        self.loads += 1;
+        self.loaded = Some(Loaded {
+            design,
+            top,
+            clocks,
+            timing,
+            options: AnalysisOptions::default(),
+            cache: SlackCache::new(),
+            report: None,
+            generation: 0,
+            analyzed: None,
+            with_constraints: false,
+        });
+        reply
+    }
+
+    /// Applies `threads=` / `latch=` / `engine=` / `min-delays=`
+    /// arguments to the loaded design's analysis options.
+    fn apply_options(loaded: &mut Loaded, req: &Frame) -> Result<(), Frame> {
+        if let Some(v) = req.get("threads") {
+            loaded.options.threads = v
+                .parse()
+                .map_err(|_| err("usage", format!("bad threads value `{v}`")))?;
+        }
+        if let Some(v) = req.get("latch") {
+            loaded.options.latch_model = match v {
+                "transparent" => LatchModel::Transparent,
+                "edge" => LatchModel::EdgeTriggered,
+                _ => return Err(err("usage", format!("bad latch model `{v}`"))),
+            };
+        }
+        if let Some(v) = req.get("engine") {
+            loaded.options.engine = match v {
+                "sharded" => EngineKind::Sharded,
+                "reference" => EngineKind::Reference,
+                _ => return Err(err("usage", format!("bad engine kind `{v}`"))),
+            };
+        }
+        if let Some(v) = req.get("min-delays") {
+            loaded.options.check_min_delays = match v {
+                "0" => false,
+                "1" => true,
+                _ => return Err(err("usage", format!("bad min-delays flag `{v}`"))),
+            };
+        }
+        Ok(())
+    }
+
+    /// Re-runs the analysis through the session cache. `constraints`
+    /// selects Algorithm 2 on top of Algorithm 1.
+    fn reanalyze(&mut self, constraints: bool) -> Result<(), Frame> {
+        let Some(loaded) = self.loaded.as_mut() else {
+            return Err(err("no-design", "no design loaded"));
+        };
+        let spec = spec_from_directives(&loaded.design, loaded.top, &loaded.clocks, &loaded.timing)
+            .map_err(|e| err("analysis", e))?;
+        let analyzer = Analyzer::with_options(
+            &loaded.design,
+            loaded.top,
+            &self.library,
+            &loaded.clocks,
+            spec,
+            loaded.options,
+        )
+        .map_err(|e| err("analysis", e))?;
+        let report = if constraints {
+            analyzer.generate_constraints_with_cache(&mut loaded.cache)
+        } else {
+            analyzer.analyze_with_cache(&mut loaded.cache)
+        };
+        loaded.report = Some(report);
+        loaded.analyzed = Some(loaded.generation);
+        loaded.with_constraints = constraints;
+        Ok(())
+    }
+
+    /// Makes sure a current report exists, running Algorithm 1 if the
+    /// design changed since the last analysis.
+    fn ensure_analyzed(&mut self) -> Result<(), Frame> {
+        let stale = match &self.loaded {
+            None => return Err(err("no-design", "no design loaded")),
+            Some(l) => l.analyzed != Some(l.generation),
+        };
+        if stale {
+            self.reanalyze(false)?;
+        }
+        Ok(())
+    }
+
+    /// A reply summarising the current report: verdict, worst slack,
+    /// cache reuse of the producing run, and the human-readable report
+    /// as payload.
+    fn report_reply(&self) -> Frame {
+        let report = self.last_report().expect("reanalyze succeeded");
+        let stats = report.engine_stats();
+        ok().arg("ok", u8::from(report.ok()))
+            .arg("worst", report.worst_slack())
+            .arg("period", report.overall_period())
+            .arg("items_reused", stats.items_reused)
+            .arg("items_swept", stats.items_swept())
+            .arg("seconds", format!("{:.6}", report.analysis_seconds()))
+            .with_payload(report.to_string())
+    }
+
+    fn analyze(&mut self, req: &Frame) -> Frame {
+        if let Some(loaded) = self.loaded.as_mut() {
+            if let Err(reply) = Self::apply_options(loaded, req) {
+                return reply;
+            }
+        }
+        if let Err(reply) = self.reanalyze(false) {
+            return reply;
+        }
+        self.report_reply()
+    }
+
+    fn constraints(&mut self, req: &Frame) -> Frame {
+        if let Some(loaded) = self.loaded.as_mut() {
+            if let Err(reply) = Self::apply_options(loaded, req) {
+                return reply;
+            }
+        }
+        if let Err(reply) = self.reanalyze(true) {
+            return reply;
+        }
+        let loaded = self.loaded.as_ref().expect("reanalyze succeeded");
+        let report = loaded.report.as_ref().expect("reanalyze succeeded");
+        let constraints = report.constraints().expect("generated with constraints");
+        let module = loaded.design.module(loaded.top);
+        let mut body = String::new();
+        for (net, n) in module.nets() {
+            if let (Some(r), Some(q)) = (constraints.ready_at(net), constraints.required_at(net)) {
+                body.push_str(&format!("{} {} {}\n", n.name(), r, q));
+            }
+        }
+        self.report_reply().with_payload(body)
+    }
+
+    fn slack(&self, req: &Frame) -> Frame {
+        let Some(loaded) = &self.loaded else {
+            return err("no-design", "no design loaded");
+        };
+        let report = loaded.report.as_ref().expect("analyzed before dispatch");
+        let Some(name) = req.get("node") else {
+            return err("usage", "slack needs node=NAME");
+        };
+        let module = loaded.design.module(loaded.top);
+        if let Some(net) = module.net_by_name(name) {
+            return ok()
+                .arg("node", name)
+                .arg("kind", "net")
+                .arg("slack", report.net_slack(net));
+        }
+        // Terminal slacks of a synchronising instance or boundary port:
+        // report the most critical one, list all in the payload.
+        let matching: Vec<_> = report
+            .terminal_slacks()
+            .iter()
+            .filter(|t| t.name == name)
+            .collect();
+        if let Some(worst) = matching.iter().map(|t| t.slack).min() {
+            let mut body = String::new();
+            for t in &matching {
+                body.push_str(&format!(
+                    "{} pulse {} slack {}\n",
+                    kind_str(t.kind),
+                    t.pulse,
+                    t.slack
+                ));
+            }
+            return ok()
+                .arg("node", name)
+                .arg("kind", "terminal")
+                .arg("slack", worst)
+                .with_payload(body);
+        }
+        err("unknown-node", format!("no net or terminal named `{name}`"))
+    }
+
+    fn worst_paths(&self, req: &Frame) -> Frame {
+        let Some(loaded) = &self.loaded else {
+            return err("no-design", "no design loaded");
+        };
+        let report = loaded.report.as_ref().expect("analyzed before dispatch");
+        let k: usize = match req.get("k").map(str::parse) {
+            None => 5,
+            Some(Ok(k)) => k,
+            Some(Err(_)) => return err("usage", "bad k value"),
+        };
+        let mut body = String::new();
+        let mut count = 0usize;
+        for path in report.slow_paths().iter().take(k) {
+            count += 1;
+            body.push_str(&format!(
+                "path into {} slack {} ({} steps)\n",
+                path.endpoint,
+                path.slack,
+                path.steps.len()
+            ));
+            for step in &path.steps {
+                match &step.through {
+                    Some(inst) => body.push_str(&format!(
+                        "  -> {} via {} at {}\n",
+                        step.net, inst, step.time
+                    )),
+                    None => body.push_str(&format!("  from {} at {}\n", step.net, step.time)),
+                }
+            }
+        }
+        ok().arg("count", count).with_payload(body)
+    }
+
+    fn eco(&mut self, req: &Frame) -> Frame {
+        let op = match Self::parse_eco(req) {
+            Ok(op) => op,
+            Err(reply) => return reply,
+        };
+        let Some(loaded) = self.loaded.as_mut() else {
+            return err("no-design", "no design loaded");
+        };
+        let outcome = match apply_eco(&mut loaded.design, loaded.top, &self.library, &op) {
+            Ok(outcome) => outcome,
+            Err(e) => return err("eco", e),
+        };
+        loaded.generation += 1;
+        self.ecos += 1;
+        // Re-analyze immediately through the persistent cache: the
+        // reply's reuse counters are the incremental-value measurement.
+        let constraints = self.loaded.as_ref().expect("loaded above").with_constraints;
+        if let Err(reply) = self.reanalyze(constraints) {
+            return reply;
+        }
+        self.report_reply().arg("desc", outcome.description)
+    }
+
+    /// Decodes an `eco` request: `op=resize inst=I steps=N` or
+    /// `op=scale-net net=X percent=P`.
+    fn parse_eco(req: &Frame) -> Result<EcoOp, Frame> {
+        match req.get("op") {
+            Some("resize") => {
+                let inst = req
+                    .get("inst")
+                    .ok_or_else(|| err("usage", "eco resize needs inst=NAME"))?;
+                let steps = match req.get("steps").map(str::parse) {
+                    None => 1,
+                    Some(Ok(s)) => s,
+                    Some(Err(_)) => return Err(err("usage", "bad steps value")),
+                };
+                Ok(EcoOp::RetargetDrive {
+                    inst: inst.to_owned(),
+                    steps,
+                })
+            }
+            Some("scale-net") => {
+                let net = req
+                    .get("net")
+                    .ok_or_else(|| err("usage", "eco scale-net needs net=NAME"))?;
+                let percent = match req.get("percent").map(str::parse) {
+                    None => return Err(err("usage", "eco scale-net needs percent=P")),
+                    Some(Ok(p)) => p,
+                    Some(Err(_)) => return Err(err("usage", "bad percent value")),
+                };
+                Ok(EcoOp::ScaleNetLoad {
+                    net: net.to_owned(),
+                    percent,
+                })
+            }
+            Some(other) => Err(err("usage", format!("unknown eco op `{other}`"))),
+            None => Err(err("usage", "eco needs op=resize|scale-net")),
+        }
+    }
+
+    fn dump(&self) -> Frame {
+        let Some(loaded) = &self.loaded else {
+            return err("no-design", "no design loaded");
+        };
+        let text = hb_io::write_hum_with_timing(&loaded.design, &loaded.clocks, &loaded.timing);
+        ok().arg("design", loaded.design.name()).with_payload(text)
+    }
+}

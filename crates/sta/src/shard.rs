@@ -100,6 +100,29 @@ impl ClusterShard {
         }
     }
 
+    /// A structural fingerprint of the shard's timing content: member
+    /// nets, arc topology, arc senses and max delays. Two shards with
+    /// equal fingerprints sweep seeded tables identically, so a cached
+    /// sweep result is reusable across design edits iff the fingerprint
+    /// (and the dynamic seed values) did not change. An ECO that
+    /// retargets a drive or rescales a net load changes the affected
+    /// arc delays and therefore this hash; untouched clusters keep
+    /// theirs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = hb_rng::mix64(0x6875_6d6d_6269_7264, self.nets.len() as u64);
+        for &net in &self.nets {
+            h = hb_rng::mix64(h, net.as_raw() as u64);
+        }
+        h = hb_rng::mix64(h, self.arcs.len() as u64);
+        for arc in &self.arcs {
+            h = hb_rng::mix64(h, (arc.from as u64) << 32 | arc.to as u64);
+            h = hb_rng::mix64(h, arc.sense as u64);
+            h = hb_rng::mix64(h, arc.delay_max.rise.as_ps() as u64);
+            h = hb_rng::mix64(h, arc.delay_max.fall.as_ps() as u64);
+        }
+        h
+    }
+
     /// Backward required-time sweep over the shard — the local
     /// equivalent of [`crate::analysis::propagate_required`].
     /// Unconstrained nodes keep [`Time::INF`].

@@ -13,4 +13,39 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== daemon loopback smoke test"
+# Drive a real served socket end to end — load, analyze, edit, query,
+# dump — then check the daemon's slack answer against a cold one-shot
+# analysis of the dumped (edited) design.
+cargo build -q --release -p hb-cli
+HB=target/release/hummingbird
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+$HB serve --listen 127.0.0.1:0 > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve never announced its port"; exit 1; }
+$HB query "$ADDR" load designs/two_phase_pipeline.hum
+$HB query "$ADDR" analyze
+$HB query "$ADDR" eco resize b0 1 | tee "$SMOKE_DIR/eco.out"
+grep -q "items_reused" "$SMOKE_DIR/eco.out"
+$HB query "$ADDR" slack mid
+$HB query "$ADDR" dump > "$SMOKE_DIR/dump.out"
+# Strip the reply header; the payload is the edited .hum design.
+tail -n +2 "$SMOKE_DIR/dump.out" > "$SMOKE_DIR/edited.hum"
+WARM=$(sed -n 's/^ok .*worst=\([^ ]*\).*/\1/p' "$SMOKE_DIR/eco.out")
+$HB query "$ADDR" shutdown
+wait "$SERVE_PID"
+$HB analyze "$SMOKE_DIR/edited.hum" > "$SMOKE_DIR/cold.out" || true
+COLD=$(sed -n 's/.*worst slack \([^ ]*\) .*/\1/p' "$SMOKE_DIR/cold.out" | head -1)
+echo "warm worst slack: $WARM / cold worst slack: $COLD"
+[ -n "$WARM" ] && [ "$WARM" = "$COLD" ] || {
+    echo "daemon and one-shot analyses disagree"; exit 1
+}
+
 echo "== all checks passed"
