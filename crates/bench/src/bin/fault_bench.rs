@@ -1,0 +1,193 @@
+//! Fault-recovery benchmark: what a panic costs the daemon.
+//!
+//! Arms `session.eco.panic` so every ECO request panics mid-mutation,
+//! forcing the transport through its journal-replay recovery (rebuild
+//! a fresh session, replay `load` + `analyze`, transplant the salvaged
+//! slack cache), and compares that against a cold `load` + `analyze`
+//! of the same design. The recovery replays warm — untouched cluster
+//! sweeps come from the salvaged cache — so it must come out at least
+//! as cheap as the cold path. Writes `BENCH_fault.json`. Run with
+//! `cargo run --release -p hb-bench --bin fault_bench`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hb_cells::{sc89, Binding, Library};
+use hb_fault::{Fault, FaultPlan};
+use hb_io::Frame;
+use hb_netlist::InstRef;
+use hb_server::{directives_from_spec, Client, Server, ServerOptions};
+use hb_workloads::{random_pipeline, PipelineParams, Workload};
+
+const COLD_ITERS: usize = 5;
+const RECOVERY_ITERS: usize = 10;
+
+struct Latencies(Vec<f64>);
+
+impl Latencies {
+    fn measure(n: usize, mut f: impl FnMut()) -> Latencies {
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Latencies(samples)
+    }
+
+    fn p50(&self) -> f64 {
+        self.0[self.0.len() / 2]
+    }
+
+    fn p99(&self) -> f64 {
+        self.0[(self.0.len() * 99 / 100).min(self.0.len() - 1)]
+    }
+}
+
+/// The first leaf instance with drive headroom — the resize target.
+fn resizable_instance(w: &Workload, lib: &Library) -> String {
+    let binding = Binding::new(&w.design, lib);
+    let module = w.design.module(w.module);
+    for (_, inst) in module.instances() {
+        let InstRef::Leaf(leaf) = inst.target() else {
+            continue;
+        };
+        let Some(cell) = binding.cell_for_leaf(leaf) else {
+            continue;
+        };
+        let variants = lib.family_variants(lib.cell(cell).family());
+        let pos = variants.iter().position(|&v| v == cell).expect("bound");
+        if pos + 1 < variants.len() {
+            return inst.name().to_owned();
+        }
+    }
+    panic!("workload has no resizable instance");
+}
+
+fn expect_ok(reply: &Frame, what: &str) {
+    assert_eq!(
+        reply.verb,
+        "ok",
+        "{what} failed: {:?}",
+        reply.payload.as_deref().unwrap_or("")
+    );
+}
+
+fn main() {
+    // The injected panics are the point; keep their backtraces out of
+    // the bench output. Anything else still reports normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let lib = sc89();
+    // PIPE6x600L, the acceptance workload.
+    let w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 6,
+            width: 16,
+            gates_per_stage: 600,
+            transparent: true,
+            period_ns: 30,
+            seed: 1203,
+            imbalance_pct: 40,
+        },
+    );
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    let inst = resizable_instance(&w, &lib);
+
+    // Every ECO panics mid-mutation; every reply is a recovery.
+    let faults = FaultPlan::seeded(0xDAC89).armed(hb_fault::SESSION_ECO_PANIC, Fault::always());
+    let options = ServerOptions {
+        faults: faults.clone(),
+        ..ServerOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", lib.clone(), options).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    let mut request = |frame: &Frame| client.request(frame).expect("daemon reply");
+
+    // Cold baseline: each load resets the resident cache, so the
+    // analyze sweeps every cluster from scratch.
+    let cold = Latencies::measure(COLD_ITERS, || {
+        expect_ok(
+            &request(&Frame::new("load").with_payload(text.clone())),
+            "load",
+        );
+        expect_ok(&request(&Frame::new("analyze")), "cold analyze");
+    });
+
+    // Recovery: the injected panic throws the half-mutated session
+    // away, replays the journal (load + analyze) into a fresh one, and
+    // transplants the salvaged cache so the replayed analyze is warm.
+    let mut replayed = 0u64;
+    let recovery = Latencies::measure(RECOVERY_ITERS, || {
+        let reply = request(
+            &Frame::new("eco")
+                .arg("op", "resize")
+                .arg("inst", inst.clone())
+                .arg("steps", 1),
+        );
+        assert_eq!(reply.verb, "error", "the armed ECO must panic");
+        assert_eq!(
+            reply.get("recovered"),
+            Some("1"),
+            "recovery failed: {:?}",
+            reply.payload
+        );
+        replayed = reply.get("replayed").unwrap().parse().expect("count");
+    });
+
+    // Prove the recovered session still answers correctly.
+    let check = request(&Frame::new("analyze"));
+    expect_ok(&check, "post-recovery analyze");
+
+    expect_ok(&request(&Frame::new("shutdown")), "shutdown");
+    daemon.join().expect("server thread").expect("server exit");
+
+    let panics = faults.fired(hb_fault::SESSION_ECO_PANIC);
+    let ratio = recovery.p50() / cold.p50();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"workload\": \"{}\",", w.name);
+    let _ = writeln!(json, "  \"cells\": {},", w.stats().cells);
+    let _ = writeln!(json, "  \"injected_panics\": {panics},");
+    let _ = writeln!(json, "  \"journal_entries_replayed\": {replayed},");
+    let _ = writeln!(json, "  \"cold_load_analyze\": {{");
+    let _ = writeln!(json, "    \"iters\": {COLD_ITERS},");
+    let _ = writeln!(json, "    \"p50_ms\": {:.4},", cold.p50() * 1e3);
+    let _ = writeln!(json, "    \"p99_ms\": {:.4}", cold.p99() * 1e3);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"journal_replay_recovery\": {{");
+    let _ = writeln!(json, "    \"iters\": {RECOVERY_ITERS},");
+    let _ = writeln!(json, "    \"p50_ms\": {:.4},", recovery.p50() * 1e3);
+    let _ = writeln!(json, "    \"p99_ms\": {:.4}", recovery.p99() * 1e3);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"recovery_vs_cold_p50\": {ratio:.3}");
+    json.push_str("}\n");
+
+    eprintln!(
+        "{}: cold load+analyze p50 {:.1} ms | panic recovery p50 {:.1} ms \
+         ({replayed} entries replayed warm, ratio {ratio:.2})",
+        w.name,
+        cold.p50() * 1e3,
+        recovery.p50() * 1e3,
+    );
+    if ratio > 1.0 {
+        eprintln!("warning: recovery slower than cold load+analyze (ratio {ratio:.2})");
+    }
+
+    std::fs::write("BENCH_fault.json", &json).expect("write BENCH_fault.json");
+    println!("{json}");
+}

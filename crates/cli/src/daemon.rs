@@ -2,7 +2,7 @@
 //! [`hb_server`].
 //!
 //! ```text
-//! hummingbird serve [--listen ADDR] [--stdio] [--library FILE]
+//! hummingbird serve [--listen ADDR] [--stdio] [--library FILE] [--max-conns N]
 //! hummingbird query ADDR <request> [args...] [key=value...]
 //!
 //! requests:
@@ -28,7 +28,8 @@ use hb_server::{serve_stream, Client, Server, ServerOptions};
 
 use crate::{load_library, CliError};
 
-const SERVE_USAGE: &str = "usage: hummingbird serve [--listen ADDR] [--stdio] [--library LIB.txt]";
+const SERVE_USAGE: &str =
+    "usage: hummingbird serve [--listen ADDR] [--stdio] [--library LIB.txt] [--max-conns N]";
 const QUERY_USAGE: &str = "usage: hummingbird query ADDR \
 <load FILE | analyze | constraints | slack NODE | worst-paths [K] | \
 eco resize INST [STEPS] | eco scale-net NET PCT | dump | stats | shutdown> \
@@ -39,6 +40,7 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     let mut listen = "127.0.0.1:0".to_owned();
     let mut stdio = false;
     let mut library = None;
+    let mut options = ServerOptions::default();
     let mut it = args.iter();
     while let Some(&arg) = it.next() {
         match arg {
@@ -50,6 +52,13 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             }
             "--stdio" => stdio = true,
             "--library" => library = it.next().map(|s| s.to_string()),
+            "--max-conns" => {
+                options.max_connections = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::usage("--max-conns needs a positive count"))?;
+            }
             other => {
                 return Err(CliError::usage(format!(
                     "unexpected argument {other:?}\n{SERVE_USAGE}"
@@ -66,7 +75,7 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         return Ok(0);
     }
 
-    let server = Server::bind(&listen, library, ServerOptions::default())
+    let server = Server::bind(&listen, library, options)
         .map_err(|e| CliError::io(format!("cannot bind {listen}: {e}")))?;
     let addr = server
         .local_addr()
@@ -91,10 +100,10 @@ pub fn run_query(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         .ok_or_else(|| CliError::usage(QUERY_USAGE))?;
     let request = build_request(cmd, rest)?;
 
-    let mut client =
-        Client::connect(addr).map_err(|e| CliError::io(format!("cannot connect {addr}: {e}")))?;
-    let reply = client
-        .request(&request)
+    // Overload-aware: a daemon at its connection cap (or holding the
+    // session lock past its deadline) answers `busy retry_after_ms=N`;
+    // retry with backoff instead of failing the first shed.
+    let reply = Client::request_with_backoff(*addr, &request, 5)
         .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
 
     let io = |e: std::io::Error| CliError::io(format!("write failed: {e}"));

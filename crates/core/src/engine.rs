@@ -281,6 +281,12 @@ impl Engine {
         cache: &mut SlackCache,
         threads: usize,
     ) -> Vec<Arc<ItemTables>> {
+        // Chaos hook: lets the fault harness prove a panic deep inside
+        // a sweep cannot brick a resident session. Compiles down to
+        // one relaxed atomic load when no global plan is installed.
+        if hb_fault::global_fires(hb_fault::ENGINE_SWEEP_PANIC) {
+            panic!("injected fault: {}", hb_fault::ENGINE_SWEEP_PANIC);
+        }
         let n = self.items.len();
         let mut sigs: Vec<Vec<Time>> = Vec::with_capacity(n);
         let mut tables: Vec<Option<Arc<ItemTables>>> = vec![None; n];

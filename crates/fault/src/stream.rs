@@ -1,0 +1,164 @@
+//! Fault-injecting wrappers over arbitrary byte streams.
+//!
+//! [`FaultStream`] sits between a codec and its transport and makes
+//! the transport misbehave on the plan's schedule: reads come back
+//! short, fail with [`ErrorKind::Interrupted`] or
+//! [`ErrorKind::WouldBlock`], or stall for a bounded duration; writes
+//! likewise. Everything a real TCP stream can do on a bad day, on
+//! demand and reproducibly — which is exactly what a resumable frame
+//! decoder has to shrug off.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::thread;
+
+use crate::{
+    FaultPlan, IO_READ_ERR, IO_READ_SHORT, IO_READ_STALL, IO_WRITE_ERR, IO_WRITE_SHORT,
+    IO_WRITE_STALL,
+};
+
+/// A `Read`/`Write` pair whose operations fail on the plan's schedule.
+/// With the disarmed plan it is a transparent pass-through.
+pub struct FaultStream<R, W> {
+    reader: R,
+    writer: W,
+    plan: FaultPlan,
+    /// Alternates the injected read error between `Interrupted` (which
+    /// robust readers retry internally) and `WouldBlock` (which
+    /// resumable readers must surface without losing partial frames).
+    flip: bool,
+}
+
+impl<R> FaultStream<R, io::Sink> {
+    /// Wraps only a reader; writes go to [`io::sink`].
+    pub fn reader(reader: R, plan: FaultPlan) -> FaultStream<R, io::Sink> {
+        FaultStream::new(reader, io::sink(), plan)
+    }
+}
+
+impl<R, W> FaultStream<R, W> {
+    /// Wraps a reader/writer pair under `plan`.
+    pub fn new(reader: R, writer: W, plan: FaultPlan) -> FaultStream<R, W> {
+        FaultStream {
+            reader,
+            writer,
+            plan,
+            flip: false,
+        }
+    }
+
+    /// Unwraps the underlying pair.
+    pub fn into_inner(self) -> (R, W) {
+        (self.reader, self.writer)
+    }
+
+    /// The plan driving this stream (shared counters).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<R: Read, W> Read for FaultStream<R, W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.plan.fires(IO_READ_STALL) {
+            thread::sleep(self.plan.stall());
+        }
+        if self.plan.fires(IO_READ_ERR) {
+            self.flip = !self.flip;
+            let kind = if self.flip {
+                ErrorKind::Interrupted
+            } else {
+                ErrorKind::WouldBlock
+            };
+            return Err(io::Error::new(kind, "injected fault: io.read.err"));
+        }
+        if self.plan.fires(IO_READ_SHORT) && buf.len() > 1 {
+            return self.reader.read(&mut buf[..1]);
+        }
+        self.reader.read(buf)
+    }
+}
+
+impl<R, W: Write> Write for FaultStream<R, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.plan.fires(IO_WRITE_STALL) {
+            thread::sleep(self.plan.stall());
+        }
+        if self.plan.fires(IO_WRITE_ERR) {
+            return Err(io::Error::new(
+                ErrorKind::Interrupted,
+                "injected fault: io.write.err",
+            ));
+        }
+        if self.plan.fires(IO_WRITE_SHORT) && buf.len() > 1 {
+            return self.writer.write(&buf[..1]);
+        }
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fault;
+    use std::io::Cursor;
+
+    #[test]
+    fn passthrough_when_disarmed() {
+        let mut s = FaultStream::new(
+            Cursor::new(b"hello".to_vec()),
+            Vec::new(),
+            FaultPlan::none(),
+        );
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello");
+        s.write_all(b"world").unwrap();
+        assert_eq!(s.into_inner().1, b"world");
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let plan = FaultPlan::seeded(3).armed(IO_READ_SHORT, Fault::always());
+        let mut s = FaultStream::reader(Cursor::new(b"abcdef".to_vec()), plan);
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abcdef");
+        assert!(s.plan().fired(IO_READ_SHORT) >= 6, "one byte per read");
+    }
+
+    #[test]
+    fn injected_errors_alternate_kinds() {
+        let plan = FaultPlan::seeded(9).armed(IO_READ_ERR, Fault::always());
+        let mut s = FaultStream::reader(Cursor::new(b"x".to_vec()), plan);
+        let mut buf = [0u8; 4];
+        let kinds: Vec<ErrorKind> = (0..4)
+            .map(|_| s.read(&mut buf).unwrap_err().kind())
+            .collect();
+        assert!(kinds.contains(&ErrorKind::Interrupted));
+        assert!(kinds.contains(&ErrorKind::WouldBlock));
+    }
+
+    #[test]
+    fn write_faults_are_survivable_by_write_all() {
+        // `write_all` retries Interrupted and loops over short writes,
+        // so even a heavily faulted stream delivers intact bytes.
+        let plan = FaultPlan::seeded(4)
+            .armed(IO_WRITE_SHORT, Fault::with_rate(60))
+            .armed(IO_WRITE_ERR, Fault::with_rate(30).budget(50));
+        let mut s = FaultStream::new(io::empty(), Vec::new(), plan);
+        let payload = vec![0xabu8; 4096];
+        let mut written = 0usize;
+        while written < payload.len() {
+            match s.write(&payload[written..]) {
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+        assert_eq!(s.into_inner().1, payload);
+    }
+}

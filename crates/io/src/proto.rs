@@ -25,6 +25,7 @@
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Maximum accepted header-line length in bytes (including newline).
 pub const MAX_HEADER: usize = 64 * 1024;
@@ -192,20 +193,101 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.flush()
 }
 
+/// Decode progress carried across [`FrameReader::read_frame`] calls
+/// when a read times out mid-frame.
+enum Pending {
+    /// Between frames: nothing buffered, a timeout here is pure idle.
+    Idle,
+    /// Mid-header: the bytes accumulated before the stream stalled.
+    Header(Vec<u8>),
+    /// Mid-payload: the decoded header plus the body bytes read so
+    /// far (of `need` + 1, counting the terminating newline).
+    Payload {
+        frame: Frame,
+        need: usize,
+        body: Vec<u8>,
+    },
+}
+
 /// An incremental frame decoder over any buffered byte stream.
+///
+/// The decoder is *resumable*: [`io::ErrorKind::Interrupted`] is
+/// retried internally, and [`io::ErrorKind::WouldBlock`] /
+/// [`io::ErrorKind::TimedOut`] (a socket read deadline expiring)
+/// surface as [`ProtoError::Io`] **without losing partial progress** —
+/// the next `read_frame` call picks up the half-read frame where the
+/// timeout left it. [`FrameReader::mid_frame`] tells a server whether
+/// a timeout struck inside a frame (a stalled or slow-dripping peer)
+/// or between frames (an idle one), which is the difference between a
+/// slowloris cut-off and an idle-reaper decision.
+///
+/// With [`FrameReader::set_frame_timeout`] armed, the decoder also
+/// bounds how long any *single frame* may take to arrive, measured
+/// from its first byte: a peer dripping bytes just fast enough to keep
+/// the socket's read timeout from ever firing still gets cut off. The
+/// expiry surfaces as a resumable [`io::ErrorKind::TimedOut`] error;
+/// [`FrameReader::frame_age`] tells the caller how stale the partial
+/// frame is.
 pub struct FrameReader<R> {
     inner: R,
+    pending: Pending,
+    /// When the current frame's first byte arrived; `None` between
+    /// frames.
+    started: Option<Instant>,
+    /// Per-frame arrival budget; checked between reads, so enforcement
+    /// granularity is one buffered chunk.
+    limit: Option<Duration>,
 }
 
 impl<R: BufRead> FrameReader<R> {
     /// Wraps a buffered stream.
     pub fn new(inner: R) -> FrameReader<R> {
-        FrameReader { inner }
+        FrameReader {
+            inner,
+            pending: Pending::Idle,
+            started: None,
+            limit: None,
+        }
     }
 
     /// Unwraps the underlying stream.
     pub fn into_inner(self) -> R {
         self.inner
+    }
+
+    /// Whether the decoder holds a partially read frame — i.e. the
+    /// last [`ProtoError::Io`] timeout struck mid-frame rather than
+    /// between frames.
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.pending, Pending::Idle)
+    }
+
+    /// Bounds how long one frame may take to arrive, first byte to
+    /// last. `None` (the default) waits forever. Expiry surfaces as a
+    /// resumable [`io::ErrorKind::TimedOut`] [`ProtoError::Io`].
+    pub fn set_frame_timeout(&mut self, limit: Option<Duration>) {
+        self.limit = limit;
+    }
+
+    /// How long ago the current partial frame's first byte arrived;
+    /// `None` between frames. The slowloris clock.
+    pub fn frame_age(&self) -> Option<Duration> {
+        self.started.map(|s| s.elapsed())
+    }
+
+    /// Whether the current frame has outlived the configured budget.
+    fn frame_overdue(&self) -> bool {
+        match (self.limit, self.started) {
+            (Some(limit), Some(started)) => started.elapsed() >= limit,
+            _ => false,
+        }
+    }
+
+    fn overdue_error() -> ProtoError {
+        ProtoError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "frame deadline exceeded",
+        ))
     }
 
     /// Reads the next frame; `Ok(None)` on a clean end-of-stream (the
@@ -215,8 +297,43 @@ impl<R: BufRead> FrameReader<R> {
     ///
     /// See [`ProtoError`]; [`ProtoError::recoverable`] distinguishes
     /// errors that leave the stream aligned from those that do not.
+    /// A `WouldBlock`/`TimedOut` [`ProtoError::Io`] is resumable:
+    /// call `read_frame` again once the stream is readable.
     pub fn read_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
-        let line = match self.read_header_line()? {
+        let result = self.read_frame_inner();
+        // The frame clock only survives a resumable mid-frame timeout;
+        // anything that realigns the stream restarts it.
+        if matches!(self.pending, Pending::Idle) {
+            self.started = None;
+        }
+        result
+    }
+
+    fn read_frame_inner(&mut self) -> Result<Option<Frame>, ProtoError> {
+        let (frame, need, body) = match std::mem::replace(&mut self.pending, Pending::Idle) {
+            Pending::Payload { frame, need, body } => (frame, need, body),
+            Pending::Header(partial) => match self.parse_header(partial)? {
+                None => return Ok(None),
+                Some((frame, None)) => return Ok(Some(frame)),
+                Some((frame, Some(need))) => (frame, need, Vec::new()),
+            },
+            Pending::Idle => match self.parse_header(Vec::new())? {
+                None => return Ok(None),
+                Some((frame, None)) => return Ok(Some(frame)),
+                Some((frame, Some(need))) => (frame, need, Vec::new()),
+            },
+        };
+        let payload = self.read_payload(frame, need, body)?;
+        Ok(Some(payload))
+    }
+
+    /// Reads and parses one header line (resuming from `partial`).
+    /// Returns the frame plus its declared payload length, if any.
+    fn parse_header(
+        &mut self,
+        partial: Vec<u8>,
+    ) -> Result<Option<(Frame, Option<usize>)>, ProtoError> {
+        let line = match self.read_header_line(partial)? {
             Some(line) => line,
             None => return Ok(None),
         };
@@ -254,24 +371,34 @@ impl<R: BufRead> FrameReader<R> {
                 frame.args.push((key.to_owned(), value.to_owned()));
             }
         }
-        if let Some(n) = payload_len {
-            frame.payload = Some(self.read_payload(n)?);
-        }
-        Ok(Some(frame))
+        Ok(Some((frame, payload_len)))
     }
 
     /// Reads one newline-terminated header line, enforcing
     /// [`MAX_HEADER`]. Returns `None` on immediate end-of-stream.
-    fn read_header_line(&mut self) -> Result<Option<String>, ProtoError> {
-        let mut buf: Vec<u8> = Vec::new();
+    /// On a resumable timeout, progress is stashed in `self.pending`.
+    fn read_header_line(&mut self, mut buf: Vec<u8>) -> Result<Option<String>, ProtoError> {
         loop {
-            let chunk = self.inner.fill_buf().map_err(ProtoError::Io)?;
+            let chunk = match self.inner.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout(&e) => {
+                    if !buf.is_empty() {
+                        self.pending = Pending::Header(buf);
+                    }
+                    return Err(ProtoError::Io(e));
+                }
+                Err(e) => return Err(ProtoError::Io(e)),
+            };
             if chunk.is_empty() {
                 return if buf.is_empty() {
                     Ok(None)
                 } else {
                     Err(ProtoError::Truncated)
                 };
+            }
+            if self.started.is_none() {
+                self.started = Some(Instant::now());
             }
             match chunk.iter().position(|&b| b == b'\n') {
                 Some(pos) => {
@@ -295,6 +422,12 @@ impl<R: BufRead> FrameReader<R> {
                     }
                     buf.extend_from_slice(chunk);
                     self.inner.consume(len);
+                    // A drip arriving faster than the socket timeout
+                    // never errors above; bound it here.
+                    if self.frame_overdue() {
+                        self.pending = Pending::Header(buf);
+                        return Err(Self::overdue_error());
+                    }
                 }
             }
         }
@@ -303,27 +436,60 @@ impl<R: BufRead> FrameReader<R> {
             .map_err(|_| ProtoError::Encoding)
     }
 
-    /// Reads exactly `n` payload bytes plus the trailing newline.
-    fn read_payload(&mut self, n: usize) -> Result<String, ProtoError> {
-        let mut bytes = vec![0u8; n + 1];
-        self.inner.read_exact(&mut bytes).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                ProtoError::Truncated
-            } else {
-                ProtoError::Io(e)
+    /// Reads the remaining payload bytes (`need` + newline, resuming
+    /// from `body`) and finishes the frame. On a resumable timeout,
+    /// progress is stashed in `self.pending`.
+    fn read_payload(
+        &mut self,
+        frame: Frame,
+        need: usize,
+        mut body: Vec<u8>,
+    ) -> Result<Frame, ProtoError> {
+        let total = need + 1; // the declared bytes plus the newline
+        while body.len() < total {
+            let chunk = match self.inner.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if is_timeout(&e) => {
+                    self.pending = Pending::Payload { frame, need, body };
+                    return Err(ProtoError::Io(e));
+                }
+                Err(e) => return Err(ProtoError::Io(e)),
+            };
+            if chunk.is_empty() {
+                return Err(ProtoError::Truncated);
             }
-        })?;
-        let newline = bytes.pop().expect("n + 1 > 0");
+            let take = chunk.len().min(total - body.len());
+            body.extend_from_slice(&chunk[..take]);
+            self.inner.consume(take);
+            if body.len() < total && self.frame_overdue() {
+                self.pending = Pending::Payload { frame, need, body };
+                return Err(Self::overdue_error());
+            }
+        }
+        let newline = body.pop().expect("total > 0");
         if newline != b'\n' {
             return Err(ProtoError::Malformed(
                 "payload is not newline-terminated at its declared length".into(),
             ));
         }
-        if bytes.contains(&b'\0') {
+        if body.contains(&b'\0') {
             return Err(ProtoError::Nul);
         }
-        String::from_utf8(bytes).map_err(|_| ProtoError::Encoding)
+        let payload = String::from_utf8(body).map_err(|_| ProtoError::Encoding)?;
+        let mut frame = frame;
+        frame.payload = Some(payload);
+        Ok(frame)
     }
+}
+
+/// Whether an I/O error is a read-deadline expiry (`WouldBlock` on
+/// Unix, `TimedOut` on Windows) rather than a real transport failure.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 #[cfg(test)]
@@ -395,6 +561,88 @@ mod tests {
         let next = reader.read_frame().unwrap().unwrap();
         assert_eq!(next.verb, "stats");
         assert!(reader.read_frame().unwrap().is_none());
+    }
+
+    /// A reader that yields `WouldBlock` between every real byte —
+    /// the worst-case behaviour of a socket with a read deadline.
+    struct Choppy {
+        data: Vec<u8>,
+        at: usize,
+        block_next: bool,
+    }
+
+    impl std::io::Read for Choppy {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.block_next = !self.block_next;
+            if self.block_next {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "not ready"));
+            }
+            if self.at == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.at];
+            self.at += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn timeouts_mid_frame_are_resumable() {
+        let frames = [
+            Frame::new("slack").arg("node", "ff3"),
+            Frame::new("load").with_payload("design d\nmodule top\nend\n"),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let choppy = Choppy {
+            data: wire,
+            at: 0,
+            block_next: false,
+        };
+        // A 1-byte buffer makes every fill_buf hit the raw reader, so
+        // WouldBlock strikes mid-header and mid-payload repeatedly.
+        let mut reader = FrameReader::new(io::BufReader::with_capacity(1, choppy));
+        let mut decoded = Vec::new();
+        let mut timeouts = 0usize;
+        loop {
+            match reader.read_frame() {
+                Ok(Some(f)) => decoded.push(f),
+                Ok(None) => break,
+                Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    timeouts += 1;
+                    assert!(timeouts < 10_000, "no forward progress");
+                }
+                Err(e) => panic!("unexpected decode error: {e}"),
+            }
+        }
+        assert_eq!(decoded.as_slice(), frames.as_slice());
+        assert!(timeouts > 0, "the choppy reader must have blocked");
+        assert!(!reader.mid_frame(), "all frames completed");
+    }
+
+    #[test]
+    fn mid_frame_reports_partial_progress() {
+        let choppy = Choppy {
+            data: b"sla".to_vec(), // header fragment, never terminated
+            at: 0,
+            block_next: false,
+        };
+        let mut reader = FrameReader::new(io::BufReader::with_capacity(1, choppy));
+        assert!(!reader.mid_frame());
+        loop {
+            match reader.read_frame() {
+                Err(ProtoError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if reader.mid_frame() {
+                        break; // partial header observed and retained
+                    }
+                }
+                Err(ProtoError::Truncated) => panic!("EOF before WouldBlock observation"),
+                other => panic!("unexpected result: {other:?}"),
+            }
+        }
+        assert!(reader.mid_frame());
     }
 
     #[test]

@@ -185,3 +185,134 @@ fn hostile_frames_fail_closed() {
     let err = decode_one(b"slack node\n").unwrap_err();
     assert!(err.recoverable(), "{err}");
 }
+
+/// A realistic daemon transcript over `text`: the session lifecycle
+/// with the design as a bulky payload.
+fn transcript(text: &str) -> Vec<Frame> {
+    vec![
+        Frame::new("hello"),
+        Frame::new("load").arg("format", "hum").with_payload(text),
+        Frame::new("analyze").arg("latch", "transparent"),
+        Frame::new("slack").arg("node", "mid"),
+        Frame::new("worst-paths").arg("k", 9),
+        Frame::new("eco")
+            .arg("op", "resize")
+            .arg("inst", "a0")
+            .arg("steps", 1),
+        Frame::new("dump"),
+        Frame::new("stats"),
+        Frame::new("shutdown"),
+    ]
+}
+
+/// The seeded fault matrix: every `io.*` fault point, alone and all
+/// together, against two workload-sized transcripts. The invariants:
+/// a faulted *writer* emits byte-identical wire (callers retry
+/// `Interrupted` and loop short writes), and a faulted *reader*
+/// decodes byte-identical frames — injected `WouldBlock`/`TimedOut`
+/// surface as resumable errors, never as misclassified frame damage.
+#[test]
+fn faulted_transport_matrix_round_trips_transcripts() {
+    use hb_fault::{Fault, FaultPlan, FaultStream};
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    let lib = sc89();
+    let pipe = hb_workloads::random_pipeline(
+        &lib,
+        hb_workloads::PipelineParams {
+            stages: 6,
+            width: 8,
+            gates_per_stage: 120,
+            transparent: true,
+            period_ns: 30,
+            seed: 1203,
+            imbalance_pct: 40,
+        },
+    );
+    let fsm = hb_workloads::fsm12(&lib, true);
+    let texts = [
+        hb_io::write_hum_with_timing(&pipe.design, &pipe.clocks, &[]),
+        hb_io::write_hum_with_timing(&fsm.design, &fsm.clocks, &[]),
+    ];
+
+    const POINTS: &[&str] = &[
+        hb_fault::IO_READ_SHORT,
+        hb_fault::IO_READ_ERR,
+        hb_fault::IO_READ_STALL,
+        hb_fault::IO_WRITE_SHORT,
+        hb_fault::IO_WRITE_ERR,
+        hb_fault::IO_WRITE_STALL,
+    ];
+    // Each single point plus the everything-at-once plan.
+    let arms: Vec<Vec<&str>> = POINTS
+        .iter()
+        .map(|&p| vec![p])
+        .chain(std::iter::once(POINTS.to_vec()))
+        .collect();
+    let plan_for = |seed: u64, arm: &[&str]| -> FaultPlan {
+        let mut plan = FaultPlan::seeded(seed).with_stall(Duration::from_millis(1));
+        for &point in arm {
+            // Stalls are rare and budgeted to keep the matrix fast;
+            // everything else fires often.
+            let fault = if point.ends_with(".stall") {
+                Fault::with_rate(2).budget(10)
+            } else {
+                Fault::with_rate(25)
+            };
+            plan = plan.armed(point, fault);
+        }
+        plan
+    };
+
+    for (t, text) in texts.iter().enumerate() {
+        let frames = transcript(text);
+        let mut clean_wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut clean_wire, frame).unwrap();
+        }
+        for seed in [0xDAC89u64, 11, 12] {
+            for arm in &arms {
+                let tag = format!("transcript {t}, seed {seed:#x}, arm {arm:?}");
+
+                // Faulted writer → byte-identical wire. `write_all`
+                // retries Interrupted and loops over short writes.
+                let mut sink = FaultStream::new(std::io::empty(), Vec::new(), plan_for(seed, arm));
+                for frame in &frames {
+                    sink.write_all(frame.encode().as_bytes()).unwrap();
+                }
+                assert_eq!(
+                    sink.into_inner().1,
+                    clean_wire,
+                    "{tag}: writer corrupted wire"
+                );
+
+                // Faulted reader → identical frames, resumably. Small
+                // buffer capacity multiplies the split points.
+                let cursor = std::io::Cursor::new(clean_wire.clone());
+                let mut reader = FrameReader::new(BufReader::with_capacity(
+                    256,
+                    FaultStream::reader(cursor, plan_for(seed, arm)),
+                ));
+                let mut decoded = Vec::new();
+                loop {
+                    match reader.read_frame() {
+                        Ok(Some(frame)) => decoded.push(frame),
+                        Ok(None) => break,
+                        Err(ProtoError::Io(e))
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            continue; // injected; partial frame retained
+                        }
+                        Err(e) => panic!("{tag}: misclassified fault as {e}"),
+                    }
+                }
+                assert!(!reader.mid_frame(), "{tag}: trailing partial frame");
+                assert_eq!(decoded, frames, "{tag}: reader mangled frames");
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The session write-ahead journal and its replay recovery.
+//!
+//! Every request that actually changes resident state — `load`,
+//! `analyze`/`constraints` (they can change analysis options), `eco` —
+//! is recorded *after* it is handled, together with the reply verb it
+//! earned and a fingerprint of the state it produced. When a later
+//! request panics and leaves the session half-mutated (or a panic
+//! escapes far enough to poison the lock), the transport rebuilds the
+//! session by replaying the journal into a fresh [`Session`] and
+//! verifying the rebuilt fingerprint against the last recorded one.
+//! The panicking request itself was never journaled, so recovery rolls
+//! the session back to the last state any client was told about.
+//!
+//! Replay is **warm**: the content-addressed
+//! [`SlackCache`](hummingbird::SlackCache) salvaged from the broken
+//! session is transplanted into the rebuilt one. Cache entries are
+//! keyed by shard content fingerprint plus seed signature and inserted
+//! only once fully computed, so entries written before a panic are
+//! either complete and correct or absent — a replayed analysis reuses
+//! every clean cluster and re-sweeps only what the interrupted request
+//! dirtied. `fault_bench` measures this: replay comes out at least as
+//! cheap as a cold `load` + `analyze`.
+//!
+//! The journal is bounded: past [`Journal::MAX_ENTRIES`] it compacts
+//! itself into a synthetic `load` of the current design text (the
+//! `dump` round-trip the parity suite already guarantees) plus one
+//! options-bearing re-analysis, so replay cost cannot grow without
+//! limit under an ECO-heavy client.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use hb_cells::Library;
+use hb_io::Frame;
+use hummingbird::SlackCache;
+
+use crate::session::Session;
+
+/// Verbs whose handling may change state a journal replay must
+/// reproduce.
+pub(crate) fn is_mutating(verb: &str) -> bool {
+    matches!(verb, "load" | "analyze" | "constraints" | "eco")
+}
+
+/// One journaled request plus the reply verb it earned. Handling is
+/// deterministic, so replay must reproduce the verb — including
+/// requests that mutated state *and* failed (an `eco` whose
+/// re-analysis errored still moved the design).
+struct Entry {
+    req: Frame,
+    expect: String,
+}
+
+/// A write-ahead record of every state-changing request the session
+/// handled, replayable into a fresh [`Session`].
+#[derive(Default)]
+pub struct Journal {
+    entries: Vec<Entry>,
+    /// [`Session::fingerprint`] after the last recorded entry.
+    fingerprint: Option<u64>,
+}
+
+impl Journal {
+    /// Entry-count bound past which [`Journal::record`] compacts the
+    /// journal into a snapshot `load` plus one re-analysis.
+    pub const MAX_ENTRIES: usize = 1024;
+
+    /// An empty journal (nothing loaded yet).
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// The number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a handled request and the fingerprint of the state it
+    /// produced. A successful `load` starts design history over;
+    /// anything else appends. `session` is the session that just
+    /// handled `req` (used for fingerprinting and for compaction
+    /// snapshots).
+    pub fn record(&mut self, req: &Frame, reply: &Frame, session: &Session) {
+        if req.verb == "load" && reply.verb == "ok" {
+            self.entries.clear();
+        }
+        self.entries.push(Entry {
+            req: req.clone(),
+            expect: reply.verb.clone(),
+        });
+        self.fingerprint = Some(session.fingerprint());
+        if self.entries.len() > Journal::MAX_ENTRIES {
+            self.compact(session);
+        }
+    }
+
+    /// Collapses the history into a snapshot: one synthetic `load` of
+    /// the session's current design text plus one options-bearing
+    /// re-analysis. Sound because the `.hum` dump round-trip is
+    /// bit-exact (asserted by the parity suite and the check.sh smoke
+    /// test).
+    fn compact(&mut self, session: &Session) {
+        let Some(snapshot) = session.snapshot_frames() else {
+            return; // nothing loaded; keep the raw history
+        };
+        self.entries = snapshot
+            .into_iter()
+            .map(|req| Entry {
+                req,
+                expect: "ok".to_owned(),
+            })
+            .collect();
+        self.fingerprint = Some(session.fingerprint());
+    }
+
+    /// Rebuilds a session by replaying every recorded entry into a
+    /// fresh one, transplanting `cache` (salvaged from the broken
+    /// session) right after the `load` so the re-analyses run warm,
+    /// and verifying the rebuilt fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first entry that replayed to a
+    /// different verb, panicked, or left a mismatched fingerprint.
+    /// The caller should fall back to an empty session.
+    pub fn replay(&self, library: Library, cache: Option<SlackCache>) -> Result<Session, String> {
+        let mut session = Session::new(library);
+        let mut cache = cache;
+        for (i, entry) in self.entries.iter().enumerate() {
+            let req = &entry.req;
+            let reply = catch_unwind(AssertUnwindSafe(|| session.handle(req)))
+                .map_err(|_| format!("journal entry {i} (`{}`) panicked on replay", req.verb))?;
+            if reply.verb != entry.expect {
+                return Err(format!(
+                    "journal entry {i} (`{}`) replayed to `{}` (recorded `{}`): {}",
+                    req.verb,
+                    reply.verb,
+                    entry.expect,
+                    reply.payload.as_deref().unwrap_or("no detail")
+                ));
+            }
+            if req.verb == "load" && reply.verb == "ok" {
+                if let Some(cache) = cache.take() {
+                    session.install_cache(cache);
+                }
+            }
+        }
+        if let Some(expected) = self.fingerprint {
+            let got = session.fingerprint();
+            if got != expected {
+                return Err(format!(
+                    "replayed fingerprint {got:#018x} != recorded {expected:#018x}"
+                ));
+            }
+        }
+        Ok(session)
+    }
+}
+
+/// Answers `req` on `session` with panic isolation and journal-backed
+/// recovery — the write-path core shared by the TCP transport and the
+/// stdio loop.
+///
+/// Requests that changed state (successfully or not) are journaled.
+/// On a panic the half-mutated session is rebuilt from the journal
+/// (warm, salvaging its cache) and the client gets a structured
+/// `error code=internal` describing what happened; the rebuilt state
+/// is the last one any client was told about.
+pub(crate) fn handle_recovering(
+    session: &mut Session,
+    journal: &mut Journal,
+    library: &Library,
+    req: &Frame,
+) -> Frame {
+    let mutating = is_mutating(&req.verb);
+    let before = if mutating {
+        Some(session.fingerprint())
+    } else {
+        None
+    };
+    let reply = match catch_unwind(AssertUnwindSafe(|| session.handle(req))) {
+        Ok(reply) => reply,
+        Err(panic) => {
+            let what = panic_message(&panic);
+            let recovery = recover(session, journal, library);
+            let reply = Frame::new("error").arg("code", "internal");
+            return match recovery {
+                Ok(replayed) => reply
+                    .arg("recovered", 1)
+                    .arg("replayed", replayed)
+                    .with_payload(format!(
+                        "request `{}` panicked ({what}); session rebuilt from journal",
+                        req.verb
+                    )),
+                Err(e) => reply.arg("recovered", 0).with_payload(format!(
+                    "request `{}` panicked ({what}); journal replay failed ({e}); \
+                     session reset — reload the design",
+                    req.verb
+                )),
+            };
+        }
+    };
+    if mutating && (reply.verb == "ok" || before != Some(session.fingerprint())) {
+        journal.record(req, &reply, session);
+    }
+    reply
+}
+
+/// Rebuilds `session` in place from `journal`, salvaging its cache so
+/// the replay runs warm. On replay failure the session is reset to
+/// empty (library and fault plan intact) and the cause is returned.
+pub(crate) fn recover(
+    session: &mut Session,
+    journal: &Journal,
+    library: &Library,
+) -> Result<usize, String> {
+    let cache = session.take_cache();
+    let faults = session.faults().clone();
+    let (rebuilt, outcome) = match journal.replay(library.clone(), cache) {
+        Ok(rebuilt) => (rebuilt, Ok(journal.len())),
+        Err(e) => (Session::new(library.clone()), Err(e)),
+    };
+    *session = rebuilt;
+    session.set_faults(faults);
+    outcome
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -16,9 +16,14 @@
 //!   `analyze`, `slack`, `worst-paths`, `constraints`, `eco`, `dump`,
 //!   `stats`, `shutdown`;
 //! * [`Server`] — a thread-per-connection TCP daemon sharing one
-//!   session behind an `RwLock` with per-request lock deadlines, and
+//!   session behind an `RwLock` with per-request lock deadlines,
+//!   socket frame/idle deadlines, overload shedding, and
 //!   [`serve_stream`] — the same loop over arbitrary byte streams
 //!   (`hummingbird serve --stdio`);
+//! * [`Journal`] — a write-ahead record of state-changing requests;
+//!   when a request panics (or a panic poisons the session lock), the
+//!   transports rebuild the session by replaying it, warm through the
+//!   salvaged slack cache;
 //! * [`Client`] — a small blocking request/reply client, used by
 //!   `hummingbird query`, the benches, and the loopback smoke test.
 //!
@@ -47,11 +52,15 @@
 //! assert!(reply.get("items_reused").is_some());
 //! ```
 
+mod journal;
 mod net;
 mod session;
 
+pub use journal::Journal;
 pub use net::{serve_stream, Client, Server, ServerOptions};
-pub use session::{directives_from_spec, spec_from_directives, Session};
+pub use session::{
+    directives_from_spec, spec_from_directives, Session, MAX_LOAD_BYTES, MAX_WORST_PATHS,
+};
 
 #[cfg(test)]
 mod tests {

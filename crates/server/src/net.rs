@@ -9,6 +9,22 @@
 //! per-request deadline so a long-running analysis degrades concurrent
 //! requests into structured `busy` errors instead of unbounded stalls.
 //!
+//! The write path is panic-isolated: a request that panics mid-mutation
+//! is answered with `error code=internal` and the session is rebuilt
+//! from the write-ahead [`Journal`](crate::Journal) (see
+//! [`journal`](crate::journal)), warm through the salvaged slack cache.
+//! Should a panic nonetheless escape and poison the lock, the next
+//! writer claims the guard ([`PoisonError::into_inner`]), clears the
+//! poison, and runs the same recovery — the daemon never answers
+//! `poisoned` and never bricks.
+//!
+//! Sockets carry deadlines. Reads poll on a short grain so a
+//! connection trickling a frame one byte at a time (slowloris) is cut
+//! off at `frame_deadline`, a silent one is reaped at `idle_timeout`,
+//! and writes give up after `write_timeout`. An accept-side connection
+//! cap sheds excess clients with `error code=busy retry_after_ms=N`;
+//! [`Client::request_with_backoff`] honours that hint.
+//!
 //! Teardown is cooperative: `shutdown` flips a flag, closes the read
 //! half of every connection (idle readers see EOF; in-flight replies
 //! still flush over the untouched write halves), pokes the listener
@@ -20,39 +36,108 @@
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock, TryLockError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, TryLockError};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use hb_cells::Library;
+use hb_fault::{FaultPlan, FaultStream};
 use hb_io::{write_frame, Frame, FrameReader, ProtoError};
 
+use crate::journal::{self, Journal};
 use crate::session::Session;
 
-/// Transport tuning.
-#[derive(Clone, Copy, Debug)]
+/// Transport tuning. The defaults suit an interactive daemon; tests
+/// shrink the deadlines to keep the chaos suite fast.
+#[derive(Clone, Debug)]
 pub struct ServerOptions {
     /// How long one request may wait for the session lock before it is
     /// answered with `error code=busy`.
     pub lock_deadline: Duration,
+    /// How long a started frame may take to arrive in full before the
+    /// connection is cut off (anti-slowloris).
+    pub frame_deadline: Duration,
+    /// How long a connection may sit between frames before it is
+    /// reaped.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for replies.
+    pub write_timeout: Duration,
+    /// Concurrent-connection cap; excess clients are shed at accept
+    /// with `error code=busy retry_after_ms=N`.
+    pub max_connections: usize,
+    /// The retry hint (milliseconds) carried by shed and lock-deadline
+    /// `busy` errors.
+    pub retry_after_ms: u64,
+    /// Fault-injection schedule threaded into the session and both
+    /// halves of every accepted socket. [`FaultPlan::none`] (the
+    /// default) makes every hook a no-op.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerOptions {
     fn default() -> ServerOptions {
         ServerOptions {
             lock_deadline: Duration::from_secs(30),
+            frame_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(600),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 64,
+            retry_after_ms: 100,
+            faults: FaultPlan::none(),
         }
     }
 }
 
+impl ServerOptions {
+    /// The socket read timeout: deadlines are enforced by polling, so
+    /// the grain is a fraction of the tightest deadline, bounded to
+    /// stay responsive without spinning.
+    fn poll_grain(&self) -> Duration {
+        (self.frame_deadline.min(self.idle_timeout) / 4)
+            .clamp(Duration::from_millis(5), Duration::from_millis(250))
+    }
+}
+
+/// Poison-tolerant mutex lock: the daemon's auxiliary state (journal,
+/// connection registry) stays usable even if a holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 struct Shared {
     session: RwLock<Session>,
+    /// Write-ahead journal backing panic recovery; locked only while
+    /// the session write lock is already held (or being recovered), so
+    /// the two never deadlock.
+    journal: Mutex<Journal>,
+    /// The library a recovery replays against.
+    library: Library,
     shutdown: AtomicBool,
     options: ServerOptions,
-    /// Read-half handles of every accepted connection, so `shutdown`
-    /// can unblock idle readers without cutting in-flight replies.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Live connections, for the cap.
+    active: AtomicUsize,
+    /// Read-half handles of every accepted connection, keyed by
+    /// connection id so `shutdown` can unblock idle readers without
+    /// cutting in-flight replies, and closed connections can
+    /// deregister.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+/// Decrements the live-connection count and deregisters the read-half
+/// handle when a connection thread exits — including by panic, so an
+/// escaped injected panic cannot leak a connection slot.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        lock(&self.shared.conns).retain(|(id, _)| *id != self.id);
+    }
 }
 
 /// A bound, not-yet-running daemon. [`Server::run`] consumes it and
@@ -64,7 +149,7 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and prepares a
-    /// fresh session over `library`.
+    /// fresh session over `library`, wired to `options.faults`.
     ///
     /// # Errors
     ///
@@ -75,12 +160,16 @@ impl Server {
         options: ServerOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let session = Session::with_faults(library.clone(), options.faults.clone());
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                session: RwLock::new(Session::new(library)),
+                session: RwLock::new(session),
+                journal: Mutex::new(Journal::new()),
+                library,
                 shutdown: AtomicBool::new(false),
                 options,
+                active: AtomicUsize::new(0),
                 conns: Mutex::new(Vec::new()),
             }),
         })
@@ -96,7 +185,9 @@ impl Server {
     }
 
     /// Serves connections until a `shutdown` request, then drains
-    /// in-flight connection threads and returns.
+    /// in-flight connection threads and returns. Connections past
+    /// `max_connections` are shed with a `busy` frame instead of being
+    /// queued.
     ///
     /// # Errors
     ///
@@ -105,14 +196,26 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut next_id: u64 = 0;
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            if self.shared.active.load(Ordering::Acquire) >= self.shared.options.max_connections {
+                shed(stream, &self.shared.options);
+                continue;
+            }
+            self.shared.active.fetch_add(1, Ordering::AcqRel);
+            let id = next_id;
+            next_id += 1;
             let shared = Arc::clone(&self.shared);
             workers.push(thread::spawn(move || {
-                serve_connection(stream, &shared, addr)
+                let _guard = ConnGuard {
+                    shared: &shared,
+                    id,
+                };
+                serve_connection(stream, &shared, addr, id);
             }));
             workers.retain(|w| !w.is_finished());
         }
@@ -123,34 +226,71 @@ impl Server {
     }
 }
 
+/// Overload shedding: answer an over-cap connection with a structured
+/// `busy` carrying the retry hint, then close. Bounded by the write
+/// timeout so a non-reading client cannot stall the accept loop.
+fn shed(stream: TcpStream, options: &ServerOptions) {
+    let _ = stream.set_write_timeout(Some(options.write_timeout));
+    let reply = Frame::new("error")
+        .arg("code", "busy")
+        .arg("retry_after_ms", options.retry_after_ms)
+        .with_payload("connection limit reached; retry shortly");
+    let _ = write_frame(&mut &stream, &reply);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 /// One connection's framing and teardown; the request loop proper is
 /// [`serve_requests`]. Whatever ends the loop, the socket is shut down
 /// on exit so the peer sees EOF rather than a half-dead connection.
-fn serve_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr) {
+fn serve_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr, id: u64) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.options.poll_grain()));
+    let _ = stream.set_write_timeout(Some(shared.options.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), shared.conns.lock()) {
-        conns.push(clone);
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.conns).push((id, clone));
     }
-    let mut requests = FrameReader::new(BufReader::new(read_half));
-    let mut replies = BufWriter::new(&stream);
+    // Both halves run under the server's fault plan; with the default
+    // disarmed plan the wrappers are transparent.
+    let faults = shared.options.faults.clone();
+    let mut requests = FrameReader::new(BufReader::new(FaultStream::reader(
+        read_half,
+        faults.clone(),
+    )));
+    // Enforced inside the decoder too, so a drip arriving faster than
+    // the poll grain cannot dodge the deadline.
+    requests.set_frame_timeout(Some(shared.options.frame_deadline));
+    let mut replies = BufWriter::new(FaultStream::new(io::empty(), &stream, faults));
     serve_requests(&mut requests, &mut replies, shared, addr);
     drop(replies);
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// One connection's read/reply loop.
-fn serve_requests(
-    requests: &mut FrameReader<BufReader<TcpStream>>,
-    replies: &mut BufWriter<&TcpStream>,
+/// Whether an I/O error is a socket-timeout tick rather than a real
+/// failure (the kind differs by platform).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// One connection's read/reply loop, with the frame and idle deadlines
+/// enforced on every poll tick.
+fn serve_requests<R: io::BufRead>(
+    requests: &mut FrameReader<R>,
+    replies: &mut impl io::Write,
     shared: &Shared,
     addr: SocketAddr,
 ) {
+    let options = &shared.options;
+    let mut idle_since = Instant::now();
     loop {
         match requests.read_frame() {
             Ok(Some(req)) => {
+                idle_since = Instant::now();
                 let stop = req.verb == "shutdown";
                 let reply = handle_with_deadline(shared, &req);
                 let sent_ok = write_frame(replies, &reply).is_ok();
@@ -159,10 +299,8 @@ fn serve_requests(
                     // Stop the intake everywhere: idle readers see EOF
                     // while in-flight replies still flush over the
                     // untouched write halves...
-                    if let Ok(conns) = shared.conns.lock() {
-                        for conn in conns.iter() {
-                            let _ = conn.shutdown(Shutdown::Read);
-                        }
+                    for (_, conn) in lock(&shared.conns).iter() {
+                        let _ = conn.shutdown(Shutdown::Read);
                     }
                     // ...and unblock the accept loop so `run` can join.
                     let _ = TcpStream::connect(addr);
@@ -173,8 +311,27 @@ fn serve_requests(
                 }
             }
             Ok(None) => return, // clean disconnect
+            Err(ProtoError::Io(e)) if is_timeout(&e) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if requests.mid_frame() {
+                    // The decoder's clock started at the frame's first
+                    // byte — the slowloris measure.
+                    if requests.frame_age().unwrap_or(Duration::ZERO) >= options.frame_deadline {
+                        let reply = Frame::new("error")
+                            .arg("code", "timeout")
+                            .with_payload("frame deadline exceeded: request arrived too slowly");
+                        let _ = write_frame(replies, &reply);
+                        return;
+                    }
+                } else if idle_since.elapsed() >= options.idle_timeout {
+                    return; // idle reaper
+                }
+            }
             Err(ProtoError::Io(_)) => return,
             Err(e) => {
+                idle_since = Instant::now();
                 let reply = Frame::new("error")
                     .arg("code", "proto")
                     .with_payload(e.to_string());
@@ -188,29 +345,31 @@ fn serve_requests(
 
 /// Routes a request through the session lock, degrading to `busy`
 /// after the configured deadline. Read-only requests of a settled
-/// analysis take the shared path and run concurrently.
+/// analysis take the shared path and run concurrently; the write path
+/// is panic-isolated and journal-recovered. A poisoned lock is
+/// reclaimed, cleared and recovered — never surfaced to the client.
 fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     let deadline = Instant::now() + shared.options.lock_deadline;
     let busy = || {
         Frame::new("error")
             .arg("code", "busy")
+            .arg("retry_after_ms", shared.options.retry_after_ms)
             .with_payload("session lock deadline exceeded")
     };
     loop {
         match shared.session.try_read() {
             Ok(session) => {
-                if let Some(reply) = session.handle_readonly(req) {
-                    return reply;
-                }
-                break; // needs the write path
-            }
-            Err(TryLockError::Poisoned(e)) => {
-                return if let Some(reply) = e.get_ref().handle_readonly(req) {
-                    reply
-                } else {
-                    poisoned()
+                match catch_unwind(AssertUnwindSafe(|| session.handle_readonly(req))) {
+                    Ok(Some(reply)) => return reply,
+                    // Needs the write path; a read-path panic also
+                    // falls through — the write path re-runs the
+                    // request with recovery armed.
+                    Ok(None) | Err(_) => break,
                 }
             }
+            // Never serve suspect state read-only; the write path
+            // below recovers it first.
+            Err(TryLockError::Poisoned(_)) => break,
             Err(TryLockError::WouldBlock) => {
                 if Instant::now() >= deadline {
                     return busy();
@@ -221,8 +380,36 @@ fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     }
     loop {
         match shared.session.try_write() {
-            Ok(mut session) => return session.handle(req),
-            Err(TryLockError::Poisoned(_)) => return poisoned(),
+            Ok(mut session) => {
+                if session.faults().fires(hb_fault::NET_UNWIND_ESCAPE) {
+                    // Deliberately unguarded: the chaos suite uses this
+                    // to let an injected panic escape and genuinely
+                    // poison the lock.
+                    return session.handle(req);
+                }
+                let mut journal = lock(&shared.journal);
+                return journal::handle_recovering(
+                    &mut session,
+                    &mut journal,
+                    &shared.library,
+                    req,
+                );
+            }
+            Err(TryLockError::Poisoned(e)) => {
+                // A panic escaped a previous writer. Claim the guard
+                // anyway, clear the poison, rebuild the session from
+                // the journal, then serve this request normally.
+                let mut session = e.into_inner();
+                shared.session.clear_poison();
+                let mut journal = lock(&shared.journal);
+                let _ = journal::recover(&mut session, &journal, &shared.library);
+                return journal::handle_recovering(
+                    &mut session,
+                    &mut journal,
+                    &shared.library,
+                    req,
+                );
+            }
             Err(TryLockError::WouldBlock) => {
                 if Instant::now() >= deadline {
                     return busy();
@@ -233,16 +420,12 @@ fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     }
 }
 
-fn poisoned() -> Frame {
-    Frame::new("error")
-        .arg("code", "poisoned")
-        .with_payload("a previous request panicked while holding the session")
-}
-
 /// Serves one session over arbitrary byte streams — the `--stdio`
 /// mode test harnesses drive. Single-threaded: requests are answered
 /// in order until `shutdown`, end-of-input, or an unrecoverable
-/// protocol error.
+/// protocol error. Panic isolation and journal recovery match the TCP
+/// path: a request that panics answers `error code=internal` and the
+/// session is rebuilt in place.
 ///
 /// # Errors
 ///
@@ -253,13 +436,14 @@ pub fn serve_stream(
     input: impl io::BufRead,
     output: &mut impl io::Write,
 ) -> io::Result<()> {
-    let mut session = Session::new(library);
+    let mut session = Session::new(library.clone());
+    let mut journal = Journal::new();
     let mut requests = FrameReader::new(input);
     loop {
         match requests.read_frame() {
             Ok(Some(req)) => {
                 let stop = req.verb == "shutdown";
-                let reply = session.handle(&req);
+                let reply = journal::handle_recovering(&mut session, &mut journal, &library, &req);
                 write_frame(output, &reply)?;
                 if stop && reply.verb == "ok" {
                     return Ok(());
@@ -302,6 +486,19 @@ impl Client {
         })
     }
 
+    /// Applies a read/write deadline to the connection (`None` blocks
+    /// forever, the default). With a deadline set, [`Client::request`]
+    /// fails with a `WouldBlock`/`TimedOut` I/O error instead of
+    /// hanging on a stalled daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.requests.set_read_timeout(timeout)?;
+        self.requests.set_write_timeout(timeout)
+    }
+
     /// Sends one request and waits for its reply.
     ///
     /// # Errors
@@ -312,5 +509,48 @@ impl Client {
     pub fn request(&mut self, frame: &Frame) -> Result<Frame, ProtoError> {
         write_frame(&mut self.requests, frame)?;
         self.replies.read_frame()?.ok_or(ProtoError::Truncated)
+    }
+
+    /// One request with overload-aware retry: reconnects per attempt,
+    /// honours the server's `retry_after_ms` hint on `busy` replies,
+    /// and backs off exponentially (50 ms doubling, capped at 2 s) on
+    /// connect or transport failures. Returns the first conclusive
+    /// reply; the last attempt's outcome — even `busy` — is returned
+    /// as-is.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's transport error, when every attempt failed.
+    pub fn request_with_backoff(
+        addr: impl ToSocketAddrs + Clone,
+        frame: &Frame,
+        attempts: u32,
+    ) -> Result<Frame, ProtoError> {
+        let attempts = attempts.max(1);
+        let mut backoff = Duration::from_millis(50);
+        for attempt in 1..=attempts {
+            let last = attempt == attempts;
+            let outcome = Client::connect(addr.clone())
+                .map_err(ProtoError::Io)
+                .and_then(|mut client| client.request(frame));
+            match outcome {
+                Ok(reply)
+                    if !last && reply.verb == "error" && reply.get("code") == Some("busy") =>
+                {
+                    let wait = reply
+                        .get("retry_after_ms")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_millis)
+                        .unwrap_or(backoff)
+                        .max(backoff);
+                    thread::sleep(wait);
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) if last => return Err(e),
+                Err(_) => thread::sleep(backoff),
+            }
+            backoff = (backoff * 2).min(Duration::from_secs(2));
+        }
+        unreachable!("the final attempt returns")
     }
 }

@@ -11,13 +11,26 @@ use std::time::Instant;
 
 use hb_cells::Library;
 use hb_clock::ClockSet;
+use hb_fault::FaultPlan;
 use hb_io::{Frame, TimingDirective};
 use hb_netlist::{Design, ModuleId};
 use hb_resynth::{apply_eco, EcoOp};
+use hb_rng::mix64;
 use hummingbird::{
     AnalysisOptions, Analyzer, EdgeSpec, EngineKind, LatchModel, SlackCache, Spec, TerminalKind,
     TimingReport,
 };
+
+/// Largest accepted `worst-paths` `k`. A hostile `k` beyond this is
+/// answered with `error code=limit` instead of being trusted to size
+/// result enumeration.
+pub const MAX_WORST_PATHS: usize = 10_000;
+
+/// Largest accepted `load` payload in bytes. Below the codec's
+/// [`hb_io::proto::MAX_PAYLOAD`] on purpose: the transport limit
+/// bounds a single frame, this bounds what a session will *parse and
+/// retain*.
+pub const MAX_LOAD_BYTES: usize = 8 * 1024 * 1024;
 
 /// The state a `load` request installs.
 struct Loaded {
@@ -47,6 +60,9 @@ pub struct Session {
     requests: u64,
     loads: u64,
     ecos: u64,
+    /// Chaos-test injection schedule; [`FaultPlan::none`] in
+    /// production, where every check is a no-op.
+    faults: FaultPlan,
 }
 
 fn ok() -> Frame {
@@ -153,6 +169,12 @@ impl Session {
     /// A session resolving cells against `library`, with nothing
     /// loaded.
     pub fn new(library: Library) -> Session {
+        Session::with_faults(library, FaultPlan::none())
+    }
+
+    /// A session with a fault-injection schedule — the chaos suite's
+    /// entry point. With [`FaultPlan::none`] this is [`Session::new`].
+    pub fn with_faults(library: Library, faults: FaultPlan) -> Session {
         Session {
             library,
             loaded: None,
@@ -160,7 +182,101 @@ impl Session {
             requests: 0,
             loads: 0,
             ecos: 0,
+            faults,
         }
+    }
+
+    /// The session's fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Replaces the fault schedule (used when a rebuilt session must
+    /// keep honouring the transport's plan).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// A content fingerprint of everything a journal replay must
+    /// reproduce: the loaded design/clocks/timing (via the canonical
+    /// `.hum` dump), the analysis options, and the constraints mode.
+    /// Deliberately excludes volatile counters (uptime, request
+    /// totals, generation) and the derived report — queries rebuild
+    /// the latter deterministically on demand.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = mix64(0x4855_4d4d_4249_5244, 0x1989_0625);
+        let Some(l) = &self.loaded else {
+            return mix64(h, 0);
+        };
+        let text = hb_io::write_hum_with_timing(&l.design, &l.clocks, &l.timing);
+        h = mix64(h, text.len() as u64);
+        for chunk in text.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            h = mix64(h, u64::from_le_bytes(word));
+        }
+        h = mix64(h, l.options.latch_model as u64);
+        h = mix64(h, l.options.partial_divisor as u64);
+        h = mix64(h, l.options.max_cycles as u64);
+        h = mix64(h, u64::from(l.options.check_min_delays));
+        h = mix64(h, l.options.threads as u64);
+        h = mix64(h, l.options.engine as u64);
+        mix64(h, u64::from(l.with_constraints))
+    }
+
+    /// Salvages the content-addressed sweep cache out of a (possibly
+    /// half-mutated) session. Sound after a panic: entries are keyed
+    /// by shard content and seed signature and inserted only once
+    /// fully computed, so whatever is present is correct.
+    pub fn take_cache(&mut self) -> Option<SlackCache> {
+        self.loaded
+            .as_mut()
+            .map(|l| std::mem::replace(&mut l.cache, SlackCache::new()))
+    }
+
+    /// Installs a salvaged cache into the loaded design (journal
+    /// replay does this right after its `load` entry so the replayed
+    /// analyses run warm).
+    pub fn install_cache(&mut self, cache: SlackCache) {
+        if let Some(l) = self.loaded.as_mut() {
+            l.cache = cache;
+        }
+    }
+
+    /// The loaded state as synthetic journal frames: one `load` of the
+    /// canonical dump text plus, if an analysis has succeeded, one
+    /// options-bearing re-analysis. `None` when nothing is loaded.
+    pub(crate) fn snapshot_frames(&self) -> Option<Vec<Frame>> {
+        let l = self.loaded.as_ref()?;
+        let text = hb_io::write_hum_with_timing(&l.design, &l.clocks, &l.timing);
+        let mut frames = vec![Frame::new("load").with_payload(text)];
+        if l.analyzed.is_some() {
+            let verb = if l.with_constraints {
+                "constraints"
+            } else {
+                "analyze"
+            };
+            frames.push(
+                Frame::new(verb)
+                    .arg("threads", l.options.threads)
+                    .arg(
+                        "latch",
+                        match l.options.latch_model {
+                            LatchModel::Transparent => "transparent",
+                            LatchModel::EdgeTriggered => "edge",
+                        },
+                    )
+                    .arg(
+                        "engine",
+                        match l.options.engine {
+                            EngineKind::Sharded => "sharded",
+                            EngineKind::Reference => "reference",
+                        },
+                    )
+                    .arg("min-delays", u8::from(l.options.check_min_delays)),
+            );
+        }
+        Some(frames)
     }
 
     /// The last computed report, if the loaded design has been
@@ -252,6 +368,15 @@ impl Session {
         let Some(text) = req.payload.as_deref() else {
             return err("usage", "load needs the design text as payload");
         };
+        if text.len() > MAX_LOAD_BYTES {
+            return err(
+                "limit",
+                format!(
+                    "design text is {} bytes; the session accepts at most {MAX_LOAD_BYTES}",
+                    text.len()
+                ),
+            );
+        }
         let format = req.get("format").unwrap_or("hum");
         let (design, clocks, timing) = match format {
             "hum" => match hb_io::parse_hum(text, &self.library) {
@@ -316,6 +441,9 @@ impl Session {
             analyzed: None,
             with_constraints: false,
         });
+        // Chaos hook: a panic here leaves the new design installed but
+        // unacknowledged — recovery must roll back to the previous one.
+        self.faults.maybe_panic(hb_fault::SESSION_LOAD_PANIC);
         reply
     }
 
@@ -492,6 +620,12 @@ impl Session {
             Some(Ok(k)) => k,
             Some(Err(_)) => return err("usage", "bad k value"),
         };
+        if k > MAX_WORST_PATHS {
+            return err(
+                "limit",
+                format!("k={k} exceeds the worst-paths limit of {MAX_WORST_PATHS}"),
+            );
+        }
         let mut body = String::new();
         let mut count = 0usize;
         for path in report.slow_paths().iter().take(k) {
@@ -529,6 +663,9 @@ impl Session {
         };
         loaded.generation += 1;
         self.ecos += 1;
+        // Chaos hook: the worst place to die — the design is mutated
+        // but not re-analyzed and the client never hears `ok`.
+        self.faults.maybe_panic(hb_fault::SESSION_ECO_PANIC);
         // Re-analyze immediately through the persistent cache: the
         // reply's reuse counters are the incremental-value measurement.
         let constraints = self.loaded.as_ref().expect("loaded above").with_constraints;

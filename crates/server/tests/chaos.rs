@@ -1,0 +1,459 @@
+//! Chaos suite: the daemon under injected faults.
+//!
+//! Three invariants, per ISSUE and DESIGN.md §7:
+//!
+//! 1. the daemon never hangs past its deadlines (slowloris frames are
+//!    cut off, idle connections reaped, overload shed with `busy`);
+//! 2. it never answers `poisoned` — panics are isolated or, when one
+//!    escapes and genuinely poisons the session lock, the next writer
+//!    clears the poison and recovers;
+//! 3. after a recovery, analyze/slack answers are **bit-identical** to
+//!    a cold run over the identically edited design.
+//!
+//! Fault plans are seeded, so every failure here reproduces from its
+//! seed. `check.sh` runs the suite under three fixed seeds plus one
+//! fresh `HB_CHAOS_SEED` and prints the seed on failure.
+//!
+//! Several tests install process-global fault plans or depend on fault
+//! budgets shared through a server; everything serialises on one
+//! static mutex so parallel test threads cannot cross-fire.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hb_cells::{sc89, Binding, Library};
+use hb_fault::{install_global, Fault, FaultPlan, FaultStream};
+use hb_io::{Frame, FrameReader, ProtoError};
+use hb_netlist::{Design, InstRef, ModuleId};
+use hb_server::{
+    directives_from_spec, serve_stream, Client, Server, ServerOptions, Session, MAX_LOAD_BYTES,
+    MAX_WORST_PATHS,
+};
+use hb_workloads::{random_pipeline, PipelineParams};
+
+static CHAOS: Mutex<()> = Mutex::new(());
+
+fn serialised() -> MutexGuard<'static, ()> {
+    // A panicking chaos test must not wedge the rest of the suite.
+    CHAOS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The seed matrix: three fixed seeds for reproducibility plus an
+/// optional fresh one from the environment (`check.sh` passes a random
+/// `HB_CHAOS_SEED` and prints it on failure).
+fn seeds() -> Vec<u64> {
+    let mut seeds = vec![0xDAC89, 1, 2];
+    if let Some(seed) = std::env::var("HB_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        seeds.push(seed);
+    }
+    seeds
+}
+
+/// The first leaf instance with drive headroom in its cell family —
+/// a deterministic, always-applicable resize target.
+fn resizable_instance(design: &Design, module: ModuleId, lib: &Library) -> String {
+    let binding = Binding::new(design, lib);
+    for (_, inst) in design.module(module).instances() {
+        let InstRef::Leaf(leaf) = inst.target() else {
+            continue;
+        };
+        let Some(cell) = binding.cell_for_leaf(leaf) else {
+            continue;
+        };
+        let variants = lib.family_variants(lib.cell(cell).family());
+        let pos = variants.iter().position(|&v| v == cell).unwrap();
+        if pos + 1 < variants.len() {
+            return inst.name().to_owned();
+        }
+    }
+    panic!("workload has no resizable instance");
+}
+
+/// A transparent-latch pipeline with a known resizable instance.
+fn pipeline() -> (Library, String, String) {
+    let lib = sc89();
+    let w = random_pipeline(
+        &lib,
+        PipelineParams {
+            stages: 4,
+            width: 8,
+            gates_per_stage: 60,
+            transparent: true,
+            period_ns: 14,
+            seed: 21,
+            imbalance_pct: 30,
+        },
+    );
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    let inst = resizable_instance(&w.design, w.module, &lib);
+    (lib, text, inst)
+}
+
+fn start_server(
+    lib: Library,
+    options: ServerOptions,
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", lib, options).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn eco_resize(inst: &str) -> Frame {
+    Frame::new("eco")
+        .arg("op", "resize")
+        .arg("inst", inst)
+        .arg("steps", 1)
+}
+
+/// Invariant 2 + 3, panic-isolation flavour: an `eco` that panics
+/// mid-mutation is answered with a structured `internal` error, the
+/// session is rebuilt from the journal, and after re-issuing the ECO
+/// every answer is bit-identical to a cold session over the same edit.
+#[test]
+fn eco_panic_recovers_bit_identical_to_cold() {
+    let _guard = serialised();
+    let (lib, text, inst) = pipeline();
+    let faults = FaultPlan::seeded(0xDAC89).armed(hb_fault::SESSION_ECO_PANIC, Fault::once());
+    let options = ServerOptions {
+        faults,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_server(lib.clone(), options);
+    let mut client = Client::connect(addr).unwrap();
+
+    let reply = client
+        .request(&Frame::new("load").with_payload(text.clone()))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    let reply = client.request(&Frame::new("analyze")).unwrap();
+    assert_eq!(reply.verb, "ok");
+
+    // The injected panic: isolated, recovered, never `poisoned`.
+    let reply = client.request(&eco_resize(&inst)).unwrap();
+    assert_eq!(reply.verb, "error", "{:?}", reply.payload);
+    assert_eq!(reply.get("code"), Some("internal"));
+    assert_eq!(reply.get("recovered"), Some("1"), "{:?}", reply.payload);
+
+    // The session survived on the same connection and the rolled-back
+    // ECO can be re-issued; the fault budget is spent so it applies.
+    let warm_eco = client.request(&eco_resize(&inst)).unwrap();
+    assert_eq!(warm_eco.verb, "ok", "{:?}", warm_eco.payload);
+    let warm_paths = client
+        .request(&Frame::new("worst-paths").arg("k", 20))
+        .unwrap();
+    assert_eq!(warm_paths.verb, "ok");
+    let warm_dump = client.request(&Frame::new("dump")).unwrap();
+    assert_eq!(warm_dump.verb, "ok");
+
+    // Cold twin: fresh session, same text, same single ECO.
+    let mut cold = Session::new(lib);
+    assert_eq!(
+        cold.handle(&Frame::new("load").with_payload(text)).verb,
+        "ok"
+    );
+    assert_eq!(cold.handle(&Frame::new("analyze")).verb, "ok");
+    let cold_eco = cold.handle(&eco_resize(&inst));
+    assert_eq!(cold_eco.verb, "ok", "{:?}", cold_eco.payload);
+    let cold_paths = cold.handle(&Frame::new("worst-paths").arg("k", 20));
+    let cold_dump = cold.handle(&Frame::new("dump"));
+
+    // Bit-identical: design text, verdict, worst slack, period, paths.
+    assert_eq!(warm_dump.payload, cold_dump.payload, "designs diverged");
+    for key in ["ok", "worst", "period"] {
+        assert_eq!(warm_eco.get(key), cold_eco.get(key), "eco {key} diverged");
+    }
+    assert_eq!(warm_paths.payload, cold_paths.payload, "paths diverged");
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Panic isolation deep in the engine (global fault plan), through the
+/// stdio transport: the analyze that panics mid-sweep earns a
+/// recovered `internal` error and the next analyze matches a clean
+/// session's answer.
+#[test]
+fn engine_sweep_panic_is_isolated_and_recovered() {
+    let _guard = serialised();
+    let (lib, text, _) = pipeline();
+
+    install_global(FaultPlan::seeded(7).armed(hb_fault::ENGINE_SWEEP_PANIC, Fault::once()));
+    let mut wire = Vec::new();
+    for f in [
+        Frame::new("load").with_payload(text.clone()),
+        Frame::new("analyze"),
+        Frame::new("analyze"),
+        Frame::new("shutdown"),
+    ] {
+        wire.extend_from_slice(f.encode().as_bytes());
+    }
+    let mut out = Vec::new();
+    let served = serve_stream(lib.clone(), std::io::Cursor::new(wire), &mut out);
+    install_global(FaultPlan::none());
+    served.unwrap();
+
+    let mut replies = FrameReader::new(std::io::Cursor::new(out));
+    let load = replies.read_frame().unwrap().unwrap();
+    assert_eq!(load.verb, "ok", "{:?}", load.payload);
+    let crashed = replies.read_frame().unwrap().unwrap();
+    assert_eq!(crashed.verb, "error");
+    assert_eq!(crashed.get("code"), Some("internal"));
+    assert_eq!(crashed.get("recovered"), Some("1"), "{:?}", crashed.payload);
+    let retried = replies.read_frame().unwrap().unwrap();
+    assert_eq!(retried.verb, "ok", "{:?}", retried.payload);
+
+    let mut clean = Session::new(lib);
+    clean.handle(&Frame::new("load").with_payload(text));
+    let baseline = clean.handle(&Frame::new("analyze"));
+    assert_eq!(retried.get("worst"), baseline.get("worst"));
+    assert_eq!(retried.get("period"), baseline.get("period"));
+}
+
+/// Invariant 1+codec: a client whose transport misbehaves on a seeded
+/// schedule (short reads/writes, `Interrupted`, `WouldBlock`) still
+/// gets byte-identical answers — the resumable frame reader loses no
+/// partial progress over a real socket.
+#[test]
+fn faulted_client_transport_decodes_identically() {
+    let _guard = serialised();
+    let (lib, text, _) = pipeline();
+    let (addr, server) = start_server(lib, ServerOptions::default());
+
+    // Baseline from a clean client.
+    let mut clean = Client::connect(addr).unwrap();
+    let requests = [
+        Frame::new("hello"),
+        Frame::new("load").with_payload(text),
+        Frame::new("analyze"),
+        Frame::new("worst-paths").arg("k", 5),
+        Frame::new("stats"),
+    ];
+    let baseline: Vec<Frame> = requests.iter().map(|f| clean.request(f).unwrap()).collect();
+
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed)
+            .armed(hb_fault::IO_READ_SHORT, Fault::with_rate(40))
+            .armed(hb_fault::IO_READ_ERR, Fault::with_rate(25))
+            .armed(hb_fault::IO_WRITE_SHORT, Fault::with_rate(40))
+            .armed(hb_fault::IO_WRITE_ERR, Fault::with_rate(20));
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writes =
+            FaultStream::new(std::io::empty(), stream.try_clone().unwrap(), plan.clone());
+        let mut reads =
+            FrameReader::new(std::io::BufReader::new(FaultStream::reader(stream, plan)));
+        for (req, want) in requests.iter().zip(&baseline) {
+            // `write_all` retries Interrupted and loops short writes.
+            writes.write_all(req.encode().as_bytes()).unwrap();
+            writes.flush().unwrap();
+            let got = loop {
+                match reads.read_frame() {
+                    Ok(Some(frame)) => break frame,
+                    Ok(None) => panic!("seed {seed:#x}: connection closed mid-matrix"),
+                    Err(ProtoError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue; // injected; partial frame is retained
+                    }
+                    Err(e) => panic!("seed {seed:#x}: {e}"),
+                }
+            };
+            assert_eq!(got.verb, want.verb, "seed {seed:#x}: verb diverged");
+            assert_eq!(
+                got.payload, want.payload,
+                "seed {seed:#x}: payload diverged on `{}`",
+                req.verb
+            );
+            for key in ["ok", "worst", "period", "clocks", "server"] {
+                assert_eq!(got.get(key), want.get(key), "seed {seed:#x}: {key}");
+            }
+        }
+    }
+
+    clean.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Invariant 1: a slowloris peer dripping a frame one byte at a time
+/// is answered `error code=timeout` and cut off at the frame deadline;
+/// a silent peer is reaped at the idle timeout. Neither stalls the
+/// daemon for other clients.
+#[test]
+fn slowloris_and_idle_connections_are_reaped() {
+    let _guard = serialised();
+    let (lib, _, _) = pipeline();
+    let options = ServerOptions {
+        frame_deadline: Duration::from_millis(300),
+        idle_timeout: Duration::from_millis(1200),
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_server(lib, options);
+
+    // Slowloris: drip an unterminated header forever.
+    let start = Instant::now();
+    let drip = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(drip.try_clone().unwrap()));
+    let feeder = thread::spawn(move || {
+        let mut drip = &drip;
+        for byte in std::iter::repeat_n(b'a', 200) {
+            if drip.write_all(&[byte]).is_err() {
+                return; // server cut us off
+            }
+            thread::sleep(Duration::from_millis(40));
+        }
+    });
+    let reply = replies.read_frame().unwrap().expect("a timeout reply");
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("timeout"));
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "frame deadline not enforced: {:?}",
+        start.elapsed()
+    );
+    assert!(replies.read_frame().unwrap().is_none(), "must be cut off");
+    feeder.join().unwrap();
+
+    // Idle: connect, say nothing, get reaped.
+    let start = Instant::now();
+    let idle = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(idle));
+    assert!(replies.read_frame().unwrap().is_none(), "reaped with EOF");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(1000) && elapsed < Duration::from_secs(5),
+        "idle reaper fired at {elapsed:?}, expected ~1.2s"
+    );
+
+    // The daemon itself never stalled.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request(&Frame::new("hello")).unwrap().verb, "ok");
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Invariant 1, overload flavour: connections past the cap are shed
+/// with `busy retry_after_ms=N` instead of queueing, and the client
+/// backoff turns the shed into a delayed success once a slot frees.
+#[test]
+fn overload_is_shed_and_backoff_recovers() {
+    let _guard = serialised();
+    let (lib, _, _) = pipeline();
+    let options = ServerOptions {
+        max_connections: 1,
+        retry_after_ms: 50,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_server(lib, options);
+
+    let mut holder = Client::connect(addr).unwrap();
+    assert_eq!(holder.request(&Frame::new("hello")).unwrap().verb, "ok");
+
+    // Over the cap: an immediate structured shed, then EOF.
+    let shed = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(shed));
+    let reply = replies.read_frame().unwrap().expect("a shed reply");
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("busy"));
+    assert_eq!(reply.get("retry_after_ms"), Some("50"));
+    assert!(replies.read_frame().unwrap().is_none());
+
+    // Free the slot shortly; the backoff client must get through.
+    let release = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(300));
+        drop(holder);
+    });
+    let reply = Client::request_with_backoff(addr, &Frame::new("stats"), 8).unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    release.join().unwrap();
+
+    let reply = Client::request_with_backoff(addr, &Frame::new("shutdown"), 8).unwrap();
+    assert_eq!(reply.verb, "ok");
+    server.join().unwrap().unwrap();
+}
+
+/// Invariant 2, poisoned-lock flavour: `net.unwind.escape` lets an
+/// injected ECO panic escape the isolation, killing the worker thread
+/// and genuinely poisoning the session lock. The next writer claims
+/// the guard, clears the poison and recovers from the journal — the
+/// daemon never answers `poisoned` and is not bricked.
+#[test]
+fn escaped_panic_poisons_lock_then_recovers() {
+    let _guard = serialised();
+    let (lib, text, inst) = pipeline();
+    // Write-path requests run load(1), analyze(2), eco(3): let the
+    // third skip `catch_unwind` and panic inside the ECO.
+    let faults = FaultPlan::seeded(3)
+        .armed(hb_fault::NET_UNWIND_ESCAPE, Fault::nth(3))
+        .armed(hb_fault::SESSION_ECO_PANIC, Fault::once());
+    let options = ServerOptions {
+        faults,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_server(lib, options);
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(
+        client
+            .request(&Frame::new("load").with_payload(text))
+            .unwrap()
+            .verb,
+        "ok"
+    );
+    let before = client.request(&Frame::new("analyze")).unwrap();
+    assert_eq!(before.verb, "ok");
+
+    // The escaped panic kills this connection without a reply.
+    assert!(
+        client.request(&eco_resize(&inst)).is_err(),
+        "the unguarded panic must kill the connection"
+    );
+
+    // A fresh connection finds a recovered session, never `poisoned`.
+    let mut fresh = Client::connect(addr).unwrap();
+    let stats = fresh.request(&Frame::new("stats")).unwrap();
+    assert_eq!(stats.verb, "ok", "{:?}", stats.payload);
+    let after = fresh.request(&Frame::new("analyze")).unwrap();
+    assert_eq!(after.verb, "ok", "{:?}", after.payload);
+    // The half-applied ECO was rolled back to the journaled state.
+    assert_eq!(after.get("worst"), before.get("worst"));
+    assert_eq!(after.get("period"), before.get("period"));
+
+    fresh.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Satellite: hostile request sizes earn `error code=limit`, not
+/// unbounded allocation or formatting work.
+#[test]
+fn oversized_requests_hit_structured_limits() {
+    let (lib, text, _) = pipeline();
+    let mut session = Session::new(lib);
+    assert_eq!(
+        session.handle(&Frame::new("load").with_payload(text)).verb,
+        "ok"
+    );
+    assert_eq!(session.handle(&Frame::new("analyze")).verb, "ok");
+
+    let reply = session.handle(&Frame::new("worst-paths").arg("k", 4_000_000_000u64));
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("limit"), "{:?}", reply.payload);
+    const { assert!(MAX_WORST_PATHS < 4_000_000_000) };
+
+    let huge = "x".repeat(MAX_LOAD_BYTES + 1);
+    let reply = session.handle(&Frame::new("load").with_payload(huge));
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("limit"), "{:?}", reply.payload);
+
+    // The resident design survived the rejected load.
+    assert_eq!(session.handle(&Frame::new("stats")).get("loads"), Some("1"));
+}

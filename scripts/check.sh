@@ -13,6 +13,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== chaos suite (3 fixed seeds + 1 fresh)"
+# The chaos tests always run their three fixed seeds; HB_CHAOS_SEED
+# adds one fresh seed per run so the fault matrix keeps exploring.
+# On failure, the seed below reproduces it exactly.
+HB_CHAOS_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
+if ! HB_CHAOS_SEED="$HB_CHAOS_SEED" cargo test -q -p hb-server --test chaos; then
+    echo "chaos suite FAILED; reproduce with: HB_CHAOS_SEED=$HB_CHAOS_SEED cargo test -p hb-server --test chaos"
+    exit 1
+fi
+
 echo "== daemon loopback smoke test"
 # Drive a real served socket end to end — load, analyze, edit, query,
 # dump — then check the daemon's slack answer against a cold one-shot
