@@ -88,6 +88,31 @@ fn run_engines(w: &Workload, lib: &hb_cells::Library) -> (f64, usize, Vec<Engine
     (prep_seconds, cells, runs)
 }
 
+/// Median analyze() time with the observability layer disarmed, then
+/// armed, on the single-thread sharded engine. The ratio is the whole
+/// cost of metrics: counters always tally, so arming only adds the
+/// clock reads in the span timers.
+fn metrics_overhead(w: &Workload, lib: &hb_cells::Library) -> (f64, f64) {
+    let analyzer = Analyzer::with_options(
+        &w.design,
+        w.module,
+        lib,
+        &w.clocks,
+        w.spec.clone(),
+        AnalysisOptions {
+            threads: 1,
+            ..AnalysisOptions::default()
+        },
+    )
+    .expect("conforming workload");
+    hb_obs::disarm();
+    let (disarmed, _) = median_time(|| analyzer.analyze());
+    hb_obs::arm();
+    let (armed, _) = median_time(|| analyzer.analyze());
+    hb_obs::disarm();
+    (disarmed, armed)
+}
+
 fn main() {
     let lib = sc89();
     let workloads = [
@@ -166,7 +191,24 @@ fn main() {
                 stats.items_scheduled
             );
         }
-        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "      ],");
+        let (disarmed, armed) = metrics_overhead(w, &lib);
+        let _ = writeln!(json, "      \"metrics_overhead\": {{");
+        let _ = writeln!(json, "        \"disarmed_seconds\": {disarmed:.6},");
+        let _ = writeln!(json, "        \"armed_seconds\": {armed:.6},");
+        let _ = writeln!(
+            json,
+            "        \"armed_over_disarmed\": {:.4}",
+            armed / disarmed
+        );
+        let _ = writeln!(json, "      }}");
+        eprintln!(
+            "{}/metrics-overhead: {:.3} ms disarmed, {:.3} ms armed ({:+.2}%)",
+            w.name,
+            disarmed * 1e3,
+            armed * 1e3,
+            (armed / disarmed - 1.0) * 100.0
+        );
         let _ = writeln!(
             json,
             "    }}{}",

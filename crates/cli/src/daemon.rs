@@ -12,6 +12,8 @@
 //!   worst-paths [K]           the K slowest paths (default 5)
 //!   eco resize INST [STEPS]   retarget an instance's drive strength
 //!   eco scale-net NET PCT     scale a net's load to PCT percent
+//!   metrics                   Prometheus-style text exposition of the
+//!                             daemon's counters and histograms
 //!   dump | stats | shutdown
 //! ```
 //!
@@ -32,7 +34,7 @@ const SERVE_USAGE: &str =
     "usage: hummingbird serve [--listen ADDR] [--stdio] [--library LIB.txt] [--max-conns N]";
 const QUERY_USAGE: &str = "usage: hummingbird query ADDR \
 <load FILE | analyze | constraints | slack NODE | worst-paths [K] | \
-eco resize INST [STEPS] | eco scale-net NET PCT | dump | stats | shutdown> \
+eco resize INST [STEPS] | eco scale-net NET PCT | dump | stats | metrics | shutdown> \
 [key=value...]";
 
 /// `hummingbird serve`: bind, announce, block until `shutdown`.
@@ -69,6 +71,9 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     let library = load_library(library.as_deref())?;
 
     if stdio {
+        // The TCP server arms in `run`; the stdio daemon arms here so
+        // `query metrics` histograms carry data in both modes.
+        hb_obs::arm();
         let stdin = std::io::stdin();
         serve_stream(library, stdin.lock(), out)
             .map_err(|e| CliError::io(format!("serve --stdio: {e}")))?;
@@ -144,7 +149,9 @@ fn build_request(cmd: &str, rest: &[&str]) -> Result<Frame, CliError> {
             .ok_or_else(|| CliError::usage(format!("query {cmd} needs {what}\n{QUERY_USAGE}")))
     };
     let (mut frame, used) = match cmd {
-        "hello" | "analyze" | "constraints" | "dump" | "stats" | "shutdown" => (Frame::new(cmd), 0),
+        "hello" | "analyze" | "constraints" | "dump" | "stats" | "metrics" | "shutdown" => {
+            (Frame::new(cmd), 0)
+        }
         "load" => {
             let path = need("a design file", rest.first())?;
             let text = std::fs::read_to_string(&path)

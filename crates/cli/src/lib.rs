@@ -19,6 +19,9 @@
 //!   --require PORT=TIME       output required offset, same reference
 //!   --edge-triggered          use the McWilliams-style latch baseline
 //!   --min-delays              also check supplementary (hold) constraints
+//!   --profile                 arm timing instrumentation and print a
+//!                             phase breakdown (parse / shard build /
+//!                             sweep passes / report) after analyze
 //!   --paths N                 print at most N slow paths (default 5)
 //!   --scales LIST             sweep: comma-separated clock-scale percents
 //!   --library FILE            liberty-lite cell library (default: built-in sc89)
@@ -137,6 +140,7 @@ struct Options {
     requireds: Vec<(String, Time)>,
     edge_triggered: bool,
     min_delays: bool,
+    profile: bool,
     max_paths: usize,
     scales: Vec<u32>,
     library: Option<String>,
@@ -169,6 +173,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
         requireds: Vec::new(),
         edge_triggered: false,
         min_delays: false,
+        profile: false,
         max_paths: 5,
         scales: vec![50, 75, 100, 150, 200],
         library: None,
@@ -204,6 +209,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
             }
             "--edge-triggered" => opts.edge_triggered = true,
             "--min-delays" => opts.min_delays = true,
+            "--profile" => opts.profile = true,
             "--paths" => {
                 opts.max_paths = value("--paths")?
                     .parse()
@@ -246,10 +252,12 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
 const USAGE: &str =
     "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
-[--edge-triggered] [--min-delays] [--paths N] [--threads N] [--scales 50,100,150] \
-[--library LIB.txt] [-o OUT.hum]
+[--edge-triggered] [--min-delays] [--profile] [--paths N] [--threads N] \
+[--scales 50,100,150] [--library LIB.txt] [-o OUT.hum]
   --threads N   worker threads for the slack engine's per-cluster sweeps
-                (0 = all available cores; results are identical at any count)";
+                (0 = all available cores; results are identical at any count)
+  --profile     arm timing instrumentation and print a phase breakdown
+                (parse / shard build / sweep passes / report) after analyze";
 
 fn load_library(path: Option<&str>) -> Result<Library, CliError> {
     match path {
@@ -360,8 +368,15 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         _ => {}
     }
     let opts = parse_args(args)?;
+    if opts.profile {
+        // Arm before any analysis so spans read the clock; disarmed
+        // (the default) they cost one relaxed load.
+        hb_obs::arm();
+    }
     let library = load_library(opts.library.as_deref())?;
+    let parse_start = std::time::Instant::now();
     let file = load(&opts.input, &library)?;
+    let parse_seconds = parse_start.elapsed().as_secs_f64();
     let design = file.design;
     let top = design
         .top()
@@ -482,6 +497,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     } else {
         analyzer.analyze()
     };
+    let report_start = std::time::Instant::now();
     writeln!(out, "{report}").map_err(io)?;
     // Slack distribution: one bar per nanosecond bucket.
     writeln!(out, "terminal slack distribution:").map_err(io)?;
@@ -521,6 +537,35 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         for (net, n) in module.nets() {
             if let (Some(r), Some(q)) = (constraints.ready_at(net), constraints.required_at(net)) {
                 writeln!(out, "  {:<24} {} / {}", n.name(), r, q).map_err(io)?;
+            }
+        }
+    }
+    if opts.profile {
+        let report_seconds = report_start.elapsed().as_secs_f64();
+        writeln!(out, "profile (wall seconds):").map_err(io)?;
+        writeln!(out, "  parse        {parse_seconds:>10.6}").map_err(io)?;
+        writeln!(out, "  shard build  {:>10.6}", report.prep_seconds()).map_err(io)?;
+        writeln!(out, "  sweep passes {:>10.6}", report.analysis_seconds()).map_err(io)?;
+        writeln!(out, "  report       {report_seconds:>10.6}").map_err(io)?;
+        // Per-pass sweep-item latency, from the armed engine histograms
+        // (registration is idempotent, so this reads the same series
+        // the engine recorded into).
+        for pass in 0..analyzer.pass_starts().len() {
+            let h = hb_obs::global().histogram_with(
+                "hb_engine_sweep_nanoseconds",
+                "duration of one (cluster, pass) sweep item, by global pass",
+                &[("pass", &pass.to_string())],
+            );
+            if h.count() > 0 {
+                writeln!(
+                    out,
+                    "  pass {pass}: {} sweeps, p50 {} ns, p95 {} ns, max {} ns",
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.max()
+                )
+                .map_err(io)?;
             }
         }
     }

@@ -9,7 +9,7 @@ use hb_netlist::{Design, ModuleId};
 use hb_sta::paths::critical_path;
 use hb_units::{Time, Transition};
 
-use crate::algorithms::{algorithm1, algorithm2};
+use crate::algorithms::{algorithm1, algorithm2, Algorithm1Stats, Algorithm2Stats};
 use crate::analysis::{prepare, PrepStats, Prepared, SlackView};
 use crate::engine::SlackCache;
 use crate::error::AnalyzeError;
@@ -22,6 +22,35 @@ use crate::sync::Replica;
 
 /// At most this many slow paths are traced and reported.
 const MAX_SLOW_PATHS: usize = 50;
+
+/// Tallies one analysis run into the process-global registry: run
+/// counts per kind and slack-transfer cycle counts per iteration.
+/// Purely observational — the report keeps its own authoritative copy.
+fn record_analysis_obs(kind: &str, alg1: Algorithm1Stats, alg2: Option<Algorithm2Stats>) {
+    let g = hb_obs::global();
+    g.counter_with(
+        "hb_analyses_total",
+        "analysis runs completed",
+        &[("kind", kind)],
+    )
+    .inc();
+    let cycles = |iteration: &str, n: usize| {
+        g.counter_with(
+            "hb_alg_cycles_total",
+            "slack-transfer cycles performed, by algorithm iteration",
+            &[("iteration", iteration)],
+        )
+        .add(n as u64);
+    };
+    cycles("forward", alg1.forward_cycles);
+    cycles("backward", alg1.backward_cycles);
+    cycles("partial_forward", alg1.partial_forward_cycles);
+    cycles("partial_backward", alg1.partial_backward_cycles);
+    if let Some(alg2) = alg2 {
+        cycles("backward_snatch", alg2.backward_snatch_cycles);
+        cycles("forward_snatch", alg2.forward_snatch_cycles);
+    }
+}
 
 /// A prepared system-level timing analysis.
 ///
@@ -150,6 +179,7 @@ impl<'a> Analyzer<'a> {
         report.min_delay_violations = min_delay;
         report.prep_seconds = self.prep_seconds;
         report.analysis_seconds = start.elapsed().as_secs_f64();
+        record_analysis_obs("analyze", alg1, None);
         report
     }
 
@@ -184,6 +214,7 @@ impl<'a> Analyzer<'a> {
         report.min_delay_violations = min_delay;
         report.prep_seconds = self.prep_seconds;
         report.analysis_seconds = start.elapsed().as_secs_f64();
+        record_analysis_obs("constraints", alg1, Some(alg2));
         report
     }
 

@@ -25,10 +25,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use hb_clock::{EdgeId, Timeline};
 use hb_netlist::NetId;
+use hb_obs::{Counter, Histogram};
 use hb_sta::{ShardedGraph, TimingGraph};
 use hb_units::{RiseFall, Time};
 
@@ -96,6 +97,37 @@ pub(crate) struct ItemTables {
 pub(crate) struct Engine {
     pub sharded: ShardedGraph,
     pub items: Vec<WorkItem>,
+}
+
+/// Process-global engine metrics, resolved once. The engine is too
+/// deep to thread a registry handle into, so its counters live in
+/// [`hb_obs::global()`]; they mirror the per-cache [`EngineStats`]
+/// counters, which stay authoritative for reports.
+struct EngineObs {
+    scheduled: Counter,
+    reused: Counter,
+    evaluate: Histogram,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static OBS: OnceLock<EngineObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = hb_obs::global();
+        EngineObs {
+            scheduled: g.counter(
+                "hb_engine_items_scheduled_total",
+                "(cluster, pass) evaluations requested of the sweep engine",
+            ),
+            reused: g.counter(
+                "hb_engine_items_reused_total",
+                "evaluations answered from the incremental slack cache",
+            ),
+            evaluate: g.histogram(
+                "hb_engine_evaluate_nanoseconds",
+                "wall time of one full engine evaluation (all items, all workers)",
+            ),
+        }
+    })
 }
 
 fn pos_assert(timeline: &Timeline, start: Time, edge: EdgeId) -> Time {
@@ -240,6 +272,18 @@ impl Engine {
         sig
     }
 
+    /// [`Engine::compute_item`] under an optional per-pass span timer.
+    /// Timing is observational only — the sweep result is untouched.
+    fn timed_item(
+        &self,
+        item: &WorkItem,
+        replicas: &[Replica],
+        hists: Option<&HashMap<usize, Histogram>>,
+    ) -> ItemTables {
+        let _span = hists.map(|h| h[&item.pass].span());
+        self.compute_item(item, replicas)
+    }
+
     /// Seeds and sweeps one item. Mirrors the reference engine's
     /// per-pass seeding and the dense sweeps operation for operation.
     pub fn compute_item(&self, item: &WorkItem, replicas: &[Replica]) -> ItemTables {
@@ -287,6 +331,8 @@ impl Engine {
         if hb_fault::global_fires(hb_fault::ENGINE_SWEEP_PANIC) {
             panic!("injected fault: {}", hb_fault::ENGINE_SWEEP_PANIC);
         }
+        let obs = engine_obs();
+        let _eval_span = obs.evaluate.span();
         let n = self.items.len();
         let mut sigs: Vec<Vec<Time>> = Vec::with_capacity(n);
         let mut tables: Vec<Option<Arc<ItemTables>>> = vec![None; n];
@@ -305,11 +351,36 @@ impl Engine {
         }
         cache.scheduled += n as u64;
         cache.reused += (n - todo.len()) as u64;
+        obs.scheduled.add(n as u64);
+        obs.reused.add((n - todo.len()) as u64);
+
+        // Per-pass sweep histograms, resolved outside the hot loops and
+        // only when the process is armed: the disarmed path never
+        // touches the registry or the clock per item.
+        let pass_hists: Option<HashMap<usize, Histogram>> = hb_obs::armed().then(|| {
+            let mut hists: HashMap<usize, Histogram> = HashMap::new();
+            for &i in &todo {
+                let p = self.items[i].pass;
+                hists.entry(p).or_insert_with(|| {
+                    hb_obs::global().histogram_with(
+                        "hb_engine_sweep_nanoseconds",
+                        "duration of one (cluster, pass) sweep item, by global pass",
+                        &[("pass", &p.to_string())],
+                    )
+                });
+            }
+            hists
+        });
+        let pass_hists = pass_hists.as_ref();
 
         let threads = threads.min(todo.len()).max(1);
         if threads <= 1 {
             for &i in &todo {
-                tables[i] = Some(Arc::new(self.compute_item(&self.items[i], replicas)));
+                tables[i] = Some(Arc::new(self.timed_item(
+                    &self.items[i],
+                    replicas,
+                    pass_hists,
+                )));
             }
         } else {
             let next = AtomicUsize::new(0);
@@ -326,7 +397,10 @@ impl Engine {
                                     break;
                                 }
                                 let i = todo[t];
-                                out.push((i, self.compute_item(&self.items[i], replicas)));
+                                out.push((
+                                    i,
+                                    self.timed_item(&self.items[i], replicas, pass_hists),
+                                ));
                             }
                             out
                         })

@@ -253,6 +253,13 @@ impl FaultPlan {
         };
         if fire {
             state.fired += 1;
+            hb_obs::global()
+                .counter_with(
+                    "hb_fault_fired_total",
+                    "injected fault-point firings, by point",
+                    &[("point", point)],
+                )
+                .inc();
         }
         fire
     }

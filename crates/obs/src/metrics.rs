@@ -1,0 +1,309 @@
+//! The metric primitives: atomic counters, gauges with peak tracking,
+//! fixed-bucket power-of-two histograms, and span timers.
+//!
+//! Every handle is a cheap [`Arc`] clone over shared atomics, so a hot
+//! path resolves its handles once (at construction, or through a
+//! `OnceLock`) and then updates without taking any lock. Updates use
+//! `Relaxed` ordering: metrics are monotone tallies read for human
+//! consumption, not synchronisation edges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of histogram buckets. Bucket `i` counts recorded values `v`
+/// with `bit_width(v) == i`, i.e. `2^(i-1) <= v < 2^i` (bucket 0 holds
+/// exactly `v == 0`), so 64 buckets cover the whole `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event tally.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter starting at zero. Registry users get
+    /// handles from [`Registry`](crate::Registry) instead, so the
+    /// value is visible in the exposition.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current tally.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct GaugeInner {
+    value: AtomicI64,
+    peak: AtomicI64,
+}
+
+/// A value that can go up and down, remembering its all-time peak
+/// (live connections, journal length, resident designs).
+#[derive(Clone)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge(Arc::new(GaugeInner {
+            value: AtomicI64::new(0),
+            peak: AtomicI64::new(0),
+        }))
+    }
+}
+
+impl Gauge {
+    /// A free-standing gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`, updating the peak.
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative), updating the peak.
+    pub fn add(&self, d: i64) {
+        let now = self.0.value.fetch_add(d, Ordering::Relaxed) + d;
+        self.0.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.add(-d);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest value ever set or reached.
+    pub fn peak(&self) -> i64 {
+        self.0.peak.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket power-of-two histogram of `u64` samples (typically
+/// durations in nanoseconds).
+///
+/// Recording is three relaxed atomic operations — bucket increment,
+/// sum add, max update — with no allocation and no lock, so it is safe
+/// on the hottest path. Quantile readout walks the 65 buckets and
+/// returns the upper bound of the bucket where the cumulative count
+/// crosses the rank: exact to within a factor of two, which is all a
+/// latency summary needs.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The bucket index of `v`: its bit width (0 for 0).
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (`2^i - 1`; `u64::MAX` for
+/// the last bucket).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A free-standing, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Starts a span over this histogram: the elapsed time is recorded
+    /// when the span is dropped (or stopped). When the process is
+    /// [disarmed](crate::armed), the span is inert and never reads the
+    /// clock.
+    pub fn span(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: crate::armed().then(Instant::now),
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the
+    /// bucket where the cumulative count crosses the rank; 0 when
+    /// empty. `quantile(1.0)` is clamped to the exact recorded max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A timer over one histogram; see [`Histogram::span`]. Records on
+/// drop so early returns and panics are still measured.
+pub struct Span {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Stops the span now and returns the elapsed time it recorded
+    /// (`None` when the process was disarmed at span start).
+    pub fn stop(mut self) -> Option<Duration> {
+        let elapsed = self.start.take().map(|s| s.elapsed());
+        if let Some(d) = elapsed {
+            self.hist.record_duration(d);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6, "clones share the tally");
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(5);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.peak(), 8);
+        g.set(1);
+        assert_eq!(g.peak(), 8, "peak survives a lower set");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram reads zero");
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 101_106);
+        assert_eq!(h.max(), 100_000);
+        // p50 falls in the bucket holding 3 (2..4): bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p100 is clamped to the exact max, not the bucket bound.
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert!(h.quantile(0.95) >= 1000);
+    }
+
+    #[test]
+    fn span_records_only_when_armed() {
+        let h = Histogram::new();
+        crate::disarm();
+        assert!(h.span().stop().is_none());
+        assert_eq!(h.count(), 0);
+        crate::arm();
+        assert!(h.span().stop().is_some());
+        {
+            let _span = h.span(); // records via drop
+        }
+        assert_eq!(h.count(), 2);
+        crate::disarm();
+    }
+}

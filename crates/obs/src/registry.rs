@@ -1,0 +1,351 @@
+//! The metric registry and its Prometheus-style text exposition.
+//!
+//! A [`Registry`] is a named collection of metrics. Registration takes
+//! a mutex once per `(name, labels)` pair and hands back an atomic
+//! handle; every subsequent update through that handle is lock-free.
+//! Registration is idempotent — asking again for the same name and
+//! labels returns a handle to the same underlying atomics — so call
+//! sites do not need to coordinate who registers first.
+//!
+//! Rendering is deterministic: metrics sort by name, then by label
+//! values, so two snapshots of identical counters are byte-identical
+//! and the exposition can be diffed.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::metrics::{bucket_bound, Counter, Gauge, Histogram};
+
+/// What a registered metric is, for exposition typing.
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Entry {
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A metric's identity: its name plus its sorted label pairs.
+type Key = (&'static str, Vec<(String, String)>);
+
+/// A named collection of metrics with deterministic exposition.
+///
+/// Most code uses the process-wide [`global()`](crate::global)
+/// registry; subsystems that need isolated counters (one per server
+/// session, say) own their own instance and render both.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<Key, Entry>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter `name` with no labels, registering it on first use.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// The counter `name` with the given labels, registering it on
+    /// first use. Label order does not matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already registered as a different metric
+    /// type — one name, one type, as the exposition format requires.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        let key = (name, sorted_labels(labels));
+        let mut entries = lock(&self.entries);
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Counter(Counter::new()),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is already registered with another type"),
+        }
+    }
+
+    /// The gauge `name` with no labels, registering it on first use.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// The gauge `name` with the given labels, registering it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type conflict, as for [`Registry::counter_with`].
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        let key = (name, sorted_labels(labels));
+        let mut entries = lock(&self.entries);
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Gauge(Gauge::new()),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is already registered with another type"),
+        }
+    }
+
+    /// The histogram `name` with no labels, registering it on first
+    /// use.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// The histogram `name` with the given labels, registering it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a type conflict, as for [`Registry::counter_with`].
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let key = (name, sorted_labels(labels));
+        let mut entries = lock(&self.entries);
+        let entry = entries.entry(key).or_insert_with(|| Entry {
+            help,
+            metric: Metric::Histogram(Histogram::new()),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is already registered with another type"),
+        }
+    }
+
+    /// Renders every registered metric as Prometheus-style text
+    /// exposition: `# HELP` / `# TYPE` headers per name, then one
+    /// `name{labels} value` sample line per series. Histograms render
+    /// cumulative `_bucket{le="..."}` lines over their non-empty
+    /// power-of-two buckets plus `_sum` and `_count`. Output is
+    /// deterministic (sorted by name, then labels).
+    pub fn render(&self) -> String {
+        let entries = lock(&self.entries);
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), entry) in entries.iter() {
+            if last_name != Some(name) {
+                let kind = match entry.metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
+                    Metric::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# HELP {name} {}", entry.help);
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_name = Some(name);
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name}{} {}", render_labels(labels, &[]), g.get());
+                    let _ = writeln!(
+                        out,
+                        "{name}{} {}",
+                        render_labels(labels, &[("watermark", "peak")]),
+                        g.peak()
+                    );
+                }
+                Metric::Histogram(h) => {
+                    let buckets = h.buckets();
+                    let mut cumulative = 0u64;
+                    for (i, &n) in buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        let le = bucket_bound(i).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cumulative}",
+                            render_labels(labels, &[("le", &le)])
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        render_labels(labels, &[("le", "+Inf")])
+                    );
+                    let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels, &[]), h.sum());
+                    let _ = writeln!(
+                        out,
+                        "{name}_count{} {cumulative}",
+                        render_labels(labels, &[])
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",...}` with `extra` pairs appended, or the empty string for
+/// no labels at all.
+fn render_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Validates that `text` is well-formed exposition as produced by
+/// [`Registry::render`] and returns the parsed `(series, value)`
+/// samples, where `series` is the full name-plus-labels string.
+/// Used by tests and the CI metrics smoke to assert the daemon's
+/// `metrics` verb emits something a scraper could ingest.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        let labels = &series[name_end..];
+        if !labels.is_empty() && (!labels.starts_with('{') || !labels.ends_with('}')) {
+            return Err(format!("line {}: bad label block {labels:?}", lineno + 1));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value:?}", lineno + 1))?;
+        samples.push((series.to_owned(), value));
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter_with("req_total", "requests", &[("verb", "slack")]);
+        let b = r.counter_with("req_total", "requests", &[("verb", "slack")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same series, same atomics");
+        let other = r.counter_with("req_total", "requests", &[("verb", "eco")]);
+        assert_eq!(other.get(), 0, "different labels, different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_conflicts_are_refused() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "");
+        let _ = r.gauge("thing", "");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_parses() {
+        let r = Registry::new();
+        r.counter_with("hb_requests_total", "served", &[("verb", "slack")])
+            .add(41);
+        r.counter_with("hb_requests_total", "served", &[("verb", "eco")])
+            .inc();
+        r.gauge("hb_conns", "live connections").add(3);
+        let h = r.histogram("hb_wait_nanoseconds", "lock wait");
+        h.record(5);
+        h.record(900);
+
+        let text = r.render();
+        assert_eq!(text, r.render(), "rendering is stable");
+        assert!(text.contains("# TYPE hb_requests_total counter"));
+        assert!(text.contains("hb_requests_total{verb=\"eco\"} 1"));
+        assert!(text.contains("hb_requests_total{verb=\"slack\"} 41"));
+        assert!(text.contains("hb_conns{watermark=\"peak\"} 3"));
+        assert!(text.contains("hb_wait_nanoseconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("hb_wait_nanoseconds_sum 905"));
+
+        let samples = parse_exposition(&text).expect("well-formed");
+        let total: f64 = samples
+            .iter()
+            .filter(|(s, _)| s.starts_with("hb_requests_total"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(total, 42.0);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("1bad_name 3\n").is_err());
+        assert!(parse_exposition("name{unclosed 3\n").is_err());
+        assert!(parse_exposition("name NaNopes\n").is_err());
+        assert!(parse_exposition("# comment only\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Byte-counting stream adapters: wrap a transport's read/write halves
+//! so wire traffic lands in registry counters without the codec layer
+//! knowing anything about metrics.
+
+use std::io::{self, Read, Write};
+
+use crate::metrics::Counter;
+
+/// Counts every byte successfully read from the inner reader.
+pub struct CountingReader<R> {
+    inner: R,
+    bytes: Counter,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Wraps `inner`, adding read byte counts onto `bytes`.
+    pub fn new(inner: R, bytes: Counter) -> CountingReader<R> {
+        CountingReader { inner, bytes }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
+    }
+}
+
+/// Counts every byte successfully written to the inner writer.
+pub struct CountingWriter<W> {
+    inner: W,
+    bytes: Counter,
+}
+
+impl<W: Write> CountingWriter<W> {
+    /// Wraps `inner`, adding written byte counts onto `bytes`.
+    pub fn new(inner: W, bytes: Counter) -> CountingWriter<W> {
+        CountingWriter { inner, bytes }
+    }
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.bytes.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_tallied() {
+        let bytes_in = Counter::new();
+        let mut r = CountingReader::new(&b"hello world"[..], bytes_in.clone());
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(bytes_in.get(), 11);
+
+        let bytes_out = Counter::new();
+        let mut sink = Vec::new();
+        let mut w = CountingWriter::new(&mut sink, bytes_out.clone());
+        w.write_all(b"reply").unwrap();
+        w.flush().unwrap();
+        assert_eq!(bytes_out.get(), 5);
+        assert_eq!(sink, b"reply");
+    }
+}

@@ -132,7 +132,9 @@ impl Journal {
         let mut cache = cache;
         for (i, entry) in self.entries.iter().enumerate() {
             let req = &entry.req;
-            let reply = catch_unwind(AssertUnwindSafe(|| session.handle(req)))
+            // `handle_replay` skips request counting: a recovery must
+            // not inflate the request history it is restoring.
+            let reply = catch_unwind(AssertUnwindSafe(|| session.handle_replay(req)))
                 .map_err(|_| format!("journal entry {i} (`{}`) panicked on replay", req.verb))?;
             if reply.verb != entry.expect {
                 return Err(format!(
@@ -220,12 +222,17 @@ pub(crate) fn recover(
 ) -> Result<usize, String> {
     let cache = session.take_cache();
     let faults = session.faults().clone();
+    let metrics = session.metrics();
+    metrics.recoveries.inc();
     let (rebuilt, outcome) = match journal.replay(library.clone(), cache) {
         Ok(rebuilt) => (rebuilt, Ok(journal.len())),
         Err(e) => (Session::new(library.clone()), Err(e)),
     };
     *session = rebuilt;
     session.set_faults(faults);
+    // Counter history survives the rebuild: the transport's handle and
+    // the session's must stay the same atomics.
+    session.set_metrics(metrics);
     outcome
 }
 

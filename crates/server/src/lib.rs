@@ -14,7 +14,7 @@
 //! * [`Session`] — transport-agnostic request handling over one loaded
 //!   design ([`Frame`](hb_io::Frame) in, frame out): `load`,
 //!   `analyze`, `slack`, `worst-paths`, `constraints`, `eco`, `dump`,
-//!   `stats`, `shutdown`;
+//!   `stats`, `metrics`, `shutdown`;
 //! * [`Server`] — a thread-per-connection TCP daemon sharing one
 //!   session behind an `RwLock` with per-request lock deadlines,
 //!   socket frame/idle deadlines, overload shedding, and
@@ -53,10 +53,12 @@
 //! ```
 
 mod journal;
+mod metrics;
 mod net;
 mod session;
 
 pub use journal::Journal;
+pub use metrics::Metrics;
 pub use net::{serve_stream, Client, Server, ServerOptions};
 pub use session::{
     directives_from_spec, spec_from_directives, Session, MAX_LOAD_BYTES, MAX_WORST_PATHS,

@@ -45,8 +45,11 @@ use std::time::{Duration, Instant};
 use hb_cells::Library;
 use hb_fault::{FaultPlan, FaultStream};
 use hb_io::{write_frame, Frame, FrameReader, ProtoError};
+use hb_obs::{CountingReader, CountingWriter};
+use hb_rng::SmallRng;
 
 use crate::journal::{self, Journal};
+use crate::metrics::Metrics;
 use crate::session::Session;
 
 /// Transport tuning. The defaults suit an interactive daemon; tests
@@ -108,6 +111,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 struct Shared {
     session: RwLock<Session>,
+    /// The session's metrics instance, shared so the transport can
+    /// record lock-wait/handle latency, wire bytes and connection
+    /// churn without taking the session lock.
+    metrics: Arc<Metrics>,
     /// Write-ahead journal backing panic recovery; locked only while
     /// the session write lock is already held (or being recovered), so
     /// the two never deadlock.
@@ -136,6 +143,7 @@ struct ConnGuard<'a> {
 impl Drop for ConnGuard<'_> {
     fn drop(&mut self) {
         self.shared.active.fetch_sub(1, Ordering::AcqRel);
+        self.shared.metrics.conns.sub(1);
         lock(&self.shared.conns).retain(|(id, _)| *id != self.id);
     }
 }
@@ -161,10 +169,12 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let session = Session::with_faults(library.clone(), options.faults.clone());
+        let metrics = session.metrics();
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 session: RwLock::new(session),
+                metrics,
                 journal: Mutex::new(Journal::new()),
                 library,
                 shutdown: AtomicBool::new(false),
@@ -194,6 +204,10 @@ impl Server {
     /// Propagates listener failures; per-connection errors only close
     /// that connection.
     pub fn run(self) -> io::Result<()> {
+        // A resident daemon always times its requests: the histograms
+        // are the point of running one, and the parity suite plus the
+        // perf harness bound the cost.
+        hb_obs::arm();
         let addr = self.listener.local_addr()?;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         let mut next_id: u64 = 0;
@@ -203,10 +217,12 @@ impl Server {
             }
             let Ok(stream) = stream else { continue };
             if self.shared.active.load(Ordering::Acquire) >= self.shared.options.max_connections {
+                self.shared.metrics.shed.inc();
                 shed(stream, &self.shared.options);
                 continue;
             }
             self.shared.active.fetch_add(1, Ordering::AcqRel);
+            self.shared.metrics.conns.add(1);
             let id = next_id;
             next_id += 1;
             let shared = Arc::clone(&self.shared);
@@ -252,17 +268,21 @@ fn serve_connection(stream: TcpStream, shared: &Shared, addr: SocketAddr, id: u6
     if let Ok(clone) = stream.try_clone() {
         lock(&shared.conns).push((id, clone));
     }
-    // Both halves run under the server's fault plan; with the default
-    // disarmed plan the wrappers are transparent.
+    // Both halves run under the server's fault plan (with the default
+    // disarmed plan the wrappers are transparent) and count their wire
+    // bytes into the daemon's metrics.
     let faults = shared.options.faults.clone();
-    let mut requests = FrameReader::new(BufReader::new(FaultStream::reader(
-        read_half,
-        faults.clone(),
+    let mut requests = FrameReader::new(BufReader::new(CountingReader::new(
+        FaultStream::reader(read_half, faults.clone()),
+        shared.metrics.bytes_in.clone(),
     )));
     // Enforced inside the decoder too, so a drip arriving faster than
     // the poll grain cannot dodge the deadline.
     requests.set_frame_timeout(Some(shared.options.frame_deadline));
-    let mut replies = BufWriter::new(FaultStream::new(io::empty(), &stream, faults));
+    let mut replies = BufWriter::new(CountingWriter::new(
+        FaultStream::new(io::empty(), &stream, faults),
+        shared.metrics.bytes_out.clone(),
+    ));
     serve_requests(&mut requests, &mut replies, shared, addr);
     drop(replies);
     let _ = stream.shutdown(Shutdown::Both);
@@ -350,6 +370,11 @@ fn serve_requests<R: io::BufRead>(
 /// reclaimed, cleared and recovered — never surfaced to the client.
 fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     let deadline = Instant::now() + shared.options.lock_deadline;
+    // The latency split: lock-wait runs from here until whichever lock
+    // actually serves the request is held (a `busy` reply records the
+    // full deadline it burned); the session records handle time itself.
+    // The span is inert unless the process is armed.
+    let mut lock_wait = Some(shared.metrics.lock_wait_span(&req.verb));
     let busy = || {
         Frame::new("error")
             .arg("code", "busy")
@@ -359,13 +384,16 @@ fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     loop {
         match shared.session.try_read() {
             Ok(session) => {
-                match catch_unwind(AssertUnwindSafe(|| session.handle_readonly(req))) {
-                    Ok(Some(reply)) => return reply,
-                    // Needs the write path; a read-path panic also
-                    // falls through — the write path re-runs the
-                    // request with recovery armed.
-                    Ok(None) | Err(_) => break,
+                // `Ok(None)` needs the write path; a read-path panic
+                // (`Err`) also falls through — the write path re-runs
+                // the request with recovery armed.
+                if let Ok(Some(reply)) =
+                    catch_unwind(AssertUnwindSafe(|| session.handle_readonly(req)))
+                {
+                    drop(lock_wait.take());
+                    return reply;
                 }
+                break;
             }
             // Never serve suspect state read-only; the write path
             // below recovers it first.
@@ -381,6 +409,7 @@ fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     loop {
         match shared.session.try_write() {
             Ok(mut session) => {
+                drop(lock_wait.take());
                 if session.faults().fires(hb_fault::NET_UNWIND_ESCAPE) {
                     // Deliberately unguarded: the chaos suite uses this
                     // to let an injected panic escape and genuinely
@@ -399,6 +428,7 @@ fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
                 // A panic escaped a previous writer. Claim the guard
                 // anyway, clear the poison, rebuild the session from
                 // the journal, then serve this request normally.
+                drop(lock_wait.take());
                 let mut session = e.into_inner();
                 shared.session.clear_poison();
                 let mut journal = lock(&shared.journal);
@@ -513,10 +543,16 @@ impl Client {
 
     /// One request with overload-aware retry: reconnects per attempt,
     /// honours the server's `retry_after_ms` hint on `busy` replies,
-    /// and backs off exponentially (50 ms doubling, capped at 2 s) on
-    /// connect or transport failures. Returns the first conclusive
+    /// and backs off with seeded decorrelated jitter (see [`Backoff`])
+    /// on connect or transport failures. Returns the first conclusive
     /// reply; the last attempt's outcome — even `busy` — is returned
     /// as-is.
+    ///
+    /// The jitter seed is drawn from the clock and the process id, so
+    /// a fleet of clients shed with the same `retry_after_ms` hint
+    /// desynchronises instead of stampeding back in lockstep. Use
+    /// [`Client::request_with_backoff_seeded`] when a test needs the
+    /// retry schedule to be reproducible.
     ///
     /// # Errors
     ///
@@ -526,8 +562,28 @@ impl Client {
         frame: &Frame,
         attempts: u32,
     ) -> Result<Frame, ProtoError> {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let seed = clock ^ (u64::from(std::process::id()) << 32);
+        Client::request_with_backoff_seeded(addr, frame, attempts, seed)
+    }
+
+    /// [`Client::request_with_backoff`] with an explicit jitter seed.
+    /// Two clients with different seeds retry on diverging schedules;
+    /// the same seed reproduces the schedule exactly.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's transport error, when every attempt failed.
+    pub fn request_with_backoff_seeded(
+        addr: impl ToSocketAddrs + Clone,
+        frame: &Frame,
+        attempts: u32,
+        seed: u64,
+    ) -> Result<Frame, ProtoError> {
         let attempts = attempts.max(1);
-        let mut backoff = Duration::from_millis(50);
+        let mut backoff = Backoff::new(seed);
         for attempt in 1..=attempts {
             let last = attempt == attempts;
             let outcome = Client::connect(addr.clone())
@@ -537,20 +593,102 @@ impl Client {
                 Ok(reply)
                     if !last && reply.verb == "error" && reply.get("code") == Some("busy") =>
                 {
-                    let wait = reply
+                    let hint = reply
                         .get("retry_after_ms")
                         .and_then(|v| v.parse::<u64>().ok())
-                        .map(Duration::from_millis)
-                        .unwrap_or(backoff)
-                        .max(backoff);
-                    thread::sleep(wait);
+                        .map(Duration::from_millis);
+                    thread::sleep(backoff.next_wait(hint));
                 }
                 Ok(reply) => return Ok(reply),
                 Err(e) if last => return Err(e),
-                Err(_) => thread::sleep(backoff),
+                Err(_) => thread::sleep(backoff.next_wait(None)),
             }
-            backoff = (backoff * 2).min(Duration::from_secs(2));
         }
         unreachable!("the final attempt returns")
+    }
+}
+
+/// Decorrelated-jitter retry delays.
+///
+/// The old schedule — 50 ms doubling, capped at 2 s — was fully
+/// deterministic, so every client shed with the same `retry_after_ms`
+/// hint slept the same delay and stampeded back into the same accept
+/// queue together, re-shedding each other indefinitely. Each wait here
+/// is instead drawn uniformly from `[base, 3 × previous]` (clamped to
+/// `[base, cap]`, the "decorrelated jitter" scheme): the expected wait
+/// still grows geometrically under repeated failure, but two clients
+/// with different seeds spread out instead of colliding. A server
+/// `retry_after_ms` hint acts as a floor for that wait, never a fixed
+/// value every client obeys identically.
+struct Backoff {
+    rng: SmallRng,
+    prev: Duration,
+    base: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        let base = Duration::from_millis(50);
+        Backoff {
+            rng: SmallRng::seed_from_u64(seed),
+            prev: base,
+            base,
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// The next wait: jittered off the previous one, floored by the
+    /// server's retry hint when present.
+    fn next_wait(&mut self, hint: Option<Duration>) -> Duration {
+        let lo = self.base.as_millis() as usize;
+        let hi = (self.prev.as_millis() as usize)
+            .saturating_mul(3)
+            .clamp(lo + 1, self.cap.as_millis() as usize);
+        self.prev = Duration::from_millis(self.rng.gen_range(lo..hi) as u64);
+        self.prev.max(hint.unwrap_or(Duration::ZERO)).min(self.cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_jitter_desynchronises_seeds() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(seed);
+            (0..8)
+                .map(|_| b.next_wait(Some(Duration::from_millis(100))))
+                .collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "same seed, same schedule");
+        assert_ne!(
+            schedule(1),
+            schedule(2),
+            "different seeds must diverge or shed clients stampede together"
+        );
+        for wait in schedule(7) {
+            assert!(wait >= Duration::from_millis(100), "hint is a floor");
+            assert!(wait <= Duration::from_secs(2), "cap bounds every wait");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_toward_the_cap() {
+        let mut b = Backoff::new(42);
+        let first = b.next_wait(None);
+        assert!(first >= Duration::from_millis(50));
+        // Drive it hard: the jittered walk must stay within [base, cap]
+        // forever and reach beyond the first step's range eventually.
+        let mut seen_growth = false;
+        for _ in 0..200 {
+            let w = b.next_wait(None);
+            assert!((Duration::from_millis(50)..=Duration::from_secs(2)).contains(&w));
+            if w > Duration::from_millis(150) {
+                seen_growth = true;
+            }
+        }
+        assert!(seen_growth, "expected waits beyond 3x base over 200 draws");
     }
 }

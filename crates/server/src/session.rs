@@ -7,6 +7,7 @@
 //! request can observe lives here; the transport layer only adds
 //! locking and deadlines.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use hb_cells::Library;
@@ -20,6 +21,8 @@ use hummingbird::{
     AnalysisOptions, Analyzer, EdgeSpec, EngineKind, LatchModel, SlackCache, Spec, TerminalKind,
     TimingReport,
 };
+
+use crate::metrics::Metrics;
 
 /// Largest accepted `worst-paths` `k`. A hostile `k` beyond this is
 /// answered with `error code=limit` instead of being trusted to size
@@ -57,9 +60,14 @@ pub struct Session {
     library: Library,
     loaded: Option<Loaded>,
     started: Instant,
-    requests: u64,
     loads: u64,
     ecos: u64,
+    /// Request counters and latency histograms. Counting goes through
+    /// shared atomics so the read-lock path (`&self`) and the write
+    /// path tally into the same series — the historical `stats`
+    /// undercount (read-served requests never counted) is structurally
+    /// impossible here.
+    metrics: Arc<Metrics>,
     /// Chaos-test injection schedule; [`FaultPlan::none`] in
     /// production, where every check is a no-op.
     faults: FaultPlan,
@@ -179,9 +187,9 @@ impl Session {
             library,
             loaded: None,
             started: Instant::now(),
-            requests: 0,
             loads: 0,
             ecos: 0,
+            metrics: Arc::new(Metrics::new()),
             faults,
         }
     }
@@ -195,6 +203,18 @@ impl Session {
     /// keep honouring the transport's plan).
     pub fn set_faults(&mut self, faults: FaultPlan) {
         self.faults = faults;
+    }
+
+    /// The session's metrics instance, shared with the transport.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Replaces the metrics instance — the transport installs its own
+    /// at bind time, and recovery re-installs it into a rebuilt
+    /// session so counter history survives a journal replay.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.metrics = metrics;
     }
 
     /// A content fingerprint of everything a journal replay must
@@ -290,17 +310,27 @@ impl Session {
     /// this under a read lock so concurrent queries of a settled
     /// analysis never serialise.
     pub fn handle_readonly(&self, req: &Frame) -> Option<Frame> {
-        match req.verb.as_str() {
-            "hello" | "stats" | "shutdown" => Some(self.dispatch_readonly(req)),
-            "slack" | "worst-paths" | "dump" => {
-                let fresh = self
-                    .loaded
-                    .as_ref()
-                    .is_some_and(|l| l.analyzed == Some(l.generation));
-                fresh.then(|| self.dispatch_readonly(req))
-            }
-            _ => None,
+        let serveable = match req.verb.as_str() {
+            "hello" | "stats" | "metrics" | "shutdown" => true,
+            "slack" | "worst-paths" | "dump" => self
+                .loaded
+                .as_ref()
+                .is_some_and(|l| l.analyzed == Some(l.generation)),
+            _ => false,
+        };
+        if !serveable {
+            return None;
         }
+        // This is the fix for the historical `stats` undercount: the
+        // read path counts through the shared atomics too, so requests
+        // served under the read lock no longer vanish from `requests`.
+        self.metrics.count_read(&req.verb);
+        let _handle = self.metrics.handle_span(&req.verb);
+        let reply = self.dispatch_readonly(req);
+        if reply.verb == "error" {
+            self.metrics.error(reply.get("code").unwrap_or("unknown"));
+        }
+        Some(reply)
     }
 
     fn dispatch_readonly(&self, req: &Frame) -> Frame {
@@ -308,6 +338,9 @@ impl Session {
             "hello" => ok().arg("server", "hummingbird").arg("proto", 1),
             "shutdown" => ok().arg("draining", 1),
             "stats" => self.stats(),
+            "metrics" => ok()
+                .arg("format", "prometheus-text")
+                .with_payload(self.metrics.render_with_global()),
             "slack" => self.slack(req),
             "worst-paths" => self.worst_paths(req),
             "dump" => self.dump(),
@@ -319,9 +352,25 @@ impl Session {
     /// returns a structured reply; unknown or ill-formed requests earn
     /// an `error` frame, never a dropped connection.
     pub fn handle(&mut self, req: &Frame) -> Frame {
-        self.requests += 1;
+        self.metrics.count_write(&req.verb);
+        let _handle = self.metrics.handle_span(&req.verb);
+        let reply = self.dispatch(req);
+        if reply.verb == "error" {
+            self.metrics.error(reply.get("code").unwrap_or("unknown"));
+        }
+        reply
+    }
+
+    /// [`Session::handle`] without the request counting — journal
+    /// replay rebuilds state through this so recovery does not inflate
+    /// the request history it is restoring.
+    pub(crate) fn handle_replay(&mut self, req: &Frame) -> Frame {
+        self.dispatch(req)
+    }
+
+    fn dispatch(&mut self, req: &Frame) -> Frame {
         match req.verb.as_str() {
-            "hello" | "stats" | "shutdown" | "dump" => self.dispatch_readonly(req),
+            "hello" | "stats" | "metrics" | "shutdown" | "dump" => self.dispatch_readonly(req),
             "load" => self.load(req),
             "analyze" => self.analyze(req),
             "constraints" => self.constraints(req),
@@ -348,7 +397,10 @@ impl Session {
                 "uptime_seconds",
                 format!("{:.3}", self.started.elapsed().as_secs_f64()),
             )
-            .arg("requests", self.requests)
+            .arg("requests", self.metrics.requests_total())
+            .arg("read_requests", self.metrics.read_total())
+            .arg("write_requests", self.metrics.write_total())
+            .arg("recoveries", self.metrics.recoveries.get())
             .arg("loads", self.loads)
             .arg("ecos", self.ecos);
         if let Some(l) = &self.loaded {

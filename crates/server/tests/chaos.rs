@@ -37,6 +37,11 @@ use hb_workloads::{random_pipeline, PipelineParams};
 static CHAOS: Mutex<()> = Mutex::new(());
 
 fn serialised() -> MutexGuard<'static, ()> {
+    // The whole suite runs with metrics armed: fault paths must hold
+    // their invariants while the observability layer is live, not just
+    // in the quiet disarmed configuration. (TCP tests arm anyway via
+    // `Server::run`; this covers the Session/serve_stream tests too.)
+    hb_obs::arm();
     // A panicking chaos test must not wedge the rest of the suite.
     CHAOS.lock().unwrap_or_else(PoisonError::into_inner)
 }

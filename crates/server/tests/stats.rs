@@ -1,0 +1,111 @@
+//! `stats` accuracy: every request — read-lock-served or write-path —
+//! lands in the counters. This pins the fix for the historical
+//! undercount where queries answered under the read lock never
+//! incremented `requests`.
+
+use std::thread;
+
+use hb_cells::sc89;
+use hb_io::Frame;
+use hb_obs::parse_exposition;
+use hb_server::{Client, Server, ServerOptions};
+use hb_workloads::fsm12;
+
+fn start_server() -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", sc89(), ServerOptions::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn workload_text() -> String {
+    let lib = sc89();
+    let w = fsm12(&lib, true);
+    hb_io::write_hum_with_timing(
+        &w.design,
+        &w.clocks,
+        &hb_server::directives_from_spec(&w.spec),
+    )
+}
+
+#[test]
+fn every_request_is_counted() {
+    let (addr, server) = start_server();
+    let mut client = Client::connect(addr).unwrap();
+
+    let reply = client
+        .request(&Frame::new("load").with_payload(workload_text()))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    assert_eq!(client.request(&Frame::new("analyze")).unwrap().verb, "ok");
+
+    const READS: u64 = 5; // worst-paths on a settled analysis: read lock
+    const WRITES: u64 = 3; // analyze re-runs: write lock
+    for _ in 0..READS {
+        let reply = client
+            .request(&Frame::new("worst-paths").arg("k", 2))
+            .unwrap();
+        assert_eq!(reply.verb, "ok");
+    }
+    for _ in 0..WRITES {
+        assert_eq!(client.request(&Frame::new("analyze")).unwrap().verb, "ok");
+    }
+
+    // The ledger: load + (1 + WRITES) analyzes on the write path, READS
+    // worst-paths on the read path, plus the stats request itself —
+    // counted before it is answered, so it sees itself.
+    let stats = client.request(&Frame::new("stats")).unwrap();
+    assert_eq!(stats.verb, "ok");
+    let get = |key: &str| stats.get(key).unwrap().parse::<u64>().unwrap();
+    assert_eq!(get("read_requests"), READS + 1);
+    assert_eq!(get("write_requests"), 2 + WRITES);
+    assert_eq!(
+        get("requests"),
+        get("read_requests") + get("write_requests")
+    );
+
+    // The exposition parses and agrees with `stats` per verb.
+    let reply = client.request(&Frame::new("metrics")).unwrap();
+    assert_eq!(reply.verb, "ok");
+    assert_eq!(reply.get("format"), Some("prometheus-text"));
+    let samples = parse_exposition(reply.payload.as_deref().unwrap()).unwrap();
+    let sample = |series: &str| {
+        samples
+            .iter()
+            .find(|(name, _)| name == series)
+            .map(|(_, value)| *value)
+    };
+    assert_eq!(
+        sample(r#"hb_requests_total{path="read",verb="worst-paths"}"#),
+        Some(READS as f64)
+    );
+    assert_eq!(
+        sample(r#"hb_requests_total{path="write",verb="analyze"}"#),
+        Some(1.0 + WRITES as f64)
+    );
+    assert_eq!(
+        sample(r#"hb_requests_total{path="write",verb="load"}"#),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample(r#"hb_requests_total{path="read",verb="stats"}"#),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample(r#"hb_requests_total{path="read",verb="metrics"}"#),
+        Some(1.0)
+    );
+    // Transport-level series: one live connection (which is also the
+    // peak), and the byte meters have seen traffic.
+    assert_eq!(sample("hb_connections"), Some(1.0));
+    assert_eq!(sample(r#"hb_connections{watermark="peak"}"#), Some(1.0));
+    assert!(sample("hb_bytes_read_total").unwrap() > 0.0);
+    assert!(sample("hb_bytes_written_total").unwrap() > 0.0);
+
+    assert_eq!(client.request(&Frame::new("shutdown")).unwrap().verb, "ok");
+    drop(client);
+    server.join().unwrap().unwrap();
+}

@@ -13,10 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
-echo "== chaos suite (3 fixed seeds + 1 fresh)"
+echo "== chaos suite (3 fixed seeds + 1 fresh, metrics armed)"
 # The chaos tests always run their three fixed seeds; HB_CHAOS_SEED
 # adds one fresh seed per run so the fault matrix keeps exploring.
-# On failure, the seed below reproduces it exactly.
+# The suite arms the observability layer itself, so every fault path
+# is exercised with live metrics. On failure, the seed below
+# reproduces it exactly.
 HB_CHAOS_SEED=$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')
 if ! HB_CHAOS_SEED="$HB_CHAOS_SEED" cargo test -q -p hb-server --test chaos; then
     echo "chaos suite FAILED; reproduce with: HB_CHAOS_SEED=$HB_CHAOS_SEED cargo test -p hb-server --test chaos"
@@ -48,6 +50,21 @@ $HB query "$ADDR" slack mid
 $HB query "$ADDR" dump > "$SMOKE_DIR/dump.out"
 # Strip the reply header; the payload is the edited .hum design.
 tail -n +2 "$SMOKE_DIR/dump.out" > "$SMOKE_DIR/edited.hum"
+# Metrics smoke: the exposition must parse (every sample line is
+# `series value`) and the request counters must cover the five
+# requests issued above plus the metrics query itself.
+$HB query "$ADDR" metrics > "$SMOKE_DIR/metrics.out"
+head -1 "$SMOKE_DIR/metrics.out" | grep -q "format=prometheus-text"
+tail -n +2 "$SMOKE_DIR/metrics.out" | awk '
+    NF == 0 || /^#/ { next }
+    NF != 2 || $2 !~ /^-?[0-9]/ { print "bad exposition line: " $0; bad = 1 }
+    $1 ~ /^hb_requests_total{/ { sum += $2 }
+    END {
+        if (bad) exit 1
+        if (sum < 6) { print "hb_requests_total covers " sum " < 6 requests"; exit 1 }
+        print "metrics exposition ok: hb_requests_total=" sum
+    }
+'
 WARM=$(sed -n 's/^ok .*worst=\([^ ]*\).*/\1/p' "$SMOKE_DIR/eco.out")
 $HB query "$ADDR" shutdown
 wait "$SERVE_PID"

@@ -1,0 +1,57 @@
+//! Observability must never perturb analysis: arming the metrics layer
+//! changes no report byte, at any thread count. Counters always tally
+//! and spans only read the clock, so the only way this can fail is a
+//! metrics call leaking into a timing decision — exactly the bug class
+//! this test exists to catch.
+
+use hb_cells::sc89;
+use hb_workloads::{fsm12, random_pipeline, PipelineParams, Workload};
+use hummingbird::{AnalysisOptions, Analyzer, EngineKind};
+
+fn report_text(w: &Workload, lib: &hb_cells::Library, threads: usize) -> String {
+    let options = AnalysisOptions {
+        engine: EngineKind::Sharded,
+        threads,
+        ..AnalysisOptions::default()
+    };
+    Analyzer::with_options(&w.design, w.module, lib, &w.clocks, w.spec.clone(), options)
+        .expect("conforming workload")
+        .generate_constraints()
+        .to_string()
+}
+
+/// The arm flag is process-wide, so the whole armed/disarmed comparison
+/// lives in one test fn — parallel test fns toggling it would race.
+#[test]
+fn armed_metrics_leave_reports_bit_identical() {
+    let lib = sc89();
+    let workloads = vec![
+        fsm12(&lib, true),
+        random_pipeline(
+            &lib,
+            PipelineParams {
+                stages: 4,
+                width: 8,
+                gates_per_stage: 60,
+                transparent: true,
+                period_ns: 14,
+                seed: 21,
+                imbalance_pct: 30,
+            },
+        ),
+    ];
+    for w in &workloads {
+        for threads in [1usize, 8] {
+            hb_obs::disarm();
+            let disarmed = report_text(w, &lib, threads);
+            hb_obs::arm();
+            let armed = report_text(w, &lib, threads);
+            hb_obs::disarm();
+            assert_eq!(
+                disarmed, armed,
+                "{}: report differs when metrics are armed ({threads} threads)",
+                w.name
+            );
+        }
+    }
+}
