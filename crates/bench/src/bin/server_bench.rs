@@ -4,20 +4,37 @@
 //!
 //! Runs an in-process server on a loopback socket, drives it with the
 //! blocking [`Client`], and writes `BENCH_server.json`. Run with
-//! `cargo run --release -p hb-bench --bin server_bench`.
+//! `cargo run --release -p hb-bench --bin server_bench`. A second
+//! section drives the `poll(2)` reactor transport: sequential
+//! request/reply as the baseline, pipelined windows, batched
+//! multi-node `slack` requests (the ≥1M-queries/sec path), and a
+//! concurrent-connection sweep with thousands of idle peers polling
+//! alongside the hot connection.
+//!
+//! Flags: `--quick` shrinks every iteration count and caps the sweep
+//! (for smoke tests and the qps regression gate), `--out PATH`
+//! redirects the JSON (default `BENCH_server.json`).
 
 use std::fmt::Write as _;
+use std::net::TcpStream;
 use std::time::Instant;
 
 use hb_cells::{sc89, Binding, Library};
 use hb_io::Frame;
 use hb_netlist::InstRef;
-use hb_server::{directives_from_spec, Client, Server, ServerOptions};
+use hb_server::{directives_from_spec, raise_nofile_limit, Client, Server, ServerOptions};
 use hb_workloads::{des_like, random_pipeline, PipelineParams, Workload};
 
 const COLD_ITERS: usize = 5;
 const SLACK_ITERS: usize = 200;
 const ECO_ITERS: usize = 40;
+
+/// Single-node slack frames per pipelined window.
+const PIPELINE_WINDOW: usize = 512;
+/// Nodes per batched multi-node slack request.
+const BATCH_NODES: usize = 256;
+/// Batched requests per pipelined window.
+const BATCH_WINDOW: usize = 16;
 
 struct Latencies(Vec<f64>);
 
@@ -75,7 +92,229 @@ fn expect_ok(reply: &Frame, what: &str) {
     );
 }
 
+/// One reactor measurement: `requests` served over `elapsed` seconds
+/// with per-request latency percentiles derived from window round
+/// trips.
+struct Throughput {
+    requests: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drives `windows` pipelined windows of `frames` down the client and
+/// reports per-request throughput (each window is one write + one
+/// in-order reply burst, so per-request latency is the window round
+/// trip divided by its frame count).
+fn pipelined(
+    client: &mut Client,
+    frames: &[Frame],
+    windows: usize,
+    per_frame: usize,
+) -> Throughput {
+    let lat = Latencies::measure(windows, || {
+        let replies = client.request_pipelined(frames).expect("pipelined replies");
+        assert_eq!(replies.len(), frames.len());
+        for reply in &replies {
+            assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+        }
+    });
+    let requests = windows * frames.len() * per_frame;
+    let total: f64 = lat.0.iter().sum();
+    let scale = (frames.len() * per_frame) as f64;
+    Throughput {
+        requests,
+        qps: requests as f64 / total,
+        p50_ms: lat.p50() * 1e3 / scale,
+        p99_ms: lat.p99() * 1e3 / scale,
+    }
+}
+
+/// The reactor transport section: sequential vs pipelined vs batched
+/// slack throughput, then the same pipelined measurement with a crowd
+/// of idle connections sharing the event loop.
+fn bench_reactor(lib: &Library, w: &Workload, quick: bool, json: &mut String) {
+    let max_conns = if quick { 300 } else { 12_000 };
+    // One fd per server-side connection, one per bench-side stream,
+    // plus the two Client clones and slack for the process.
+    let _ = raise_nofile_limit(2 * max_conns as u64 + 256);
+    let options = ServerOptions {
+        max_connections: max_conns,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", lib.clone(), options).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run_reactor());
+
+    let mut client = Client::connect(addr).expect("connect");
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    expect_ok(
+        &client
+            .request(&Frame::new("load").with_payload(text))
+            .expect("load reply"),
+        "load",
+    );
+    expect_ok(
+        &client
+            .request(&Frame::new("analyze"))
+            .expect("analyze reply"),
+        "analyze",
+    );
+
+    let nets: Vec<String> = w
+        .design
+        .module(w.module)
+        .nets()
+        .map(|(_, n)| n.name().to_owned())
+        .take(BATCH_NODES)
+        .collect();
+
+    // Sequential baseline: one request, one reply, one round trip.
+    let seq_iters = if quick { SLACK_ITERS } else { 2000 };
+    let seq_req = Frame::new("slack").arg("node", nets[0].clone());
+    let seq_lat = Latencies::measure(seq_iters, || {
+        expect_ok(&client.request(&seq_req).expect("slack reply"), "slack");
+    });
+    let sequential = Throughput {
+        requests: seq_iters,
+        qps: seq_lat.qps(),
+        p50_ms: seq_lat.p50() * 1e3,
+        p99_ms: seq_lat.p99() * 1e3,
+    };
+
+    // Pipelined: a window of single-node requests per round trip.
+    let window: Vec<Frame> = (0..PIPELINE_WINDOW)
+        .map(|i| Frame::new("slack").arg("node", nets[i % nets.len()].clone()))
+        .collect();
+    let pipe_windows = if quick { 5 } else { 60 };
+    let piped = pipelined(&mut client, &window, pipe_windows, 1);
+
+    // Batched: every request carries `BATCH_NODES` nodes, and a window
+    // of those requests rides one round trip — per-*node* throughput.
+    let mut batched_req = Frame::new("slack");
+    for net in &nets {
+        batched_req = batched_req.arg("node", net.clone());
+    }
+    let batch_window: Vec<Frame> = (0..BATCH_WINDOW).map(|_| batched_req.clone()).collect();
+    let batch_windows = if quick { 3 } else { 30 };
+    let batched = pipelined(&mut client, &batch_window, batch_windows, nets.len());
+
+    // The sweep: the same pipelined window with N-1 idle connections
+    // registered in the poll set. Every idle peer costs a poll slot
+    // and a sweep visit per loop turn; the hot path must survive the
+    // crowd.
+    let levels: &[usize] = if quick {
+        &[1, 100]
+    } else {
+        &[1, 100, 1000, 10_000]
+    };
+    let mut sweep = Vec::new();
+    let mut idle: Vec<TcpStream> = Vec::new();
+    for &level in levels {
+        while idle.len() + 1 < level {
+            idle.push(TcpStream::connect(addr).expect("idle connect"));
+        }
+        let windows = if quick { 3 } else { 20 };
+        let t = pipelined(&mut client, &window, windows, 1);
+        eprintln!(
+            "reactor sweep {level:>6} conns: {:.0} qps (p50 {:.4} ms)",
+            t.qps, t.p50_ms
+        );
+        sweep.push((level, t));
+    }
+    drop(idle);
+
+    // Bounded per-connection memory, as the daemon itself reports it.
+    let stats = client.request(&Frame::new("stats")).expect("stats reply");
+    let buffer_peak: u64 = stats
+        .get("conn_buffer_peak_bytes")
+        .expect("buffer gauge in stats")
+        .parse()
+        .expect("gauge value");
+
+    expect_ok(
+        &client
+            .request(&Frame::new("shutdown"))
+            .expect("shutdown reply"),
+        "shutdown",
+    );
+    daemon
+        .join()
+        .expect("reactor thread")
+        .expect("reactor exit");
+
+    let _ = writeln!(json, "  \"reactor\": {{");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", w.name);
+    let _ = writeln!(json, "    \"max_connections\": {max_conns},");
+    for (label, t, extra) in [
+        ("slack_sequential", &sequential, String::new()),
+        (
+            "slack_pipelined",
+            &piped,
+            format!("      \"window\": {PIPELINE_WINDOW},\n"),
+        ),
+        (
+            "slack_batched",
+            &batched,
+            format!(
+                "      \"nodes_per_request\": {},\n      \"window\": {BATCH_WINDOW},\n",
+                nets.len()
+            ),
+        ),
+    ] {
+        let _ = writeln!(json, "    \"{label}\": {{");
+        json.push_str(&extra);
+        let _ = writeln!(json, "      \"requests\": {},", t.requests);
+        let _ = writeln!(json, "      \"queries_per_second\": {:.1},", t.qps);
+        let _ = writeln!(json, "      \"p50_ms\": {:.4},", t.p50_ms);
+        let _ = writeln!(json, "      \"p99_ms\": {:.4}", t.p99_ms);
+        let _ = writeln!(json, "    }},");
+    }
+    let _ = writeln!(
+        json,
+        "    \"pipelined_speedup_vs_sequential\": {:.2},",
+        piped.qps / sequential.qps
+    );
+    let _ = writeln!(
+        json,
+        "    \"batched_speedup_vs_sequential\": {:.2},",
+        batched.qps / sequential.qps
+    );
+    let _ = writeln!(json, "    \"connection_sweep\": [");
+    for (i, (level, t)) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"connections\": {level}, \"queries_per_second\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}",
+            t.qps,
+            t.p50_ms,
+            t.p99_ms,
+            if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"conn_buffer_peak_bytes\": {buffer_peak}");
+    let _ = writeln!(json, "  }}");
+    eprintln!(
+        "reactor: sequential {:.0}/s | pipelined {:.0}/s ({:.1}x) | batched {:.0} nodes/s ({:.1}x)",
+        sequential.qps,
+        piped.qps,
+        piped.qps / sequential.qps,
+        batched.qps,
+        batched.qps / sequential.qps,
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_server.json".to_owned());
+
     let lib = sc89();
     let workloads = [
         random_pipeline(
@@ -92,6 +331,12 @@ fn main() {
         ),
         des_like(&lib, 1989),
     ];
+
+    let (cold_iters, slack_iters, eco_iters) = if quick {
+        (2, 100, 8)
+    } else {
+        (COLD_ITERS, SLACK_ITERS, ECO_ITERS)
+    };
 
     let server =
         Server::bind("127.0.0.1:0", lib.clone(), ServerOptions::default()).expect("bind loopback");
@@ -125,7 +370,7 @@ fn main() {
 
         // Cold analysis: a fresh load resets the resident cache, so
         // each timed analyze sweeps every cluster from scratch.
-        let cold = Latencies::measure(COLD_ITERS, || {
+        let cold = Latencies::measure(cold_iters, || {
             expect_ok(
                 &request(&Frame::new("load").with_payload(text.clone())),
                 "load",
@@ -135,7 +380,7 @@ fn main() {
 
         // Settled-analysis slack queries: the server's read path.
         let slack_req = Frame::new("slack").arg("node", probe_net.clone());
-        let slack = Latencies::measure(SLACK_ITERS, || {
+        let slack = Latencies::measure(slack_iters, || {
             expect_ok(&request(&slack_req), "slack");
         });
 
@@ -144,7 +389,7 @@ fn main() {
         let mut reused = 0u64;
         let mut swept = 0u64;
         let mut step = 1i64;
-        let eco = Latencies::measure(ECO_ITERS, || {
+        let eco = Latencies::measure(eco_iters, || {
             let reply = request(
                 &Frame::new("eco")
                     .arg("op", "resize")
@@ -166,13 +411,13 @@ fn main() {
             cold.p50()
         );
         let _ = writeln!(json, "      \"slack_query\": {{");
-        let _ = writeln!(json, "        \"requests\": {SLACK_ITERS},");
+        let _ = writeln!(json, "        \"requests\": {slack_iters},");
         let _ = writeln!(json, "        \"queries_per_second\": {:.1},", slack.qps());
         let _ = writeln!(json, "        \"p50_ms\": {:.4},", slack.p50() * 1e3);
         let _ = writeln!(json, "        \"p99_ms\": {:.4}", slack.p99() * 1e3);
         let _ = writeln!(json, "      }},");
         let _ = writeln!(json, "      \"eco_resize\": {{");
-        let _ = writeln!(json, "        \"requests\": {ECO_ITERS},");
+        let _ = writeln!(json, "        \"requests\": {eco_iters},");
         let _ = writeln!(json, "        \"queries_per_second\": {:.1},", eco.qps());
         let _ = writeln!(json, "        \"p50_ms\": {:.4},", eco.p50() * 1e3);
         let _ = writeln!(json, "        \"p99_ms\": {:.4},", eco.p99() * 1e3);
@@ -201,11 +446,15 @@ fn main() {
             reused + swept
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
 
     expect_ok(&request(&Frame::new("shutdown")), "shutdown");
     daemon.join().expect("server thread").expect("server exit");
 
-    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    // The reactor transport over the first (pipeline) workload.
+    bench_reactor(&lib, &workloads[0], quick, &mut json);
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("{json}");
 }

@@ -2,13 +2,16 @@
 //! [`hb_server`].
 //!
 //! ```text
-//! hummingbird serve [--listen ADDR] [--stdio] [--library FILE] [--max-conns N]
+//! hummingbird serve [--listen ADDR] [--stdio] [--reactor]
+//!                   [--library FILE] [--max-conns N]
 //! hummingbird query ADDR <request> [args...] [key=value...]
+//! hummingbird query ADDR --pipeline [FILE]
 //!
 //! requests:
 //!   load FILE                 send a .hum (or .blif) design to the daemon
 //!   analyze | constraints     (re-)run the analysis on the resident design
-//!   slack NODE                slack at a net or synchronizer instance
+//!   slack NODE [NODE...]      slack at nets or synchronizer instances;
+//!                             several nodes batch into one request
 //!   worst-paths [K]           the K slowest paths (default 5)
 //!   eco resize INST [STEPS]   retarget an instance's drive strength
 //!   eco scale-net NET PCT     scale a net's load to PCT percent
@@ -19,9 +22,16 @@
 //!
 //! `serve` prints `listening on IP:PORT` once the socket is bound (bind
 //! port 0 for an ephemeral port), then blocks until a client sends
-//! `shutdown`. Any trailing `key=value` words on a `query` are passed
-//! through verbatim as request arguments — e.g. `clock=ck:20:0:10` when
-//! loading a BLIF netlist.
+//! `shutdown`. With `--reactor` the daemon serves every connection from
+//! one `poll(2)` event loop instead of a thread per connection — the
+//! c10k transport, with identical replies.
+//!
+//! `query --pipeline` reads one request per line from FILE (stdin when
+//! absent; blank lines and `#` comments skipped), writes them down the
+//! connection in pipelined windows, and prints the replies in order —
+//! N requests for one round trip. Any trailing `key=value` words on a
+//! `query` are passed through verbatim as request arguments — e.g.
+//! `clock=ck:20:0:10` when loading a BLIF netlist.
 
 use std::io::Write;
 
@@ -30,17 +40,23 @@ use hb_server::{serve_stream, Client, Server, ServerOptions};
 
 use crate::{load_library, CliError};
 
-const SERVE_USAGE: &str =
-    "usage: hummingbird serve [--listen ADDR] [--stdio] [--library LIB.txt] [--max-conns N]";
+const SERVE_USAGE: &str = "usage: hummingbird serve [--listen ADDR] [--stdio] [--reactor] \
+[--library LIB.txt] [--max-conns N]";
 const QUERY_USAGE: &str = "usage: hummingbird query ADDR \
-<load FILE | analyze | constraints | slack NODE | worst-paths [K] | \
+<load FILE | analyze | constraints | slack NODE [NODE...] | worst-paths [K] | \
 eco resize INST [STEPS] | eco scale-net NET PCT | dump | stats | metrics | shutdown> \
-[key=value...]";
+[key=value...]\n       hummingbird query ADDR --pipeline [FILE]";
+
+/// Frames per pipelined window: enough to amortise the round trip,
+/// small enough that neither side's socket buffer fills with requests
+/// while replies wait unread (which would deadlock both peers).
+const PIPELINE_WINDOW: usize = 128;
 
 /// `hummingbird serve`: bind, announce, block until `shutdown`.
 pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     let mut listen = "127.0.0.1:0".to_owned();
     let mut stdio = false;
+    let mut reactor = false;
     let mut library = None;
     let mut options = ServerOptions::default();
     let mut it = args.iter();
@@ -53,6 +69,7 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
                     .to_string();
             }
             "--stdio" => stdio = true,
+            "--reactor" => reactor = true,
             "--library" => library = it.next().map(|s| s.to_string()),
             "--max-conns" => {
                 options.max_connections = it
@@ -88,9 +105,12 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     // Announce before blocking so wrappers can scrape the port.
     writeln!(out, "listening on {addr}").map_err(|e| CliError::io(e.to_string()))?;
     out.flush().map_err(|e| CliError::io(e.to_string()))?;
-    server
-        .run()
-        .map_err(|e| CliError::io(format!("serve: {e}")))?;
+    if reactor {
+        server.run_reactor()
+    } else {
+        server.run()
+    }
+    .map_err(|e| CliError::io(format!("serve: {e}")))?;
     writeln!(out, "shutdown complete").map_err(|e| CliError::io(e.to_string()))?;
     Ok(0)
 }
@@ -103,6 +123,9 @@ pub fn run_query(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     let (&cmd, rest) = rest
         .split_first()
         .ok_or_else(|| CliError::usage(QUERY_USAGE))?;
+    if cmd == "--pipeline" {
+        return run_query_pipeline(addr, rest.first().copied(), out);
+    }
     let request = build_request(cmd, rest)?;
 
     // Overload-aware: a daemon at its connection cap (or holding the
@@ -111,6 +134,67 @@ pub fn run_query(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     let reply = Client::request_with_backoff(*addr, &request, 5)
         .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
 
+    print_reply(&reply, out)?;
+
+    if reply.verb == "error" {
+        let code = reply.get("code").unwrap_or("unknown");
+        return Err(CliError::analysis(format!(
+            "daemon refused {cmd:?}: {code}"
+        )));
+    }
+    // Analysis-bearing replies carry the one-shot driver's verdict.
+    Ok(match reply.get("ok") {
+        Some("0") => 1,
+        _ => 0,
+    })
+}
+
+/// `hummingbird query ADDR --pipeline [FILE]`: one request per line,
+/// written down the connection in pipelined windows, replies printed
+/// in order. Exit code 1 if any reply was an error or a failed-timing
+/// verdict.
+fn run_query_pipeline(
+    addr: &str,
+    file: Option<&str>,
+    out: &mut impl Write,
+) -> Result<u8, CliError> {
+    let text = match file {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?,
+        None => std::io::read_to_string(std::io::stdin())
+            .map_err(|e| CliError::io(format!("cannot read stdin: {e}")))?,
+    };
+    let mut requests = Vec::new();
+    for line in text.lines() {
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.split_first() {
+            None => continue,
+            Some((cmd, _)) if cmd.starts_with('#') => continue,
+            Some((cmd, rest)) => requests.push(build_request(cmd, rest)?),
+        }
+    }
+    if requests.is_empty() {
+        return Err(CliError::usage("query --pipeline: no requests to send"));
+    }
+
+    let mut client = Client::connect(addr).map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+    let mut code = 0u8;
+    for window in requests.chunks(PIPELINE_WINDOW) {
+        let replies = client
+            .request_pipelined(window)
+            .map_err(|e| CliError::io(format!("{addr}: {e}")))?;
+        for reply in &replies {
+            print_reply(reply, out)?;
+            if reply.verb == "error" || reply.get("ok") == Some("0") {
+                code = 1;
+            }
+        }
+    }
+    Ok(code)
+}
+
+/// Writes one reply: the header line, then the payload verbatim.
+fn print_reply(reply: &Frame, out: &mut impl Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| CliError::io(format!("write failed: {e}"));
     let mut line = reply.verb.clone();
     for (key, value) in &reply.args {
@@ -126,18 +210,7 @@ pub fn run_query(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             writeln!(out).map_err(io)?;
         }
     }
-
-    if reply.verb == "error" {
-        let code = reply.get("code").unwrap_or("unknown");
-        return Err(CliError::analysis(format!(
-            "daemon refused {cmd:?}: {code}"
-        )));
-    }
-    // Analysis-bearing replies carry the one-shot driver's verdict.
-    Ok(match reply.get("ok") {
-        Some("0") => 1,
-        _ => 0,
-    })
+    Ok(())
 }
 
 /// Translates a query command line into a request frame. Trailing
@@ -162,10 +235,21 @@ fn build_request(cmd: &str, rest: &[&str]) -> Result<Frame, CliError> {
             }
             (frame, 1)
         }
-        "slack" => (
-            Frame::new("slack").arg("node", need("a node name", rest.first())?),
-            1,
-        ),
+        "slack" => {
+            // Every leading non-`key=value` word is a node; several
+            // nodes ride in one batched request.
+            let nodes: Vec<&str> = rest
+                .iter()
+                .take_while(|s| !s.contains('='))
+                .copied()
+                .collect();
+            need("a node name", nodes.first())?;
+            let mut frame = Frame::new("slack");
+            for node in &nodes {
+                frame = frame.arg("node", *node);
+            }
+            (frame, nodes.len())
+        }
         "worst-paths" => match rest.first().filter(|s| !s.contains('=')) {
             Some(&k) => (Frame::new("worst-paths").arg("k", k), 1),
             None => (Frame::new("worst-paths"), 0),
@@ -220,6 +304,12 @@ mod tests {
 
         let f = build_request("slack", &["mid"]).unwrap();
         assert_eq!(f.get("node"), Some("mid"));
+
+        // Multiple nodes batch into one request; key=value trailers
+        // still pass through.
+        let f = build_request("slack", &["a", "b", "c", "latch=edge"]).unwrap();
+        assert_eq!(f.get_all("node").collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(f.get("latch"), Some("edge"));
 
         let f = build_request("worst-paths", &[]).unwrap();
         assert!(f.get("k").is_none());

@@ -296,6 +296,53 @@ fn serve_and_query_round_trip() {
 }
 
 #[test]
+fn reactor_serve_pipeline_and_batched_slack() {
+    let (sent, announced) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let mut out = Announce {
+            sent: Some(sent),
+            line: String::new(),
+        };
+        hb_cli::run(&["serve", "--listen", "127.0.0.1:0", "--reactor"], &mut out)
+            .expect("reactor serves")
+    });
+    let addr = announced
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve announces its port");
+
+    let path = write_temp("reactor_served.hum", DESIGN);
+    let (code, out) = run_capture(&["query", &addr, "load", &path]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run_capture(&["query", &addr, "analyze"]);
+    assert_eq!(code, 0, "{out}");
+
+    // Batched slack: several nodes, one request, one worst= summary.
+    let (code, out) = run_capture(&["query", &addr, "slack", "w", "v", "y"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("count=3"), "{out}");
+    assert!(out.contains("worst="), "{out}");
+    assert!(out.contains("w net "), "{out}");
+
+    // Pipelined file mode: N requests, one connection, replies in
+    // order; a bad node makes the whole run exit nonzero.
+    let reqs = write_temp(
+        "reactor_reqs.txt",
+        "# pipelined transcript\nslack w\nslack v\nworst-paths 2\nstats\n",
+    );
+    let (code, out) = run_capture(&["query", &addr, "--pipeline", &reqs]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.matches("ok").count() >= 4, "{out}");
+    let bad = write_temp("reactor_bad_reqs.txt", "slack w\nslack nosuch\n");
+    let (code, out) = run_capture(&["query", &addr, "--pipeline", &bad]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("error code=unknown-node"), "{out}");
+
+    let (code, _) = run_capture(&["query", &addr, "shutdown"]);
+    assert_eq!(code, 0);
+    assert_eq!(server.join().unwrap(), 0);
+}
+
+#[test]
 fn serve_stdio_round_trip_via_subprocess_free_path() {
     // `--stdio` is exercised through hb_server::serve_stream in its own
     // crate; here just check the flag parses and rejects junk.

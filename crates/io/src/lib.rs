@@ -57,4 +57,4 @@ pub use blif::{parse_blif, write_blif};
 pub use error::ParseError;
 pub use hum::{parse_hum, write_hum, write_hum_with_timing, EdgeRef, HumFile, TimingDirective};
 pub use lib_format::{parse_lib, write_lib};
-pub use proto::{write_frame, Frame, FrameReader, ProtoError};
+pub use proto::{write_frame, Frame, FrameDecoder, FrameReader, ProtoError};

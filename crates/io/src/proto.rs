@@ -193,6 +193,64 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.flush()
 }
 
+/// Parses one already-delimited, UTF-8-validated, NUL-free header line
+/// into a frame plus its declared payload length. Shared by the
+/// blocking [`FrameReader`] and the nonblocking [`FrameDecoder`] so the
+/// two classify malformed input identically.
+fn parse_header_str(line: &str) -> Result<(Frame, Option<usize>), ProtoError> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens
+        .next()
+        .ok_or_else(|| ProtoError::Malformed("empty header line".into()))?
+        .to_owned();
+    let mut frame = Frame::new(verb);
+    let mut payload_len: Option<usize> = None;
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| ProtoError::Malformed(format!("argument `{token}` lacks `=`")))?;
+        if key.is_empty() {
+            return Err(ProtoError::Malformed(format!(
+                "argument `{token}` lacks a key"
+            )));
+        }
+        if key == "payload" {
+            let n: usize = value.parse().map_err(|_| {
+                ProtoError::Malformed(format!("payload length `{value}` is not a number"))
+            })?;
+            if n > MAX_PAYLOAD {
+                return Err(ProtoError::Oversized {
+                    what: "payload",
+                    limit: MAX_PAYLOAD,
+                });
+            }
+            payload_len = Some(n);
+        } else {
+            frame.args.push((key.to_owned(), value.to_owned()));
+        }
+    }
+    Ok((frame, payload_len))
+}
+
+/// Finishes a frame from its raw payload body (`need` declared bytes
+/// plus the terminating newline), applying the same checks in the same
+/// order as the blocking reader: terminator, NUL, UTF-8.
+fn finish_payload(frame: Frame, mut body: Vec<u8>) -> Result<Frame, ProtoError> {
+    let newline = body.pop().expect("total > 0");
+    if newline != b'\n' {
+        return Err(ProtoError::Malformed(
+            "payload is not newline-terminated at its declared length".into(),
+        ));
+    }
+    if body.contains(&b'\0') {
+        return Err(ProtoError::Nul);
+    }
+    let payload = String::from_utf8(body).map_err(|_| ProtoError::Encoding)?;
+    let mut frame = frame;
+    frame.payload = Some(payload);
+    Ok(frame)
+}
+
 /// Decode progress carried across [`FrameReader::read_frame`] calls
 /// when a read times out mid-frame.
 enum Pending {
@@ -237,6 +295,9 @@ pub struct FrameReader<R> {
     /// Per-frame arrival budget; checked between reads, so enforcement
     /// granularity is one buffered chunk.
     limit: Option<Duration>,
+    /// The header accumulation buffer, reclaimed after every decoded
+    /// frame so steady-state decoding allocates nothing per request.
+    scratch: Vec<u8>,
 }
 
 impl<R: BufRead> FrameReader<R> {
@@ -247,7 +308,20 @@ impl<R: BufRead> FrameReader<R> {
             pending: Pending::Idle,
             started: None,
             limit: None,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Bytes of reusable decode-buffer capacity this reader holds
+    /// (header scratch plus any stashed partial frame) — the
+    /// per-connection memory a transport reports to its gauges.
+    pub fn buffer_capacity(&self) -> usize {
+        self.scratch.capacity()
+            + match &self.pending {
+                Pending::Idle => 0,
+                Pending::Header(buf) => buf.capacity(),
+                Pending::Payload { body, .. } => body.capacity(),
+            }
     }
 
     /// Unwraps the underlying stream.
@@ -317,11 +391,17 @@ impl<R: BufRead> FrameReader<R> {
                 Some((frame, None)) => return Ok(Some(frame)),
                 Some((frame, Some(need))) => (frame, need, Vec::new()),
             },
-            Pending::Idle => match self.parse_header(Vec::new())? {
-                None => return Ok(None),
-                Some((frame, None)) => return Ok(Some(frame)),
-                Some((frame, Some(need))) => (frame, need, Vec::new()),
-            },
+            Pending::Idle => {
+                // Steady-state path: accumulate the header into the
+                // reclaimed scratch buffer instead of a fresh Vec.
+                let mut buf = std::mem::take(&mut self.scratch);
+                buf.clear();
+                match self.parse_header(buf)? {
+                    None => return Ok(None),
+                    Some((frame, None)) => return Ok(Some(frame)),
+                    Some((frame, Some(need))) => (frame, need, Vec::new()),
+                }
+            }
         };
         let payload = self.read_payload(frame, need, body)?;
         Ok(Some(payload))
@@ -333,51 +413,25 @@ impl<R: BufRead> FrameReader<R> {
         &mut self,
         partial: Vec<u8>,
     ) -> Result<Option<(Frame, Option<usize>)>, ProtoError> {
-        let line = match self.read_header_line(partial)? {
-            Some(line) => line,
+        let buf = match self.read_header_line(partial)? {
+            Some(buf) => buf,
             None => return Ok(None),
         };
+        let line = std::str::from_utf8(&buf).map_err(|_| ProtoError::Encoding)?;
         if line.contains('\0') {
             return Err(ProtoError::Nul);
         }
-        let mut tokens = line.split_whitespace();
-        let verb = tokens
-            .next()
-            .ok_or_else(|| ProtoError::Malformed("empty header line".into()))?
-            .to_owned();
-        let mut frame = Frame::new(verb);
-        let mut payload_len: Option<usize> = None;
-        for token in tokens {
-            let (key, value) = token
-                .split_once('=')
-                .ok_or_else(|| ProtoError::Malformed(format!("argument `{token}` lacks `=`")))?;
-            if key.is_empty() {
-                return Err(ProtoError::Malformed(format!(
-                    "argument `{token}` lacks a key"
-                )));
-            }
-            if key == "payload" {
-                let n: usize = value.parse().map_err(|_| {
-                    ProtoError::Malformed(format!("payload length `{value}` is not a number"))
-                })?;
-                if n > MAX_PAYLOAD {
-                    return Err(ProtoError::Oversized {
-                        what: "payload",
-                        limit: MAX_PAYLOAD,
-                    });
-                }
-                payload_len = Some(n);
-            } else {
-                frame.args.push((key.to_owned(), value.to_owned()));
-            }
-        }
-        Ok(Some((frame, payload_len)))
+        let parsed = parse_header_str(line)?;
+        // The accumulation buffer is done with; reclaim it so the next
+        // frame decodes without a fresh allocation.
+        self.scratch = buf;
+        Ok(Some(parsed))
     }
 
     /// Reads one newline-terminated header line, enforcing
     /// [`MAX_HEADER`]. Returns `None` on immediate end-of-stream.
     /// On a resumable timeout, progress is stashed in `self.pending`.
-    fn read_header_line(&mut self, mut buf: Vec<u8>) -> Result<Option<String>, ProtoError> {
+    fn read_header_line(&mut self, mut buf: Vec<u8>) -> Result<Option<Vec<u8>>, ProtoError> {
         loop {
             let chunk = match self.inner.fill_buf() {
                 Ok(chunk) => chunk,
@@ -431,9 +485,7 @@ impl<R: BufRead> FrameReader<R> {
                 }
             }
         }
-        String::from_utf8(buf)
-            .map(Some)
-            .map_err(|_| ProtoError::Encoding)
+        Ok(Some(buf))
     }
 
     /// Reads the remaining payload bytes (`need` + newline, resuming
@@ -467,19 +519,179 @@ impl<R: BufRead> FrameReader<R> {
                 return Err(Self::overdue_error());
             }
         }
-        let newline = body.pop().expect("total > 0");
-        if newline != b'\n' {
-            return Err(ProtoError::Malformed(
-                "payload is not newline-terminated at its declared length".into(),
-            ));
+        finish_payload(frame, body)
+    }
+}
+
+/// How much decoded-but-unparsed input a [`FrameDecoder`] will hold
+/// before compacting its buffer in place. Purely a memory/throughput
+/// trade; correctness is insensitive to it.
+const DECODER_COMPACT: usize = 8 * 1024;
+
+/// An incremental *push* decoder for the frame protocol — the
+/// nonblocking twin of [`FrameReader`], built for readiness-driven
+/// event loops.
+///
+/// Bytes go in via [`FrameDecoder::feed`] whenever the transport has
+/// them; [`FrameDecoder::next_frame`] hands back every complete frame
+/// already buffered (`Ok(None)` meaning *need more bytes*, never
+/// end-of-stream — a push decoder cannot observe EOF; call
+/// [`FrameDecoder::finish`] when the transport reports it). Pipelined
+/// peers are the design case: one `feed` may carry many back-to-back
+/// frames, and `next_frame` drains them without further I/O.
+///
+/// Error classification matches [`FrameReader`] exactly (the reactor
+/// parity suite depends on it): [`ProtoError::recoverable`] errors
+/// leave the buffer aligned on the next frame boundary and decoding
+/// may continue; anything else means the connection should close.
+///
+/// The internal buffer is reused for the life of the decoder and
+/// compacted in place, so a connection's steady-state decode cost is
+/// zero allocations; [`FrameDecoder::buffer_capacity`] reports the
+/// retained bytes for per-connection memory accounting.
+#[derive(Default)]
+pub struct FrameDecoder {
+    /// Fed-but-unconsumed bytes; `start..` is live.
+    buf: Vec<u8>,
+    start: usize,
+    /// A decoded header whose declared payload has not fully arrived.
+    awaiting: Option<(Frame, usize)>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends transport bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fed but not yet decoded into frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start + self.awaiting.as_ref().map_or(0, |(_, need)| *need)
+    }
+
+    /// Retained buffer capacity — the decoder's share of a
+    /// connection's bounded memory.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Whether a partially arrived frame is pending — the
+    /// distinction between a slow-dripping peer (cut it off at the
+    /// frame deadline) and an idle one (reap it at the idle timeout).
+    pub fn mid_frame(&self) -> bool {
+        self.awaiting.is_some() || self.start < self.buf.len()
+    }
+
+    /// Declares end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Truncated`] when the stream ended inside a frame.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.mid_frame() {
+            Err(ProtoError::Truncated)
+        } else {
+            Ok(())
         }
-        if body.contains(&b'\0') {
-            return Err(ProtoError::Nul);
+    }
+
+    /// Drops the `..start` dead prefix once it dominates the buffer,
+    /// and resets cheaply when everything was consumed.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= DECODER_COMPACT {
+            self.buf.drain(..self.start);
+            self.start = 0;
         }
-        let payload = String::from_utf8(body).map_err(|_| ProtoError::Encoding)?;
-        let mut frame = frame;
-        frame.payload = Some(payload);
-        Ok(frame)
+    }
+
+    /// Decodes the next complete frame out of the buffer; `Ok(None)`
+    /// means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtoError`]; recoverable errors ([`ProtoError::Nul`],
+    /// [`ProtoError::Malformed`]) consume the offending frame and
+    /// leave the buffer aligned, so decoding may continue.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if let Some((frame, need)) = self.awaiting.take() {
+            match self.take_payload(need)? {
+                Some(body) => return finish_payload(frame, body).map(Some),
+                None => {
+                    self.awaiting = Some((frame, need));
+                    return Ok(None);
+                }
+            }
+        }
+        let line_end = match self.buf[self.start..].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if pos > MAX_HEADER {
+                    return Err(ProtoError::Oversized {
+                        what: "header",
+                        limit: MAX_HEADER,
+                    });
+                }
+                self.start + pos
+            }
+            None => {
+                if self.buf.len() - self.start > MAX_HEADER {
+                    return Err(ProtoError::Oversized {
+                        what: "header",
+                        limit: MAX_HEADER,
+                    });
+                }
+                self.compact();
+                return Ok(None);
+            }
+        };
+        // Consume the header line (and its newline) before validating:
+        // a recoverable rejection must leave the buffer aligned on the
+        // next line, exactly like the blocking reader's resync rule.
+        let header_start = self.start;
+        self.start = line_end + 1;
+        let parsed = {
+            let raw = &self.buf[header_start..line_end];
+            let line = std::str::from_utf8(raw).map_err(|_| ProtoError::Encoding)?;
+            if line.contains('\0') {
+                return Err(ProtoError::Nul);
+            }
+            parse_header_str(line)?
+        };
+        match parsed {
+            (frame, None) => {
+                self.compact();
+                Ok(Some(frame))
+            }
+            (frame, Some(need)) => match self.take_payload(need)? {
+                Some(body) => finish_payload(frame, body).map(Some),
+                None => {
+                    self.awaiting = Some((frame, need));
+                    Ok(None)
+                }
+            },
+        }
+    }
+
+    /// Takes `need` payload bytes plus the terminating newline off the
+    /// buffer, or `None` when they have not all arrived yet.
+    #[allow(clippy::unnecessary_wraps)]
+    fn take_payload(&mut self, need: usize) -> Result<Option<Vec<u8>>, ProtoError> {
+        let total = need + 1;
+        if self.buf.len() - self.start < total {
+            self.compact();
+            return Ok(None);
+        }
+        let body = self.buf[self.start..self.start + total].to_vec();
+        self.start += total;
+        self.compact();
+        Ok(Some(body))
     }
 }
 
@@ -653,5 +865,141 @@ mod tests {
             decode_all(&wire),
             Err(ProtoError::Oversized { what: "header", .. })
         ));
+    }
+
+    /// Runs the push decoder over `bytes` delivered in one feed.
+    fn push_decode_all(bytes: &[u8]) -> Result<Vec<Frame>, ProtoError> {
+        let mut dec = FrameDecoder::new();
+        dec.feed(bytes);
+        let mut frames = Vec::new();
+        while let Some(f) = dec.next_frame()? {
+            frames.push(f);
+        }
+        dec.finish()?;
+        Ok(frames)
+    }
+
+    #[test]
+    fn decoder_round_trip_matches_reader() {
+        let frames = [
+            Frame::new("stats"),
+            Frame::new("slack").arg("node", "ff3").arg("node", "ff4"),
+            Frame::new("load")
+                .arg("format", "hum")
+                .with_payload("design d\nmodule top\nend\ntop top\n"),
+            Frame::new("ok").with_payload(""),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        assert_eq!(
+            push_decode_all(&wire).unwrap().as_slice(),
+            frames.as_slice()
+        );
+    }
+
+    #[test]
+    fn decoder_pipelined_frames_in_one_feed() {
+        // The pipelining case: many back-to-back frames land in one
+        // feed and next_frame drains them all without further input.
+        let mut wire = Vec::new();
+        for i in 0..100 {
+            write_frame(&mut wire, &Frame::new("slack").arg("node", format!("n{i}"))).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut seen = 0;
+        while let Some(f) = dec.next_frame().unwrap() {
+            assert_eq!(f.get("node").unwrap(), format!("n{seen}"));
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+        assert!(!dec.mid_frame());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_needs_more_mid_frame() {
+        let wire = Frame::new("load").with_payload("abc").encode();
+        let bytes = wire.as_bytes();
+        let mut dec = FrameDecoder::new();
+        // Every proper prefix must report NeedMore and mid-frame.
+        for cut in 1..bytes.len() {
+            let mut d = FrameDecoder::new();
+            d.feed(&bytes[..cut]);
+            assert!(d.next_frame().unwrap().is_none(), "cut at {cut}");
+            assert!(d.mid_frame(), "cut at {cut}");
+            assert!(matches!(d.finish(), Err(ProtoError::Truncated)));
+        }
+        dec.feed(bytes);
+        assert_eq!(dec.next_frame().unwrap().unwrap().payload.unwrap(), "abc");
+    }
+
+    #[test]
+    fn decoder_classifies_errors_like_reader() {
+        // Each hostile input must produce the same variant from both
+        // codecs — the reactor's error replies depend on it.
+        let cases: &[&[u8]] = &[
+            b"slack node\n",
+            b"load payload=abc\n",
+            b"load payload=99999999999\n",
+            b"st\0ats\n",
+            b"load payload=2\nabcdef\n",
+            b"\xff\xfe bad utf8\n",
+            b"load payload=2\nab\0\n",
+        ];
+        for wire in cases {
+            let blocking = decode_all(wire).unwrap_err();
+            let pushed = push_decode_all(wire).unwrap_err();
+            assert_eq!(
+                std::mem::discriminant(&blocking),
+                std::mem::discriminant(&pushed),
+                "divergent classification for {:?}: {blocking:?} vs {pushed:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_recoverable_error_leaves_buffer_aligned() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(b"bad arg\nstats\n");
+        let err = dec.next_frame().unwrap_err();
+        assert!(err.recoverable());
+        assert_eq!(dec.next_frame().unwrap().unwrap().verb, "stats");
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_rejects_unterminated_oversized_header() {
+        // A hostile peer streaming an endless header with no newline
+        // must be rejected as soon as the buffer passes the limit,
+        // not buffered forever.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&vec![b'a'; MAX_HEADER + 10]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(ProtoError::Oversized { what: "header", .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_compacts_and_bounds_memory() {
+        let wire = Frame::new("slack").arg("node", "n1").encode();
+        let mut dec = FrameDecoder::new();
+        for _ in 0..10_000 {
+            dec.feed(wire.as_bytes());
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        assert_eq!(dec.buffered(), 0);
+        // Fully drained between frames: the buffer resets in place and
+        // capacity stays at one frame's worth, not 10k frames'.
+        assert!(
+            dec.buffer_capacity() < 4 * 1024,
+            "decoder retained {} bytes",
+            dec.buffer_capacity()
+        );
     }
 }

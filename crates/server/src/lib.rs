@@ -55,14 +55,17 @@
 mod journal;
 mod metrics;
 mod net;
+mod reactor;
 mod session;
+mod sys;
 
 pub use journal::Journal;
 pub use metrics::Metrics;
 pub use net::{serve_stream, Client, Server, ServerOptions};
 pub use session::{
-    directives_from_spec, spec_from_directives, Session, MAX_LOAD_BYTES, MAX_WORST_PATHS,
+    directives_from_spec, spec_from_directives, Session, MAX_BATCH, MAX_LOAD_BYTES, MAX_WORST_PATHS,
 };
+pub use sys::raise_nofile_limit;
 
 #[cfg(test)]
 mod tests {

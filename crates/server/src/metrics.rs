@@ -20,7 +20,7 @@ use hb_obs::{Counter, Gauge, Histogram, Registry, Span};
 
 /// Every wire verb with a dedicated counter slot; anything else lands
 /// in `other` (still counted — unknown verbs are requests too).
-pub const VERBS: [&str; 12] = [
+pub const VERBS: [&str; 13] = [
     "hello",
     "stats",
     "metrics",
@@ -32,6 +32,7 @@ pub const VERBS: [&str; 12] = [
     "analyze",
     "constraints",
     "eco",
+    "batch",
     "other",
 ];
 
@@ -65,6 +66,11 @@ pub struct Metrics {
     pub bytes_out: Counter,
     /// Live connections (peak tracked as the gauge watermark).
     pub conns: Gauge,
+    /// Bytes of reusable per-connection codec buffers currently
+    /// retained (decode scratch plus reply queues) — the daemon's
+    /// bounded-memory claim, measurable. Peak tracks the high-water
+    /// mark across the connection population.
+    pub buffer_bytes: Gauge,
     /// Connections shed at accept by the connection cap.
     pub shed: Counter,
     /// Session rebuilds from the write-ahead journal.
@@ -115,6 +121,10 @@ impl Metrics {
             bytes_out: registry
                 .counter("hb_bytes_written_total", "bytes written to client sockets"),
             conns: registry.gauge("hb_connections", "live client connections"),
+            buffer_bytes: registry.gauge(
+                "hb_conn_buffer_bytes",
+                "bytes of per-connection codec buffers currently retained",
+            ),
             shed: registry.counter(
                 "hb_connections_shed_total",
                 "connections refused at accept by the connection cap",

@@ -97,7 +97,7 @@ impl ServerOptions {
     /// The socket read timeout: deadlines are enforced by polling, so
     /// the grain is a fraction of the tightest deadline, bounded to
     /// stay responsive without spinning.
-    fn poll_grain(&self) -> Duration {
+    pub(crate) fn poll_grain(&self) -> Duration {
         (self.frame_deadline.min(self.idle_timeout) / 4)
             .clamp(Duration::from_millis(5), Duration::from_millis(250))
     }
@@ -105,31 +105,34 @@ impl ServerOptions {
 
 /// Poison-tolerant mutex lock: the daemon's auxiliary state (journal,
 /// connection registry) stays usable even if a holder panicked.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-struct Shared {
-    session: RwLock<Session>,
+/// Everything both transports (thread-per-connection and the reactor)
+/// share: the session behind its lock, the journal, the metrics, and
+/// the shutdown/shedding state.
+pub(crate) struct Shared {
+    pub(crate) session: RwLock<Session>,
     /// The session's metrics instance, shared so the transport can
     /// record lock-wait/handle latency, wire bytes and connection
     /// churn without taking the session lock.
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
     /// Write-ahead journal backing panic recovery; locked only while
     /// the session write lock is already held (or being recovered), so
     /// the two never deadlock.
-    journal: Mutex<Journal>,
+    pub(crate) journal: Mutex<Journal>,
     /// The library a recovery replays against.
-    library: Library,
-    shutdown: AtomicBool,
-    options: ServerOptions,
+    pub(crate) library: Library,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) options: ServerOptions,
     /// Live connections, for the cap.
-    active: AtomicUsize,
+    pub(crate) active: AtomicUsize,
     /// Read-half handles of every accepted connection, keyed by
     /// connection id so `shutdown` can unblock idle readers without
     /// cutting in-flight replies, and closed connections can
     /// deregister.
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    pub(crate) conns: Mutex<Vec<(u64, TcpStream)>>,
 }
 
 /// Decrements the live-connection count and deregisters the read-half
@@ -151,8 +154,8 @@ impl Drop for ConnGuard<'_> {
 /// A bound, not-yet-running daemon. [`Server::run`] consumes it and
 /// blocks until a client requests `shutdown`.
 pub struct Server {
-    listener: TcpListener,
-    shared: Arc<Shared>,
+    pub(crate) listener: TcpListener,
+    pub(crate) shared: Arc<Shared>,
 }
 
 impl Server {
@@ -368,7 +371,7 @@ fn serve_requests<R: io::BufRead>(
 /// analysis take the shared path and run concurrently; the write path
 /// is panic-isolated and journal-recovered. A poisoned lock is
 /// reclaimed, cleared and recovered — never surfaced to the client.
-fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
+pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     let deadline = Instant::now() + shared.options.lock_deadline;
     // The latency split: lock-wait runs from here until whichever lock
     // actually serves the request is held (a `busy` reply records the
@@ -539,6 +542,36 @@ impl Client {
     pub fn request(&mut self, frame: &Frame) -> Result<Frame, ProtoError> {
         write_frame(&mut self.requests, frame)?;
         self.replies.read_frame()?.ok_or(ProtoError::Truncated)
+    }
+
+    /// Sends every request back to back in one write, then collects
+    /// the replies in order — request pipelining. One syscall round
+    /// trip carries the whole window, which is where the daemon's
+    /// throughput headroom lives (see `server_bench`).
+    ///
+    /// Callers bound the window: replies to a window larger than the
+    /// combined socket buffers can deadlock a server that stops
+    /// reading while its reply queue is full. A few hundred small
+    /// requests per window is safely under that on every platform.
+    ///
+    /// # Errors
+    ///
+    /// The first transport or decode failure; [`ProtoError::Truncated`]
+    /// when the server closed before answering the full window.
+    pub fn request_pipelined(&mut self, frames: &[Frame]) -> Result<Vec<Frame>, ProtoError> {
+        use std::io::Write;
+        let mut wire = String::new();
+        for f in frames {
+            wire.push_str(&f.encode());
+        }
+        self.requests
+            .write_all(wire.as_bytes())
+            .map_err(ProtoError::Io)?;
+        self.requests.flush().map_err(ProtoError::Io)?;
+        frames
+            .iter()
+            .map(|_| self.replies.read_frame()?.ok_or(ProtoError::Truncated))
+            .collect()
     }
 
     /// One request with overload-aware retry: reconnects per attempt,

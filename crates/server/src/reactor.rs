@@ -1,0 +1,598 @@
+//! The event-loop transport: one thread, one `poll(2)` loop, every
+//! connection — the c10k path.
+//!
+//! The thread-per-connection server in [`net`](crate::net) spends a
+//! stack, a scheduler slot and two context switches on every client;
+//! at tens of thousands of mostly idle connections that bookkeeping
+//! *is* the workload. The reactor inverts the shape: all sockets are
+//! nonblocking, a single loop polls them for readiness, and each
+//! connection is a small state machine — a [`FrameDecoder`] on the
+//! read side, a reply queue on the write side — dispatched into the
+//! very same [`Session`](crate::Session) handlers behind the very same
+//! lock, journal and panic recovery as the threaded path
+//! ([`handle_with_deadline`]). Replies are therefore identical by
+//! construction; the parity suite holds the two transports
+//! byte-for-byte against each other.
+//!
+//! Pipelining falls out of the design: a readiness event feeds
+//! whatever arrived into the decoder, and every complete frame in the
+//! buffer is dispatched and answered in order before the loop moves
+//! on — N requests, one syscall round trip. Backpressure is the dual:
+//! a connection whose reply queue passes [`WRITE_HIGH_WATER`] stops
+//! being polled for reads until the queue drains, so a peer that
+//! pipelines without reading cannot balloon the daemon.
+//!
+//! The deadline semantics carry over from the threaded transport: a
+//! started frame must complete within `frame_deadline` (anti-
+//! slowloris), a silent connection is reaped at `idle_timeout`, a
+//! peer that stops reading its replies is cut off after
+//! `write_timeout`, and connections past `max_connections` are shed
+//! at accept with `busy retry_after_ms=N`. Fault injection hooks the
+//! same `IO_READ_*`/`IO_WRITE_*` points as
+//! [`FaultStream`](hb_fault::FaultStream), so the chaos suite drives
+//! this loop with the same seeded matrix.
+//!
+//! Per-connection memory is bounded and measured: the decoder buffer
+//! is capped by the protocol limits, the reply queue by the high-water
+//! mark plus one frame, and both report into the
+//! `hb_conn_buffer_bytes` gauge surfaced by `stats`.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use hb_fault::{
+    FaultPlan, IO_READ_ERR, IO_READ_SHORT, IO_READ_STALL, IO_WRITE_ERR, IO_WRITE_SHORT,
+    IO_WRITE_STALL,
+};
+use hb_io::{Frame, FrameDecoder};
+
+use crate::net::{handle_with_deadline, Server, Shared};
+use crate::sys::{self, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+
+/// Read granularity. One readiness event reads at most
+/// [`READ_BUDGET`] of these before yielding to the rest of the loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Chunks one readiness event may read before other connections get a
+/// turn — fairness under a firehose peer.
+const READ_BUDGET: usize = 4;
+
+/// Reply-queue depth past which a connection stops being polled for
+/// reads until the queue drains. Bounds per-connection memory against
+/// a peer that pipelines requests without reading replies.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Reply-queue capacity retained after a full drain. One oversized
+/// reply (a `dump` of a big design) must not pin its buffer forever.
+const OUT_RETAIN: usize = 16 * 1024;
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    /// Incremental request decoder; owns the read buffer.
+    decoder: FrameDecoder,
+    /// Encoded replies not yet written; `out_start..` is pending.
+    out: Vec<u8>,
+    out_start: usize,
+    /// Last byte-level activity, for the idle reaper.
+    idle_since: Instant,
+    /// When the currently-partial frame started arriving.
+    frame_started: Option<Instant>,
+    /// When the pending output first failed to make progress.
+    write_stalled: Option<Instant>,
+    /// Flush pending output, then close (fatal error or shutdown).
+    closing: bool,
+    /// Alternates injected read-error kinds, like `FaultStream`.
+    flip: bool,
+    /// Bytes currently contributed to the buffer gauge.
+    reported: usize,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        let fd = stream.as_raw_fd();
+        Conn {
+            stream,
+            fd,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_start: 0,
+            idle_since: Instant::now(),
+            frame_started: None,
+            write_stalled: None,
+            closing: false,
+            flip: false,
+            reported: 0,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_start
+    }
+
+    /// Queues one encoded reply.
+    fn push_reply(&mut self, reply: &Frame) {
+        self.out.push_str_bytes(&reply.encode());
+    }
+
+    /// One nonblocking read into `chunk`, under the same injection
+    /// points as [`FaultStream`](hb_fault::FaultStream) — the reactor
+    /// cannot wrap its socket in one (the wrapper would own the fd
+    /// registered with `poll`), so it applies the plan inline.
+    fn read_once(&mut self, plan: &FaultPlan, chunk: &mut [u8]) -> io::Result<usize> {
+        if plan.fires(IO_READ_STALL) {
+            std::thread::sleep(plan.stall());
+        }
+        if plan.fires(IO_READ_ERR) {
+            self.flip = !self.flip;
+            let kind = if self.flip {
+                io::ErrorKind::Interrupted
+            } else {
+                io::ErrorKind::WouldBlock
+            };
+            return Err(io::Error::new(kind, "injected fault: io.read.err"));
+        }
+        let want = if plan.fires(IO_READ_SHORT) && chunk.len() > 1 {
+            1
+        } else {
+            chunk.len()
+        };
+        (&self.stream).read(&mut chunk[..want])
+    }
+
+    /// One nonblocking write of the pending output.
+    fn write_once(&mut self, plan: &FaultPlan) -> io::Result<usize> {
+        if plan.fires(IO_WRITE_STALL) {
+            std::thread::sleep(plan.stall());
+        }
+        if plan.fires(IO_WRITE_ERR) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected fault: io.write.err",
+            ));
+        }
+        let buf = &self.out[self.out_start..];
+        let want = if plan.fires(IO_WRITE_SHORT) && buf.len() > 1 {
+            1
+        } else {
+            buf.len()
+        };
+        let n = (&self.stream).write(&buf[..want])?;
+        self.out_start += n;
+        if self.out_start == self.out.len() {
+            self.out.clear();
+            self.out_start = 0;
+            self.out.shrink_to(OUT_RETAIN);
+        }
+        Ok(n)
+    }
+
+    /// The bytes this connection holds in reusable buffers right now.
+    fn buffer_bytes(&self) -> usize {
+        self.decoder.buffer_capacity() + self.out.capacity()
+    }
+}
+
+/// `Vec<u8>` append without the `io::Write` ceremony.
+trait PushStr {
+    fn push_str_bytes(&mut self, s: &str);
+}
+
+impl PushStr for Vec<u8> {
+    fn push_str_bytes(&mut self, s: &str) {
+        self.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// What the deadline sweep decided for one connection.
+enum Sweep {
+    Keep,
+    /// Queue a timeout error, flush, then close.
+    CutSlowFrame,
+    Close,
+}
+
+struct Reactor {
+    server: Server,
+    /// Connection slots; `None` is free (indices are stable because
+    /// poll interest is rebuilt every iteration anyway).
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    /// Scratch read buffer shared by every connection.
+    chunk: Vec<u8>,
+    /// Set by a successful `shutdown` request: stop accepting and
+    /// reading, flush every queued reply, then return.
+    draining: bool,
+}
+
+impl Server {
+    /// Serves connections on the single-threaded `poll(2)` event loop
+    /// until a client requests `shutdown`, then flushes every queued
+    /// reply and returns. The session, journal, metrics and deadline
+    /// semantics are shared with [`Server::run`]; only the transport
+    /// differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener or `poll` failures; per-connection errors
+    /// only close that connection.
+    pub fn run_reactor(self) -> io::Result<()> {
+        hb_obs::arm();
+        self.listener.set_nonblocking(true)?;
+        // Budget descriptors for the configured cap (each connection
+        // is exactly one fd) plus slack for the listener, stdio and
+        // whatever the embedding process holds.
+        let want = self.shared.options.max_connections as u64 + 64;
+        let _ = sys::raise_nofile_limit(want);
+        Reactor {
+            server: self,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            chunk: vec![0u8; READ_CHUNK],
+            draining: false,
+        }
+        .run()
+    }
+}
+
+impl Reactor {
+    fn shared(&self) -> &Shared {
+        &self.server.shared
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        let grain = self.shared().options.poll_grain();
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        loop {
+            pollfds.clear();
+            slots.clear();
+            let poll_listener = !self.draining;
+            if poll_listener {
+                pollfds.push(PollFd::new(self.server.listener.as_raw_fd(), POLLIN));
+            }
+            for (slot, conn) in self.conns.iter().enumerate() {
+                let Some(c) = conn else { continue };
+                let mut events = 0i16;
+                if c.pending_out() > 0 {
+                    events |= POLLOUT;
+                }
+                if !c.closing && c.pending_out() < WRITE_HIGH_WATER {
+                    events |= POLLIN;
+                }
+                pollfds.push(PollFd::new(c.fd, events));
+                slots.push(slot);
+            }
+            if self.draining && self.live == 0 {
+                return Ok(());
+            }
+            match sys::poll(&mut pollfds, grain) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+            let base = usize::from(poll_listener);
+            if poll_listener && pollfds[0].revents != 0 {
+                self.accept_ready();
+            }
+            for (i, &slot) in slots.iter().enumerate() {
+                let revents = pollfds[base + i].revents;
+                if revents == 0 || self.conns[slot].is_none() {
+                    continue;
+                }
+                if revents & (POLLERR | POLLNVAL) != 0 {
+                    self.close(slot);
+                    continue;
+                }
+                if revents & POLLOUT != 0 {
+                    self.write_ready(slot);
+                }
+                if self.conns[slot].is_some() && revents & (POLLIN | POLLHUP) != 0 {
+                    self.read_ready(slot);
+                }
+            }
+            self.sweep();
+        }
+    }
+
+    /// Drains the accept queue, registering or shedding each pending
+    /// connection.
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.server.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.live >= self.shared().options.max_connections {
+                self.shed(stream);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let conn = Conn::new(stream);
+            let slot = match self.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    self.conns.push(None);
+                    self.conns.len() - 1
+                }
+            };
+            self.conns[slot] = Some(conn);
+            self.live += 1;
+            self.shared().metrics.conns.add(1);
+            self.shared().active.store(self.live, Ordering::Release);
+        }
+    }
+
+    /// Overload shedding, nonblocking flavour: one write attempt of
+    /// the structured `busy` frame (a fresh socket's empty send buffer
+    /// always takes these few bytes), then close.
+    fn shed(&self, stream: TcpStream) {
+        self.shared().metrics.shed.inc();
+        let options = &self.shared().options;
+        let reply = Frame::new("error")
+            .arg("code", "busy")
+            .arg("retry_after_ms", options.retry_after_ms)
+            .with_payload("connection limit reached; retry shortly");
+        let _ = stream.set_nonblocking(true);
+        let _ = (&stream).write(reply.encode().as_bytes());
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+
+    /// Reads whatever the socket has (up to the fairness budget),
+    /// then decodes and dispatches every complete frame.
+    fn read_ready(&mut self, slot: usize) {
+        let plan = self.shared().options.faults.clone();
+        let mut eof = false;
+        for _ in 0..READ_BUDGET {
+            let conn = self.conns[slot].as_mut().expect("checked by caller");
+            let mut chunk = std::mem::take(&mut self.chunk);
+            let outcome = conn.read_once(&plan, &mut chunk);
+            match outcome {
+                Ok(0) => {
+                    self.chunk = chunk;
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.feed(&chunk[..n]);
+                    conn.idle_since = Instant::now();
+                    self.chunk = chunk;
+                    self.shared().metrics.bytes_in.add(n as u64);
+                    if n < READ_CHUNK {
+                        break; // drained the socket
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.chunk = chunk;
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.chunk = chunk;
+                    break;
+                }
+                Err(_) => {
+                    self.chunk = chunk;
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.process(slot);
+        if eof {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                if let Err(e) = conn.decoder.finish() {
+                    // Mirror the blocking loop: EOF inside a frame is
+                    // answered with a structured proto error before
+                    // the close.
+                    let reply = Frame::new("error")
+                        .arg("code", "proto")
+                        .with_payload(e.to_string());
+                    conn.push_reply(&reply);
+                    conn.closing = true;
+                    self.write_ready(slot);
+                } else if conn.pending_out() == 0 {
+                    self.close(slot);
+                } else {
+                    conn.closing = true;
+                }
+            }
+        }
+    }
+
+    /// Decodes and dispatches every complete frame the connection has
+    /// buffered, stopping at the backpressure mark. Called after reads
+    /// and after a below-high-water drain (frames decoded under
+    /// backpressure wait in the decoder, not on the socket).
+    fn process(&mut self, slot: usize) {
+        loop {
+            let conn = match self.conns[slot].as_mut() {
+                Some(c) if !c.closing && c.pending_out() < WRITE_HIGH_WATER => c,
+                _ => break,
+            };
+            match conn.decoder.next_frame() {
+                Ok(Some(req)) => {
+                    conn.idle_since = Instant::now();
+                    let stop = req.verb == "shutdown";
+                    let reply = handle_with_deadline(self.shared(), &req);
+                    let conn = self.conns[slot].as_mut().expect("still present");
+                    conn.push_reply(&reply);
+                    if stop && reply.verb == "ok" {
+                        self.shared().shutdown.store(true, Ordering::Release);
+                        self.draining = true;
+                        let conn = self.conns[slot].as_mut().expect("still present");
+                        conn.closing = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let reply = Frame::new("error")
+                        .arg("code", "proto")
+                        .with_payload(e.to_string());
+                    conn.push_reply(&reply);
+                    if !e.recoverable() {
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(conn) = self.conns[slot].as_mut() {
+            // The frame clock runs while a partial frame is buffered.
+            if conn.decoder.mid_frame() {
+                if conn.frame_started.is_none() {
+                    conn.frame_started = Some(Instant::now());
+                }
+            } else {
+                conn.frame_started = None;
+            }
+            if conn.pending_out() > 0 {
+                // Opportunistic flush: most replies go out here, in
+                // the same loop turn as the request — no extra poll
+                // round trip on the hot path.
+                self.write_ready(slot);
+            }
+        }
+    }
+
+    /// Flushes as much pending output as the socket takes.
+    fn write_ready(&mut self, slot: usize) {
+        let plan = self.shared().options.faults.clone();
+        let was_blocked = {
+            let conn = self.conns[slot].as_ref().expect("checked by caller");
+            conn.pending_out() >= WRITE_HIGH_WATER
+        };
+        loop {
+            let conn = self.conns[slot].as_mut().expect("checked by caller");
+            if conn.pending_out() == 0 {
+                conn.write_stalled = None;
+                break;
+            }
+            match conn.write_once(&plan) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.write_stalled = None;
+                    self.shared().metrics.bytes_out.add(n as u64);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if conn.write_stalled.is_none() {
+                        conn.write_stalled = Some(Instant::now());
+                    }
+                    break;
+                }
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        let conn = self.conns[slot].as_mut().expect("survived the loop");
+        if conn.pending_out() == 0 && conn.closing {
+            self.close(slot);
+            return;
+        }
+        // Dropping below the high-water mark resumes decoding of
+        // frames that arrived during backpressure.
+        let conn = self.conns[slot].as_ref().expect("survived the loop");
+        if was_blocked && conn.pending_out() < WRITE_HIGH_WATER {
+            self.process(slot);
+        }
+    }
+
+    /// Enforces the frame, idle and write deadlines, drives draining,
+    /// and refreshes the buffer gauge.
+    fn sweep(&mut self) {
+        let options = self.shared().options.clone();
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let decision = {
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    continue;
+                };
+                // Keep the buffer gauge current while we are here.
+                let bytes = conn.buffer_bytes();
+                if bytes != conn.reported {
+                    let delta = bytes as i64 - conn.reported as i64;
+                    conn.reported = bytes;
+                    self.server.shared.metrics.buffer_bytes.add(delta);
+                }
+                if self.draining {
+                    conn.closing = true;
+                    if conn.pending_out() == 0 {
+                        Sweep::Close
+                    } else {
+                        Sweep::Keep
+                    }
+                } else if conn
+                    .write_stalled
+                    .is_some_and(|since| now - since >= options.write_timeout)
+                {
+                    Sweep::Close
+                } else if conn.closing {
+                    if conn.pending_out() == 0 {
+                        Sweep::Close
+                    } else {
+                        Sweep::Keep
+                    }
+                } else if conn
+                    .frame_started
+                    .is_some_and(|started| now - started >= options.frame_deadline)
+                {
+                    Sweep::CutSlowFrame
+                } else if conn.frame_started.is_none()
+                    && now - conn.idle_since >= options.idle_timeout
+                {
+                    Sweep::Close
+                } else {
+                    Sweep::Keep
+                }
+            };
+            match decision {
+                Sweep::Keep => {}
+                Sweep::Close => self.close(slot),
+                Sweep::CutSlowFrame => {
+                    let conn = self.conns[slot].as_mut().expect("present above");
+                    let reply = Frame::new("error")
+                        .arg("code", "timeout")
+                        .with_payload("frame deadline exceeded: request arrived too slowly");
+                    conn.push_reply(&reply);
+                    conn.closing = true;
+                    self.write_ready(slot);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            self.server
+                .shared
+                .metrics
+                .buffer_bytes
+                .sub(conn.reported as i64);
+            self.server.shared.metrics.conns.sub(1);
+            self.live -= 1;
+            self.server
+                .shared
+                .active
+                .store(self.live, Ordering::Release);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            self.free.push(slot);
+        }
+    }
+}

@@ -35,6 +35,15 @@ pub const MAX_WORST_PATHS: usize = 10_000;
 /// retain*.
 pub const MAX_LOAD_BYTES: usize = 8 * 1024 * 1024;
 
+/// Largest accepted number of sub-requests in one `batch` frame.
+pub const MAX_BATCH: usize = 1024;
+
+/// The sub-verbs a `batch` frame may carry — the read-only query set.
+/// Restricting batches to queries keeps them out of the write-ahead
+/// journal by construction: a batch can never mutate the session, so
+/// recovery never needs to replay one.
+const BATCH_VERBS: [&str; 6] = ["hello", "stats", "metrics", "slack", "worst-paths", "dump"];
+
 /// The state a `load` request installs.
 struct Loaded {
     design: Design,
@@ -312,10 +321,8 @@ impl Session {
     pub fn handle_readonly(&self, req: &Frame) -> Option<Frame> {
         let serveable = match req.verb.as_str() {
             "hello" | "stats" | "metrics" | "shutdown" => true,
-            "slack" | "worst-paths" | "dump" => self
-                .loaded
-                .as_ref()
-                .is_some_and(|l| l.analyzed == Some(l.generation)),
+            "slack" | "worst-paths" | "dump" => self.settled(),
+            "batch" => self.batch_serveable(req),
             _ => false,
         };
         if !serveable {
@@ -344,7 +351,32 @@ impl Session {
             "slack" => self.slack(req),
             "worst-paths" => self.worst_paths(req),
             "dump" => self.dump(),
+            "batch" => self.batch(req),
             _ => unreachable!("gated by handle_readonly"),
+        }
+    }
+
+    /// Whether the loaded design has a settled (current-generation)
+    /// analysis the read path may serve from.
+    fn settled(&self) -> bool {
+        self.loaded
+            .as_ref()
+            .is_some_and(|l| l.analyzed == Some(l.generation))
+    }
+
+    /// Whether a `batch` request can be answered under the read lock:
+    /// every sub-request must be answerable without (re)analysis. A
+    /// batch that fails to decode is also serveable — its error reply
+    /// mutates nothing.
+    fn batch_serveable(&self, req: &Frame) -> bool {
+        match Self::decode_batch(req) {
+            Err(_) => true,
+            Ok(subs) => {
+                let needs_report = subs
+                    .iter()
+                    .any(|f| matches!(f.verb.as_str(), "slack" | "worst-paths" | "dump"));
+                !needs_report || self.settled()
+            }
         }
     }
 
@@ -387,8 +419,99 @@ impl Session {
                 self.worst_paths(req)
             }
             "eco" => self.eco(req),
+            "batch" => self.batch_write(req),
             verb => err("unknown-verb", format!("unknown request verb `{verb}`")),
         }
+    }
+
+    /// The write-path `batch` entry: runs the implicit re-analysis any
+    /// report-dependent sub-request needs, then serves the batch
+    /// read-only. Batches stay out of the journal — the re-analysis is
+    /// reconstructible from the journaled `load`/`analyze` history.
+    fn batch_write(&mut self, req: &Frame) -> Frame {
+        let needs_report = match Self::decode_batch(req) {
+            Err(reply) => return reply,
+            Ok(subs) => subs
+                .iter()
+                .any(|f| matches!(f.verb.as_str(), "slack" | "worst-paths")),
+        };
+        if needs_report {
+            if let Some(reply) = self.ensure_analyzed().err() {
+                return reply;
+            }
+        }
+        self.batch(req)
+    }
+
+    /// Decodes a batch payload into its sub-requests, enforcing the
+    /// read-only verb set and [`MAX_BATCH`].
+    fn decode_batch(req: &Frame) -> Result<Vec<Frame>, Frame> {
+        let Some(payload) = req.payload.as_deref() else {
+            return Err(err(
+                "usage",
+                "batch needs encoded sub-requests as its payload",
+            ));
+        };
+        let mut decoder = hb_io::FrameDecoder::new();
+        decoder.feed(payload.as_bytes());
+        let mut subs = Vec::new();
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(sub)) => {
+                    if subs.len() == MAX_BATCH {
+                        return Err(err(
+                            "limit",
+                            format!("batch exceeds {MAX_BATCH} sub-requests"),
+                        ));
+                    }
+                    subs.push(sub);
+                }
+                Ok(None) => break,
+                Err(e) => return Err(err("usage", format!("bad batch sub-request: {e}"))),
+            }
+        }
+        if decoder.finish().is_err() {
+            return Err(err("usage", "batch payload ends inside a sub-request"));
+        }
+        if subs.is_empty() {
+            return Err(err("usage", "batch carries no sub-requests"));
+        }
+        if let Some(sub) = subs
+            .iter()
+            .find(|f| !BATCH_VERBS.contains(&f.verb.as_str()))
+        {
+            return Err(err(
+                "usage",
+                format!("batch sub-request `{}` is not a read-only query", sub.verb),
+            ));
+        }
+        Ok(subs)
+    }
+
+    /// Serves a decoded batch: each sub-request is answered in order
+    /// and the encoded sub-replies ride back concatenated in one
+    /// payload — one syscall round-trip for N queries. Sub-requests
+    /// are tallied individually so batched traffic stays visible in
+    /// the per-verb counters.
+    fn batch(&self, req: &Frame) -> Frame {
+        let subs = match Self::decode_batch(req) {
+            Ok(subs) => subs,
+            Err(reply) => return reply,
+        };
+        let mut body = String::new();
+        let mut errors = 0usize;
+        for sub in &subs {
+            self.metrics.count_read(&sub.verb);
+            let reply = self.dispatch_readonly(sub);
+            if reply.verb == "error" {
+                self.metrics.error(reply.get("code").unwrap_or("unknown"));
+                errors += 1;
+            }
+            body.push_str(&reply.encode());
+        }
+        ok().arg("count", subs.len())
+            .arg("errors", errors)
+            .with_payload(body)
     }
 
     fn stats(&self) -> Frame {
@@ -402,7 +525,9 @@ impl Session {
             .arg("write_requests", self.metrics.write_total())
             .arg("recoveries", self.metrics.recoveries.get())
             .arg("loads", self.loads)
-            .arg("ecos", self.ecos);
+            .arg("ecos", self.ecos)
+            .arg("conn_buffer_bytes", self.metrics.buffer_bytes.get())
+            .arg("conn_buffer_peak_bytes", self.metrics.buffer_bytes.peak());
         if let Some(l) = &self.loaded {
             let stats = l.cache.stats();
             reply = reply
@@ -626,9 +751,52 @@ impl Session {
             return err("no-design", "no design loaded");
         };
         let report = loaded.report.as_ref().expect("analyzed before dispatch");
-        let Some(name) = req.get("node") else {
-            return err("usage", "slack needs node=NAME");
-        };
+        let nodes: Vec<&str> = req.get_all("node").collect();
+        match nodes.as_slice() {
+            [] => err(
+                "usage",
+                "slack needs node=NAME (repeatable for a batched query)",
+            ),
+            [name] => Self::slack_one(loaded, report, name),
+            names => {
+                // Batched form: `slack node=A node=B ...` answers every
+                // node in one frame — count, worst across the set, and
+                // one `NAME kind SLACK` payload line per node, in
+                // request order. One unresolvable name fails the whole
+                // request; a partial answer would be ambiguous.
+                let module = loaded.design.module(loaded.top);
+                let mut body = String::with_capacity(names.len() * 24);
+                let mut worst = None;
+                for name in names {
+                    let (kind, slack) = if let Some(net) = module.net_by_name(name) {
+                        ("net", report.net_slack(net))
+                    } else if let Some(s) = report
+                        .terminal_slacks()
+                        .iter()
+                        .filter(|t| t.name == *name)
+                        .map(|t| t.slack)
+                        .min()
+                    {
+                        ("terminal", s)
+                    } else {
+                        return err("unknown-node", format!("no net or terminal named `{name}`"));
+                    };
+                    worst = Some(match worst {
+                        None => slack,
+                        Some(w) => slack.min(w),
+                    });
+                    body.push_str(&format!("{name} {kind} {slack}\n"));
+                }
+                ok().arg("count", names.len())
+                    .arg("worst", worst.expect("names is non-empty"))
+                    .with_payload(body)
+            }
+        }
+    }
+
+    /// The single-node `slack` reply — the original wire shape, kept
+    /// bit-for-bit stable for existing clients and transcripts.
+    fn slack_one(loaded: &Loaded, report: &TimingReport, name: &str) -> Frame {
         let module = loaded.design.module(loaded.top);
         if let Some(net) = module.net_by_name(name) {
             return ok()

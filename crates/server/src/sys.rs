@@ -1,0 +1,172 @@
+//! Thin, libc-crate-free bindings to the two syscalls the reactor
+//! needs beyond what `std::net` exposes: `poll(2)` for readiness over
+//! many descriptors, and `getrlimit(2)`/`setrlimit(2)` to widen the
+//! file-descriptor budget for c10k runs.
+//!
+//! The workspace is dependency-free by policy, and std already links
+//! the platform C library, so declaring the symbols ourselves resolves
+//! them at no cost — the mio spirit without the crate. Structure
+//! layouts and constants below are the Unix ABI values shared by Linux
+//! and the BSDs (`pollfd` is specified by POSIX; `RLIMIT_NOFILE` is 7
+//! on Linux, where this daemon runs).
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::time::Duration;
+
+/// One descriptor's readiness interest and result — `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Interest in `events` on `fd`, with no results yet.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+/// Data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition is pending (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up; buffered data may still be readable.
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// `struct rlimit` — soft and hard resource limits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+/// The open-file-descriptor resource on Linux.
+const RLIMIT_NOFILE: c_int = 7;
+
+mod c {
+    use super::{PollFd, RLimit};
+    use std::os::raw::{c_int, c_ulong};
+
+    extern "C" {
+        pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+}
+
+/// Waits until a watched descriptor is ready or `timeout` elapses.
+/// Returns the number of descriptors with nonzero `revents` (zero on
+/// timeout). An empty set is a plain bounded sleep.
+///
+/// # Errors
+///
+/// The raw OS error; callers retry [`io::ErrorKind::Interrupted`].
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> io::Result<usize> {
+    let ms = c_int::try_from(timeout.as_millis()).unwrap_or(c_int::MAX);
+    let rc = unsafe { c::poll(fds.as_mut_ptr(), fds.len() as c_ulong, ms) };
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(rc as usize)
+    }
+}
+
+/// Raises the soft open-files limit to at least `want` descriptors
+/// (raising the hard limit too when the process is privileged enough),
+/// and returns the soft limit actually in force afterwards — possibly
+/// below `want` on an unprivileged process, which callers treat as a
+/// smaller connection budget rather than an error.
+///
+/// # Errors
+///
+/// Only if the limits cannot be read at all.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = RLimit { cur: 0, max: 0 };
+    if unsafe { c::getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    let raised = RLimit {
+        cur: want,
+        max: lim.max.max(want),
+    };
+    if unsafe { c::setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+        return Ok(want);
+    }
+    // Could not raise the hard limit; settle for all of the existing
+    // one.
+    if lim.cur < lim.max {
+        let capped = RLimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        if unsafe { c::setrlimit(RLIMIT_NOFILE, &capped) } == 0 {
+            return Ok(lim.max);
+        }
+    }
+    Ok(lim.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn empty_poll_is_a_bounded_sleep() {
+        let started = std::time::Instant::now();
+        let n = poll(&mut [], Duration::from_millis(20)).unwrap();
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn poll_reports_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        // Nothing pending: a short poll times out.
+        assert_eq!(poll(&mut fds, Duration::from_millis(10)).unwrap(), 0);
+        assert_eq!(fds[0].revents, 0);
+        // A connecting client makes the listener readable.
+        let mut client = TcpStream::connect(addr).unwrap();
+        assert_eq!(poll(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        // And bytes in flight make the accepted socket readable.
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Duration::from_secs(5)).unwrap(), 1);
+        assert_ne!(fds[0].revents & POLLIN, 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        // Asking for what we already have is a no-op...
+        let current = raise_nofile_limit(1).unwrap();
+        assert!(current >= 1);
+        // ...and asking for more never lowers the budget.
+        let after = raise_nofile_limit(current).unwrap();
+        assert!(after >= current);
+    }
+}

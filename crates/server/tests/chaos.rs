@@ -462,3 +462,220 @@ fn oversized_requests_hit_structured_limits() {
     // The resident design survived the rejected load.
     assert_eq!(session.handle(&Frame::new("stats")).get("loads"), Some("1"));
 }
+
+// --- Reactor transport under chaos -----------------------------------
+//
+// The event loop shares the session, journal and deadline semantics
+// with the threaded server but owns its own I/O path (nonblocking
+// reads into a push decoder, queued writes), so the three invariants
+// are re-proven against it with the same seeded matrix. The one
+// deliberate exception is `net.unwind.escape`: that hook exists to
+// kill a worker *thread* and poison the lock, and the reactor has
+// exactly one thread — arming it would be a test of `panic!`, not of
+// the daemon.
+
+fn start_reactor(
+    lib: Library,
+    options: ServerOptions,
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", lib, options).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run_reactor());
+    (addr, handle)
+}
+
+/// Invariant 1+codec, reactor flavour: the fault matrix fires on
+/// *both* sides — the client's `FaultStream` and the reactor's inline
+/// injection points (`options.faults`) — and every reply is still
+/// byte-identical to the clean baseline. Short reads and `WouldBlock`
+/// mid-frame land in the push decoder's buffer, not on the floor.
+#[test]
+fn reactor_faulted_both_sides_decodes_identically() {
+    let _guard = serialised();
+    let (lib, text, _) = pipeline();
+
+    // Clean baseline from an unfaulted reactor.
+    let requests = [
+        Frame::new("hello"),
+        Frame::new("load").with_payload(text),
+        Frame::new("analyze"),
+        Frame::new("worst-paths").arg("k", 5),
+        Frame::new("slack")
+            .arg("node", "s0b0")
+            .arg("node", "s1b0")
+            .arg("node", "s2b0"),
+    ];
+    let (addr, server) = start_reactor(lib.clone(), ServerOptions::default());
+    let mut clean = Client::connect(addr).unwrap();
+    let baseline: Vec<Frame> = requests.iter().map(|f| clean.request(f).unwrap()).collect();
+    clean.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+
+    for seed in seeds() {
+        let plan = FaultPlan::seeded(seed)
+            .armed(hb_fault::IO_READ_SHORT, Fault::with_rate(40))
+            .armed(hb_fault::IO_READ_ERR, Fault::with_rate(25))
+            .armed(hb_fault::IO_WRITE_SHORT, Fault::with_rate(40))
+            .armed(hb_fault::IO_WRITE_ERR, Fault::with_rate(20));
+        let options = ServerOptions {
+            faults: plan.clone(),
+            ..ServerOptions::default()
+        };
+        let (addr, server) = start_reactor(lib.clone(), options);
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writes =
+            FaultStream::new(std::io::empty(), stream.try_clone().unwrap(), plan.clone());
+        let mut reads =
+            FrameReader::new(std::io::BufReader::new(FaultStream::reader(stream, plan)));
+        for (req, want) in requests.iter().zip(&baseline) {
+            writes.write_all(req.encode().as_bytes()).unwrap();
+            writes.flush().unwrap();
+            let got = loop {
+                match reads.read_frame() {
+                    Ok(Some(frame)) => break frame,
+                    Ok(None) => panic!("seed {seed:#x}: connection closed mid-matrix"),
+                    Err(ProtoError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue; // injected; partial frame is retained
+                    }
+                    Err(e) => panic!("seed {seed:#x}: {e}"),
+                }
+            };
+            // Everything but the wall-clock `seconds` arg must match.
+            let strip = |f: &Frame| {
+                let mut f = f.clone();
+                f.args.retain(|(k, _)| k != "seconds");
+                f
+            };
+            assert_eq!(
+                strip(&got),
+                strip(want),
+                "seed {seed:#x}: reply to `{}` diverged",
+                req.verb
+            );
+        }
+        writes
+            .write_all(Frame::new("shutdown").encode().as_bytes())
+            .unwrap();
+        writes.flush().unwrap();
+        server.join().unwrap().unwrap();
+    }
+}
+
+/// Invariant 1, reactor flavour: the event loop enforces the frame
+/// deadline against a slowloris drip and the idle timeout against a
+/// silent peer — without a watchdog thread, purely from its sweep.
+#[test]
+fn reactor_reaps_slowloris_and_idle_connections() {
+    let _guard = serialised();
+    let (lib, _, _) = pipeline();
+    let options = ServerOptions {
+        frame_deadline: Duration::from_millis(300),
+        idle_timeout: Duration::from_millis(1200),
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_reactor(lib, options);
+
+    // Slowloris: drip an unterminated header forever.
+    let start = Instant::now();
+    let drip = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(drip.try_clone().unwrap()));
+    let feeder = thread::spawn(move || {
+        let mut drip = &drip;
+        for byte in std::iter::repeat_n(b'a', 200) {
+            if drip.write_all(&[byte]).is_err() {
+                return; // reactor cut us off
+            }
+            thread::sleep(Duration::from_millis(40));
+        }
+    });
+    let reply = replies.read_frame().unwrap().expect("a timeout reply");
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("timeout"));
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "frame deadline not enforced: {:?}",
+        start.elapsed()
+    );
+    assert!(replies.read_frame().unwrap().is_none(), "must be cut off");
+    feeder.join().unwrap();
+
+    // Idle: connect, say nothing, get reaped.
+    let start = Instant::now();
+    let idle = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(idle));
+    assert!(replies.read_frame().unwrap().is_none(), "reaped with EOF");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(1000) && elapsed < Duration::from_secs(5),
+        "idle reaper fired at {elapsed:?}, expected ~1.2s"
+    );
+
+    // The loop itself never stalled for other clients.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request(&Frame::new("hello")).unwrap().verb, "ok");
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Invariant 2+3, reactor flavour: a panicking ECO dispatched from
+/// the event loop is isolated by the same journal recovery as the
+/// threaded path, and the recovered session answers bit-identical to
+/// a cold twin. A panic here would otherwise take down every
+/// connection at once — the single-thread design leans hard on the
+/// catch.
+#[test]
+fn reactor_eco_panic_recovers_bit_identical_to_cold() {
+    let _guard = serialised();
+    let (lib, text, inst) = pipeline();
+    let faults = FaultPlan::seeded(0xDAC89).armed(hb_fault::SESSION_ECO_PANIC, Fault::once());
+    let options = ServerOptions {
+        faults,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_reactor(lib.clone(), options);
+    let mut client = Client::connect(addr).unwrap();
+
+    let reply = client
+        .request(&Frame::new("load").with_payload(text.clone()))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    assert_eq!(client.request(&Frame::new("analyze")).unwrap().verb, "ok");
+
+    // The injected panic: isolated, recovered, the loop survives.
+    let reply = client.request(&eco_resize(&inst)).unwrap();
+    assert_eq!(reply.verb, "error", "{:?}", reply.payload);
+    assert_eq!(reply.get("code"), Some("internal"));
+    assert_eq!(reply.get("recovered"), Some("1"), "{:?}", reply.payload);
+
+    // Same connection, fault budget spent: the ECO re-applies.
+    let warm_eco = client.request(&eco_resize(&inst)).unwrap();
+    assert_eq!(warm_eco.verb, "ok", "{:?}", warm_eco.payload);
+    let warm_paths = client
+        .request(&Frame::new("worst-paths").arg("k", 20))
+        .unwrap();
+    let warm_dump = client.request(&Frame::new("dump")).unwrap();
+
+    // Cold twin: fresh session, same text, same single ECO.
+    let mut cold = Session::new(lib);
+    cold.handle(&Frame::new("load").with_payload(text));
+    cold.handle(&Frame::new("analyze"));
+    let cold_eco = cold.handle(&eco_resize(&inst));
+    let cold_paths = cold.handle(&Frame::new("worst-paths").arg("k", 20));
+    let cold_dump = cold.handle(&Frame::new("dump"));
+
+    assert_eq!(warm_dump.payload, cold_dump.payload, "designs diverged");
+    for key in ["ok", "worst", "period"] {
+        assert_eq!(warm_eco.get(key), cold_eco.get(key), "eco {key} diverged");
+    }
+    assert_eq!(warm_paths.payload, cold_paths.payload, "paths diverged");
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}

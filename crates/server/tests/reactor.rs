@@ -1,0 +1,392 @@
+//! Reactor transport suite: the `poll(2)` event loop against its
+//! blocking siblings.
+//!
+//! The load-bearing test is parity: one wire transcript — load,
+//! analyze, ECO, single/multi-node slack, a batch frame, a malformed
+//! header — is replayed through `serve_stream` and through the
+//! reactor, and the reply streams must be byte-identical (after
+//! masking the one volatile token, `seconds=`). Everything else here
+//! exercises what only the reactor offers: request pipelining,
+//! batched verbs, a thousand concurrent connections on one thread,
+//! accept-side shedding, and the bounded per-connection buffer gauge.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+
+use hb_cells::sc89;
+use hb_io::{Frame, FrameDecoder, FrameReader};
+use hb_server::{serve_stream, Client, Server, ServerOptions};
+
+/// Every net in the two-phase pipeline design — multi-node slack
+/// targets.
+const NETS: [&str; 15] = [
+    "a0y", "a1y", "a2y", "a3y", "a4y", "a5y", "a6y", "a7y", "midq", "b0y", "b1y", "b2y", "b3y",
+    "b4y", "dout",
+];
+
+fn design() -> String {
+    std::fs::read_to_string("../../designs/two_phase_pipeline.hum").unwrap()
+}
+
+fn start_reactor(options: ServerOptions) -> (SocketAddr, thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", sc89(), options).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run_reactor());
+    (addr, handle)
+}
+
+/// A loaded, analyzed session over the pipeline design.
+fn warm_client(addr: SocketAddr) -> Client {
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client
+        .request(&Frame::new("load").with_payload(design()))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    let reply = client.request(&Frame::new("analyze")).unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    client
+}
+
+/// A `batch` frame wrapping the given sub-requests.
+fn batch_of(subs: &[Frame]) -> Frame {
+    let mut body = String::new();
+    for sub in subs {
+        body.push_str(&sub.encode());
+    }
+    Frame::new("batch").with_payload(body)
+}
+
+/// Masks the value of every ` seconds=` argument — the only volatile
+/// token in any reply — so transcripts from different runs compare
+/// byte-for-byte.
+/// Parses a wire slack value (`-1.250ns`) to nanoseconds.
+fn ns(s: &str) -> f64 {
+    s.trim_end_matches("ns").parse().unwrap()
+}
+
+fn mask_seconds(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find(" seconds=") {
+        out.push_str(&rest[..pos]);
+        out.push_str(" seconds=X");
+        let after = &rest[pos + " seconds=".len()..];
+        let end = after.find([' ', '\n']).unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The parity satellite: the same wire transcript through the
+/// blocking stream loop and through the reactor produces
+/// byte-identical reply streams.
+#[test]
+fn reactor_replies_match_serve_stream_byte_for_byte() {
+    let text = design();
+    let subs = [
+        Frame::new("hello"),
+        Frame::new("slack").arg("node", "midq"),
+        Frame::new("slack").arg("node", "a1y").arg("node", "dout"),
+        Frame::new("worst-paths").arg("k", 2),
+        Frame::new("dump"),
+    ];
+    let mut wire = Vec::new();
+    for f in [
+        Frame::new("hello"),
+        Frame::new("load").with_payload(text),
+        Frame::new("analyze"),
+        Frame::new("slack").arg("node", "midq"),
+        Frame::new("slack").arg("node", "mid"),
+        Frame::new("eco")
+            .arg("op", "resize")
+            .arg("inst", "b0")
+            .arg("steps", 1),
+        Frame::new("analyze"),
+        Frame::new("slack")
+            .arg("node", "a3y")
+            .arg("node", "b1y")
+            .arg("node", "dout"),
+        batch_of(&subs),
+    ] {
+        wire.extend_from_slice(f.encode().as_bytes());
+    }
+    // A recoverable protocol error mid-stream: both transports must
+    // answer it and keep serving.
+    wire.extend_from_slice(b"slack bogus\n");
+    for f in [
+        Frame::new("worst-paths").arg("k", 3),
+        Frame::new("slack").arg("node", "nosuch"),
+        Frame::new("dump"),
+        Frame::new("shutdown"),
+    ] {
+        wire.extend_from_slice(f.encode().as_bytes());
+    }
+
+    let mut blocking = Vec::new();
+    serve_stream(sc89(), std::io::Cursor::new(wire.clone()), &mut blocking).unwrap();
+
+    let (addr, server) = start_reactor(ServerOptions::default());
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&wire).unwrap();
+    let mut reacted = Vec::new();
+    stream.read_to_end(&mut reacted).unwrap();
+    server.join().unwrap().unwrap();
+
+    let blocking = mask_seconds(&String::from_utf8(blocking).unwrap());
+    let reacted = mask_seconds(&String::from_utf8(reacted).unwrap());
+    assert_eq!(blocking, reacted, "transports diverged");
+
+    // Sanity: one reply per request, including the malformed line.
+    let mut replies = FrameReader::new(std::io::Cursor::new(reacted.into_bytes()));
+    let mut count = 0usize;
+    while replies.read_frame().unwrap().is_some() {
+        count += 1;
+    }
+    assert_eq!(count, 14);
+}
+
+/// Pipelining: a window of requests written in one burst comes back
+/// as in-order replies identical to their sequential twins.
+#[test]
+fn pipelined_window_replies_in_order() {
+    let (addr, server) = start_reactor(ServerOptions::default());
+    let mut client = warm_client(addr);
+
+    let sequential: Vec<Frame> = NETS
+        .iter()
+        .map(|net| {
+            client
+                .request(&Frame::new("slack").arg("node", *net))
+                .unwrap()
+        })
+        .collect();
+
+    let window: Vec<Frame> = (0..600)
+        .map(|i| Frame::new("slack").arg("node", NETS[i % NETS.len()]))
+        .collect();
+    let replies = client.request_pipelined(&window).unwrap();
+    assert_eq!(replies.len(), window.len());
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(reply, &sequential[i % NETS.len()], "reply {i} diverged");
+    }
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// Batched slack: the multi-node form reports every node and a
+/// `worst` equal to the minimum of the individual slacks.
+#[test]
+fn multi_node_slack_aggregates_individuals() {
+    let (addr, server) = start_reactor(ServerOptions::default());
+    let mut client = warm_client(addr);
+
+    let mut multi = Frame::new("slack");
+    for net in NETS {
+        multi = multi.arg("node", net);
+    }
+    let reply = client.request(&multi).unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    assert_eq!(reply.get("count"), Some(format!("{}", NETS.len()).as_str()));
+
+    let body = reply.payload.clone().unwrap();
+    let mut worst: Option<f64> = None;
+    for net in NETS {
+        let single = client
+            .request(&Frame::new("slack").arg("node", net))
+            .unwrap();
+        let slack = single.get("slack").unwrap();
+        let line = body
+            .lines()
+            .find(|l| l.starts_with(&format!("{net} ")))
+            .unwrap_or_else(|| panic!("no line for {net}"));
+        assert_eq!(
+            line,
+            format!("{net} {} {slack}", single.get("kind").unwrap()),
+            "batched line diverged from the single-node reply"
+        );
+        let v = ns(slack);
+        worst = Some(worst.map_or(v, |w: f64| w.min(v)));
+    }
+    let min = worst.unwrap();
+    assert_eq!(
+        ns(reply.get("worst").unwrap()),
+        min,
+        "worst= must be the minimum of the per-node slacks"
+    );
+
+    // An unknown node fails the whole multi-node request.
+    let reply = client
+        .request(&Frame::new("slack").arg("node", "a1y").arg("node", "nosuch"))
+        .unwrap();
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("unknown-node"));
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// The `batch` frame: N sub-requests in one payload come back as one
+/// reply whose payload decodes into exactly the sub-replies the verbs
+/// would earn individually.
+#[test]
+fn batch_frame_matches_individual_replies() {
+    let (addr, server) = start_reactor(ServerOptions::default());
+    let mut client = warm_client(addr);
+
+    let mut subs = vec![Frame::new("hello"), Frame::new("worst-paths").arg("k", 2)];
+    for net in NETS {
+        subs.push(Frame::new("slack").arg("node", net));
+    }
+    subs.push(Frame::new("slack").arg("node", "nosuch")); // errors ride along
+
+    let reply = client.request(&batch_of(&subs)).unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    assert_eq!(reply.get("count"), Some(format!("{}", subs.len()).as_str()));
+    assert_eq!(reply.get("errors"), Some("1"));
+
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(reply.payload.clone().unwrap().as_bytes());
+    let mut batched = Vec::new();
+    while let Some(frame) = decoder.next_frame().unwrap() {
+        batched.push(frame);
+    }
+    decoder.finish().unwrap();
+    assert_eq!(batched.len(), subs.len());
+    for (sub, got) in subs.iter().zip(&batched) {
+        let want = client.request(sub).unwrap();
+        assert_eq!(got, &want, "sub-reply for `{}` diverged", sub.verb);
+    }
+
+    // A mutating verb may not hide inside a batch.
+    let reply = client.request(&batch_of(&[Frame::new("analyze")])).unwrap();
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("usage"), "{:?}", reply.payload);
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// One reactor thread holds a thousand live connections and still
+/// answers every one of them.
+#[test]
+fn thousand_concurrent_connections_on_one_thread() {
+    let options = ServerOptions {
+        max_connections: 1200,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_reactor(options);
+
+    let mut clients: Vec<Client> = (0..1000)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let reply = client.request(&Frame::new("hello")).unwrap();
+        assert_eq!(reply.verb, "ok", "client {i}");
+    }
+
+    // The gauge sees them all at once.
+    let reply = clients[0].request(&Frame::new("metrics")).unwrap();
+    let exposition = reply.payload.unwrap();
+    let live: i64 = exposition
+        .lines()
+        .find_map(|l| l.strip_prefix("hb_connections "))
+        .expect("hb_connections in the exposition")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(live >= 1000, "gauge says {live} live connections");
+
+    // Still responsive across the whole set after the burst.
+    for client in clients.iter_mut().step_by(97) {
+        assert_eq!(client.request(&Frame::new("hello")).unwrap().verb, "ok");
+    }
+
+    assert_eq!(
+        clients[0].request(&Frame::new("shutdown")).unwrap().verb,
+        "ok"
+    );
+    server.join().unwrap().unwrap();
+}
+
+/// Accept-side shedding: connections past the cap get the structured
+/// `busy` frame and EOF, and a freed slot readmits new clients.
+#[test]
+fn over_cap_connections_are_shed_with_busy() {
+    let options = ServerOptions {
+        max_connections: 2,
+        retry_after_ms: 7,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_reactor(options);
+
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    assert_eq!(a.request(&Frame::new("hello")).unwrap().verb, "ok");
+    assert_eq!(b.request(&Frame::new("hello")).unwrap().verb, "ok");
+
+    let shed = TcpStream::connect(addr).unwrap();
+    let mut replies = FrameReader::new(std::io::BufReader::new(shed));
+    let reply = replies.read_frame().unwrap().expect("a shed reply");
+    assert_eq!(reply.verb, "error");
+    assert_eq!(reply.get("code"), Some("busy"));
+    assert_eq!(reply.get("retry_after_ms"), Some("7"));
+    assert!(replies.read_frame().unwrap().is_none(), "then EOF");
+
+    // Freeing a slot readmits; the backoff client gets through.
+    drop(b);
+    let reply = Client::request_with_backoff(addr, &Frame::new("hello"), 8).unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+
+    assert_eq!(a.request(&Frame::new("shutdown")).unwrap().verb, "ok");
+    server.join().unwrap().unwrap();
+}
+
+/// The buffer-bytes gauge satellite: sustained pipelined load settles
+/// into a bounded per-connection footprint instead of growing with
+/// request count.
+#[test]
+fn conn_buffers_reach_steady_state() {
+    let (addr, server) = start_reactor(ServerOptions::default());
+    let mut client = warm_client(addr);
+
+    let window: Vec<Frame> = (0..100)
+        .map(|i| Frame::new("slack").arg("node", NETS[i % NETS.len()]))
+        .collect();
+    let gauge = |client: &mut Client| -> (i64, i64) {
+        let stats = client.request(&Frame::new("stats")).unwrap();
+        (
+            stats.get("conn_buffer_bytes").unwrap().parse().unwrap(),
+            stats
+                .get("conn_buffer_peak_bytes")
+                .unwrap()
+                .parse()
+                .unwrap(),
+        )
+    };
+
+    for _ in 0..3 {
+        client.request_pipelined(&window).unwrap();
+    }
+    let (warm, _) = gauge(&mut client);
+    for _ in 0..20 {
+        client.request_pipelined(&window).unwrap();
+    }
+    let (settled, peak) = gauge(&mut client);
+
+    assert!(warm > 0, "the gauge must see live buffers");
+    assert!(
+        settled <= warm + 16 * 1024,
+        "buffers grew under steady load: {warm} -> {settled}"
+    );
+    assert!(peak >= settled);
+    assert!(
+        peak < 4 * 1024 * 1024,
+        "per-connection memory unbounded: peak {peak}"
+    );
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}

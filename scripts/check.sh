@@ -75,4 +75,61 @@ echo "warm worst slack: $WARM / cold worst slack: $COLD"
     echo "daemon and one-shot analyses disagree"; exit 1
 }
 
+echo "== reactor loopback smoke test"
+# The same daemon on the poll(2) event loop: serve, load, then a
+# pipelined transcript with a batched multi-node slack, then shutdown.
+$HB serve --listen 127.0.0.1:0 --reactor > "$SMOKE_DIR/reactor.log" &
+REACTOR_PID=$!
+RADDR=""
+for _ in $(seq 1 100); do
+    RADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/reactor.log")
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RADDR" ] || { echo "reactor serve never announced its port"; exit 1; }
+$HB query "$RADDR" load designs/two_phase_pipeline.hum
+$HB query "$RADDR" analyze
+printf 'slack mid\nslack a1y b0y dout\nworst-paths 3\nstats\n' > "$SMOKE_DIR/reqs.txt"
+$HB query "$RADDR" --pipeline "$SMOKE_DIR/reqs.txt" | tee "$SMOKE_DIR/pipeline.out"
+grep -q "count=3" "$SMOKE_DIR/pipeline.out"   # the batched slack answered all 3 nodes
+grep -q "conn_buffer_bytes=" "$SMOKE_DIR/pipeline.out"
+$HB query "$RADDR" shutdown
+wait "$REACTOR_PID"
+
+echo "== server qps regression gate"
+# A quick benchmark run must stay within 20% of the committed
+# BENCH_server.json on the two load-bearing throughput numbers: the
+# blocking transport's sequential slack qps and the reactor's
+# pipelined slack qps. Quick mode uses fewer samples and the box may
+# be loaded, so take the best of two runs; the 20% band absorbs the
+# remaining noise without letting a real regression through.
+cargo build -q --release -p hb-bench --bin server_bench
+target/release/server_bench --quick --out "$SMOKE_DIR/bench_a.json" > /dev/null
+target/release/server_bench --quick --out "$SMOKE_DIR/bench_b.json" > /dev/null
+gate_qps() { # $1 file, $2 section regex: first queries_per_second after it
+    awk -v sec="$2" '
+        $0 ~ sec { inside = 1 }
+        inside && /"queries_per_second"/ {
+            gsub(/[^0-9.]/, "", $2); print $2; exit
+        }
+    ' "$1"
+}
+for section in '"slack_query"' '"slack_pipelined"'; do
+    BASE=$(gate_qps BENCH_server.json "$section")
+    A=$(gate_qps "$SMOKE_DIR/bench_a.json" "$section")
+    B=$(gate_qps "$SMOKE_DIR/bench_b.json" "$section")
+    FRESH=$(awk -v a="$A" -v b="$B" 'BEGIN { print (a > b) ? a : b }')
+    [ -n "$BASE" ] && [ -n "$FRESH" ] || {
+        echo "qps gate: missing $section in benchmark JSON"; exit 1
+    }
+    awk -v base="$BASE" -v fresh="$FRESH" -v sec="$section" 'BEGIN {
+        pct = 100 * fresh / base
+        printf "%s: committed %.0f qps, fresh %.0f qps (%.0f%%)\n", sec, base, fresh, pct
+        if (fresh < 0.8 * base) {
+            printf "qps regression: %s dropped more than 20%%\n", sec
+            exit 1
+        }
+    }'
+done
+
 echo "== all checks passed"
