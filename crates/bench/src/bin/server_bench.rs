@@ -130,6 +130,187 @@ fn pipelined(
     }
 }
 
+/// The multi-tenant fleet section: mixed slack queries striped across
+/// N resident designs (the session-table routing and per-design lock
+/// cost), then an eviction storm where 64 designs share 8 resident
+/// slots and queries transparently reload evicted designs from their
+/// journals.
+fn bench_fleet(lib: &Library, quick: bool, json: &mut String) {
+    // A small per-design workload keeps the 256-design level
+    // affordable: the cost under test is routing, locking, and
+    // eviction, not the analysis itself.
+    let w = random_pipeline(
+        lib,
+        PipelineParams {
+            stages: 3,
+            width: 4,
+            gates_per_stage: 40,
+            transparent: false,
+            period_ns: 20,
+            seed: 707,
+            imbalance_pct: 25,
+        },
+    );
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    let probe = w
+        .design
+        .module(w.module)
+        .nets()
+        .next()
+        .expect("nets")
+        .1
+        .name()
+        .to_owned();
+
+    // Opens `fleet{i}`, loads the shared design, settles its analysis.
+    let prime = |client: &mut Client, i: usize| {
+        let id = format!("fleet{i}");
+        expect_ok(
+            &client
+                .request(&Frame::new("open").arg("design", id.clone()))
+                .expect("open reply"),
+            "open",
+        );
+        for req in [
+            Frame::new("load").with_payload(text.clone()),
+            Frame::new("analyze"),
+        ] {
+            expect_ok(
+                &client
+                    .request(&req.arg("design", id.clone()))
+                    .expect("fleet reply"),
+                "fleet prime",
+            );
+        }
+    };
+
+    // -- The sweep: the same query striped over a growing fleet. --
+    let options = ServerOptions {
+        max_designs: 512,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", lib.clone(), options).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let levels: &[usize] = if quick { &[1, 8] } else { &[1, 8, 64, 256] };
+    let iters = if quick { 150 } else { 1500 };
+    let mut opened = 0usize;
+    let mut sweep: Vec<(usize, Latencies)> = Vec::new();
+    for &level in levels {
+        while opened < level {
+            prime(&mut client, opened);
+            opened += 1;
+        }
+        let mut turn = 0usize;
+        let lat = Latencies::measure(iters, || {
+            let req = Frame::new("slack")
+                .arg("design", format!("fleet{}", turn % level))
+                .arg("node", probe.clone());
+            expect_ok(&client.request(&req).expect("slack reply"), "fleet slack");
+            turn += 1;
+        });
+        eprintln!(
+            "fleet sweep {level:>3} designs: {:.0} qps (p50 {:.4} ms)",
+            lat.qps(),
+            lat.p50() * 1e3
+        );
+        sweep.push((level, lat));
+    }
+    expect_ok(
+        &client
+            .request(&Frame::new("shutdown"))
+            .expect("shutdown reply"),
+        "shutdown",
+    );
+    daemon.join().expect("fleet thread").expect("fleet exit");
+
+    // -- Eviction storm: 64 tenants, 8 resident slots. --
+    let storm_designs = if quick { 16 } else { 64 };
+    let options = ServerOptions {
+        max_designs: 8,
+        ..ServerOptions::default()
+    };
+    let server = Server::bind("127.0.0.1:0", lib.clone(), options).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    for i in 0..storm_designs {
+        prime(&mut client, i);
+    }
+    let storm_iters = if quick { 48 } else { 192 };
+    let mut turn = 0usize;
+    // Stride co-prime with the fleet so consecutive queries never hit
+    // the same residency window — every query risks a reload.
+    let storm = Latencies::measure(storm_iters, || {
+        let req = Frame::new("slack")
+            .arg("design", format!("fleet{}", (turn * 13) % storm_designs))
+            .arg("node", probe.clone());
+        expect_ok(&client.request(&req).expect("slack reply"), "storm slack");
+        turn += 1;
+    });
+    let metrics = client.request(&Frame::new("metrics")).expect("metrics");
+    let evictions: u64 = metrics
+        .payload
+        .as_deref()
+        .unwrap_or("")
+        .lines()
+        .find_map(|l| l.strip_prefix("hb_evictions_total "))
+        .expect("eviction counter")
+        .trim()
+        .parse()
+        .expect("counter value");
+    expect_ok(
+        &client
+            .request(&Frame::new("shutdown"))
+            .expect("shutdown reply"),
+        "shutdown",
+    );
+    daemon.join().expect("storm thread").expect("storm exit");
+
+    let _ = writeln!(json, "  \"fleet\": {{");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", w.name);
+    let _ = writeln!(json, "    \"designs_sweep\": [");
+    for (i, (level, lat)) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"designs\": {level}, \"queries_per_second\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p99_ms\": {:.4}}}{}",
+            lat.qps(),
+            lat.p50() * 1e3,
+            lat.p99() * 1e3,
+            if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    // The gated number: routing qps with 8 resident tenants (present
+    // in both quick and full runs, so check.sh can compare them).
+    let fleet8 = &sweep.iter().find(|(l, _)| *l == 8).expect("level 8").1;
+    let _ = writeln!(json, "    \"fleet8\": {{");
+    let _ = writeln!(json, "      \"requests\": {iters},");
+    let _ = writeln!(json, "      \"queries_per_second\": {:.1},", fleet8.qps());
+    let _ = writeln!(json, "      \"p50_ms\": {:.4},", fleet8.p50() * 1e3);
+    let _ = writeln!(json, "      \"p99_ms\": {:.4}", fleet8.p99() * 1e3);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"eviction_storm\": {{");
+    let _ = writeln!(json, "      \"designs\": {storm_designs},");
+    let _ = writeln!(json, "      \"max_designs\": 8,");
+    let _ = writeln!(json, "      \"evictions\": {evictions},");
+    let _ = writeln!(json, "      \"requests\": {storm_iters},");
+    let _ = writeln!(json, "      \"queries_per_second\": {:.1},", storm.qps());
+    let _ = writeln!(json, "      \"p50_ms\": {:.4},", storm.p50() * 1e3);
+    let _ = writeln!(json, "      \"p99_ms\": {:.4}", storm.p99() * 1e3);
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    eprintln!(
+        "fleet: 8 designs {:.0} qps | storm ({storm_designs} designs / 8 slots) \
+         {:.0} qps, {evictions} evictions",
+        fleet8.qps(),
+        storm.qps()
+    );
+}
+
 /// The reactor transport section: sequential vs pipelined vs batched
 /// slack throughput, then the same pipelined measurement with a crowd
 /// of idle connections sharing the event loop.
@@ -450,6 +631,9 @@ fn main() {
 
     expect_ok(&request(&Frame::new("shutdown")), "shutdown");
     daemon.join().expect("server thread").expect("server exit");
+
+    // The session-fleet routing and eviction costs.
+    bench_fleet(&lib, quick, &mut json);
 
     // The reactor transport over the first (pipeline) workload.
     bench_reactor(&lib, &workloads[0], quick, &mut json);

@@ -8,7 +8,8 @@
 //! hummingbird resynth     <design.hum> -o <out.hum> [options]
 //! hummingbird sweep       <design.hum> [--scales 50,75,100,150] [options]
 //! hummingbird serve       [--listen ADDR | --stdio] [--library FILE]
-//! hummingbird query       <ADDR> <request> [args...]
+//! hummingbird query       [--design ID] [--timeout MS] <ADDR> <request> [args...]
+//! hummingbird flow        <ADDR> <design.hum> [--designs N] [--ecos K] [--jobs C]
 //!
 //! options:
 //!   --clock-port PORT=CLOCK   bind a module port to a clock waveform
@@ -250,7 +251,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
 }
 
 const USAGE: &str =
-    "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query> \
+    "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query|flow> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
 [--edge-triggered] [--min-delays] [--profile] [--paths N] [--threads N] \
 [--scales 50,100,150] [--library LIB.txt] [-o OUT.hum]
@@ -365,6 +366,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
     match args.first() {
         Some(&"serve") => return daemon::run_serve(&args[1..], out),
         Some(&"query") => return daemon::run_query(&args[1..], out),
+        Some(&"flow") => return daemon::run_flow(&args[1..], out),
         _ => {}
     }
     let opts = parse_args(args)?;

@@ -343,6 +343,109 @@ fn reactor_serve_pipeline_and_batched_slack() {
 }
 
 #[test]
+fn fleet_query_routing_and_flow_driver() {
+    let (sent, announced) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let mut out = Announce {
+            sent: Some(sent),
+            line: String::new(),
+        };
+        hb_cli::run(
+            &[
+                "serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--max-designs",
+                "8",
+                "--mem-budget",
+                "8000000",
+            ],
+            &mut out,
+        )
+        .expect("fleet serve runs")
+    });
+    let addr = announced
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve announces its port");
+    let path = write_temp("fleet_served.hum", DESIGN);
+
+    // open / per-design routing / designs listing round trip.
+    let (code, out) = run_capture(&["query", &addr, "open", "d1"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("created=1"), "{out}");
+    let (code, out) = run_capture(&["query", &addr, "--design", "d1", "load", &path]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run_capture(&[
+        "query",
+        &addr,
+        "--design",
+        "d1",
+        "--timeout",
+        "10000",
+        "analyze",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("timing OK"), "{out}");
+    let (code, out) = run_capture(&["query", &addr, "designs"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("d1 resident=1"), "{out}");
+
+    // The exit-code table, fleet row: a request routed to a design
+    // nobody opened is a daemon refusal — exit 5, like other refusals.
+    let mut buf = Vec::new();
+    let err = hb_cli::run(&["query", &addr, "--design", "ghost", "analyze"], &mut buf).unwrap_err();
+    assert_eq!(
+        (err.kind(), err.exit_code()),
+        (hb_cli::ErrorKind::Analysis, 5)
+    );
+    // An unreachable daemon under --timeout is exit 3 (io), not a hang.
+    let err = hb_cli::run(
+        &["query", "127.0.0.1:1", "--timeout", "200", "hello"],
+        &mut buf,
+    )
+    .unwrap_err();
+    assert_eq!((err.kind(), err.exit_code()), (hb_cli::ErrorKind::Io, 3));
+    // Flag typos stay exit 2.
+    let err = hb_cli::run(&["query", &addr, "--design"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+    let err = hb_cli::run(&["query", &addr, "--timeout", "soon", "hello"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 2);
+
+    // close: the design goes away, further routing refuses.
+    let (code, out) = run_capture(&["query", &addr, "close", "d1"]);
+    assert_eq!(code, 0, "{out}");
+    let err = hb_cli::run(&["query", &addr, "--design", "d1", "stats"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 5);
+
+    // The flow driver: three concurrent design flows, reports printed
+    // in design order regardless of the two-job interleaving.
+    let (code, out) = run_capture(&[
+        "flow",
+        &addr,
+        &path,
+        "--designs",
+        "3",
+        "--ecos",
+        "2",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let i0 = out.find("== flow0:").expect("flow0 bundle");
+    let i1 = out.find("== flow1:").expect("flow1 bundle");
+    let i2 = out.find("== flow2:").expect("flow2 bundle");
+    assert!(i0 < i1 && i1 < i2, "bundles out of order:\n{out}");
+    assert_eq!(out.matches("worst paths:").count(), 3, "{out}");
+    let (code, out) = run_capture(&["query", &addr, "designs"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("flow2"), "{out}");
+
+    let (code, _) = run_capture(&["query", &addr, "shutdown"]);
+    assert_eq!(code, 0);
+    assert_eq!(server.join().unwrap(), 0);
+}
+
+#[test]
 fn serve_stdio_round_trip_via_subprocess_free_path() {
     // `--stdio` is exercised through hb_server::serve_stream in its own
     // crate; here just check the flag parses and rejects junk.

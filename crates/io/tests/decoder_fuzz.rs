@@ -20,6 +20,18 @@ fn corpus() -> Vec<Frame> {
             .arg("op", "resize")
             .arg("inst", "b0")
             .arg("steps", 1),
+        // Fleet and replication verbs, including a nested `entry`
+        // whose payload is itself an encoded frame (the replication
+        // stream's on-wire shape).
+        Frame::new("open").arg("design", "soc_v2.rev-3"),
+        Frame::new("repl-pull")
+            .arg("design", "default")
+            .arg("epoch", 4)
+            .arg("since", 17),
+        Frame::new("entry")
+            .arg("expect", "error")
+            .with_payload(Frame::new("load").with_payload("design broken\n").encode()),
+        Frame::new("close").arg("design", "soc_v2.rev-3"),
     ];
     for size in [1usize, 63, 64, 65, 4095, 4096, 8192, 20_000] {
         frames.push(
@@ -133,6 +145,15 @@ fn hostile_inputs_classify_like_the_blocking_reader() {
         b"load payload=5\nab\xffcd".to_vec(),          // payload bad UTF-8
         b"load payload=2\nab?".to_vec(),               // missing terminator
         b"load payload=2\na\0\n".to_vec(),             // NUL in payload
+        b"open design=has space\n".to_vec(),           // fleet id with whitespace
+        b"entry expect=eco payload=50\nshort".to_vec(), // truncated replication page
+        {
+            // An `open` padded past the header bound.
+            let mut huge = b"open design=".to_vec();
+            huge.resize(MAX_HEADER + 1, b'x');
+            huge.push(b'\n');
+            huge
+        },
     ];
     let mut rng = SmallRng::seed_from_u64(0xF00D);
     for case in &hostile {

@@ -186,12 +186,61 @@ fn hostile_frames_fail_closed() {
     assert!(err.recoverable(), "{err}");
 }
 
-/// A realistic daemon transcript over `text`: the session lifecycle
-/// with the design as a bulky payload.
+/// The fleet and replication verbs ride the same codec: hostile
+/// `design=` keys, oversized `open` headers, and truncated replication
+/// pages fail closed with the same classifications as any other frame.
+#[test]
+fn hostile_fleet_and_replication_frames() {
+    // A design id with whitespace splits into a dangling token: the
+    // codec rejects the line recoverably and the daemon answers with a
+    // structured error instead of routing to a half-named session.
+    let err = decode_one(b"open design=has space\n").unwrap_err();
+    assert!(
+        matches!(err, ProtoError::Malformed(_)) && err.recoverable(),
+        "{err}"
+    );
+
+    // An *empty* id is the router's problem, not the codec's: the
+    // frame decodes with the empty value intact so the server can
+    // reject it as `usage` rather than the codec dropping the line.
+    let frame = decode_one(b"open design=\n").unwrap().unwrap();
+    assert_eq!(frame.verb, "open");
+    assert_eq!(frame.get("design"), Some(""));
+
+    // An `open` padded past the header bound is refused before the id
+    // is ever buffered whole.
+    let mut huge = b"open design=".to_vec();
+    huge.resize(hb_io::proto::MAX_HEADER + 1, b'x');
+    huge.push(b'\n');
+    assert!(matches!(
+        decode_one(&huge),
+        Err(ProtoError::Oversized { what: "header", .. })
+    ));
+
+    // A replication page cut off mid-entry is a truncation, never a
+    // silently short frame the standby could replay as-is.
+    assert!(matches!(
+        decode_one(b"entry expect=eco payload=50\nshort"),
+        Err(ProtoError::Truncated)
+    ));
+    // ...and a cursor carrying bad UTF-8 is an encoding error.
+    assert!(matches!(
+        decode_one(b"repl-pull design=d epoch=\xff\n"),
+        Err(ProtoError::Encoding)
+    ));
+}
+
+/// A realistic daemon transcript over `text`: the fleet lifecycle —
+/// open, load, query, replicate — with the design as a bulky payload
+/// and a nested replication `entry` carrying a frame *as* a payload.
 fn transcript(text: &str) -> Vec<Frame> {
     vec![
         Frame::new("hello"),
-        Frame::new("load").arg("format", "hum").with_payload(text),
+        Frame::new("open").arg("design", "soc_v2.rev-3"),
+        Frame::new("load")
+            .arg("format", "hum")
+            .arg("design", "soc_v2.rev-3")
+            .with_payload(text),
         Frame::new("analyze").arg("latch", "transparent"),
         Frame::new("slack").arg("node", "mid"),
         Frame::new("worst-paths").arg("k", 9),
@@ -199,8 +248,18 @@ fn transcript(text: &str) -> Vec<Frame> {
             .arg("op", "resize")
             .arg("inst", "a0")
             .arg("steps", 1),
+        Frame::new("designs"),
+        Frame::new("repl-state"),
+        Frame::new("repl-pull")
+            .arg("design", "soc_v2.rev-3")
+            .arg("epoch", 0)
+            .arg("since", 0),
+        Frame::new("entry")
+            .arg("expect", "ok")
+            .with_payload(Frame::new("analyze").encode()),
         Frame::new("dump"),
         Frame::new("stats"),
+        Frame::new("close").arg("design", "soc_v2.rev-3"),
         Frame::new("shutdown"),
     ]
 }

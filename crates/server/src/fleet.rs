@@ -1,0 +1,412 @@
+//! The multi-tenant session fleet: a keyed table of independent
+//! design sessions behind one daemon.
+//!
+//! Every wire verb routes on its `design=ID` argument (absent means
+//! the [`DEFAULT_DESIGN`], so single-tenant clients and transcripts
+//! keep working byte-for-byte); `open`/`close`/`designs` manage the
+//! table. Each design owns its own [`Session`] behind its own
+//! [`RwLock`] and its own write-ahead [`Journal`], so two tenants
+//! never contend on a lock and one tenant's panic recovery never
+//! touches another's state.
+//!
+//! The table is bounded two ways. `--max-designs` caps how many
+//! sessions stay *resident* at once, and `--mem-budget` caps their
+//! combined approximate footprint ([`Session::approx_resident_bytes`]).
+//! Past either bound the least-recently-used design is **evicted**:
+//! its session is dropped, its journal kept. The next request for an
+//! evicted design replays the journal into a fresh session first —
+//! the same machinery panic recovery uses — so eviction is invisible
+//! on the wire apart from latency (and the fingerprint check makes
+//! the reload provably exact). Eviction is why the journal, not the
+//! session, is the fleet's unit of durability; it is also exactly
+//! what the replication layer ([`crate::replica`]) streams to a
+//! warm standby.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use hb_cells::Library;
+use hb_fault::FaultPlan;
+use hb_io::Frame;
+
+use crate::journal::Journal;
+use crate::metrics::Metrics;
+use crate::net::lock;
+use crate::session::Session;
+
+/// The design every request without a `design=` argument routes to.
+/// Always present and never closeable: a fleet of one behaves exactly
+/// like the historical single-session daemon.
+pub const DEFAULT_DESIGN: &str = "default";
+
+/// Hard cap on table entries (resident or evicted), independent of
+/// the memory budget: a hostile client spamming `open` runs into a
+/// structured `limit` error, not an unbounded journal map.
+pub const FLEET_MAX_DESIGNS: usize = 4096;
+
+/// Longest accepted design id.
+pub const MAX_DESIGN_ID: usize = 64;
+
+fn err(code: &str, message: impl std::fmt::Display) -> Frame {
+    Frame::new("error")
+        .arg("code", code)
+        .with_payload(message.to_string())
+}
+
+/// A printable, length-capped rendition of a (possibly hostile)
+/// design id for error payloads.
+fn display_id(id: &str) -> String {
+    let mut out: String = id
+        .chars()
+        .take(MAX_DESIGN_ID)
+        .map(|c| if c.is_ascii_graphic() { c } else { '?' })
+        .collect();
+    if id.chars().count() > MAX_DESIGN_ID {
+        out.push('…');
+    }
+    out
+}
+
+/// Whether `id` is a well-formed design id: 1..=[`MAX_DESIGN_ID`]
+/// chars from `[A-Za-z0-9_.-]`. Conservative on purpose — ids travel
+/// as wire argument values and as metric label values.
+pub fn valid_design_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_DESIGN_ID
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+/// One design's slot in the table: its session, its journal, and the
+/// accounting the eviction policy reads.
+pub(crate) struct DesignSlot {
+    pub(crate) id: String,
+    pub(crate) session: RwLock<Session>,
+    /// Locked only while the slot's write lock is already held (or
+    /// being recovered) — same discipline as the single-session
+    /// daemon, so the pair never deadlocks.
+    pub(crate) journal: Mutex<Journal>,
+    /// Whether the session currently holds the design (false after
+    /// eviction; the journal is then the only copy).
+    pub(crate) resident: AtomicBool,
+    /// Logical-clock tick of the last routed request — the LRU key.
+    last_used: AtomicU64,
+    /// Approximate resident footprint after the last write request.
+    bytes: AtomicUsize,
+}
+
+impl DesignSlot {
+    fn new(id: &str, session: Session) -> DesignSlot {
+        let bytes = session.approx_resident_bytes();
+        DesignSlot {
+            id: id.to_owned(),
+            session: RwLock::new(session),
+            journal: Mutex::new(Journal::new()),
+            resident: AtomicBool::new(true),
+            last_used: AtomicU64::new(0),
+            bytes: AtomicUsize::new(bytes),
+        }
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Acquire)
+    }
+}
+
+/// The keyed session table plus the bounds it is kept inside.
+pub(crate) struct Fleet {
+    slots: Mutex<HashMap<String, Arc<DesignSlot>>>,
+    /// Logical clock driving LRU ordering (wall time would tie under
+    /// load and is banned from deterministic tests anyway).
+    clock: AtomicU64,
+    max_designs: usize,
+    /// 0 = unlimited.
+    mem_budget: usize,
+    metrics: Arc<Metrics>,
+    library: Library,
+    faults: FaultPlan,
+}
+
+impl Fleet {
+    /// A fleet with the default design already open.
+    pub(crate) fn new(
+        library: Library,
+        metrics: Arc<Metrics>,
+        faults: FaultPlan,
+        max_designs: usize,
+        mem_budget: usize,
+    ) -> Fleet {
+        let fleet = Fleet {
+            slots: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            max_designs: max_designs.max(1),
+            mem_budget,
+            metrics,
+            library,
+            faults,
+        };
+        fleet.insert_slot(DEFAULT_DESIGN);
+        fleet
+    }
+
+    /// A fresh empty session wired to the fleet's shared metrics and
+    /// fault plan — what `open` installs and what eviction leaves
+    /// behind.
+    pub(crate) fn fresh_session(&self) -> Session {
+        let mut session = Session::with_faults(self.library.clone(), self.faults.clone());
+        session.set_metrics(Arc::clone(&self.metrics));
+        session
+    }
+
+    fn insert_slot(&self, id: &str) -> Arc<DesignSlot> {
+        let mut slots = lock(&self.slots);
+        if let Some(existing) = slots.get(id) {
+            // Lost a create race; the winner's slot is the slot.
+            return Arc::clone(existing);
+        }
+        let slot = Arc::new(DesignSlot::new(id, self.fresh_session()));
+        self.touch(&slot);
+        slots.insert(id.to_owned(), Arc::clone(&slot));
+        self.metrics.sessions_live.add(1);
+        self.metrics.session_bytes.add(slot.bytes() as i64);
+        slot
+    }
+
+    /// Looks a slot up without bumping its LRU tick — replication
+    /// traffic must not keep a cold design looking hot.
+    pub(crate) fn peek(&self, id: &str) -> Option<Arc<DesignSlot>> {
+        lock(&self.slots).get(id).map(Arc::clone)
+    }
+
+    /// The slot for `id`, created empty if absent — the standby sync
+    /// loop mirroring a design it has not seen before.
+    pub(crate) fn ensure(&self, id: &str) -> Arc<DesignSlot> {
+        if let Some(slot) = self.peek(id) {
+            return slot;
+        }
+        self.insert_slot(id)
+    }
+
+    /// Drops a design outright (the standby pruning a design its
+    /// primary closed). No-op when absent.
+    pub(crate) fn remove(&self, id: &str) {
+        if let Some(slot) = lock(&self.slots).remove(id) {
+            if slot.resident.swap(false, Ordering::AcqRel) {
+                self.metrics.sessions_live.sub(1);
+                self.metrics.session_bytes.sub(slot.bytes() as i64);
+            }
+        }
+    }
+
+    /// Resolves the slot a request routes to, bumping its LRU tick.
+    /// Unknown non-default ids earn `error code=unknown-design`; the
+    /// default design is created on demand so it can never be missing.
+    pub(crate) fn route(&self, id: &str) -> Result<Arc<DesignSlot>, Frame> {
+        if let Some(slot) = lock(&self.slots).get(id) {
+            self.touch(slot);
+            return Ok(Arc::clone(slot));
+        }
+        if id == DEFAULT_DESIGN {
+            return Ok(self.insert_slot(DEFAULT_DESIGN));
+        }
+        Err(err(
+            "unknown-design",
+            format!("no open design `{}` (open it first)", display_id(id)),
+        ))
+    }
+
+    /// Every open design, sorted by id (the `designs` verb and the
+    /// replication source both want a deterministic order).
+    pub(crate) fn snapshot(&self) -> Vec<Arc<DesignSlot>> {
+        let mut slots: Vec<_> = lock(&self.slots).values().map(Arc::clone).collect();
+        slots.sort_by(|a, b| a.id.cmp(&b.id));
+        slots
+    }
+
+    fn touch(&self, slot: &DesignSlot) {
+        let tick = self.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        slot.last_used.store(tick, Ordering::Release);
+    }
+
+    /// Handles the fleet-management verbs (`open`, `close`,
+    /// `designs`). The caller has already counted the request.
+    pub(crate) fn manage(&self, req: &Frame) -> Frame {
+        match req.verb.as_str() {
+            "open" => self.open(req),
+            "close" => self.close(req),
+            "designs" => self.designs(),
+            _ => unreachable!("gated by the transport router"),
+        }
+    }
+
+    fn open(&self, req: &Frame) -> Frame {
+        let Some(id) = req.get("design") else {
+            return err("usage", "open needs design=ID");
+        };
+        if !valid_design_id(id) {
+            return err(
+                "usage",
+                format!(
+                    "bad design id `{}` (want 1..={MAX_DESIGN_ID} chars of [A-Za-z0-9_.-])",
+                    display_id(id)
+                ),
+            );
+        }
+        {
+            let slots = lock(&self.slots);
+            if let Some(slot) = slots.get(id) {
+                self.touch(slot);
+                return Frame::new("ok").arg("design", id).arg("created", 0);
+            }
+            if slots.len() >= FLEET_MAX_DESIGNS {
+                return err(
+                    "limit",
+                    format!("the fleet is capped at {FLEET_MAX_DESIGNS} open designs"),
+                );
+            }
+        }
+        self.insert_slot(id);
+        self.enforce_budget();
+        Frame::new("ok").arg("design", id).arg("created", 1)
+    }
+
+    fn close(&self, req: &Frame) -> Frame {
+        let Some(id) = req.get("design") else {
+            return err("usage", "close needs design=ID");
+        };
+        if id == DEFAULT_DESIGN {
+            return err("usage", "the default design cannot be closed");
+        }
+        let Some(slot) = lock(&self.slots).remove(id) else {
+            return err(
+                "unknown-design",
+                format!("no open design `{}`", display_id(id)),
+            );
+        };
+        if slot.resident.swap(false, Ordering::AcqRel) {
+            self.metrics.sessions_live.sub(1);
+            self.metrics.session_bytes.sub(slot.bytes() as i64);
+        }
+        // In-flight requests holding the Arc finish against the
+        // detached slot; new requests no longer route to it.
+        Frame::new("ok").arg("design", id)
+    }
+
+    fn designs(&self) -> Frame {
+        let slots = self.snapshot();
+        let mut live = 0usize;
+        let mut body = String::new();
+        for slot in &slots {
+            let resident = slot.resident.load(Ordering::Acquire);
+            live += usize::from(resident);
+            let journal = lock(&slot.journal);
+            let fp = match journal.fingerprint() {
+                Some(fp) => format!("{fp:016x}"),
+                None => "-".to_owned(),
+            };
+            body.push_str(&format!(
+                "{} resident={} bytes={} journal={} epoch={} fp={}\n",
+                slot.id,
+                u8::from(resident),
+                slot.bytes(),
+                journal.len(),
+                journal.epoch(),
+                fp
+            ));
+        }
+        Frame::new("ok")
+            .arg("count", slots.len())
+            .arg("live", live)
+            .with_payload(body)
+    }
+
+    /// Re-reads a slot's footprint after a write request and brings
+    /// the fleet back inside its bounds. Called with no slot locks
+    /// held.
+    pub(crate) fn settle(&self, slot: &DesignSlot) {
+        if let Ok(session) = slot.session.try_read() {
+            if slot.resident.load(Ordering::Acquire) {
+                let now = session.approx_resident_bytes();
+                let before = slot.bytes.swap(now, Ordering::AcqRel);
+                self.metrics.session_bytes.add(now as i64 - before as i64);
+            }
+        }
+        self.enforce_budget();
+    }
+
+    fn over_budget(&self) -> bool {
+        let slots = lock(&self.slots);
+        let resident = slots
+            .values()
+            .filter(|s| s.resident.load(Ordering::Acquire));
+        let (count, bytes) = resident.fold((0usize, 0usize), |(c, b), s| (c + 1, b + s.bytes()));
+        count > self.max_designs || (self.mem_budget > 0 && bytes > self.mem_budget)
+    }
+
+    /// Evicts least-recently-used resident designs until the fleet is
+    /// back inside `max_designs` and `mem_budget`. A slot whose write
+    /// lock is held (a request in flight) is skipped this round — it
+    /// is by definition not the least recently *used* for long.
+    pub(crate) fn enforce_budget(&self) {
+        while self.over_budget() {
+            let mut candidates: Vec<Arc<DesignSlot>> = lock(&self.slots)
+                .values()
+                .filter(|s| s.resident.load(Ordering::Acquire))
+                .map(Arc::clone)
+                .collect();
+            candidates.sort_by_key(|s| s.last_used.load(Ordering::Acquire));
+            let mut evicted_one = false;
+            for slot in candidates {
+                if self.evict(&slot) {
+                    evicted_one = true;
+                    break;
+                }
+            }
+            if !evicted_one {
+                return; // everything evictable is locked or gone
+            }
+        }
+    }
+
+    /// Drops one design's session, keeping its journal. Returns false
+    /// when the slot is busy (write lock held) or already evicted.
+    fn evict(&self, slot: &DesignSlot) -> bool {
+        let Ok(mut session) = slot.session.try_write() else {
+            return false;
+        };
+        if !slot.resident.load(Ordering::Acquire) {
+            return false;
+        }
+        *session = self.fresh_session();
+        slot.resident.store(false, Ordering::Release);
+        let before = slot.bytes.swap(0, Ordering::AcqRel);
+        self.metrics.session_bytes.sub(before as i64);
+        self.metrics.sessions_live.sub(1);
+        self.metrics.evictions.inc();
+        true
+    }
+
+    /// Rebuilds an evicted slot's session from its journal. The
+    /// caller holds the slot's write lock and the journal lock;
+    /// replay verifies the rebuilt fingerprint, so a reloaded design
+    /// is provably the one that was evicted. On replay failure the
+    /// session stays empty (the error will surface on the request
+    /// itself, e.g. as `no-design`).
+    pub(crate) fn reload(&self, slot: &DesignSlot, session: &mut Session, journal: &Journal) {
+        if slot.resident.load(Ordering::Acquire) {
+            return;
+        }
+        if let Ok(mut rebuilt) = journal.replay(self.library.clone(), None) {
+            rebuilt.set_faults(self.faults.clone());
+            rebuilt.set_metrics(Arc::clone(&self.metrics));
+            *session = rebuilt;
+        }
+        slot.resident.store(true, Ordering::Release);
+        let bytes = session.approx_resident_bytes();
+        let before = slot.bytes.swap(bytes, Ordering::AcqRel);
+        self.metrics.session_bytes.add(bytes as i64 - before as i64);
+        self.metrics.sessions_live.add(1);
+    }
+}

@@ -45,9 +45,9 @@ pub(crate) fn is_mutating(verb: &str) -> bool {
 /// deterministic, so replay must reproduce the verb — including
 /// requests that mutated state *and* failed (an `eco` whose
 /// re-analysis errored still moved the design).
-struct Entry {
-    req: Frame,
-    expect: String,
+pub(crate) struct Entry {
+    pub(crate) req: Frame,
+    pub(crate) expect: String,
 }
 
 /// A write-ahead record of every state-changing request the session
@@ -57,6 +57,11 @@ pub struct Journal {
     entries: Vec<Entry>,
     /// [`Session::fingerprint`] after the last recorded entry.
     fingerprint: Option<u64>,
+    /// Bumped whenever history is rewritten rather than appended to
+    /// (a fresh `load` clears it, compaction collapses it). A replica
+    /// streaming entries by index uses this to detect that its `since`
+    /// cursor no longer means what it did and resync from zero.
+    epoch: u64,
 }
 
 impl Journal {
@@ -79,6 +84,43 @@ impl Journal {
         self.entries.is_empty()
     }
 
+    /// The history epoch: bumped whenever recorded entries are
+    /// rewritten (clear-on-load, compaction) instead of appended.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// [`Session::fingerprint`] after the last recorded entry, if any.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// The recorded entries — the replication stream's source.
+    pub(crate) fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Starts a fresh history at `epoch` (a replica resyncing from its
+    /// primary after the primary rewrote its own history).
+    pub(crate) fn sync_reset(&mut self, epoch: u64) {
+        self.entries.clear();
+        self.fingerprint = None;
+        self.epoch = epoch;
+    }
+
+    /// Appends one replicated entry verbatim. Replicas never compact on
+    /// their own — the primary compacts, bumps its epoch, and the
+    /// replica resyncs — so history stays an exact mirror.
+    pub(crate) fn sync_push(&mut self, req: Frame, expect: String) {
+        self.entries.push(Entry { req, expect });
+    }
+
+    /// Installs the fingerprint reported by the primary for the state
+    /// after the last pushed entry.
+    pub(crate) fn set_fingerprint(&mut self, fingerprint: Option<u64>) {
+        self.fingerprint = fingerprint;
+    }
+
     /// Records a handled request and the fingerprint of the state it
     /// produced. A successful `load` starts design history over;
     /// anything else appends. `session` is the session that just
@@ -87,6 +129,7 @@ impl Journal {
     pub fn record(&mut self, req: &Frame, reply: &Frame, session: &Session) {
         if req.verb == "load" && reply.verb == "ok" {
             self.entries.clear();
+            self.epoch += 1;
         }
         self.entries.push(Entry {
             req: req.clone(),
@@ -115,6 +158,7 @@ impl Journal {
             })
             .collect();
         self.fingerprint = Some(session.fingerprint());
+        self.epoch += 1;
     }
 
     /// Rebuilds a session by replaying every recorded entry into a

@@ -15,11 +15,15 @@
 //!   design ([`Frame`](hb_io::Frame) in, frame out): `load`,
 //!   `analyze`, `slack`, `worst-paths`, `constraints`, `eco`, `dump`,
 //!   `stats`, `metrics`, `shutdown`;
-//! * [`Server`] — a thread-per-connection TCP daemon sharing one
-//!   session behind an `RwLock` with per-request lock deadlines,
-//!   socket frame/idle deadlines, overload shedding, and
-//!   [`serve_stream`] — the same loop over arbitrary byte streams
-//!   (`hummingbird serve --stdio`);
+//! * [`Server`] — a thread-per-connection TCP daemon multiplexing a
+//!   keyed *fleet* of sessions (`design=ID` routing, `open`/`close`/
+//!   `designs` management, LRU eviction under `--max-designs` /
+//!   `--mem-budget`, journal-streaming replication to a
+//!   `--standby-of` warm standby), each session behind its own
+//!   `RwLock` with per-request lock deadlines, socket frame/idle
+//!   deadlines, overload shedding, and [`serve_stream`] — the same
+//!   routing over arbitrary byte streams (`hummingbird serve
+//!   --stdio`);
 //! * [`Journal`] — a write-ahead record of state-changing requests;
 //!   when a request panics (or a panic poisons the session lock), the
 //!   transports rebuild the session by replaying it, warm through the
@@ -52,16 +56,20 @@
 //! assert!(reply.get("items_reused").is_some());
 //! ```
 
+mod fleet;
 mod journal;
 mod metrics;
 mod net;
 mod reactor;
+mod replica;
 mod session;
 mod sys;
 
+pub use fleet::{valid_design_id, DEFAULT_DESIGN, FLEET_MAX_DESIGNS, MAX_DESIGN_ID};
 pub use journal::Journal;
 pub use metrics::Metrics;
 pub use net::{serve_stream, Client, Server, ServerOptions};
+pub use replica::MAX_STREAM_BYTES;
 pub use session::{
     directives_from_spec, spec_from_directives, Session, MAX_BATCH, MAX_LOAD_BYTES, MAX_WORST_PATHS,
 };
@@ -139,6 +147,49 @@ arrive din phi1 rise 0.5ns
 
         let reply = s.handle(&Frame::new("nonsense"));
         assert_eq!(reply.get("code"), Some("unknown-verb"));
+    }
+
+    /// Duplicate `node=` keys in a batched slack query collapse to
+    /// their first occurrence: one payload line per distinct node,
+    /// `count` reporting distinct nodes, `worst` unchanged by the
+    /// repetition.
+    #[test]
+    fn slack_batch_dedupes_repeated_nodes() {
+        let mut s = Session::new(sc89());
+        assert_eq!(s.handle(&Frame::new("load").with_payload(PIPE)).verb, "ok");
+        assert_eq!(s.handle(&Frame::new("analyze")).verb, "ok");
+
+        let single = s.handle(&Frame::new("slack").arg("node", "a1y"));
+        assert_eq!(single.verb, "ok");
+
+        let doubled = s.handle(
+            &Frame::new("slack")
+                .arg("node", "a1y")
+                .arg("node", "a1y")
+                .arg("node", "a1y"),
+        );
+        assert_eq!(doubled.verb, "ok");
+        assert_eq!(doubled.get("count"), Some("1"));
+        assert_eq!(doubled.get("worst"), single.get("slack"));
+        let want = format!("a1y net {}\n", single.get("slack").unwrap());
+        assert_eq!(
+            doubled.payload.as_deref(),
+            Some(want.as_str()),
+            "one line per distinct node"
+        );
+
+        // Mixed batch: distinct nodes keep first-occurrence order.
+        let mixed = s.handle(
+            &Frame::new("slack")
+                .arg("node", "a1y")
+                .arg("node", "a0y")
+                .arg("node", "a1y"),
+        );
+        assert_eq!(mixed.get("count"), Some("2"));
+        let lines: Vec<&str> = mixed.payload.as_deref().unwrap().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a1y "), "{:?}", lines[0]);
+        assert!(lines[1].starts_with("a0y "), "{:?}", lines[1]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use hb_obs::{Counter, Gauge, Histogram, Registry, Span};
 
 /// Every wire verb with a dedicated counter slot; anything else lands
 /// in `other` (still counted — unknown verbs are requests too).
-pub const VERBS: [&str; 13] = [
+pub const VERBS: [&str; 18] = [
     "hello",
     "stats",
     "metrics",
@@ -33,6 +33,11 @@ pub const VERBS: [&str; 13] = [
     "constraints",
     "eco",
     "batch",
+    "open",
+    "close",
+    "designs",
+    "repl-state",
+    "repl-pull",
     "other",
 ];
 
@@ -75,6 +80,14 @@ pub struct Metrics {
     pub shed: Counter,
     /// Session rebuilds from the write-ahead journal.
     pub recoveries: Counter,
+    /// Resident (non-evicted) design sessions in the fleet table.
+    pub sessions_live: Gauge,
+    /// Approximate bytes held by resident design sessions (peak is the
+    /// watermark the memory budget is judged against).
+    pub session_bytes: Gauge,
+    /// Design sessions evicted by the LRU policy to stay inside the
+    /// fleet's memory budget.
+    pub evictions: Counter,
 }
 
 impl Default for Metrics {
@@ -133,6 +146,18 @@ impl Metrics {
                 "hb_recoveries_total",
                 "session rebuilds from the write-ahead journal",
             ),
+            sessions_live: registry.gauge(
+                "hb_sessions_live",
+                "resident design sessions in the fleet table",
+            ),
+            session_bytes: registry.gauge(
+                "hb_session_bytes",
+                "approximate bytes held by resident design sessions",
+            ),
+            evictions: registry.counter(
+                "hb_evictions_total",
+                "design sessions evicted by the LRU memory-budget policy",
+            ),
             registry,
         }
     }
@@ -181,6 +206,20 @@ impl Metrics {
                 "hb_errors_total",
                 "error replies, by code",
                 &[("code", code)],
+            )
+            .inc();
+    }
+
+    /// Counts one routed request against its design id. Designs come
+    /// and go at runtime, so — like [`Metrics::error`] — this
+    /// registers lazily; the registry interns the series after the
+    /// first request, and per-design traffic is one lookup thereafter.
+    pub fn design_request(&self, design: &str) {
+        self.registry
+            .counter_with(
+                "hb_design_requests_total",
+                "requests routed, by design id",
+                &[("design", design)],
             )
             .inc();
     }

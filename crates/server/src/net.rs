@@ -2,12 +2,15 @@
 //! single-threaded stdio loop for test harnesses, and a small blocking
 //! client.
 //!
-//! The TCP server is thread-per-connection over one shared
-//! [`Session`] behind an [`RwLock`]: read-only queries of a settled
-//! analysis run concurrently; anything that may mutate (load, analyze,
-//! eco) serialises on the write lock. Lock acquisition polls with a
-//! per-request deadline so a long-running analysis degrades concurrent
-//! requests into structured `busy` errors instead of unbounded stalls.
+//! The TCP server is thread-per-connection over a keyed
+//! [`Fleet`](crate::fleet) of design sessions, each behind its own
+//! `RwLock`: requests route on their `design=` argument, read-only
+//! queries of a settled analysis run concurrently, and anything that
+//! may mutate (load, analyze, eco) serialises on that design's write
+//! lock only — tenants never contend with each other. Lock
+//! acquisition polls with a per-request deadline so a long-running
+//! analysis degrades concurrent requests into structured `busy`
+//! errors instead of unbounded stalls.
 //!
 //! The write path is panic-isolated: a request that panics mid-mutation
 //! is answered with `error code=internal` and the session is rebuilt
@@ -38,7 +41,7 @@ use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, TryLockError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -48,9 +51,10 @@ use hb_io::{write_frame, Frame, FrameReader, ProtoError};
 use hb_obs::{CountingReader, CountingWriter};
 use hb_rng::SmallRng;
 
-use crate::journal::{self, Journal};
+use crate::fleet::{DesignSlot, Fleet, DEFAULT_DESIGN};
+use crate::journal;
 use crate::metrics::Metrics;
-use crate::session::Session;
+use crate::replica;
 
 /// Transport tuning. The defaults suit an interactive daemon; tests
 /// shrink the deadlines to keep the chaos suite fast.
@@ -77,6 +81,24 @@ pub struct ServerOptions {
     /// halves of every accepted socket. [`FaultPlan::none`] (the
     /// default) makes every hook a no-op.
     pub faults: FaultPlan,
+    /// How many design sessions may stay resident at once; the
+    /// least-recently-used one past this is evicted to its journal.
+    pub max_designs: usize,
+    /// Combined approximate resident-session footprint the LRU policy
+    /// keeps the fleet under, in bytes. 0 = unlimited.
+    pub mem_budget: usize,
+    /// When set, this daemon runs as a warm standby of the primary at
+    /// the given address: a sync thread streams every design's
+    /// journal over `repl-state`/`repl-pull` and replays it into
+    /// shadow sessions. After [`ServerOptions::promote_after`]
+    /// consecutive sync failures the standby promotes itself (stops
+    /// syncing) and serves as the new primary.
+    pub standby_of: Option<String>,
+    /// How long the standby sync thread sleeps between sync rounds.
+    pub sync_interval: Duration,
+    /// Consecutive failed sync rounds after which a standby declares
+    /// its primary dead and promotes itself.
+    pub promote_after: u32,
 }
 
 impl Default for ServerOptions {
@@ -89,6 +111,11 @@ impl Default for ServerOptions {
             max_connections: 64,
             retry_after_ms: 100,
             faults: FaultPlan::none(),
+            max_designs: 64,
+            mem_budget: 0,
+            standby_of: None,
+            sync_interval: Duration::from_millis(200),
+            promote_after: 3,
         }
     }
 }
@@ -110,19 +137,16 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Everything both transports (thread-per-connection and the reactor)
-/// share: the session behind its lock, the journal, the metrics, and
-/// the shutdown/shedding state.
+/// share: the design fleet, the metrics, and the shutdown/shedding
+/// state.
 pub(crate) struct Shared {
-    pub(crate) session: RwLock<Session>,
-    /// The session's metrics instance, shared so the transport can
+    /// The keyed design-session table every request routes through.
+    pub(crate) fleet: Fleet,
+    /// The fleet-wide metrics instance, shared so the transport can
     /// record lock-wait/handle latency, wire bytes and connection
-    /// churn without taking the session lock.
+    /// churn without taking any session lock.
     pub(crate) metrics: Arc<Metrics>,
-    /// Write-ahead journal backing panic recovery; locked only while
-    /// the session write lock is already held (or being recovered), so
-    /// the two never deadlock.
-    pub(crate) journal: Mutex<Journal>,
-    /// The library a recovery replays against.
+    /// The library recoveries and reloads replay against.
     pub(crate) library: Library,
     pub(crate) shutdown: AtomicBool,
     pub(crate) options: ServerOptions,
@@ -133,6 +157,30 @@ pub(crate) struct Shared {
     /// cutting in-flight replies, and closed connections can
     /// deregister.
     pub(crate) conns: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Shared {
+    /// The transport-independent daemon state: a fleet with the
+    /// default design open, fresh metrics, and `options` applied.
+    pub(crate) fn new(library: Library, options: ServerOptions) -> Shared {
+        let metrics = Arc::new(Metrics::new());
+        let fleet = Fleet::new(
+            library.clone(),
+            Arc::clone(&metrics),
+            options.faults.clone(),
+            options.max_designs,
+            options.mem_budget,
+        );
+        Shared {
+            fleet,
+            metrics,
+            library,
+            shutdown: AtomicBool::new(false),
+            options,
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 /// Decrements the live-connection count and deregisters the read-half
@@ -171,20 +219,9 @@ impl Server {
         options: ServerOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let session = Session::with_faults(library.clone(), options.faults.clone());
-        let metrics = session.metrics();
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                session: RwLock::new(session),
-                metrics,
-                journal: Mutex::new(Journal::new()),
-                library,
-                shutdown: AtomicBool::new(false),
-                options,
-                active: AtomicUsize::new(0),
-                conns: Mutex::new(Vec::new()),
-            }),
+            shared: Arc::new(Shared::new(library, options)),
         })
     }
 
@@ -211,6 +248,7 @@ impl Server {
         // are the point of running one, and the parity suite plus the
         // perf harness bound the cost.
         hb_obs::arm();
+        let standby = spawn_standby(&self.shared);
         let addr = self.listener.local_addr()?;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         let mut next_id: u64 = 0;
@@ -241,8 +279,22 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(sync) = standby {
+            let _ = sync.join();
+        }
         Ok(())
     }
+}
+
+/// Starts the standby sync thread when `--standby-of` is configured.
+/// The thread exits on shutdown or on promotion (primary declared
+/// dead); both transports join it on their way out.
+pub(crate) fn spawn_standby(shared: &Arc<Shared>) -> Option<thread::JoinHandle<()>> {
+    let primary = shared.options.standby_of.clone()?;
+    let shared = Arc::clone(shared);
+    Some(thread::spawn(move || {
+        replica::run_standby(&shared, &primary);
+    }))
 }
 
 /// Overload shedding: answer an over-cap connection with a structured
@@ -366,12 +418,57 @@ fn serve_requests<R: io::BufRead>(
     }
 }
 
-/// Routes a request through the session lock, degrading to `busy`
-/// after the configured deadline. Read-only requests of a settled
-/// analysis take the shared path and run concurrently; the write path
-/// is panic-isolated and journal-recovered. A poisoned lock is
-/// reclaimed, cleared and recovered — never surfaced to the client.
+/// Routes a request to its design slot (the `design=` argument, the
+/// default design when absent), handling the fleet-management and
+/// replication verbs at the transport itself. Everything else runs
+/// the per-slot lock dance in [`handle_on_slot`].
 pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
+    match req.verb.as_str() {
+        "open" | "close" => return counted(shared, req, false, || shared.fleet.manage(req)),
+        "designs" => return counted(shared, req, true, || shared.fleet.manage(req)),
+        "repl-state" => return counted(shared, req, true, || replica::repl_state(shared)),
+        "repl-pull" => return counted(shared, req, true, || replica::repl_pull(shared, req)),
+        _ => {}
+    }
+    let id = req.get("design").unwrap_or(DEFAULT_DESIGN);
+    let slot = match shared.fleet.route(id) {
+        Ok(slot) => slot,
+        Err(reply) => {
+            // The session never sees this request; count it here so
+            // the per-verb totals stay complete.
+            shared.metrics.count_write(&req.verb);
+            shared.metrics.error(reply.get("code").unwrap_or("unknown"));
+            return reply;
+        }
+    };
+    shared.metrics.design_request(&slot.id);
+    handle_on_slot(shared, &slot, req)
+}
+
+/// Counts and times a verb the transport answers without a session —
+/// the fleet-management and replication verbs — mirroring the
+/// counting [`Session::handle`] does for session verbs.
+fn counted(shared: &Shared, req: &Frame, read: bool, f: impl FnOnce() -> Frame) -> Frame {
+    if read {
+        shared.metrics.count_read(&req.verb);
+    } else {
+        shared.metrics.count_write(&req.verb);
+    }
+    let _span = shared.metrics.handle_span(&req.verb);
+    let reply = f();
+    if reply.verb == "error" {
+        shared.metrics.error(reply.get("code").unwrap_or("unknown"));
+    }
+    reply
+}
+
+/// Serves one request on one design slot, degrading to `busy` after
+/// the configured lock deadline. Read-only requests of a settled
+/// analysis take the shared path and run concurrently; the write path
+/// is panic-isolated and journal-recovered, and transparently reloads
+/// an evicted design from its journal first. A poisoned lock is
+/// reclaimed, cleared and recovered — never surfaced to the client.
+fn handle_on_slot(shared: &Shared, slot: &DesignSlot, req: &Frame) -> Frame {
     let deadline = Instant::now() + shared.options.lock_deadline;
     // The latency split: lock-wait runs from here until whichever lock
     // actually serves the request is held (a `busy` reply records the
@@ -384,8 +481,10 @@ pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
             .arg("retry_after_ms", shared.options.retry_after_ms)
             .with_payload("session lock deadline exceeded")
     };
-    loop {
-        match shared.session.try_read() {
+    // An evicted design has nothing to serve read-only; the write
+    // path below reloads it from its journal first.
+    while slot.resident.load(Ordering::Acquire) {
+        match slot.session.try_read() {
             Ok(session) => {
                 // `Ok(None)` needs the write path; a read-path panic
                 // (`Err`) also falls through — the write path re-runs
@@ -410,22 +509,26 @@ pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
         }
     }
     loop {
-        match shared.session.try_write() {
+        match slot.session.try_write() {
             Ok(mut session) => {
                 drop(lock_wait.take());
+                if !slot.resident.load(Ordering::Acquire) {
+                    let journal = lock(&slot.journal);
+                    shared.fleet.reload(slot, &mut session, &journal);
+                }
                 if session.faults().fires(hb_fault::NET_UNWIND_ESCAPE) {
                     // Deliberately unguarded: the chaos suite uses this
                     // to let an injected panic escape and genuinely
                     // poison the lock.
                     return session.handle(req);
                 }
-                let mut journal = lock(&shared.journal);
-                return journal::handle_recovering(
-                    &mut session,
-                    &mut journal,
-                    &shared.library,
-                    req,
-                );
+                let reply = {
+                    let mut journal = lock(&slot.journal);
+                    journal::handle_recovering(&mut session, &mut journal, &shared.library, req)
+                };
+                drop(session);
+                shared.fleet.settle(slot);
+                return reply;
             }
             Err(TryLockError::Poisoned(e)) => {
                 // A panic escaped a previous writer. Claim the guard
@@ -433,15 +536,15 @@ pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
                 // the journal, then serve this request normally.
                 drop(lock_wait.take());
                 let mut session = e.into_inner();
-                shared.session.clear_poison();
-                let mut journal = lock(&shared.journal);
-                let _ = journal::recover(&mut session, &journal, &shared.library);
-                return journal::handle_recovering(
-                    &mut session,
-                    &mut journal,
-                    &shared.library,
-                    req,
-                );
+                slot.session.clear_poison();
+                let reply = {
+                    let mut journal = lock(&slot.journal);
+                    let _ = journal::recover(&mut session, &journal, &shared.library);
+                    journal::handle_recovering(&mut session, &mut journal, &shared.library, req)
+                };
+                drop(session);
+                shared.fleet.settle(slot);
+                return reply;
             }
             Err(TryLockError::WouldBlock) => {
                 if Instant::now() >= deadline {
@@ -453,12 +556,13 @@ pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
     }
 }
 
-/// Serves one session over arbitrary byte streams — the `--stdio`
+/// Serves a design fleet over arbitrary byte streams — the `--stdio`
 /// mode test harnesses drive. Single-threaded: requests are answered
 /// in order until `shutdown`, end-of-input, or an unrecoverable
-/// protocol error. Panic isolation and journal recovery match the TCP
-/// path: a request that panics answers `error code=internal` and the
-/// session is rebuilt in place.
+/// protocol error. Routing, panic isolation and journal recovery
+/// match the TCP path exactly — both go through
+/// [`handle_with_deadline`] — so a stdio transcript and a TCP
+/// transcript answer byte-identically.
 ///
 /// # Errors
 ///
@@ -469,14 +573,13 @@ pub fn serve_stream(
     input: impl io::BufRead,
     output: &mut impl io::Write,
 ) -> io::Result<()> {
-    let mut session = Session::new(library.clone());
-    let mut journal = Journal::new();
+    let shared = Shared::new(library, ServerOptions::default());
     let mut requests = FrameReader::new(input);
     loop {
         match requests.read_frame() {
             Ok(Some(req)) => {
                 let stop = req.verb == "shutdown";
-                let reply = journal::handle_recovering(&mut session, &mut journal, &library, &req);
+                let reply = handle_with_deadline(&shared, &req);
                 write_frame(output, &reply)?;
                 if stop && reply.verb == "ok" {
                     return Ok(());

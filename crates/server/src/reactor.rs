@@ -223,13 +223,14 @@ impl Server {
     /// only close that connection.
     pub fn run_reactor(self) -> io::Result<()> {
         hb_obs::arm();
+        let standby = crate::net::spawn_standby(&self.shared);
         self.listener.set_nonblocking(true)?;
         // Budget descriptors for the configured cap (each connection
         // is exactly one fd) plus slack for the listener, stdio and
         // whatever the embedding process holds.
         let want = self.shared.options.max_connections as u64 + 64;
         let _ = sys::raise_nofile_limit(want);
-        Reactor {
+        let outcome = Reactor {
             server: self,
             conns: Vec::new(),
             free: Vec::new(),
@@ -237,7 +238,11 @@ impl Server {
             chunk: vec![0u8; READ_CHUNK],
             draining: false,
         }
-        .run()
+        .run();
+        if let Some(sync) = standby {
+            let _ = sync.join();
+        }
+        outcome
     }
 }
 

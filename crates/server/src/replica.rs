@@ -1,0 +1,354 @@
+//! Journal-streaming replication and warm-standby failover.
+//!
+//! The unit of replication is the write-ahead [`Journal`]: it already
+//! captures, in order, every request that changed a design's state,
+//! and [`Journal::replay`] already rebuilds a bit-identical session
+//! from it (panic recovery and LRU-eviction reload both rely on
+//! that). Streaming the same entries to another process therefore
+//! yields a warm shadow of the whole fleet for free — no second
+//! serialisation format, no snapshot shipping.
+//!
+//! The wire protocol is two read-only verbs served by any daemon:
+//!
+//! * `repl-state` — one payload line per open design:
+//!   `ID EPOCH LEN FINGERPRINT` (sorted by id, fingerprint in hex or
+//!   `-` before the first mutation).
+//! * `repl-pull design=ID epoch=E since=N` — journal entries from
+//!   index `N` on, each encoded as a nested
+//!   `entry expect=VERB payload=K` frame whose payload is the
+//!   original request frame verbatim. When the caller's `epoch` no
+//!   longer matches (the primary rewrote history: a fresh `load` or a
+//!   compaction), the reply carries `resync=1` and restarts from
+//!   index 0. Replies are capped near [`MAX_STREAM_BYTES`]; `more=1`
+//!   says pull again. A complete reply (`more=0`) carries the
+//!   primary's fingerprint for the replica to verify its rebuilt
+//!   session against.
+//!
+//! A standby (`serve --standby-of ADDR`) runs an ordinary fleet
+//! daemon plus one sync thread executing [`run_standby`]: every
+//! `sync_interval` it pulls the primary's state, mirrors the design
+//! table, applies new entries through [`Session::handle_replay`]
+//! under the slot's write lock (so shadow sessions stay warm and
+//! queryable), and prunes designs the primary closed. After
+//! `promote_after` consecutive sync failures it declares the primary
+//! dead and promotes itself — the sync thread exits and what remains
+//! is a normal primary already holding every acknowledged design
+//! state, so clients re-point their address and continue. Because a
+//! panicked request is never journaled, the standby's state after
+//! failover is exactly the last state any client was told about.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+use hb_io::{Frame, FrameDecoder};
+
+use crate::fleet::{DesignSlot, DEFAULT_DESIGN};
+use crate::journal::Journal;
+use crate::net::{lock, Client, Shared};
+
+/// Soft cap on one `repl-pull` reply's payload. Entries are batched
+/// up to this size and the remainder flagged with `more=1`; a single
+/// larger entry (a big `load`) still ships whole, and stays inside
+/// the codec's 16 MiB frame limit because session payloads are capped
+/// at 8 MiB.
+pub const MAX_STREAM_BYTES: usize = 12 * 1024 * 1024;
+
+fn err(code: &str, message: impl std::fmt::Display) -> Frame {
+    Frame::new("error")
+        .arg("code", code)
+        .with_payload(message.to_string())
+}
+
+fn fp_hex(fp: Option<u64>) -> String {
+    match fp {
+        Some(fp) => format!("{fp:016x}"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Serves `repl-state`: every open design's replication cursor.
+pub(crate) fn repl_state(shared: &Shared) -> Frame {
+    let slots = shared.fleet.snapshot();
+    let mut body = String::new();
+    for slot in &slots {
+        let journal = lock(&slot.journal);
+        body.push_str(&format!(
+            "{} {} {} {}\n",
+            slot.id,
+            journal.epoch(),
+            journal.len(),
+            fp_hex(journal.fingerprint())
+        ));
+    }
+    Frame::new("ok")
+        .arg("count", slots.len())
+        .with_payload(body)
+}
+
+/// Serves `repl-pull`: one design's journal entries from the caller's
+/// cursor on (or from zero with `resync=1` when the cursor's epoch is
+/// stale).
+pub(crate) fn repl_pull(shared: &Shared, req: &Frame) -> Frame {
+    let Some(id) = req.get("design") else {
+        return err("usage", "repl-pull needs design=ID");
+    };
+    let Some(slot) = shared.fleet.peek(id) else {
+        return err("unknown-design", format!("no open design `{id}`"));
+    };
+    let epoch: u64 = match req.get("epoch").map(str::parse) {
+        None => 0,
+        Some(Ok(e)) => e,
+        Some(Err(_)) => return err("usage", "bad epoch value"),
+    };
+    let since: usize = match req.get("since").map(str::parse) {
+        None => 0,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return err("usage", "bad since value"),
+    };
+    let journal = lock(&slot.journal);
+    let (resync, start) = if epoch != journal.epoch() || since > journal.len() {
+        (1u8, 0usize)
+    } else {
+        (0u8, since)
+    };
+    let mut body = String::new();
+    let mut count = 0usize;
+    let mut more = 0u8;
+    for entry in &journal.entries()[start..] {
+        let encoded = entry.req.encode();
+        if count > 0 && body.len() + encoded.len() > MAX_STREAM_BYTES {
+            more = 1;
+            break;
+        }
+        body.push_str(
+            &Frame::new("entry")
+                .arg("expect", &entry.expect)
+                .with_payload(encoded)
+                .encode(),
+        );
+        count += 1;
+    }
+    let mut reply = Frame::new("ok")
+        .arg("design", id)
+        .arg("epoch", journal.epoch())
+        .arg("since", start)
+        .arg("count", count)
+        .arg("resync", resync)
+        .arg("more", more);
+    if more == 0 {
+        if let Some(fp) = journal.fingerprint() {
+            reply = reply.arg("fp", format!("{fp:016x}"));
+        }
+    }
+    reply.with_payload(body)
+}
+
+/// One design's line in a `repl-state` payload.
+struct RemoteCursor {
+    id: String,
+    epoch: u64,
+    len: usize,
+}
+
+fn parse_state(payload: &str) -> Result<Vec<RemoteCursor>, String> {
+    payload
+        .lines()
+        .map(|line| {
+            let mut parts = line.split_whitespace();
+            let mut parse = || {
+                parts
+                    .next()
+                    .ok_or_else(|| format!("short state line `{line}`"))
+            };
+            let id = parse()?.to_owned();
+            let epoch = parse()?
+                .parse()
+                .map_err(|_| format!("bad epoch in `{line}`"))?;
+            let len = parse()?
+                .parse()
+                .map_err(|_| format!("bad len in `{line}`"))?;
+            Ok(RemoteCursor { id, epoch, len })
+        })
+        .collect()
+}
+
+/// The standby sync loop: mirror the primary every `sync_interval`
+/// until shutdown, or promote after `promote_after` consecutive
+/// failures. Runs on its own thread (see `spawn_standby`).
+pub(crate) fn run_standby(shared: &Arc<Shared>, primary: &str) {
+    let interval = shared.options.sync_interval;
+    let promote_after = shared.options.promote_after.max(1);
+    let mut failures = 0u32;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match sync_once(shared, primary) {
+            Ok(()) => failures = 0,
+            Err(_) => {
+                failures += 1;
+                if failures >= promote_after {
+                    // Promotion: the primary is dead. Stop syncing and
+                    // let the fleet this thread kept warm serve as the
+                    // new primary.
+                    return;
+                }
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let step = (interval - slept).min(Duration::from_millis(25));
+            thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// One sync round: pull the primary's design table, catch every
+/// design's shadow up, prune closed ones.
+fn sync_once(shared: &Shared, primary: &str) -> Result<(), String> {
+    let mut client = Client::connect(primary).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    let state = client
+        .request(&Frame::new("repl-state"))
+        .map_err(|e| format!("repl-state: {e}"))?;
+    if state.verb != "ok" {
+        return Err(format!(
+            "repl-state answered `{}`: {}",
+            state.verb,
+            state.payload.as_deref().unwrap_or("")
+        ));
+    }
+    let cursors = parse_state(state.payload.as_deref().unwrap_or(""))?;
+    let mut present: HashSet<&str> = HashSet::new();
+    for cursor in &cursors {
+        present.insert(&cursor.id);
+        sync_design(shared, &mut client, cursor)?;
+    }
+    for slot in shared.fleet.snapshot() {
+        if !present.contains(slot.id.as_str()) && slot.id != DEFAULT_DESIGN {
+            shared.fleet.remove(&slot.id);
+        }
+    }
+    Ok(())
+}
+
+/// Catches one design's shadow up to the primary's cursor, pulling in
+/// bounded pages until level.
+fn sync_design(shared: &Shared, client: &mut Client, cursor: &RemoteCursor) -> Result<(), String> {
+    let slot = shared.fleet.ensure(&cursor.id);
+    loop {
+        let (epoch, len) = {
+            let journal = lock(&slot.journal);
+            (journal.epoch(), journal.len())
+        };
+        if epoch == cursor.epoch && len >= cursor.len {
+            return Ok(());
+        }
+        let reply = client
+            .request(
+                &Frame::new("repl-pull")
+                    .arg("design", &cursor.id)
+                    .arg("epoch", epoch)
+                    .arg("since", len),
+            )
+            .map_err(|e| format!("repl-pull {}: {e}", cursor.id))?;
+        if reply.verb != "ok" {
+            return Err(format!(
+                "repl-pull {} answered `{}`: {}",
+                cursor.id,
+                reply.verb,
+                reply.payload.as_deref().unwrap_or("")
+            ));
+        }
+        apply_pull(shared, &slot, &reply)?;
+        if reply.get("more") != Some("1") {
+            return Ok(());
+        }
+    }
+}
+
+/// Applies one `repl-pull` reply to a shadow slot: resync-reset when
+/// flagged, replay every entry, verify the fingerprint on a complete
+/// page. Any divergence resets the shadow so the next round resyncs
+/// from zero.
+fn apply_pull(shared: &Shared, slot: &DesignSlot, reply: &Frame) -> Result<(), String> {
+    let epoch: u64 = reply
+        .get("epoch")
+        .and_then(|v| v.parse().ok())
+        .ok_or("repl-pull reply without epoch")?;
+    let mut session = slot.session.write().unwrap_or_else(PoisonError::into_inner);
+    slot.session.clear_poison();
+    let mut journal = lock(&slot.journal);
+    let reset = |journal: &mut Journal, session: &mut crate::session::Session, epoch: u64| {
+        journal.sync_reset(epoch);
+        *session = shared.fleet.fresh_session();
+    };
+    if reply.get("resync") == Some("1") {
+        reset(&mut journal, &mut session, epoch);
+    }
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(reply.payload.as_deref().unwrap_or("").as_bytes());
+    loop {
+        let entry = match decoder.next_frame() {
+            Ok(Some(entry)) => entry,
+            Ok(None) => break,
+            Err(e) => return Err(format!("bad replication stream: {e}")),
+        };
+        if entry.verb != "entry" {
+            return Err(format!("unexpected `{}` in replication stream", entry.verb));
+        }
+        let expect = entry.get("expect").unwrap_or("ok").to_owned();
+        let mut inner = FrameDecoder::new();
+        inner.feed(entry.payload.as_deref().unwrap_or("").as_bytes());
+        let req = match inner.next_frame() {
+            Ok(Some(req)) => req,
+            Ok(None) | Err(_) => return Err("undecodable replication entry".into()),
+        };
+        let got = catch_unwind(AssertUnwindSafe(|| session.handle_replay(&req)));
+        match got {
+            Ok(got) if got.verb == expect => journal.sync_push(req, expect),
+            outcome => {
+                // The shadow diverged (or the replay panicked): throw
+                // it away and resync from zero next round.
+                reset(&mut journal, &mut session, 0);
+                let got = match outcome {
+                    Ok(got) => got.verb,
+                    Err(_) => "panic".to_owned(),
+                };
+                return Err(format!(
+                    "replicated `{}` replayed to `{got}` (expected `{expect}`)",
+                    req.verb
+                ));
+            }
+        }
+    }
+    decoder
+        .finish()
+        .map_err(|e| format!("truncated replication stream: {e}"))?;
+    if reply.get("more") != Some("1") {
+        let fp = reply
+            .get("fp")
+            .and_then(|v| u64::from_str_radix(v, 16).ok());
+        journal.set_fingerprint(fp);
+        if let Some(fp) = fp {
+            if session.fingerprint() != fp {
+                reset(&mut journal, &mut session, 0);
+                return Err("replicated fingerprint mismatch; resyncing".into());
+            }
+        }
+    }
+    drop(journal);
+    drop(session);
+    shared.fleet.settle(slot);
+    Ok(())
+}

@@ -272,6 +272,19 @@ impl Session {
         }
     }
 
+    /// A deterministic approximation of the session's resident
+    /// footprint in bytes — what the fleet's memory budget accounts
+    /// against. Not a malloc measurement: a stable formula over the
+    /// loaded design's cell/net counts and the cache population, so
+    /// eviction decisions reproduce across runs and platforms.
+    pub fn approx_resident_bytes(&self) -> usize {
+        let Some(l) = &self.loaded else {
+            return 256;
+        };
+        let stats = l.design.stats(l.top);
+        256 + stats.cells * 160 + stats.nets * 96 + l.cache.len() * 256
+    }
+
     /// The loaded state as synthetic journal frames: one `load` of the
     /// canonical dump text plus, if an analysis has succeeded, one
     /// options-bearing re-analysis. `None` when nothing is loaded.
@@ -762,12 +775,21 @@ impl Session {
                 // Batched form: `slack node=A node=B ...` answers every
                 // node in one frame — count, worst across the set, and
                 // one `NAME kind SLACK` payload line per node, in
-                // request order. One unresolvable name fails the whole
+                // request order. Duplicate `node=` keys collapse to
+                // their first occurrence, so `count` is the number of
+                // *distinct* nodes answered and no payload line
+                // repeats. One unresolvable name fails the whole
                 // request; a partial answer would be ambiguous.
-                let module = loaded.design.module(loaded.top);
-                let mut body = String::with_capacity(names.len() * 24);
-                let mut worst = None;
+                let mut unique: Vec<&str> = Vec::with_capacity(names.len());
                 for name in names {
+                    if !unique.contains(name) {
+                        unique.push(name);
+                    }
+                }
+                let module = loaded.design.module(loaded.top);
+                let mut body = String::with_capacity(unique.len() * 24);
+                let mut worst = None;
+                for name in &unique {
                     let (kind, slack) = if let Some(net) = module.net_by_name(name) {
                         ("net", report.net_slack(net))
                     } else if let Some(s) = report
@@ -787,7 +809,7 @@ impl Session {
                     });
                     body.push_str(&format!("{name} {kind} {slack}\n"));
                 }
-                ok().arg("count", names.len())
+                ok().arg("count", unique.len())
                     .arg("worst", worst.expect("names is non-empty"))
                     .with_payload(body)
             }

@@ -463,6 +463,165 @@ fn oversized_requests_hit_structured_limits() {
     assert_eq!(session.handle(&Frame::new("stats")).get("loads"), Some("1"));
 }
 
+/// Invariant 2+3, failover flavour: a primary takes an injected ECO
+/// panic mid-flight (rolled back, recovered, never journaled), a warm
+/// standby shadows it over journal-streaming replication, the primary
+/// is then killed outright, and the promoted standby continues the
+/// flow — with every answer bit-identical to one uninterrupted
+/// session over the same edits, masking only the wall-clock
+/// `seconds=` argument.
+#[test]
+fn failover_mid_eco_matches_uninterrupted_run() {
+    let _guard = serialised();
+    let (lib, text, inst) = pipeline();
+    let faults = FaultPlan::seeded(0xDAC89).armed(hb_fault::SESSION_ECO_PANIC, Fault::once());
+    let (primary, primary_handle) = start_server(
+        lib.clone(),
+        ServerOptions {
+            faults,
+            ..ServerOptions::default()
+        },
+    );
+    let (standby, standby_handle) = start_server(
+        lib.clone(),
+        ServerOptions {
+            standby_of: Some(primary.to_string()),
+            sync_interval: Duration::from_millis(25),
+            promote_after: 3,
+            ..ServerOptions::default()
+        },
+    );
+    let dut = |f: Frame| f.arg("design", "dut");
+    // A real net of the workload, picked deterministically, for the
+    // post-failover scale-net edit.
+    let parsed = hb_io::parse_hum(&text, &lib).unwrap();
+    let net = parsed
+        .design
+        .module(parsed.design.top().unwrap())
+        .nets()
+        .map(|(_, n)| n.name().to_owned())
+        .next()
+        .unwrap();
+    let scale = || {
+        Frame::new("eco")
+            .arg("op", "scale-net")
+            .arg("net", &net)
+            .arg("percent", 120)
+    };
+
+    let mut client = Client::connect(primary).unwrap();
+    assert_eq!(
+        client
+            .request(&Frame::new("open").arg("design", "dut"))
+            .unwrap()
+            .verb,
+        "ok"
+    );
+    assert_eq!(
+        client
+            .request(&dut(Frame::new("load").with_payload(text.clone())))
+            .unwrap()
+            .verb,
+        "ok"
+    );
+    assert_eq!(
+        client.request(&dut(Frame::new("analyze"))).unwrap().verb,
+        "ok"
+    );
+
+    // The chaos: the ECO panics mid-mutation on the primary. It is
+    // rolled back and — crucially for the standby — never journaled,
+    // so the shadow only ever sees acknowledged state.
+    let reply = client.request(&dut(eco_resize(&inst))).unwrap();
+    assert_eq!(reply.verb, "error", "{:?}", reply.payload);
+    assert_eq!(reply.get("code"), Some("internal"));
+    assert_eq!(reply.get("recovered"), Some("1"), "{:?}", reply.payload);
+    // Re-issued with the fault budget spent, it applies.
+    assert_eq!(client.request(&dut(eco_resize(&inst))).unwrap().verb, "ok");
+
+    // Wait for the standby to report the primary's exact fingerprint.
+    let fp_of = |client: &mut Client| {
+        let reply = client.request(&Frame::new("designs")).unwrap();
+        reply
+            .payload
+            .as_deref()
+            .unwrap_or("")
+            .lines()
+            .find_map(|l| {
+                let mut parts = l.split_whitespace();
+                (parts.next() == Some("dut")).then(|| {
+                    parts
+                        .find_map(|p| p.strip_prefix("fp="))
+                        .unwrap()
+                        .to_owned()
+                })
+            })
+    };
+    let want_fp = fp_of(&mut client).expect("dut on the primary");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut shadow = Client::connect(standby).unwrap();
+        if fp_of(&mut shadow).as_deref() == Some(want_fp.as_str()) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "standby never caught up");
+        thread::sleep(Duration::from_millis(25));
+    }
+
+    // Kill the primary outright and let the standby promote.
+    client.request(&Frame::new("shutdown")).unwrap();
+    primary_handle.join().unwrap().unwrap();
+    thread::sleep(Duration::from_millis(400));
+
+    // The flow continues against the promoted standby.
+    let mut shadow = Client::connect(standby).unwrap();
+    let warm_eco = shadow.request(&dut(scale())).unwrap();
+    assert_eq!(warm_eco.verb, "ok", "{:?}", warm_eco.payload);
+    let warm_analyze = shadow.request(&dut(Frame::new("analyze"))).unwrap();
+    let warm_slack = shadow
+        .request(&dut(Frame::new("slack").arg("node", &net)))
+        .unwrap();
+    let warm_paths = shadow
+        .request(&dut(Frame::new("worst-paths").arg("k", 10)))
+        .unwrap();
+    let warm_dump = shadow.request(&dut(Frame::new("dump"))).unwrap();
+
+    // Uninterrupted twin: one session, the same edits, no panic, no
+    // replication, no failover.
+    let mut cold = Session::new(lib);
+    assert_eq!(
+        cold.handle(&Frame::new("load").with_payload(text)).verb,
+        "ok"
+    );
+    assert_eq!(cold.handle(&Frame::new("analyze")).verb, "ok");
+    assert_eq!(cold.handle(&eco_resize(&inst)).verb, "ok");
+    let cold_eco = cold.handle(&scale());
+    let cold_analyze = cold.handle(&Frame::new("analyze"));
+    let cold_slack = cold.handle(&Frame::new("slack").arg("node", &net));
+    let cold_paths = cold.handle(&Frame::new("worst-paths").arg("k", 10));
+    let cold_dump = cold.handle(&Frame::new("dump"));
+
+    // Bit-identical, masking only the wall-clock `seconds` argument
+    // (and the routing `design` argument the twin never had).
+    let strip = |f: &Frame| {
+        let mut f = f.clone();
+        f.args.retain(|(k, _)| k != "seconds" && k != "design");
+        f
+    };
+    assert_eq!(strip(&warm_eco), strip(&cold_eco), "eco diverged");
+    assert_eq!(
+        strip(&warm_analyze),
+        strip(&cold_analyze),
+        "analyze diverged"
+    );
+    assert_eq!(strip(&warm_slack), strip(&cold_slack), "slack diverged");
+    assert_eq!(strip(&warm_paths), strip(&cold_paths), "paths diverged");
+    assert_eq!(strip(&warm_dump), strip(&cold_dump), "dump diverged");
+
+    shadow.request(&Frame::new("shutdown")).unwrap();
+    standby_handle.join().unwrap().unwrap();
+}
+
 // --- Reactor transport under chaos -----------------------------------
 //
 // The event loop shares the session, journal and deadline semantics

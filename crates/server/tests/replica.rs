@@ -1,0 +1,309 @@
+//! Journal-streaming replication end to end: the `repl-state` /
+//! `repl-pull` wire verbs, the warm-standby sync loop mirroring a
+//! primary's fleet, epoch-driven resync after history rewrites, and
+//! promotion after the primary dies.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hb_cells::sc89;
+use hb_io::{Frame, FrameDecoder};
+use hb_server::{Client, Server, ServerOptions};
+
+fn start_server(
+    options: ServerOptions,
+) -> (
+    std::net::SocketAddr,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind("127.0.0.1:0", sc89(), options).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn standby_options(primary: std::net::SocketAddr) -> ServerOptions {
+    ServerOptions {
+        standby_of: Some(primary.to_string()),
+        sync_interval: Duration::from_millis(25),
+        promote_after: 3,
+        ..ServerOptions::default()
+    }
+}
+
+fn design_text(name: &str) -> String {
+    format!(
+        "design {name}\n\
+         module top\n\
+         \x20 port in din clk\n\
+         \x20 port out dout\n\
+         \x20 inst g0 BUF_X1 A=din Y=n0\n\
+         \x20 inst g1 INV_X1 A=n0 Y=n1\n\
+         \x20 inst cap DFF D=n1 CK=clk Q=dout\n\
+         end\n\
+         top top\n\
+         clock clk period 10ns rise 0ns fall 5ns\n\
+         clockport clk clk\n\
+         arrive din clk rise 1ns\n"
+    )
+}
+
+fn scale_eco(net: &str, percent: u32) -> Frame {
+    Frame::new("eco")
+        .arg("op", "scale-net")
+        .arg("net", net)
+        .arg("percent", percent)
+}
+
+/// The fingerprint column of one design's `designs` line, or None if
+/// the design is missing.
+fn design_fp(client: &mut Client, id: &str) -> Option<String> {
+    let reply = client.request(&Frame::new("designs")).unwrap();
+    reply
+        .payload
+        .as_deref()
+        .unwrap_or("")
+        .lines()
+        .find_map(|l| {
+            let mut parts = l.split_whitespace();
+            (parts.next() == Some(id)).then(|| {
+                parts
+                    .find_map(|p| p.strip_prefix("fp="))
+                    .unwrap()
+                    .to_owned()
+            })
+        })
+}
+
+/// Polls `standby` until `id`'s fingerprint there equals `want`.
+fn await_fp(standby: std::net::SocketAddr, id: &str, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut client = Client::connect(standby).unwrap();
+        if design_fp(&mut client, id).as_deref() == Some(want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby never reached fp={want} for `{id}`"
+        );
+        thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The pull protocol over the wire: entries stream as nested frames,
+/// cursors advance, stale epochs force a resync from zero.
+#[test]
+fn repl_pull_streams_the_journal_with_epoch_resync() {
+    let (addr, server) = start_server(ServerOptions::default());
+    let mut client = Client::connect(addr).unwrap();
+
+    let text = design_text("alpha");
+    for req in [
+        Frame::new("load").with_payload(text),
+        Frame::new("analyze"),
+        scale_eco("n0", 120),
+    ] {
+        assert_eq!(client.request(&req).unwrap().verb, "ok");
+    }
+
+    // repl-state reports the default design's cursor.
+    let state = client.request(&Frame::new("repl-state")).unwrap();
+    assert_eq!(state.verb, "ok");
+    assert_eq!(state.get("count"), Some("1"));
+    let line = state.payload.as_deref().unwrap().lines().next().unwrap();
+    let cols: Vec<&str> = line.split_whitespace().collect();
+    assert_eq!(cols[0], "default");
+    let epoch = cols[1];
+    assert_eq!(cols[2], "3", "load+analyze+eco journal");
+    assert_ne!(cols[3], "-", "a mutated design has a fingerprint");
+
+    // A cold replica (epoch 0, since 0) gets flagged resync and the
+    // full history: three nested `entry` frames carrying the original
+    // requests verbatim.
+    let pull = client
+        .request(
+            &Frame::new("repl-pull")
+                .arg("design", "default")
+                .arg("epoch", 0)
+                .arg("since", 0),
+        )
+        .unwrap();
+    assert_eq!(pull.verb, "ok", "{:?}", pull.payload);
+    assert_eq!(pull.get("resync"), Some("1"), "cold epoch must resync");
+    assert_eq!(pull.get("count"), Some("3"));
+    assert_eq!(pull.get("more"), Some("0"));
+    assert_eq!(pull.get("fp"), Some(cols[3]), "complete page carries fp");
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(pull.payload.as_deref().unwrap().as_bytes());
+    let mut verbs = Vec::new();
+    while let Some(entry) = decoder.next_frame().unwrap() {
+        assert_eq!(entry.verb, "entry");
+        assert_eq!(entry.get("expect"), Some("ok"));
+        let mut inner = FrameDecoder::new();
+        inner.feed(entry.payload.as_deref().unwrap().as_bytes());
+        verbs.push(inner.next_frame().unwrap().unwrap().verb);
+    }
+    decoder.finish().unwrap();
+    assert_eq!(verbs, ["load", "analyze", "eco"]);
+
+    // A level replica pulling from its cursor gets an empty page.
+    let pull = client
+        .request(
+            &Frame::new("repl-pull")
+                .arg("design", "default")
+                .arg("epoch", epoch)
+                .arg("since", 3),
+        )
+        .unwrap();
+    assert_eq!(pull.get("resync"), Some("0"));
+    assert_eq!(pull.get("count"), Some("0"));
+
+    // A fresh load rewrites history: the epoch moves and the stale
+    // cursor is told to start over.
+    let reply = client
+        .request(&Frame::new("load").with_payload(design_text("beta")))
+        .unwrap();
+    assert_eq!(reply.verb, "ok");
+    let pull = client
+        .request(
+            &Frame::new("repl-pull")
+                .arg("design", "default")
+                .arg("epoch", epoch)
+                .arg("since", 3),
+        )
+        .unwrap();
+    assert_eq!(pull.get("resync"), Some("1"));
+    assert_eq!(pull.get("since"), Some("0"));
+    assert_ne!(pull.get("epoch"), Some(epoch));
+
+    // Errors are structured: unknown design, unparseable cursor.
+    let reply = client
+        .request(&Frame::new("repl-pull").arg("design", "ghost"))
+        .unwrap();
+    assert_eq!(reply.get("code"), Some("unknown-design"));
+    let reply = client
+        .request(
+            &Frame::new("repl-pull")
+                .arg("design", "default")
+                .arg("epoch", "soon"),
+        )
+        .unwrap();
+    assert_eq!(reply.get("code"), Some("usage"));
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// The full standby lifecycle: shadow the primary's designs (including
+/// ones opened, mutated, re-loaded, and closed mid-stream), answer
+/// queries from the warm shadow, and keep serving after the primary
+/// dies — with the exact state the primary last acknowledged.
+#[test]
+fn standby_mirrors_mutations_and_survives_primary_death() {
+    let (primary, primary_handle) = start_server(ServerOptions::default());
+    let (standby, standby_handle) = start_server(standby_options(primary));
+    let mut client = Client::connect(primary).unwrap();
+
+    // Two tenants on the primary, each mutated past its load.
+    for id in ["left", "right"] {
+        assert_eq!(
+            client
+                .request(&Frame::new("open").arg("design", id))
+                .unwrap()
+                .verb,
+            "ok"
+        );
+        for req in [
+            Frame::new("load").with_payload(design_text(id)),
+            Frame::new("analyze"),
+            scale_eco("n0", 130),
+        ] {
+            let reply = client.request(&req.arg("design", id)).unwrap();
+            assert_eq!(reply.verb, "ok", "{id}: {:?}", reply.payload);
+        }
+    }
+    // One short-lived tenant the standby must prune again.
+    client
+        .request(&Frame::new("open").arg("design", "doomed"))
+        .unwrap();
+
+    // The standby catches up to the primary's exact fingerprints.
+    let left_fp = design_fp(&mut client, "left").unwrap();
+    let right_fp = design_fp(&mut client, "right").unwrap();
+    await_fp(standby, "left", &left_fp);
+    await_fp(standby, "right", &right_fp);
+
+    // Shadows are warm and queryable, and byte-identical to the
+    // primary's sessions.
+    let mut shadow = Client::connect(standby).unwrap();
+    for id in ["left", "right"] {
+        let want = client
+            .request(&Frame::new("dump").arg("design", id))
+            .unwrap();
+        let got = shadow
+            .request(&Frame::new("dump").arg("design", id))
+            .unwrap();
+        assert_eq!(got.payload, want.payload, "{id}: shadow dump diverged");
+        let got = shadow
+            .request(&Frame::new("slack").arg("design", id).arg("node", "n1"))
+            .unwrap();
+        assert_eq!(got.verb, "ok", "{id}: {:?}", got.payload);
+    }
+
+    // A history rewrite (fresh load) and a close both propagate.
+    client
+        .request(&Frame::new("close").arg("design", "doomed"))
+        .unwrap();
+    let reply = client
+        .request(
+            &Frame::new("load")
+                .arg("design", "left")
+                .with_payload(design_text("left_v2")),
+        )
+        .unwrap();
+    assert_eq!(reply.verb, "ok");
+    let left_fp = design_fp(&mut client, "left").unwrap();
+    await_fp(standby, "left", &left_fp);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while design_fp(&mut shadow, "doomed").is_some() {
+        assert!(Instant::now() < deadline, "standby never pruned `doomed`");
+        thread::sleep(Duration::from_millis(25));
+    }
+    let want_dump = client
+        .request(&Frame::new("dump").arg("design", "left"))
+        .unwrap();
+
+    // Kill the primary mid-flight. After `promote_after` missed syncs
+    // the standby promotes itself: same designs, same state, now
+    // accepting writes of its own.
+    client.request(&Frame::new("shutdown")).unwrap();
+    primary_handle.join().unwrap().unwrap();
+    thread::sleep(Duration::from_millis(400));
+
+    let got = shadow
+        .request(&Frame::new("dump").arg("design", "left"))
+        .unwrap();
+    assert_eq!(
+        got.payload, want_dump.payload,
+        "failover lost acknowledged state"
+    );
+    let reply = shadow
+        .request(&scale_eco("n0", 80).arg("design", "right"))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    let reply = shadow
+        .request(&Frame::new("analyze").arg("design", "right"))
+        .unwrap();
+    assert_eq!(reply.verb, "ok");
+
+    // The post-failover write sticks: no zombie sync thread resets it.
+    thread::sleep(Duration::from_millis(150));
+    let stats = shadow
+        .request(&Frame::new("stats").arg("design", "right"))
+        .unwrap();
+    assert_eq!(stats.get("ecos"), Some("2"), "{:?}", stats.payload);
+
+    shadow.request(&Frame::new("shutdown")).unwrap();
+    standby_handle.join().unwrap().unwrap();
+}

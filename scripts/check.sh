@@ -96,6 +96,86 @@ grep -q "conn_buffer_bytes=" "$SMOKE_DIR/pipeline.out"
 $HB query "$RADDR" shutdown
 wait "$REACTOR_PID"
 
+echo "== fleet loopback smoke test (two tenants, failover)"
+# Two tenants on a primary with a warm standby: per-design loads and
+# concurrent ECOs stream to the standby through the journal; killing
+# the primary outright promotes the standby, which must answer
+# bit-identically to the primary's last acknowledged state and then
+# accept writes of its own.
+$HB serve --listen 127.0.0.1:0 --max-designs 8 > "$SMOKE_DIR/primary.log" &
+PRIMARY_PID=$!
+PADDR=""
+for _ in $(seq 1 100); do
+    PADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/primary.log")
+    [ -n "$PADDR" ] && break
+    sleep 0.1
+done
+[ -n "$PADDR" ] || { echo "fleet primary never announced its port"; exit 1; }
+$HB serve --listen 127.0.0.1:0 --standby-of "$PADDR" > "$SMOKE_DIR/standby.log" &
+STANDBY_PID=$!
+SADDR=""
+for _ in $(seq 1 100); do
+    SADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/standby.log")
+    [ -n "$SADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SADDR" ] || { echo "fleet standby never announced its port"; exit 1; }
+for D in d1 d2; do
+    $HB query "$PADDR" open "$D"
+    $HB query "$PADDR" --design "$D" load designs/two_phase_pipeline.hum
+    $HB query "$PADDR" --design "$D" analyze
+done
+# Concurrent ECOs on both tenants: per-design locks, no cross-talk.
+$HB query "$PADDR" --design d1 eco resize b0 1 > "$SMOKE_DIR/eco_d1.out" &
+ECO1_PID=$!
+$HB query "$PADDR" --design d2 eco resize a0 1 > "$SMOKE_DIR/eco_d2.out" &
+ECO2_PID=$!
+wait "$ECO1_PID"
+wait "$ECO2_PID"
+grep -q "items_reused" "$SMOKE_DIR/eco_d1.out"
+grep -q "items_reused" "$SMOKE_DIR/eco_d2.out"
+# The primary's answers of record (seconds= is wall-clock noise).
+for D in d1 d2; do
+    $HB query "$PADDR" --design "$D" slack mid \
+        | sed 's/seconds=[^ ]*/seconds=_/g' > "$SMOKE_DIR/primary_$D.out"
+    $HB query "$PADDR" --design "$D" dump \
+        | sed 's/seconds=[^ ]*/seconds=_/g' >> "$SMOKE_DIR/primary_$D.out"
+done
+fleet_fp() { # $1 addr, $2 design: the fp= column of its `designs` line
+    "$HB" query "$1" designs | awk -v d="$2" '
+        $1 == d { for (i = 1; i <= NF; i++) if (sub(/^fp=/, "", $i)) print $i }'
+}
+P1=$(fleet_fp "$PADDR" d1)
+P2=$(fleet_fp "$PADDR" d2)
+CAUGHT_UP=""
+for _ in $(seq 1 200); do
+    if [ "$(fleet_fp "$SADDR" d1)" = "$P1" ] && [ "$(fleet_fp "$SADDR" d2)" = "$P2" ]; then
+        CAUGHT_UP=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$CAUGHT_UP" ] || { echo "standby never caught up to the primary"; exit 1; }
+# Kill the primary outright; the standby promotes after missed syncs
+# (promote_after x sync_interval, 600 ms at the defaults).
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+sleep 2
+for D in d1 d2; do
+    $HB query "$SADDR" --design "$D" slack mid \
+        | sed 's/seconds=[^ ]*/seconds=_/g' > "$SMOKE_DIR/standby_$D.out"
+    $HB query "$SADDR" --design "$D" dump \
+        | sed 's/seconds=[^ ]*/seconds=_/g' >> "$SMOKE_DIR/standby_$D.out"
+    diff "$SMOKE_DIR/primary_$D.out" "$SMOKE_DIR/standby_$D.out" || {
+        echo "failover: standby answers diverged for $D"; exit 1
+    }
+done
+# The promoted standby accepts writes of its own.
+$HB query "$SADDR" --design d1 eco resize a0 1 | grep -q "items_reused"
+$HB query "$SADDR" shutdown
+wait "$STANDBY_PID"
+echo "fleet failover smoke ok: standby answers bit-identical"
+
 echo "== server qps regression gate"
 # A quick benchmark run must stay within 20% of the committed
 # BENCH_server.json on the two load-bearing throughput numbers: the
@@ -114,7 +194,7 @@ gate_qps() { # $1 file, $2 section regex: first queries_per_second after it
         }
     ' "$1"
 }
-for section in '"slack_query"' '"slack_pipelined"'; do
+for section in '"slack_query"' '"fleet8"' '"slack_pipelined"'; do
     BASE=$(gate_qps BENCH_server.json "$section")
     A=$(gate_qps "$SMOKE_DIR/bench_a.json" "$section")
     B=$(gate_qps "$SMOKE_DIR/bench_b.json" "$section")
