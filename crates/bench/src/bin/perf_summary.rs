@@ -10,8 +10,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hb_cells::sc89;
-use hb_workloads::{des_like, random_pipeline, PipelineParams, Workload};
+use hb_workloads::{
+    des_like, generate, random_pipeline, GenKind, GenParams, PipelineParams, Workload,
+};
 use hummingbird::{AnalysisOptions, Analyzer, EngineKind, TimingReport};
+
+/// The generator scaling curve: one row per (kind, cells) point.
+const SCALING_POINTS: [(&str, usize); 3] =
+    [("sram", 10_000), ("sram", 100_000), ("sram", 1_000_000)];
 
 const WARMUP: usize = 1;
 const ITERS: usize = 7;
@@ -113,7 +119,68 @@ fn metrics_overhead(w: &Workload, lib: &hb_cells::Library) -> (f64, f64) {
     (disarmed, armed)
 }
 
+/// Peak resident set of this process so far, from `/proc/self/status`
+/// (0 where unavailable).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Measures one scaling point and prints its JSON row. Runs in a child
+/// process (`--scaling-point kind:cells`) so each point's peak RSS is
+/// its own, not the high-water mark of whichever point ran first.
+fn scaling_point(kind: &str, cells: usize) {
+    let lib = sc89();
+    let gk = GenKind::parse(kind).expect("known generator kind");
+    let start = Instant::now();
+    let w = generate(&lib, &GenParams::new(gk, cells, 1));
+    let gen_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let analyzer = Analyzer::with_options(
+        &w.design,
+        w.module,
+        &lib,
+        &w.clocks,
+        w.spec.clone(),
+        AnalysisOptions {
+            threads: 1,
+            ..AnalysisOptions::default()
+        },
+    )
+    .expect("generated designs conform");
+    let prep_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let report = analyzer.analyze();
+    let analyze_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        !report.terminal_slacks().is_empty(),
+        "scaling run must constrain terminals"
+    );
+    println!(
+        "{{\"kind\": \"{kind}\", \"cells\": {cells}, \"gen_seconds\": {gen_seconds:.6}, \
+         \"prep_seconds\": {prep_seconds:.6}, \"analyze_seconds\": {analyze_seconds:.6}, \
+         \"peak_rss_bytes\": {}}}",
+        peak_rss_bytes()
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scaling-point") {
+        let spec = args.get(i + 1).expect("--scaling-point takes kind:cells");
+        let (kind, cells) = spec.split_once(':').expect("kind:cells");
+        scaling_point(kind, cells.parse().expect("numeric cell count"));
+        return;
+    }
+
     let lib = sc89();
     let workloads = [
         des_like(&lib, 1989),
@@ -136,6 +203,35 @@ fn main() {
         .unwrap_or(1);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+
+    // Generator scaling curve, one child process per point.
+    json.push_str("  \"scaling\": [\n");
+    let exe = std::env::current_exe().expect("own path");
+    for (i, (kind, cells)) in SCALING_POINTS.iter().enumerate() {
+        let out = std::process::Command::new(&exe)
+            .arg("--scaling-point")
+            .arg(format!("{kind}:{cells}"))
+            .output()
+            .expect("spawn scaling child");
+        assert!(
+            out.status.success(),
+            "scaling point {kind}:{cells} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let row = String::from_utf8_lossy(&out.stdout).trim().to_string();
+        let _ = writeln!(
+            json,
+            "    {row}{}",
+            if i + 1 < SCALING_POINTS.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+        eprintln!("scaling {kind}:{cells}: {row}");
+    }
+    json.push_str("  ],\n");
+
     json.push_str("  \"workloads\": [\n");
     for (wi, w) in workloads.iter().enumerate() {
         let (prep_seconds, cells, runs) = run_engines(w, &lib);

@@ -10,6 +10,8 @@
 //! hummingbird serve       [--listen ADDR | --stdio] [--library FILE]
 //! hummingbird query       [--design ID] [--timeout MS] <ADDR> <request> [args...]
 //! hummingbird flow        <ADDR> <design.hum> [--designs N] [--ecos K] [--jobs C]
+//! hummingbird gen         --kind <pipeline|sbox|sram> --cells N --seed S
+//!                         [--clocks C] [-o OUT.hum]
 //!
 //! options:
 //!   --clock-port PORT=CLOCK   bind a module port to a clock waveform
@@ -251,14 +253,16 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
 }
 
 const USAGE: &str =
-    "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query|flow> \
+    "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query|flow|gen> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
 [--edge-triggered] [--min-delays] [--profile] [--paths N] [--threads N] \
 [--scales 50,100,150] [--library LIB.txt] [-o OUT.hum]
   --threads N   worker threads for the slack engine's per-cluster sweeps
                 (0 = all available cores; results are identical at any count)
   --profile     arm timing instrumentation and print a phase breakdown
-                (parse / shard build / sweep passes / report) after analyze";
+                (parse / shard build / sweep passes / report) after analyze
+  gen           hummingbird gen --kind <pipeline|sbox|sram> --cells N \
+--seed S [--clocks C] [-o OUT.hum]";
 
 fn load_library(path: Option<&str>) -> Result<Library, CliError> {
     match path {
@@ -355,6 +359,101 @@ fn scale_clocks(clocks: &ClockSet, pct: u32) -> Result<ClockSet, CliError> {
     Ok(scaled)
 }
 
+/// `hummingbird gen`: emit a generated at-scale design as `.hum`.
+fn run_gen(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
+    let mut kind: Option<hb_workloads::GenKind> = None;
+    let mut cells: Option<usize> = None;
+    let mut seed = 1u64;
+    let mut clocks = 4usize;
+    let mut output: Option<String> = None;
+    let mut library: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .copied()
+                .ok_or_else(|| CliError::usage(format!("{what} needs a value\n{USAGE}")))
+        };
+        match arg {
+            "--kind" | "-k" => {
+                let v = value("--kind")?;
+                kind = Some(hb_workloads::GenKind::parse(v).ok_or_else(|| {
+                    CliError::usage(format!("unknown kind {v:?} (pipeline|sbox|sram)"))
+                })?);
+            }
+            "--cells" | "-n" => {
+                let v = value("--cells")?;
+                cells = Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("--cells wants a positive integer, got {v:?}"))
+                })?);
+            }
+            "--seed" | "-s" => {
+                let v = value("--seed")?;
+                seed = v.parse().map_err(|_| {
+                    CliError::usage(format!("--seed wants an unsigned integer, got {v:?}"))
+                })?;
+            }
+            "--clocks" => {
+                let v = value("--clocks")?;
+                clocks = v.parse().map_err(|_| {
+                    CliError::usage(format!("--clocks wants an integer, got {v:?}"))
+                })?;
+                if !(2..=8).contains(&clocks) {
+                    return Err(CliError::usage("--clocks must be between 2 and 8"));
+                }
+            }
+            "-o" | "--output" => output = Some(value("--output")?.to_owned()),
+            "--library" => library = Some(value("--library")?.to_owned()),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unexpected argument {other:?}\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let kind = kind.ok_or_else(|| CliError::usage(format!("gen needs --kind\n{USAGE}")))?;
+    let cells = cells.ok_or_else(|| CliError::usage(format!("gen needs --cells\n{USAGE}")))?;
+    const MAX_GEN_CELLS: usize = 2_000_000;
+    if !(hb_workloads::MIN_GEN_CELLS..=MAX_GEN_CELLS).contains(&cells) {
+        return Err(CliError::usage(format!(
+            "--cells must be between {} and {MAX_GEN_CELLS}",
+            hb_workloads::MIN_GEN_CELLS
+        )));
+    }
+    let lib = load_library(library.as_deref())?;
+    let params = hb_workloads::GenParams {
+        kind,
+        cells,
+        seed,
+        clocks,
+    };
+    let start = std::time::Instant::now();
+    let workload = hb_workloads::generate(&lib, &params);
+    let text = workload.to_hum();
+    let gen_seconds = start.elapsed().as_secs_f64();
+    let io = |e: std::io::Error| CliError::io(format!("write failed: {e}"));
+    match output {
+        Some(path) => {
+            std::fs::write(&path, &text)
+                .map_err(|e| CliError::io(format!("cannot write {path}: {e}")))?;
+            let stats = workload.stats();
+            writeln!(
+                out,
+                "generated {} seed {} ({} cells, {} nets, {} clocks) in {:.2}s -> {path}",
+                kind.name(),
+                seed,
+                stats.cells,
+                stats.nets,
+                clocks,
+                gen_seconds,
+            )
+            .map_err(io)?;
+        }
+        None => out.write_all(text.as_bytes()).map_err(io)?,
+    }
+    Ok(0)
+}
+
 /// Runs the driver. Returns the process exit code: 0 on success (and
 /// timing met, for `analyze`), 1 when the analysis found violations.
 ///
@@ -367,6 +466,7 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
         Some(&"serve") => return daemon::run_serve(&args[1..], out),
         Some(&"query") => return daemon::run_query(&args[1..], out),
         Some(&"flow") => return daemon::run_flow(&args[1..], out),
+        Some(&"gen") => return run_gen(&args[1..], out),
         _ => {}
     }
     let opts = parse_args(args)?;

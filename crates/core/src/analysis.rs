@@ -270,10 +270,24 @@ pub(crate) fn prepare<'a>(
     if clocks.is_empty() {
         return Err(AnalyzeError::NoClocks);
     }
+    // Wall time per preprocessing phase, visible on the daemon's
+    // metrics endpoint. Spans are inert unless hb-obs is armed.
+    let prep_phase = |phase: &'static str| {
+        hb_obs::global()
+            .histogram_with(
+                "hb_prep_nanoseconds",
+                "preprocessing wall time, by phase",
+                &[("phase", phase)],
+            )
+            .span()
+    };
+    let graph_span = prep_phase("graph-build");
     let binding = Binding::new(design, library);
     let graph = TimingGraph::build(design, module, &binding, library)?;
     let timeline = clocks.timeline();
     let m = design.module(module);
+    drop(graph_span);
+    let control_span = prep_phase("controls-and-replicas");
 
     // --- clock ports -----------------------------------------------------
     let mut clock_sources: Vec<(NetId, ClockId)> = Vec::new();
@@ -439,6 +453,9 @@ pub(crate) fn prepare<'a>(
         }
     }
 
+    drop(control_span);
+    let plan_span = prep_phase("pass-planning");
+
     // --- ordering requirements per cluster ----------------------------------
     // Distinct assertion edges get bit positions; bitmasks flow forward.
     let mut edge_bits: HashMap<EdgeId, usize> = HashMap::new();
@@ -573,6 +590,7 @@ pub(crate) fn prepare<'a>(
         &pos,
         &po_pass,
     );
+    drop(plan_span);
 
     Ok(Prepared {
         design,

@@ -95,6 +95,25 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
     let mut timing: Vec<TimingDirective> = Vec::new();
     let mut named = false;
 
+    // Pre-scan instance counts per module so the arenas are reserved
+    // once instead of grown through log2(n) copies — at a million
+    // cells the copies dominate parse time. Each `inst` line also
+    // introduces roughly one fresh net (its output).
+    let mut inst_counts: Vec<usize> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("");
+        match line.split_whitespace().next() {
+            Some("module") => inst_counts.push(0),
+            Some("inst") => {
+                if let Some(count) = inst_counts.last_mut() {
+                    *count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut module_index = 0usize;
+
     for (index, raw) in text.lines().enumerate() {
         let lineno = index + 1;
         let line = match raw.find('#') {
@@ -129,6 +148,9 @@ pub fn parse_hum(text: &str, library: &Library) -> Result<HumFile, ParseError> {
                     .next()
                     .ok_or_else(|| err("module needs a name".into()))?;
                 let id = design.add_module(name).map_err(|e| err(e.to_string()))?;
+                let insts = inst_counts.get(module_index).copied().unwrap_or(0);
+                design.reserve(id, insts, insts + 16);
+                module_index += 1;
                 current = Some(id);
             }
             "end" => {

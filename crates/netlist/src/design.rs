@@ -174,6 +174,20 @@ impl Design {
 
     // ---- structural edits -------------------------------------------------
 
+    /// Pre-sizes a module's instance and net arenas (and their name
+    /// indexes) for at least `insts` / `nets` more entries.
+    ///
+    /// Bulk producers — the `.hum` parser, the design generator — know
+    /// their counts up front; reserving once avoids the repeated
+    /// grow-and-copy cycles that dominate million-cell construction.
+    pub fn reserve(&mut self, module: ModuleId, insts: usize, nets: usize) {
+        let m = &mut self.modules[module.idx()];
+        m.insts.reserve(insts);
+        m.inst_by_name.reserve(insts);
+        m.nets.reserve(nets);
+        m.net_by_name.reserve(nets);
+    }
+
     /// Adds a net to a module.
     ///
     /// # Errors
@@ -189,10 +203,14 @@ impl Design {
         if m.net_by_name.contains_key(&name) {
             return Err(NetlistError::DuplicateName { kind: "net", name });
         }
+        assert!(
+            m.nets.len() < u32::MAX as usize,
+            "net arena exceeds the u32 id space"
+        );
         let id = NetId::from_raw(m.nets.len() as u32);
         m.net_by_name.insert(name.clone(), id);
         m.nets.push(Net {
-            name,
+            name: name.into_boxed_str(),
             endpoints: Vec::new(),
             attrs: Default::default(),
         });
@@ -216,6 +234,10 @@ impl Design {
         if m.port_by_name.contains_key(&name) {
             return Err(NetlistError::DuplicateName { kind: "port", name });
         }
+        assert!(
+            m.ports.len() < u32::MAX as usize,
+            "port arena exceeds the u32 id space"
+        );
         let id = PortId::from_raw(m.ports.len() as u32);
         m.port_by_name.insert(name.clone(), id);
         m.ports.push(Port { name, dir, net });
@@ -271,12 +293,16 @@ impl Design {
                 name,
             });
         }
+        assert!(
+            m.insts.len() < u32::MAX as usize,
+            "instance arena exceeds the u32 id space"
+        );
         let id = InstId::from_raw(m.insts.len() as u32);
         m.inst_by_name.insert(name.clone(), id);
         m.insts.push(Instance {
-            name,
+            name: name.into_boxed_str(),
             target,
-            conns: vec![None; pin_count],
+            conns: vec![None; pin_count].into_boxed_slice(),
             attrs: Default::default(),
         });
         Ok(id)
@@ -414,7 +440,7 @@ impl Design {
             InstRef::Leaf(l) => l,
             InstRef::Module(_) => {
                 return Err(NetlistError::InterfaceMismatch {
-                    inst: instance.name.clone(),
+                    inst: instance.name.to_string(),
                     detail: "instance targets a module, not a leaf".to_owned(),
                 })
             }
@@ -423,7 +449,7 @@ impl Design {
         let new = &self.leaves[new_leaf.idx()];
         if old.pin_count() != new.pin_count() {
             return Err(NetlistError::InterfaceMismatch {
-                inst: instance.name.clone(),
+                inst: instance.name.to_string(),
                 detail: format!("pin count {} vs {}", old.pin_count(), new.pin_count()),
             });
         }
@@ -431,7 +457,7 @@ impl Design {
             let other = new.pin_def(slot);
             if other.name() != pin.name() || other.dir() != pin.dir() {
                 return Err(NetlistError::InterfaceMismatch {
-                    inst: instance.name.clone(),
+                    inst: instance.name.to_string(),
                     detail: format!(
                         "pin {} is {}/{} vs {}/{}",
                         slot,

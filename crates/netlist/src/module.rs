@@ -35,11 +35,15 @@ pub enum Endpoint {
 }
 
 /// An instantiation of a leaf cell or child module.
+///
+/// Names and pin tables are boxed (not growable): at the million-cell
+/// scale the arena's per-element overhead is what bounds the resident
+/// set, and neither field ever grows after creation.
 #[derive(Clone, Debug)]
 pub struct Instance {
-    pub(crate) name: String,
+    pub(crate) name: Box<str>,
     pub(crate) target: InstRef,
-    pub(crate) conns: Vec<Option<NetId>>,
+    pub(crate) conns: Box<[Option<NetId>]>,
     pub(crate) attrs: BTreeMap<String, String>,
 }
 
@@ -90,7 +94,7 @@ impl Instance {
 /// A wire connecting endpoints within one module.
 #[derive(Clone, Debug)]
 pub struct Net {
-    pub(crate) name: String,
+    pub(crate) name: Box<str>,
     pub(crate) endpoints: Vec<Endpoint>,
     pub(crate) attrs: BTreeMap<String, String>,
 }

@@ -8,7 +8,8 @@ use std::thread;
 
 use hb_cells::sc89;
 use hb_io::Frame;
-use hb_server::{Client, Server, ServerOptions, DEFAULT_DESIGN, MAX_DESIGN_ID};
+use hb_server::{Client, Server, ServerOptions, DEFAULT_DESIGN, MAX_DESIGN_ID, MAX_LOAD_BYTES};
+use hb_workloads::{generate, GenKind, GenParams};
 
 fn start_server(
     options: ServerOptions,
@@ -278,6 +279,116 @@ fn lru_eviction_respects_mem_budget_and_reloads_transparently() {
     // The reload preserved the journal fingerprint verbatim.
     let table = parse_designs(&client.request(&Frame::new("designs")).unwrap());
     assert_eq!(table["d0"].fp, fp_before, "reload changed the fingerprint");
+
+    client.request(&Frame::new("shutdown")).unwrap();
+    server.join().unwrap().unwrap();
+}
+
+/// A generated 100k-cell tenant in a budgeted fleet: its `.hum` text
+/// fits the load cap, its accounted footprint stays inside a stated
+/// bound (and inside the budget), and after the LRU evicts it in
+/// favour of small tenants, a journal replay reproduces the identical
+/// fingerprint.
+#[test]
+fn big_generated_tenant_survives_eviction_with_identical_fingerprint() {
+    const CELLS: usize = 100_000;
+    const BUDGET: usize = 48 * 1024 * 1024;
+    // approx_resident_bytes is a stable formula over cell/net counts;
+    // at 100k cells (and ~100k nets) it lands between these bounds.
+    const BYTES_LOW: usize = 20 * 1024 * 1024;
+    const BYTES_HIGH: usize = 40 * 1024 * 1024;
+
+    let lib = sc89();
+    let w = generate(&lib, &GenParams::new(GenKind::Sram, CELLS, 1));
+    let text = w.to_hum();
+    assert!(
+        text.len() <= MAX_LOAD_BYTES,
+        "compact naming keeps a 100k-cell .hum ({} bytes) under the {MAX_LOAD_BYTES}-byte load cap",
+        text.len()
+    );
+
+    let options = ServerOptions {
+        mem_budget: BUDGET,
+        max_designs: 2,
+        ..ServerOptions::default()
+    };
+    let (addr, server) = start_server(options);
+    let mut client = Client::connect(addr).unwrap();
+
+    let reply = client
+        .request(&Frame::new("open").arg("design", "big"))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    let reply = client
+        .request(
+            &Frame::new("load")
+                .arg("design", "big")
+                .with_payload(text.clone()),
+        )
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    let reply = client
+        .request(&Frame::new("analyze").arg("design", "big"))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+
+    let table = parse_designs(&client.request(&Frame::new("designs")).unwrap());
+    assert!(table["big"].resident);
+    let bytes = table["big"].bytes;
+    assert!(
+        (BYTES_LOW..=BYTES_HIGH).contains(&bytes),
+        "100k-cell session accounts {bytes} bytes, outside [{BYTES_LOW}, {BYTES_HIGH}]"
+    );
+    assert!(bytes <= BUDGET, "the big tenant must fit the budget alone");
+    let fp_before = table["big"].fp.clone();
+    assert_ne!(fp_before, "-");
+
+    // The observability gauge agrees with the fleet table: everything
+    // resident is the big tenant plus near-empty sessions.
+    let metrics = client.request(&Frame::new("metrics")).unwrap();
+    let gauge: usize = metrics
+        .payload
+        .unwrap_or_default()
+        .lines()
+        .find_map(|l| l.strip_prefix("hb_session_bytes "))
+        .expect("hb_session_bytes exported")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(
+        gauge >= bytes && gauge <= bytes + 64 * 1024,
+        "hb_session_bytes {gauge} strays from the fleet table's {bytes}"
+    );
+
+    // Two small tenants push the big one off the 2-session LRU.
+    for id in ["s0", "s1"] {
+        client
+            .request(&Frame::new("open").arg("design", id))
+            .unwrap();
+        let reply = client
+            .request(
+                &Frame::new("load")
+                    .arg("design", id)
+                    .with_payload(design_text(id)),
+            )
+            .unwrap();
+        assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    }
+    let table = parse_designs(&client.request(&Frame::new("designs")).unwrap());
+    assert!(!table["big"].resident, "the big tenant must be evicted");
+    assert_eq!(table["big"].fp, fp_before, "eviction must not lose state");
+
+    // Touching it replays the journal; the replayed session must carry
+    // the identical fingerprint and answer with the identical design.
+    let reply = client
+        .request(&Frame::new("stats").arg("design", "big"))
+        .unwrap();
+    assert_eq!(reply.verb, "ok", "{:?}", reply.payload);
+    assert_eq!(reply.get("design"), Some("gen_sram"));
+    let table = parse_designs(&client.request(&Frame::new("designs")).unwrap());
+    assert!(table["big"].resident, "a touched design is resident again");
+    assert_eq!(table["big"].fp, fp_before, "replay changed the fingerprint");
+    assert_eq!(table["big"].bytes, bytes, "replay changed the footprint");
 
     client.request(&Frame::new("shutdown")).unwrap();
     server.join().unwrap().unwrap();

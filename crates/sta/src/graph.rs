@@ -92,13 +92,45 @@ pub struct Cluster {
 pub struct TimingGraph {
     node_count: usize,
     arcs: Vec<GraphArc>,
-    fanin: Vec<Vec<u32>>,
-    fanout: Vec<Vec<u32>>,
+    // Fanin/fanout adjacency in CSR form: `*_heads` holds
+    // `node_count + 1` prefix sums into `*_idx`, which lists arc
+    // indices grouped by endpoint. Two flat arrays per direction
+    // instead of a Vec-of-Vecs keeps million-net graphs cache-dense
+    // and allocation-free to traverse.
+    fanin_heads: Vec<u32>,
+    fanin_idx: Vec<u32>,
+    fanout_heads: Vec<u32>,
+    fanout_idx: Vec<u32>,
     topo: Vec<NetId>,
     syncs: Vec<SyncInst>,
     net_loads: Vec<i64>,
     cluster_of: Vec<ClusterId>,
     clusters: Vec<Cluster>,
+}
+
+/// Builds one CSR direction: arc indices grouped by `key(arc)`, in
+/// arc order within each group (matching the order a push-based
+/// adjacency list would produce).
+fn csr_adjacency(
+    node_count: usize,
+    arcs: &[GraphArc],
+    key: impl Fn(&GraphArc) -> NetId,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut heads = vec![0u32; node_count + 1];
+    for arc in arcs {
+        heads[key(arc).as_raw() as usize + 1] += 1;
+    }
+    for i in 0..node_count {
+        heads[i + 1] += heads[i];
+    }
+    let mut cursor = heads.clone();
+    let mut idx = vec![0u32; arcs.len()];
+    for (i, arc) in arcs.iter().enumerate() {
+        let k = key(arc).as_raw() as usize;
+        idx[cursor[k] as usize] = i as u32;
+        cursor[k] += 1;
+    }
+    (heads, idx)
 }
 
 impl TimingGraph {
@@ -137,7 +169,9 @@ impl TimingGraph {
             .map(|(id, _)| binding.net_load_ff(design, library, module, id))
             .collect();
 
-        let mut arcs: Vec<GraphArc> = Vec::new();
+        // Most leaf cells contribute one or two arcs; reserving up
+        // front avoids repeated doubling on million-cell flat modules.
+        let mut arcs: Vec<GraphArc> = Vec::with_capacity(m.instance_count() * 2);
         let mut syncs: Vec<SyncInst> = Vec::new();
 
         for (inst_id, inst) in m.instances() {
@@ -236,21 +270,31 @@ impl TimingGraph {
             }
         }
 
-        let mut fanin: Vec<Vec<u32>> = vec![Vec::new(); node_count];
-        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); node_count];
-        for (i, arc) in arcs.iter().enumerate() {
-            fanout[arc.from.as_raw() as usize].push(i as u32);
-            fanin[arc.to.as_raw() as usize].push(i as u32);
-        }
+        assert!(
+            arcs.len() <= u32::MAX as usize,
+            "timing graph exceeds the u32 arc index space"
+        );
+        let (fanin_heads, fanin_idx) = csr_adjacency(node_count, &arcs, |a| a.to);
+        let (fanout_heads, fanout_idx) = csr_adjacency(node_count, &arcs, |a| a.from);
 
-        let topo = topo_sort(design, module, node_count, &arcs, &fanin)?;
+        let topo = topo_sort(
+            design,
+            module,
+            node_count,
+            &fanin_heads,
+            &fanout_heads,
+            &fanout_idx,
+            &arcs,
+        )?;
         let (cluster_of, clusters) = find_clusters(node_count, &arcs);
 
         Ok(TimingGraph {
             node_count,
             arcs,
-            fanin,
-            fanout,
+            fanin_heads,
+            fanin_idx,
+            fanout_heads,
+            fanout_idx,
             topo,
             syncs,
             net_loads,
@@ -285,12 +329,14 @@ impl TimingGraph {
 
     /// Indices of arcs terminating at `net`.
     pub fn fanin_arcs(&self, net: NetId) -> &[u32] {
-        &self.fanin[net.as_raw() as usize]
+        let u = net.as_raw() as usize;
+        &self.fanin_idx[self.fanin_heads[u] as usize..self.fanin_heads[u + 1] as usize]
     }
 
     /// Indices of arcs departing from `net`.
     pub fn fanout_arcs(&self, net: NetId) -> &[u32] {
-        &self.fanout[net.as_raw() as usize]
+        let u = net.as_raw() as usize;
+        &self.fanout_idx[self.fanout_heads[u] as usize..self.fanout_heads[u + 1] as usize]
     }
 
     /// Nets in a topological order of the combinational arcs.
@@ -445,25 +491,26 @@ fn topo_sort(
     design: &Design,
     module: ModuleId,
     node_count: usize,
+    fanin_heads: &[u32],
+    fanout_heads: &[u32],
+    fanout_idx: &[u32],
     arcs: &[GraphArc],
-    fanin: &[Vec<u32>],
 ) -> Result<Vec<NetId>, StaError> {
-    let mut indeg: Vec<u32> = fanin.iter().map(|v| v.len() as u32).collect();
+    let mut indeg: Vec<u32> = (0..node_count)
+        .map(|i| fanin_heads[i + 1] - fanin_heads[i])
+        .collect();
     let mut queue: Vec<NetId> = (0..node_count as u32)
         .filter(|&i| indeg[i as usize] == 0)
         .map(NetId::from_raw)
         .collect();
     let mut order = Vec::with_capacity(node_count);
-    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); node_count];
-    for (i, arc) in arcs.iter().enumerate() {
-        fanout[arc.from.as_raw() as usize].push(i as u32);
-    }
     let mut head = 0;
     while head < queue.len() {
         let net = queue[head];
         head += 1;
         order.push(net);
-        for &ai in &fanout[net.as_raw() as usize] {
+        let u = net.as_raw() as usize;
+        for &ai in &fanout_idx[fanout_heads[u] as usize..fanout_heads[u + 1] as usize] {
             let to = arcs[ai as usize].to;
             let d = &mut indeg[to.as_raw() as usize];
             *d -= 1;
@@ -504,15 +551,21 @@ fn find_clusters(node_count: usize, arcs: &[GraphArc]) -> (Vec<ClusterId>, Vec<C
             parent[a as usize] = b;
         }
     }
-    let mut cluster_index: HashMap<u32, u32> = HashMap::new();
+    // Root → cluster index, as a flat array rather than a hash map:
+    // roots are net indices, so a sentinel-initialised Vec is direct.
+    let mut cluster_index: Vec<u32> = vec![u32::MAX; node_count];
     let mut clusters: Vec<Cluster> = Vec::new();
     let mut cluster_of = Vec::with_capacity(node_count);
     for i in 0..node_count as u32 {
-        let root = find(&mut parent, i);
-        let idx = *cluster_index.entry(root).or_insert_with(|| {
+        let root = find(&mut parent, i) as usize;
+        let idx = if cluster_index[root] == u32::MAX {
             clusters.push(Cluster::default());
-            (clusters.len() - 1) as u32
-        });
+            let idx = (clusters.len() - 1) as u32;
+            cluster_index[root] = idx;
+            idx
+        } else {
+            cluster_index[root]
+        };
         clusters[idx as usize].nets.push(NetId::from_raw(i));
         cluster_of.push(ClusterId(idx));
     }

@@ -158,11 +158,18 @@ impl ShardedGraph {
     /// in exactly one shard; every arc stays within its shard.
     pub fn new(graph: &TimingGraph) -> ShardedGraph {
         let cluster_count = graph.clusters().count();
+        // Count per-cluster arcs up front so each shard's vectors are
+        // sized exactly once — at a million cells the repeated doubling
+        // of push-grown shards dominates the build otherwise.
+        let mut arc_counts = vec![0usize; cluster_count];
+        for arc in graph.arcs() {
+            arc_counts[graph.cluster_of(arc.from).as_raw() as usize] += 1;
+        }
         let mut shards: Vec<ClusterShard> = (0..cluster_count as u32)
             .map(|c| ClusterShard {
                 cluster: ClusterId(c),
-                nets: Vec::new(),
-                arcs: Vec::new(),
+                nets: Vec::with_capacity(graph.cluster(ClusterId(c)).nets.len()),
+                arcs: Vec::with_capacity(arc_counts[c as usize]),
                 fanout_heads: Vec::new(),
                 fanout_arcs: Vec::new(),
                 fanin_heads: Vec::new(),

@@ -16,6 +16,10 @@ pub struct NetlistBuilder {
     /// The module being populated.
     pub module: ModuleId,
     counter: usize,
+    /// Compact naming (`u7`/`w7` instead of `u7_NAND2_X1`/`w_7`) for
+    /// at-scale generated designs, where name bytes dominate both the
+    /// netlist arena and the `.hum` dump.
+    compact: bool,
 }
 
 impl NetlistBuilder {
@@ -30,7 +34,16 @@ impl NetlistBuilder {
             design,
             module,
             counter: 0,
+            compact: false,
         }
+    }
+
+    /// Like [`NetlistBuilder::new`] but with compact instance/net
+    /// naming, for generated designs in the 10k–1M cell range.
+    pub fn new_compact(name: &str, lib: &Library) -> NetlistBuilder {
+        let mut b = NetlistBuilder::new(name, lib);
+        b.compact = true;
+        b
     }
 
     /// Switches construction to a new module (for hierarchical
@@ -45,8 +58,13 @@ impl NetlistBuilder {
     pub fn fresh_net(&mut self, hint: &str) -> NetId {
         self.counter += 1;
         let c = self.counter;
+        let name = if self.compact {
+            format!("{hint}{c}")
+        } else {
+            format!("{hint}_{c}")
+        };
         self.design
-            .add_net(self.module, format!("{hint}_{c}"))
+            .add_net(self.module, name)
             .expect("unique by counter")
     }
 
@@ -78,9 +96,14 @@ impl NetlistBuilder {
             .design
             .leaf_by_name(cell)
             .unwrap_or_else(|| panic!("cell {cell} not in library"));
+        let name = if self.compact {
+            format!("u{}", self.counter)
+        } else {
+            format!("u{}_{}", self.counter, cell)
+        };
         let id = self
             .design
-            .add_leaf_instance(self.module, format!("u{}_{}", self.counter, cell), leaf)
+            .add_leaf_instance(self.module, name, leaf)
             .expect("unique by counter");
         for (pin, net) in conns {
             self.design

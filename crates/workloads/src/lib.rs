@@ -30,9 +30,11 @@
 
 mod build;
 mod designs;
+mod gen;
 
 pub use build::NetlistBuilder;
 pub use designs::{
     alu, counter, des_like, figure1, fsm12, latch_pipeline, random_pipeline, PipelineParams,
     Workload,
 };
+pub use gen::{generate, GenKind, GenParams, MIN_GEN_CELLS};

@@ -176,6 +176,66 @@ $HB query "$SADDR" shutdown
 wait "$STANDBY_PID"
 echo "fleet failover smoke ok: standby answers bit-identical"
 
+echo "== generator smoke test (gen -> load -> analyze -> slack)"
+# Generate a 10k-cell design, serve it, and query a slack through the
+# daemon: the generator's output must be loadable and analyzable as an
+# ordinary .hum file, not just in-process.
+$HB gen --kind sram --cells 10000 --seed 1 -o "$SMOKE_DIR/gen10k.hum"
+$HB analyze "$SMOKE_DIR/gen10k.hum" > "$SMOKE_DIR/gen10k.out" || {
+    rc=$?
+    [ "$rc" -eq 1 ] || { echo "gen smoke: analyze failed with $rc"; exit 1; }
+}
+grep -q "worst slack" "$SMOKE_DIR/gen10k.out"
+$HB serve --listen 127.0.0.1:0 > "$SMOKE_DIR/gen_serve.log" &
+GEN_SERVE_PID=$!
+GADDR=""
+for _ in $(seq 1 100); do
+    GADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/gen_serve.log")
+    [ -n "$GADDR" ] && break
+    sleep 0.1
+done
+[ -n "$GADDR" ] || { echo "gen smoke serve never announced its port"; exit 1; }
+$HB query "$GADDR" load "$SMOKE_DIR/gen10k.hum"
+$HB query "$GADDR" analyze | grep -q "worst="
+$HB query "$GADDR" slack do0 | grep -q "slack"
+$HB query "$GADDR" shutdown
+wait "$GEN_SERVE_PID"
+echo "generator smoke ok"
+
+echo "== generator prep-time regression gate (100k cells)"
+# Preparing a 100k-cell design (the profile's "shard build" line,
+# which is the analyzer's preprocessing) must stay within 25% of the
+# committed BENCH_perf.json scaling row. Best of two runs.
+$HB gen --kind sram --cells 100000 --seed 1 -o "$SMOKE_DIR/gen100k.hum"
+prep_seconds() { # the shard-build profile line
+    $HB analyze "$SMOKE_DIR/gen100k.hum" --profile 2>/dev/null | awk '
+        /^ *shard build/ { s += $3 }
+        END { printf "%.6f", s }'
+}
+P1=$(prep_seconds)
+P2=$(prep_seconds)
+FRESH=$(awk -v a="$P1" -v b="$P2" 'BEGIN { print (a < b) ? a : b }')
+BASE=$(awk '
+    /"scaling"/ { inside = 1 }
+    inside && /"cells": 100000,/ {
+        if (match($0, /"prep_seconds": [0-9.]+/)) {
+            print substr($0, RSTART + 16, RLENGTH - 16); exit
+        }
+    }' BENCH_perf.json)
+[ -n "$BASE" ] && [ -n "$FRESH" ] || {
+    echo "prep gate: missing measurements (base=$BASE fresh=$FRESH)"; exit 1
+}
+awk -v base="$BASE" -v fresh="$FRESH" 'BEGIN {
+    printf "prep gate: committed %.3fs, fresh %.3fs (%.0f%%)\n", base, fresh, 100 * fresh / base
+    if (fresh > base / 0.8) {
+        printf "prep-time regression: 100k prep slowed more than 25%%\n"
+        exit 1
+    }
+}'
+
+echo "== full generator property matrix"
+HB_GEN_FULL=1 cargo test -q -p hb-bench --test gen_properties
+
 echo "== server qps regression gate"
 # A quick benchmark run must stay within 20% of the committed
 # BENCH_server.json on the two load-bearing throughput numbers: the

@@ -7,7 +7,9 @@
 //! every generated constraint must match exactly.
 
 use hb_cells::sc89;
-use hb_workloads::{alu, fsm12, random_pipeline, PipelineParams, Workload};
+use hb_workloads::{
+    alu, fsm12, generate, random_pipeline, GenKind, GenParams, PipelineParams, Workload,
+};
 use hummingbird::{AnalysisOptions, Analyzer, EngineKind, TimingReport};
 
 fn workloads(lib: &hb_cells::Library) -> Vec<Workload> {
@@ -146,6 +148,79 @@ fn sharded_engine_matches_reference_at_any_thread_count() {
                 },
             );
             assert_identical(&w, &sharded, &reference, &format!("{threads} threads"));
+        }
+    }
+}
+
+/// The same bit-for-bit property on at-scale generated designs: a
+/// 10k-cell design of each family gets the full comparison (every net,
+/// path and constraint), and a 50k-cell design gets the report-level
+/// comparison, at 1, 2 and 8 threads.
+#[test]
+fn sharded_engine_matches_reference_on_generated_designs() {
+    let lib = sc89();
+    for kind in [GenKind::Pipeline, GenKind::Sbox, GenKind::Sram] {
+        let w = generate(&lib, &GenParams::new(kind, 10_000, 11));
+        let reference = run(
+            &w,
+            &lib,
+            AnalysisOptions {
+                engine: EngineKind::Reference,
+                ..AnalysisOptions::default()
+            },
+        );
+        for threads in [1usize, 2, 8] {
+            let sharded = run(
+                &w,
+                &lib,
+                AnalysisOptions {
+                    engine: EngineKind::Sharded,
+                    threads,
+                    ..AnalysisOptions::default()
+                },
+            );
+            assert_identical(&w, &sharded, &reference, &format!("{threads} threads"));
+        }
+    }
+    // At 50k the per-net full sweep is too slow for a default test run;
+    // compare the report surface only.
+    let w = generate(&lib, &GenParams::new(GenKind::Sram, 50_000, 11));
+    let reference = run(
+        &w,
+        &lib,
+        AnalysisOptions {
+            engine: EngineKind::Reference,
+            ..AnalysisOptions::default()
+        },
+    );
+    for threads in [1usize, 2, 8] {
+        let sharded = run(
+            &w,
+            &lib,
+            AnalysisOptions {
+                engine: EngineKind::Sharded,
+                threads,
+                ..AnalysisOptions::default()
+            },
+        );
+        assert_eq!(sharded.ok(), reference.ok(), "50k: ok at {threads} threads");
+        assert_eq!(
+            sharded.worst_slack(),
+            reference.worst_slack(),
+            "50k: worst slack at {threads} threads"
+        );
+        let (ta, tb) = (sharded.terminal_slacks(), reference.terminal_slacks());
+        assert_eq!(
+            ta.len(),
+            tb.len(),
+            "50k: terminal count at {threads} threads"
+        );
+        for (x, y) in ta.iter().zip(tb) {
+            assert_eq!(
+                (&x.name, x.kind, x.slack),
+                (&y.name, y.kind, y.slack),
+                "50k: terminal at {threads} threads"
+            );
         }
     }
 }
