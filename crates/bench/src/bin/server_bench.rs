@@ -311,6 +311,186 @@ fn bench_fleet(lib: &Library, quick: bool, json: &mut String) {
     );
 }
 
+/// The quorum-failover section: a primary builds a journal, two
+/// ranked standbys attach and resync it through the bounded pager,
+/// then the primary is killed and the cluster elects a successor.
+/// Reports the standby resync paging volume and the promotion
+/// downtime — kill acknowledged to a survivor serving `role=primary`.
+fn bench_failover(lib: &Library, quick: bool, json: &mut String) {
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    let page_bytes = 2048usize;
+    let journal_ecos = if quick { 40 } else { 200 };
+
+    let request = |addr: SocketAddr, frame: &Frame| -> Frame {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        client.request(frame).expect("reply")
+    };
+    let design_fp = |addr: SocketAddr| -> Option<String> {
+        request(addr, &Frame::new("designs"))
+            .payload
+            .as_deref()
+            .unwrap_or("")
+            .lines()
+            .find_map(|l| {
+                let mut parts = l.split_whitespace();
+                (parts.next() == Some("default"))
+                    .then(|| parts.find_map(|p| p.strip_prefix("fp=")).map(str::to_owned))
+                    .flatten()
+            })
+    };
+    let counter = |addr: SocketAddr, name: &str| -> u64 {
+        request(addr, &Frame::new("metrics"))
+            .payload
+            .as_deref()
+            .unwrap_or("")
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .expect("counter present")
+            .trim()
+            .parse()
+            .expect("counter value")
+    };
+
+    // The primary, alone at first so the journal exists before any
+    // standby attaches: the attach is then a true paged resync.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        lib.clone(),
+        ServerOptions {
+            sync_interval: Duration::from_millis(25),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind primary");
+    let a_addr = server.local_addr().expect("bound address");
+    let a = std::thread::spawn(move || server.run());
+
+    let w = random_pipeline(
+        lib,
+        PipelineParams {
+            stages: 3,
+            width: 4,
+            gates_per_stage: 40,
+            transparent: false,
+            period_ns: 20,
+            seed: 1989,
+            imbalance_pct: 25,
+        },
+    );
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    let probe = w
+        .design
+        .module(w.module)
+        .nets()
+        .next()
+        .expect("nets")
+        .1
+        .name()
+        .to_owned();
+    expect_ok(
+        &request(a_addr, &Frame::new("load").with_payload(text)),
+        "load",
+    );
+    expect_ok(&request(a_addr, &Frame::new("analyze")), "analyze");
+    for i in 0..journal_ecos {
+        let reply = request(
+            a_addr,
+            &Frame::new("eco")
+                .arg("op", "scale-net")
+                .arg("net", probe.clone())
+                .arg("percent", 90 + (i % 40) as u64),
+        );
+        expect_ok(&reply, "journal eco");
+    }
+    let want = design_fp(a_addr).expect("primary fingerprint");
+
+    // Two ranked standbys, wired as each other's peers so the pair
+    // holds a quorum once the primary dies.
+    let standby = |upstream: SocketAddr| ServerOptions {
+        standby_of: Some(upstream.to_string()),
+        sync_interval: Duration::from_millis(25),
+        promote_after: 3,
+        repl_page_bytes: page_bytes,
+        ..ServerOptions::default()
+    };
+    let mut b = Server::bind("127.0.0.1:0", lib.clone(), standby(a_addr)).expect("bind standby");
+    let b_addr = b.local_addr().expect("bound address");
+    let mut c = Server::bind("127.0.0.1:0", lib.clone(), standby(a_addr)).expect("bind standby");
+    let c_addr = c.local_addr().expect("bound address");
+    b.options_mut().expect("pre-run options").peers = vec![a_addr.to_string(), c_addr.to_string()];
+    c.options_mut().expect("pre-run options").peers = vec![a_addr.to_string(), b_addr.to_string()];
+    let b = std::thread::spawn(move || b.run());
+    let c = std::thread::spawn(move || c.run());
+
+    // The paged resync: both standbys pull the whole journal in
+    // `page_bytes`-bounded pages.
+    let sync_deadline = Instant::now() + Duration::from_secs(30);
+    for addr in [b_addr, c_addr] {
+        while design_fp(addr).as_deref() != Some(want.as_str()) {
+            assert!(
+                Instant::now() < sync_deadline,
+                "standby never caught up with the primary"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let resync_pages = counter(b_addr, "hb_repl_pages_total ");
+    let resync_bytes = counter(b_addr, "hb_repl_bytes_total ");
+
+    // The kill: stamp the clock once the primary has acknowledged its
+    // shutdown, then poll the survivors until one serves as primary.
+    request(a_addr, &Frame::new("shutdown"));
+    let killed = Instant::now();
+    let deadline = killed + Duration::from_secs(30);
+    let winner = loop {
+        assert!(Instant::now() < deadline, "no standby promoted");
+        let promoted = [b_addr, c_addr]
+            .into_iter()
+            .find(|&addr| request(addr, &Frame::new("stats")).get("role") == Some("primary"));
+        if let Some(addr) = promoted {
+            break addr;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let downtime = killed.elapsed();
+    let term: u64 = request(winner, &Frame::new("stats"))
+        .get("term")
+        .expect("stats carries term=")
+        .parse()
+        .expect("term value");
+
+    for addr in [winner, if winner == b_addr { c_addr } else { b_addr }] {
+        request(addr, &Frame::new("shutdown"));
+    }
+    for (name, node) in [("primary", a), ("standby", b), ("standby2", c)] {
+        node.join().expect(name).expect("clean exit");
+    }
+
+    let _ = writeln!(json, "  \"failover\": {{");
+    let _ = writeln!(json, "    \"nodes\": 3,");
+    let _ = writeln!(json, "    \"journal_ecos\": {journal_ecos},");
+    let _ = writeln!(json, "    \"page_bytes\": {page_bytes},");
+    let _ = writeln!(json, "    \"resync_pages\": {resync_pages},");
+    let _ = writeln!(json, "    \"resync_bytes_paged\": {resync_bytes},");
+    let _ = writeln!(
+        json,
+        "    \"promotion_downtime_ms\": {:.1},",
+        downtime.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(json, "    \"promoted_term\": {term}");
+    let _ = writeln!(json, "  }},");
+    eprintln!(
+        "failover: resync {resync_pages} pages / {resync_bytes} B (page {page_bytes} B) | \
+         promotion downtime {:.0} ms (term {term})",
+        downtime.as_secs_f64() * 1e3
+    );
+}
+
 /// The reactor transport section: sequential vs pipelined vs batched
 /// slack throughput, then the same pipelined measurement with a crowd
 /// of idle connections sharing the event loop.
@@ -634,6 +814,9 @@ fn main() {
 
     // The session-fleet routing and eviction costs.
     bench_fleet(&lib, quick, &mut json);
+
+    // Quorum failover: standby resync paging and promotion downtime.
+    bench_failover(&lib, quick, &mut json);
 
     // The reactor transport over the first (pipeline) workload.
     bench_reactor(&lib, &workloads[0], quick, &mut json);

@@ -5,7 +5,7 @@
 //! hummingbird serve [--listen ADDR] [--stdio] [--reactor]
 //!                   [--library FILE] [--max-conns N]
 //!                   [--max-designs N] [--mem-budget BYTES]
-//!                   [--standby-of ADDR]
+//!                   [--standby-of ADDR] [--peers ADDR,ADDR,...]
 //! hummingbird query ADDR [--design ID] [--timeout MS]
 //!                        <request> [args...] [key=value...]
 //! hummingbird query ADDR [--design ID] --pipeline [FILE]
@@ -35,7 +35,10 @@
 //! `--mem-budget` bound the resident session fleet (LRU eviction,
 //! transparent journal reload); `--standby-of ADDR` runs this daemon
 //! as a warm standby replicating the primary at ADDR, promoting itself
-//! when the primary dies.
+//! when the primary dies. `--peers` names the other cluster members:
+//! promotion then requires a ranked majority vote (fencing terms keep
+//! a partitioned ex-primary from accepting writes), and standbys can
+//! chain off other standbys.
 //!
 //! `query --design ID` routes the request to one design of a
 //! multi-tenant daemon; `--timeout MS` bounds the whole request for
@@ -64,7 +67,8 @@ use hb_server::{serve_stream, Client, Server, ServerOptions};
 use crate::{load_library, CliError};
 
 const SERVE_USAGE: &str = "usage: hummingbird serve [--listen ADDR] [--stdio] [--reactor] \
-[--library LIB.txt] [--max-conns N] [--max-designs N] [--mem-budget BYTES] [--standby-of ADDR]";
+[--library LIB.txt] [--max-conns N] [--max-designs N] [--mem-budget BYTES] [--standby-of ADDR] \
+[--peers ADDR,ADDR,...]";
 const QUERY_USAGE: &str = "usage: hummingbird query ADDR [--design ID] [--timeout MS] \
 <load FILE | analyze | constraints | slack NODE [NODE...] | worst-paths [K] | \
 eco resize INST [STEPS] | eco scale-net NET PCT | open ID | close ID | designs | \
@@ -123,6 +127,15 @@ pub fn run_serve(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
                         .ok_or_else(|| CliError::usage("--standby-of needs an address"))?
                         .to_string(),
                 );
+            }
+            "--peers" => {
+                options.peers = it
+                    .next()
+                    .ok_or_else(|| CliError::usage("--peers needs a comma-separated address list"))?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
             }
             other => {
                 return Err(CliError::usage(format!(

@@ -61,6 +61,14 @@ pub const SESSION_ECO_PANIC: &str = "session.eco.panic";
 /// lock — exercising the poison-recovery path rather than the
 /// panic-isolation path.
 pub const NET_UNWIND_ESCAPE: &str = "net.unwind.escape";
+/// The replication control plane is cut: the node drops every
+/// outbound replication exchange (sync, probe, gossip, vote request)
+/// and rejects every inbound `repl-state`/`repl-pull`/`vote`, while
+/// ordinary client verbs keep flowing. Armed at runtime with
+/// [`FaultPlan::arm`] / healed with [`FaultPlan::disarm`], this
+/// simulates a network partition isolating the node from its peers —
+/// the zombie-primary scenario — without killing its process.
+pub const REPL_LINK_DROP: &str = "repl.link.drop";
 
 /// How one armed fault point behaves across successive checks.
 #[derive(Clone, Copy, Debug)]
@@ -194,6 +202,39 @@ impl FaultPlan {
             },
         );
         self
+    }
+
+    /// Arms `point` with `fault` at runtime, through a shared plan.
+    /// Unlike the builder-style [`FaultPlan::armed`], this mutates the
+    /// plan in place, so every clone — including one already threaded
+    /// into a running server — sees the point fire from the next
+    /// check on. Chaos tests use this to *start* a partition
+    /// mid-flight ([`REPL_LINK_DROP`]) and [`FaultPlan::disarm`] to
+    /// heal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on the disarmed plan, like [`FaultPlan::armed`].
+    pub fn arm(&self, point: &str, fault: Fault) {
+        let inner = self.inner.as_ref().expect("arm a seeded plan");
+        lock(&inner.points).insert(
+            point.to_owned(),
+            PointState {
+                fault,
+                checks: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Disarms `point` at runtime: subsequent checks no longer fire,
+    /// on this plan and every clone of it. Returns how many times the
+    /// point had fired. No-op (returning 0) when the point was never
+    /// armed or the plan is disarmed.
+    pub fn disarm(&self, point: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            lock(&inner.points).remove(point).map_or(0, |s| s.fired)
+        })
     }
 
     /// Overrides the bounded stall duration used by the `*.stall`
@@ -359,6 +400,19 @@ mod tests {
         let clone = plan.clone();
         assert!(clone.fires("s"));
         assert_eq!(plan.fired("s"), 1);
+    }
+
+    #[test]
+    fn runtime_arm_and_disarm_reach_every_clone() {
+        let plan = FaultPlan::seeded(9);
+        let server_side = plan.clone();
+        assert!(!server_side.fires(REPL_LINK_DROP), "not armed yet");
+        plan.arm(REPL_LINK_DROP, Fault::always());
+        assert!(server_side.fires(REPL_LINK_DROP), "partition starts");
+        assert!(server_side.fires(REPL_LINK_DROP));
+        assert_eq!(plan.disarm(REPL_LINK_DROP), 2, "heal reports fires");
+        assert!(!server_side.fires(REPL_LINK_DROP), "partition healed");
+        assert_eq!(plan.disarm(REPL_LINK_DROP), 0, "disarm is idempotent");
     }
 
     #[test]

@@ -95,6 +95,13 @@ impl Journal {
         self.fingerprint
     }
 
+    /// The replication cursor in one read: `(epoch, len, fingerprint)`.
+    /// This is what `repl-state` advertises per design and what a
+    /// standby's level check compares against its own journal.
+    pub fn cursor(&self) -> (u64, usize, Option<u64>) {
+        (self.epoch, self.entries.len(), self.fingerprint)
+    }
+
     /// The recorded entries — the replication stream's source.
     pub(crate) fn entries(&self) -> &[Entry] {
         &self.entries

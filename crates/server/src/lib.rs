@@ -68,7 +68,7 @@ mod sys;
 pub use fleet::{valid_design_id, DEFAULT_DESIGN, FLEET_MAX_DESIGNS, MAX_DESIGN_ID};
 pub use journal::Journal;
 pub use metrics::Metrics;
-pub use net::{serve_stream, Client, Server, ServerOptions};
+pub use net::{serve_stream, standby_backoff_schedule, Client, Server, ServerOptions};
 pub use replica::MAX_STREAM_BYTES;
 pub use session::{
     directives_from_spec, spec_from_directives, Session, MAX_BATCH, MAX_LOAD_BYTES, MAX_WORST_PATHS,

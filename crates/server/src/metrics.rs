@@ -20,7 +20,7 @@ use hb_obs::{Counter, Gauge, Histogram, Registry, Span};
 
 /// Every wire verb with a dedicated counter slot; anything else lands
 /// in `other` (still counted — unknown verbs are requests too).
-pub const VERBS: [&str; 18] = [
+pub const VERBS: [&str; 19] = [
     "hello",
     "stats",
     "metrics",
@@ -38,6 +38,7 @@ pub const VERBS: [&str; 18] = [
     "designs",
     "repl-state",
     "repl-pull",
+    "vote",
     "other",
 ];
 
@@ -88,6 +89,19 @@ pub struct Metrics {
     /// Design sessions evicted by the LRU policy to stay inside the
     /// fleet's memory budget.
     pub evictions: Counter,
+    /// The node's current fencing term (bumped by every promotion,
+    /// adopted from any higher term seen on the wire).
+    pub term: Gauge,
+    /// Promotions to primary this process has performed (unilateral or
+    /// quorum-elected).
+    pub promotions: Counter,
+    /// Mutating requests rejected with `error code=fenced` because
+    /// this node is not the primary (or the issuer's term was stale).
+    pub fenced_writes: Counter,
+    /// `repl-pull` pages this node has applied as a standby.
+    pub repl_pages: Counter,
+    /// Bytes of `repl-pull` page payload applied as a standby.
+    pub repl_bytes: Counter,
 }
 
 impl Default for Metrics {
@@ -157,6 +171,21 @@ impl Metrics {
             evictions: registry.counter(
                 "hb_evictions_total",
                 "design sessions evicted by the LRU memory-budget policy",
+            ),
+            term: registry.gauge("hb_term", "current fencing term of this node"),
+            promotions: registry
+                .counter("hb_promotions_total", "promotions of this node to primary"),
+            fenced_writes: registry.counter(
+                "hb_fenced_writes_total",
+                "mutating requests rejected because this node is fenced",
+            ),
+            repl_pages: registry.counter(
+                "hb_repl_pages_total",
+                "repl-pull pages applied while standing by",
+            ),
+            repl_bytes: registry.counter(
+                "hb_repl_bytes_total",
+                "bytes of repl-pull page payload applied while standing by",
             ),
             registry,
         }

@@ -87,18 +87,34 @@ pub struct ServerOptions {
     /// Combined approximate resident-session footprint the LRU policy
     /// keeps the fleet under, in bytes. 0 = unlimited.
     pub mem_budget: usize,
-    /// When set, this daemon runs as a warm standby of the primary at
-    /// the given address: a sync thread streams every design's
-    /// journal over `repl-state`/`repl-pull` and replays it into
-    /// shadow sessions. After [`ServerOptions::promote_after`]
-    /// consecutive sync failures the standby promotes itself (stops
-    /// syncing) and serves as the new primary.
+    /// When set, this daemon runs as a warm standby of the node at the
+    /// given address (primary or another standby — standbys serve the
+    /// replication verbs too, so chains work): the node loop streams
+    /// every design's journal over `repl-state`/`repl-pull` and
+    /// replays it into shadow sessions. After
+    /// [`ServerOptions::promote_after`] consecutive sync failures the
+    /// standby either promotes unilaterally (no
+    /// [`ServerOptions::peers`]) or runs a ranked quorum election.
     pub standby_of: Option<String>,
     /// How long the standby sync thread sleeps between sync rounds.
     pub sync_interval: Duration,
     /// Consecutive failed sync rounds after which a standby declares
-    /// its primary dead and promotes itself.
+    /// its upstream dead and seeks promotion.
     pub promote_after: u32,
+    /// The other nodes of this replication cluster, as `host:port`
+    /// listen addresses (exclude this node's own). Empty (the default)
+    /// keeps the PR-7 behaviour: a lone standby promotes unilaterally.
+    /// Non-empty arms the quorum machinery: promotion requires `vote`
+    /// grants from a majority of `peers.len() + 1` nodes, a primary
+    /// gossips its term to peers and demotes when it sees a higher
+    /// one, and a standby that loses its upstream probes the peers for
+    /// the new primary instead of promoting on its own.
+    pub peers: Vec<String>,
+    /// Page-size bound (bytes of entry-frame payload) a standby
+    /// requests per `repl-pull`, and the bound this node applies when
+    /// serving a pull with no explicit `max=`. Clamped to
+    /// [`crate::replica::MAX_STREAM_BYTES`].
+    pub repl_page_bytes: usize,
 }
 
 impl Default for ServerOptions {
@@ -116,6 +132,8 @@ impl Default for ServerOptions {
             standby_of: None,
             sync_interval: Duration::from_millis(200),
             promote_after: 3,
+            peers: Vec::new(),
+            repl_page_bytes: replica::MAX_STREAM_BYTES,
         }
     }
 }
@@ -157,6 +175,9 @@ pub(crate) struct Shared {
     /// cutting in-flight replies, and closed connections can
     /// deregister.
     pub(crate) conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Role, fencing term, upstream and vote ledger — the node's
+    /// replication control state (see [`crate::replica`]).
+    pub(crate) node: Mutex<replica::NodeCtl>,
 }
 
 impl Shared {
@@ -171,6 +192,8 @@ impl Shared {
             options.max_designs,
             options.mem_budget,
         );
+        let node = replica::NodeCtl::new(&options);
+        metrics.term.set(node.term as i64);
         Shared {
             fleet,
             metrics,
@@ -179,6 +202,7 @@ impl Shared {
             options,
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            node: Mutex::new(node),
         }
     }
 }
@@ -219,10 +243,29 @@ impl Server {
         options: ServerOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let mut shared = Shared::new(library, options);
+        if let Ok(addr) = listener.local_addr() {
+            // The listen address doubles as the node id: peers address
+            // a node by it, and elections tiebreak on it.
+            shared
+                .node
+                .get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .id = addr.to_string();
+        }
         Ok(Server {
             listener,
-            shared: Arc::new(Shared::new(library, options)),
+            shared: Arc::new(shared),
         })
+    }
+
+    /// Mutable access to the options of a bound, not-yet-running
+    /// server — `None` once `run` has started (the state is shared
+    /// with connection threads from then on). Tests use this to bind a
+    /// whole cluster on ephemeral ports first and wire each node's
+    /// `peers`/`standby_of` to the resulting addresses afterwards.
+    pub fn options_mut(&mut self) -> Option<&mut ServerOptions> {
+        Arc::get_mut(&mut self.shared).map(|shared| &mut shared.options)
     }
 
     /// The bound address — needed when binding port 0.
@@ -248,7 +291,11 @@ impl Server {
         // are the point of running one, and the parity suite plus the
         // perf harness bound the cost.
         hb_obs::arm();
-        let standby = spawn_standby(&self.shared);
+        // Options may have been rewired after bind (tests set peers to
+        // addresses they only learned by binding); recompute the node
+        // control state from the final options before serving.
+        replica::refresh_node(&self.shared);
+        let node_loop = spawn_node(&self.shared);
         let addr = self.listener.local_addr()?;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         let mut next_id: u64 = 0;
@@ -279,21 +326,27 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        if let Some(sync) = standby {
+        if let Some(sync) = node_loop {
             let _ = sync.join();
         }
         Ok(())
     }
 }
 
-/// Starts the standby sync thread when `--standby-of` is configured.
-/// The thread exits on shutdown or on promotion (primary declared
-/// dead); both transports join it on their way out.
-pub(crate) fn spawn_standby(shared: &Arc<Shared>) -> Option<thread::JoinHandle<()>> {
-    let primary = shared.options.standby_of.clone()?;
+/// Starts the node control thread when this daemon takes part in
+/// replication at all — as a standby (`--standby-of`), as a clustered
+/// primary (`--peers`), or both. The thread syncs, probes, gossips and
+/// elects (see [`replica::run_node`]); it exits on shutdown, or once
+/// it promotes with no peers to gossip to (the legacy lone-standby
+/// mode, where nothing remains to do). The blocking transport joins it
+/// on the way out; the reactor runs the same duties inline instead.
+pub(crate) fn spawn_node(shared: &Arc<Shared>) -> Option<thread::JoinHandle<()>> {
+    if shared.options.standby_of.is_none() && shared.options.peers.is_empty() {
+        return None;
+    }
     let shared = Arc::clone(shared);
     Some(thread::spawn(move || {
-        replica::run_standby(&shared, &primary);
+        replica::run_node(&shared);
     }))
 }
 
@@ -422,12 +475,30 @@ fn serve_requests<R: io::BufRead>(
 /// default design when absent), handling the fleet-management and
 /// replication verbs at the transport itself. Everything else runs
 /// the per-slot lock dance in [`handle_on_slot`].
+///
+/// Mutations are fenced first: a node that is not the primary of its
+/// term rejects every state-changing verb with `error code=fenced
+/// term=N`, so a zombie ex-primary can never accept a write its
+/// cluster did not agree to. `stats` and `designs` replies are
+/// annotated with the node's `role=`/`term=` on the way out.
 pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
+    if let Some(denied) = replica::fence(shared, req) {
+        shared.metrics.count_write(&req.verb);
+        shared.metrics.fenced_writes.inc();
+        shared.metrics.error(denied.get("code").unwrap_or("fenced"));
+        return denied;
+    }
     match req.verb.as_str() {
         "open" | "close" => return counted(shared, req, false, || shared.fleet.manage(req)),
-        "designs" => return counted(shared, req, true, || shared.fleet.manage(req)),
-        "repl-state" => return counted(shared, req, true, || replica::repl_state(shared)),
+        "designs" => {
+            return replica::annotate(
+                shared,
+                counted(shared, req, true, || shared.fleet.manage(req)),
+            )
+        }
+        "repl-state" => return counted(shared, req, true, || replica::repl_state(shared, req)),
         "repl-pull" => return counted(shared, req, true, || replica::repl_pull(shared, req)),
+        "vote" => return counted(shared, req, false, || replica::vote(shared, req)),
         _ => {}
     }
     let id = req.get("design").unwrap_or(DEFAULT_DESIGN);
@@ -442,7 +513,11 @@ pub(crate) fn handle_with_deadline(shared: &Shared, req: &Frame) -> Frame {
         }
     };
     shared.metrics.design_request(&slot.id);
-    handle_on_slot(shared, &slot, req)
+    let reply = handle_on_slot(shared, &slot, req);
+    if req.verb == "stats" {
+        return replica::annotate(shared, reply);
+    }
+    reply
 }
 
 /// Counts and times a verb the transport answers without a session —
@@ -622,6 +697,17 @@ impl Client {
         })
     }
 
+    /// Wraps an already-connected stream (the replication control
+    /// plane connects with a bounded `connect_timeout` first).
+    pub(crate) fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            requests: stream,
+            replies: FrameReader::new(BufReader::new(read_half)),
+        })
+    }
+
     /// Applies a read/write deadline to the connection (`None` blocks
     /// forever, the default). With a deadline set, [`Client::request`]
     /// fails with a `WouldBlock`/`TimedOut` I/O error instead of
@@ -756,7 +842,13 @@ impl Client {
 /// with different seeds spread out instead of colliding. A server
 /// `retry_after_ms` hint acts as a floor for that wait, never a fixed
 /// value every client obeys identically.
-struct Backoff {
+///
+/// The standby reconnect loop reuses the same walk with its own
+/// bounds ([`Backoff::with_bounds`]): a standby whose upstream died
+/// retries on a jittered, growing schedule instead of hammering the
+/// dead address every sync interval, and two standbys with different
+/// seeds probe on diverging schedules.
+pub(crate) struct Backoff {
     rng: SmallRng,
     prev: Duration,
     base: Duration,
@@ -764,19 +856,32 @@ struct Backoff {
 }
 
 impl Backoff {
-    fn new(seed: u64) -> Backoff {
-        let base = Duration::from_millis(50);
+    pub(crate) fn new(seed: u64) -> Backoff {
+        Backoff::with_bounds(seed, Duration::from_millis(50), Duration::from_secs(2))
+    }
+
+    /// A walk over `[base, cap]` — the reconnect flavour, where the
+    /// base is the sync interval rather than the client retry floor.
+    pub(crate) fn with_bounds(seed: u64, base: Duration, cap: Duration) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
         Backoff {
             rng: SmallRng::seed_from_u64(seed),
             prev: base,
             base,
-            cap: Duration::from_secs(2),
+            cap: cap.max(base),
         }
+    }
+
+    /// Forgets accumulated growth: the next wait draws from the first
+    /// step's range again. Called after a success so one blip does not
+    /// leave the reconnect loop crawling.
+    pub(crate) fn reset(&mut self) {
+        self.prev = self.base;
     }
 
     /// The next wait: jittered off the previous one, floored by the
     /// server's retry hint when present.
-    fn next_wait(&mut self, hint: Option<Duration>) -> Duration {
+    pub(crate) fn next_wait(&mut self, hint: Option<Duration>) -> Duration {
         let lo = self.base.as_millis() as usize;
         let hi = (self.prev.as_millis() as usize)
             .saturating_mul(3)
@@ -784,6 +889,17 @@ impl Backoff {
         self.prev = Duration::from_millis(self.rng.gen_range(lo..hi) as u64);
         self.prev.max(hint.unwrap_or(Duration::ZERO)).min(self.cap)
     }
+}
+
+/// The exact reconnect-wait schedule a standby with `sync_interval`
+/// draws from `seed` — the first `rounds` waits of the decorrelated
+/// jitter walk [`run_node`](crate::replica) sleeps between failed
+/// sync rounds. Exposed so tests can pin that two seeds diverge (two
+/// standbys must not retry a dead primary in lockstep) and that every
+/// wait stays within `[interval, 8 × interval]`.
+pub fn standby_backoff_schedule(seed: u64, interval: Duration, rounds: usize) -> Vec<Duration> {
+    let mut backoff = Backoff::with_bounds(seed, interval, interval.saturating_mul(8));
+    (0..rounds).map(|_| backoff.next_wait(None)).collect()
 }
 
 #[cfg(test)]

@@ -208,6 +208,10 @@ struct Reactor {
     /// Set by a successful `shutdown` request: stop accepting and
     /// reading, flush every queued reply, then return.
     draining: bool,
+    /// The replication control plane, when this daemon replicates: a
+    /// nonblocking state machine whose in-flight exchange socket joins
+    /// the poll set — no dedicated sync thread, no blocking client.
+    node: Option<crate::replica::NodeDriver>,
 }
 
 impl Server {
@@ -223,26 +227,24 @@ impl Server {
     /// only close that connection.
     pub fn run_reactor(self) -> io::Result<()> {
         hb_obs::arm();
-        let standby = crate::net::spawn_standby(&self.shared);
+        crate::replica::refresh_node(&self.shared);
+        let node = crate::replica::NodeDriver::new(&self.shared);
         self.listener.set_nonblocking(true)?;
         // Budget descriptors for the configured cap (each connection
         // is exactly one fd) plus slack for the listener, stdio and
         // whatever the embedding process holds.
         let want = self.shared.options.max_connections as u64 + 64;
         let _ = sys::raise_nofile_limit(want);
-        let outcome = Reactor {
+        Reactor {
             server: self,
             conns: Vec::new(),
             free: Vec::new(),
             live: 0,
             chunk: vec![0u8; READ_CHUNK],
             draining: false,
+            node,
         }
-        .run();
-        if let Some(sync) = standby {
-            let _ = sync.join();
-        }
-        outcome
+        .run()
     }
 }
 
@@ -277,10 +279,26 @@ impl Reactor {
             if self.draining && self.live == 0 {
                 return Ok(());
             }
-            match sys::poll(&mut pollfds, grain) {
+            // The node driver's exchange fd joins the set (its revents
+            // are not inspected — tick() advances nonblocking either
+            // way; the fd is here so bytes wake the loop early), and
+            // its next-round deadline caps the poll timeout.
+            let mut timeout = grain;
+            if let Some(node) = &self.node {
+                if let Some(fd) = node.pollfd() {
+                    pollfds.push(fd);
+                }
+                if let Some(hint) = node.timeout_hint(Instant::now()) {
+                    timeout = timeout.min(hint.max(std::time::Duration::from_millis(1)));
+                }
+            }
+            match sys::poll(&mut pollfds, timeout) {
                 Ok(_) => {}
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
+            }
+            if let Some(node) = &mut self.node {
+                node.tick(&self.server.shared, Instant::now());
             }
             let base = usize::from(poll_listener);
             if poll_listener && pollfds[0].revents != 0 {

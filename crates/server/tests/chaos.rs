@@ -568,10 +568,19 @@ fn failover_mid_eco_matches_uninterrupted_run() {
         thread::sleep(Duration::from_millis(25));
     }
 
-    // Kill the primary outright and let the standby promote.
+    // Kill the primary outright and let the standby promote (until it
+    // does, its own writes stay fenced).
     client.request(&Frame::new("shutdown")).unwrap();
     primary_handle.join().unwrap().unwrap();
-    thread::sleep(Duration::from_millis(400));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut shadow = Client::connect(standby).unwrap();
+        if shadow.request(&Frame::new("stats")).unwrap().get("role") == Some("primary") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "standby never promoted");
+        thread::sleep(Duration::from_millis(25));
+    }
 
     // The flow continues against the promoted standby.
     let mut shadow = Client::connect(standby).unwrap();

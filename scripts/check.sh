@@ -157,10 +157,19 @@ for _ in $(seq 1 200); do
 done
 [ -n "$CAUGHT_UP" ] || { echo "standby never caught up to the primary"; exit 1; }
 # Kill the primary outright; the standby promotes after missed syncs
-# (promote_after x sync_interval, 600 ms at the defaults).
+# (promote_after x sync_interval, 600 ms at the defaults). Poll its
+# stats for the role flip rather than sleeping a fixed grace.
 kill -9 "$PRIMARY_PID"
 wait "$PRIMARY_PID" 2>/dev/null || true
-sleep 2
+PROMOTED=""
+for _ in $(seq 1 200); do
+    if $HB query "$SADDR" stats | grep -q "role=primary"; then
+        PROMOTED=1
+        break
+    fi
+    sleep 0.05
+done
+[ -n "$PROMOTED" ] || { echo "standby never reported role=primary"; exit 1; }
 for D in d1 d2; do
     $HB query "$SADDR" --design "$D" slack mid \
         | sed 's/seconds=[^ ]*/seconds=_/g' > "$SMOKE_DIR/standby_$D.out"
@@ -175,6 +184,84 @@ $HB query "$SADDR" --design d1 eco resize a0 1 | grep -q "items_reused"
 $HB query "$SADDR" shutdown
 wait "$STANDBY_PID"
 echo "fleet failover smoke ok: standby answers bit-identical"
+
+echo "== quorum failover smoke test (three nodes, kill the primary)"
+# A full quorum cluster over real sockets: a primary and two ranked
+# standbys carrying each other as --peers. Killing the primary must
+# promote exactly one standby by majority election; the loser keeps
+# fencing writes and chains behind the winner.
+free_port() {
+    python3 -c 'import socket; s = socket.socket(); s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])'
+}
+QA="127.0.0.1:$(free_port)"
+QB="127.0.0.1:$(free_port)"
+QC="127.0.0.1:$(free_port)"
+$HB serve --listen "$QA" --peers "$QB,$QC" > "$SMOKE_DIR/qa.log" &
+QA_PID=$!
+$HB serve --listen "$QB" --standby-of "$QA" --peers "$QA,$QC" > "$SMOKE_DIR/qb.log" &
+QB_PID=$!
+$HB serve --listen "$QC" --standby-of "$QA" --peers "$QA,$QB" > "$SMOKE_DIR/qc.log" &
+QC_PID=$!
+for LOG in qa qb qc; do
+    UP=""
+    for _ in $(seq 1 100); do
+        grep -q "^listening on " "$SMOKE_DIR/$LOG.log" && { UP=1; break; }
+        sleep 0.1
+    done
+    [ -n "$UP" ] || { echo "quorum node $LOG never announced its port"; exit 1; }
+done
+$HB query "$QA" load designs/two_phase_pipeline.hum
+$HB query "$QA" analyze
+$HB query "$QA" eco resize b0 1 | grep -q "items_reused"
+$HB query "$QA" stats | grep -q "role=primary term=1"
+QFP=$(fleet_fp "$QA" default)
+for NODE in "$QB" "$QC"; do
+    SYNCED=""
+    for _ in $(seq 1 200); do
+        [ "$(fleet_fp "$NODE" default)" = "$QFP" ] && { SYNCED=1; break; }
+        sleep 0.05
+    done
+    [ -n "$SYNCED" ] || { echo "quorum standby $NODE never caught up"; exit 1; }
+done
+kill -9 "$QA_PID"
+wait "$QA_PID" 2>/dev/null || true
+WINNER=""
+for _ in $(seq 1 200); do
+    for NODE in "$QB" "$QC"; do
+        if $HB query "$NODE" stats | grep -q "role=primary"; then
+            WINNER="$NODE"
+            break
+        fi
+    done
+    [ -n "$WINNER" ] && break
+    sleep 0.05
+done
+[ -n "$WINNER" ] || { echo "no standby won the election"; exit 1; }
+if [ "$WINNER" = "$QB" ]; then LOSER="$QC"; else LOSER="$QB"; fi
+$HB query "$LOSER" stats | grep -q "role=primary" && {
+    echo "split brain: both standbys promoted"; exit 1
+}
+# The winner's term moved past the dead primary's; it accepts writes.
+$HB query "$WINNER" stats | grep -Eq "term=([2-9]|[0-9]{2,})"
+$HB query "$WINNER" eco resize a0 1 | grep -q "items_reused"
+# The loser stays fenced and chains behind the winner's new state
+# (the client exits nonzero on the error reply, hence the `|| true`).
+LOSER_OUT=$($HB query "$LOSER" eco resize a0 1 2>&1 || true)
+echo "$LOSER_OUT" | grep -q "fenced" || {
+    echo "loser write was not fenced: $LOSER_OUT"; exit 1
+}
+WFP=$(fleet_fp "$WINNER" default)
+CHAINED=""
+for _ in $(seq 1 200); do
+    [ "$(fleet_fp "$LOSER" default)" = "$WFP" ] && { CHAINED=1; break; }
+    sleep 0.05
+done
+[ -n "$CHAINED" ] || { echo "loser never chained behind the winner"; exit 1; }
+$HB query "$WINNER" shutdown
+$HB query "$LOSER" shutdown
+wait "$QB_PID" 2>/dev/null || true
+wait "$QC_PID" 2>/dev/null || true
+echo "quorum failover smoke ok: single promotion, loser fenced and chained"
 
 echo "== generator smoke test (gen -> load -> analyze -> slack)"
 # Generate a 10k-cell design, serve it, and query a slack through the
@@ -271,5 +358,27 @@ for section in '"slack_query"' '"fleet8"' '"slack_pipelined"'; do
         }
     }'
 done
+
+# Failover gate: promotion downtime stays bounded and the standby
+# resync actually flows through the bounded pager (multiple pages,
+# nonzero bytes). Downtime takes the best of the two quick runs; the
+# 2 s ceiling is ~4x the committed figure, absorbing a loaded box.
+gate_field() { # $1 file, $2 field name: its numeric value
+    awk -v f="\"$2\"" '$0 ~ f { gsub(/[^0-9.]/, "", $2); print $2; exit }' "$1"
+}
+DT_A=$(gate_field "$SMOKE_DIR/bench_a.json" promotion_downtime_ms)
+DT_B=$(gate_field "$SMOKE_DIR/bench_b.json" promotion_downtime_ms)
+PAGES=$(gate_field "$SMOKE_DIR/bench_a.json" resync_pages)
+BYTES=$(gate_field "$SMOKE_DIR/bench_a.json" resync_bytes_paged)
+[ -n "$DT_A" ] && [ -n "$DT_B" ] && [ -n "$PAGES" ] && [ -n "$BYTES" ] || {
+    echo "failover gate: missing fields in benchmark JSON"; exit 1
+}
+awk -v a="$DT_A" -v b="$DT_B" -v pages="$PAGES" -v bytes="$BYTES" 'BEGIN {
+    dt = (a < b) ? a : b
+    printf "failover gate: downtime %.0f ms, resync %d pages / %d bytes\n", dt, pages, bytes
+    if (dt > 2000) { printf "failover regression: promotion downtime %.0f ms > 2000 ms\n", dt; exit 1 }
+    if (pages < 2) { printf "failover regression: resync collapsed to %d page(s)\n", pages; exit 1 }
+    if (bytes <= 0) { printf "failover regression: no resync bytes paged\n"; exit 1 }
+}'
 
 echo "== all checks passed"
