@@ -311,6 +311,213 @@ fn bench_fleet(lib: &Library, quick: bool, json: &mut String) {
     );
 }
 
+/// The what-if section: parametric (symbolic) min-period against the
+/// numeric equivalent — a binary search of cold analyses over the same
+/// period grid — plus the `slack-at` read path (O(1) table lookups,
+/// no sweeps) and a whole-domain `period-sweep` in one frame.
+fn bench_whatif(lib: &Library, quick: bool, json: &mut String) {
+    use hb_clock::ClockSet;
+    use hb_units::Time;
+    use hummingbird::Analyzer;
+
+    // An edge-triggered pipeline with slack at its nominal period, so
+    // the feasibility boundary is interior to the domain and the
+    // numeric baseline has a real search to do.
+    let w = random_pipeline(
+        lib,
+        PipelineParams {
+            stages: 6,
+            width: 8,
+            gates_per_stage: 100,
+            transparent: false,
+            period_ns: 30,
+            seed: 1203,
+            imbalance_pct: 25,
+        },
+    );
+    let w = &w;
+
+    let server =
+        Server::bind("127.0.0.1:0", lib.clone(), ServerOptions::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).expect("connect");
+    let text = hb_io::write_hum_with_timing(&w.design, &w.clocks, &directives_from_spec(&w.spec));
+    expect_ok(
+        &client
+            .request(&Frame::new("load").with_payload(text))
+            .expect("load reply"),
+        "load",
+    );
+    expect_ok(
+        &client
+            .request(&Frame::new("analyze"))
+            .expect("analyze reply"),
+        "analyze",
+    );
+
+    // First call: builds the symbolic table and solves the breakpoint
+    // structure in one go.
+    let t0 = Instant::now();
+    let first = client
+        .request(&Frame::new("min-period"))
+        .expect("min-period reply");
+    let build_seconds = t0.elapsed().as_secs_f64();
+    expect_ok(&first, "min-period");
+    let time_arg = |f: &Frame, key: &str| -> Time {
+        f.get(key)
+            .unwrap_or_else(|| panic!("min-period reply carries {key}="))
+            .parse()
+            .expect("time value")
+    };
+    let stride = time_arg(&first, "stride");
+    let (lo, hi) = (time_arg(&first, "lo"), time_arg(&first, "hi"));
+    let nominal = time_arg(&first, "nominal");
+    let symbolic = first
+        .get("period")
+        .map(|p| p.parse::<Time>().expect("period"));
+
+    // Warm calls: the table is resident, so every solve is pure
+    // breakpoint arithmetic.
+    let warm_iters = if quick { 20 } else { 200 };
+    let warm = Latencies::measure(warm_iters, || {
+        expect_ok(
+            &client.request(&Frame::new("min-period")).expect("reply"),
+            "warm min-period",
+        );
+    });
+
+    // The `slack-at` read path: one O(1) evaluation per request.
+    let probe = w
+        .design
+        .module(w.module)
+        .nets()
+        .next()
+        .expect("nets")
+        .1
+        .name()
+        .to_owned();
+    let slack_iters = if quick { 100 } else { 1000 };
+    let at_req = Frame::new("slack-at")
+        .arg("period", nominal)
+        .arg("node", probe);
+    let slack_at = Latencies::measure(slack_iters, || {
+        expect_ok(&client.request(&at_req).expect("reply"), "slack-at");
+    });
+
+    // One whole-domain sweep in a single frame (~33 grid points).
+    let step = Time::from_ps(((hi.as_ps() - lo.as_ps()) / 32).max(stride.as_ps()));
+    let t1 = Instant::now();
+    let sweep = client
+        .request(
+            &Frame::new("period-sweep")
+                .arg("lo", lo)
+                .arg("hi", hi)
+                .arg("step", step),
+        )
+        .expect("period-sweep reply");
+    let sweep_seconds = t1.elapsed().as_secs_f64();
+    expect_ok(&sweep, "period-sweep");
+    let sweep_points: usize = sweep.get("count").expect("count=").parse().expect("count");
+
+    expect_ok(
+        &client
+            .request(&Frame::new("shutdown"))
+            .expect("shutdown reply"),
+        "shutdown",
+    );
+    daemon.join().expect("whatif thread").expect("whatif exit");
+
+    // The numeric equivalent: binary search of cold analyses over the
+    // same grid — what `analyze --min-period` had to do before the
+    // symbolic table existed.
+    let g = nominal.as_ps() / stride.as_ps();
+    let clocks_at = |k: i64| -> ClockSet {
+        let mut out = ClockSet::new();
+        let scale = |t: Time| Time::from_ps(t.as_ps() * k / g);
+        for (_, c) in w.clocks.clocks() {
+            out.add_clock(
+                c.name(),
+                scale(c.period()),
+                scale(c.rise()),
+                scale(c.fall()),
+            )
+            .expect("scaled clocks stay valid");
+        }
+        out
+    };
+    let mut numeric_probes = 0usize;
+    let t2 = Instant::now();
+    let mut feasible_at = |k: i64| -> bool {
+        numeric_probes += 1;
+        Analyzer::new(&w.design, w.module, lib, &clocks_at(k), w.spec.clone())
+            .expect("scaled design conforms")
+            .analyze()
+            .ok()
+    };
+    let (mut lo_k, mut hi_k) = (lo.as_ps() / stride.as_ps(), hi.as_ps() / stride.as_ps());
+    let numeric = if feasible_at(hi_k) {
+        while lo_k < hi_k {
+            let mid = lo_k + (hi_k - lo_k) / 2;
+            if feasible_at(mid) {
+                hi_k = mid;
+            } else {
+                lo_k = mid + 1;
+            }
+        }
+        Some(Time::from_ps(hi_k * stride.as_ps()))
+    } else {
+        None
+    };
+    let numeric_seconds = t2.elapsed().as_secs_f64();
+    assert_eq!(symbolic, numeric, "symbolic and numeric min-period agree");
+
+    let _ = writeln!(json, "  \"whatif\": {{");
+    let _ = writeln!(json, "    \"workload\": \"{}\",", w.name);
+    let _ = writeln!(json, "    \"domain\": \"[{lo}, {hi}]\",");
+    let _ = writeln!(json, "    \"min_period\": {{");
+    let _ = writeln!(
+        json,
+        "      \"period\": {},",
+        symbolic.map_or("null".to_owned(), |p| format!("\"{p}\""))
+    );
+    let _ = writeln!(
+        json,
+        "      \"symbolic_build_and_solve_seconds\": {build_seconds:.6},"
+    );
+    let _ = writeln!(json, "      \"warm_solve_seconds_p50\": {:.6},", warm.p50());
+    let _ = writeln!(
+        json,
+        "      \"numeric_binary_search_seconds\": {numeric_seconds:.6},"
+    );
+    let _ = writeln!(json, "      \"numeric_probes\": {numeric_probes},");
+    let _ = writeln!(
+        json,
+        "      \"warm_speedup_vs_binary_search\": {:.1}",
+        numeric_seconds / warm.p50()
+    );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"slack_at\": {{");
+    let _ = writeln!(json, "      \"requests\": {slack_iters},");
+    let _ = writeln!(json, "      \"queries_per_second\": {:.1},", slack_at.qps());
+    let _ = writeln!(json, "      \"p50_ms\": {:.4},", slack_at.p50() * 1e3);
+    let _ = writeln!(json, "      \"p99_ms\": {:.4}", slack_at.p99() * 1e3);
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"period_sweep\": {{");
+    let _ = writeln!(json, "      \"points\": {sweep_points},");
+    let _ = writeln!(json, "      \"seconds\": {sweep_seconds:.6}");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    eprintln!(
+        "whatif: build+solve {:.1} ms | warm min-period {:.3} ms vs numeric search {:.1} ms \
+         ({numeric_probes} probes) | slack-at {:.0}/s",
+        build_seconds * 1e3,
+        warm.p50() * 1e3,
+        numeric_seconds * 1e3,
+        slack_at.qps()
+    );
+}
+
 /// The quorum-failover section: a primary builds a journal, two
 /// ranked standbys attach and resync it through the bounded pager,
 /// then the primary is killed and the cluster elects a successor.
@@ -811,6 +1018,9 @@ fn main() {
 
     expect_ok(&request(&Frame::new("shutdown")), "shutdown");
     daemon.join().expect("server thread").expect("server exit");
+
+    // Parametric what-if verbs vs the numeric binary-search baseline.
+    bench_whatif(&lib, quick, &mut json);
 
     // The session-fleet routing and eviction costs.
     bench_fleet(&lib, quick, &mut json);

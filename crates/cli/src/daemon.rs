@@ -18,6 +18,12 @@
 //!   slack NODE [NODE...]      slack at nets or synchronizer instances;
 //!                             several nodes batch into one request
 //!   worst-paths [K]           the K slowest paths (default 5)
+//!   min-period                smallest feasible clock period, solved from
+//!                             the resident parametric (symbolic) table
+//!   slack-at period=P [node=N]  slack at an arbitrary period, evaluated
+//!                             from the parametric table (no re-analysis)
+//!   period-sweep lo=A hi=B step=S  feasibility/worst-slack table across
+//!                             a period range, one frame
 //!   eco resize INST [STEPS]   retarget an instance's drive strength
 //!   eco scale-net NET PCT     scale a net's load to PCT percent
 //!   open ID | close ID        open or close a design slot in the fleet
@@ -71,6 +77,7 @@ const SERVE_USAGE: &str = "usage: hummingbird serve [--listen ADDR] [--stdio] [-
 [--peers ADDR,ADDR,...]";
 const QUERY_USAGE: &str = "usage: hummingbird query ADDR [--design ID] [--timeout MS] \
 <load FILE | analyze | constraints | slack NODE [NODE...] | worst-paths [K] | \
+min-period | slack-at period=P [node=N] | period-sweep lo=A hi=B step=S | \
 eco resize INST [STEPS] | eco scale-net NET PCT | open ID | close ID | designs | \
 dump | stats | metrics | shutdown> \
 [key=value...]\n       hummingbird query ADDR [--design ID] --pipeline [FILE]";
@@ -490,7 +497,7 @@ fn build_request(cmd: &str, rest: &[&str]) -> Result<Frame, CliError> {
     };
     let (mut frame, used) = match cmd {
         "hello" | "analyze" | "constraints" | "dump" | "stats" | "metrics" | "shutdown"
-        | "designs" => (Frame::new(cmd), 0),
+        | "designs" | "min-period" | "slack-at" | "period-sweep" => (Frame::new(cmd), 0),
         "open" | "close" => {
             let id = need("a design id", rest.first())?;
             (Frame::new(cmd).arg("design", id), 1)
@@ -580,6 +587,17 @@ mod tests {
         let f = build_request("slack", &["a", "b", "c", "latch=edge"]).unwrap();
         assert_eq!(f.get_all("node").collect::<Vec<_>>(), ["a", "b", "c"]);
         assert_eq!(f.get("latch"), Some("edge"));
+
+        // The what-if verbs are zero-positional; their `key=value`
+        // arguments ride through the trailer path.
+        let f = build_request("min-period", &[]).unwrap();
+        assert_eq!(f.verb, "min-period");
+        let f = build_request("slack-at", &["period=12ns", "node=mid"]).unwrap();
+        assert_eq!(f.get("period"), Some("12ns"));
+        assert_eq!(f.get("node"), Some("mid"));
+        let f = build_request("period-sweep", &["lo=8ns", "hi=20ns", "step=1ns"]).unwrap();
+        assert_eq!(f.get("lo"), Some("8ns"));
+        assert_eq!(f.get("step"), Some("1ns"));
 
         let f = build_request("worst-paths", &[]).unwrap();
         assert!(f.get("k").is_none());

@@ -22,6 +22,9 @@
 //!   --require PORT=TIME       output required offset, same reference
 //!   --edge-triggered          use the McWilliams-style latch baseline
 //!   --min-delays              also check supplementary (hold) constraints
+//!   --min-period              analyze: report the smallest feasible clock
+//!                             period, solved from one symbolic (parametric)
+//!                             analysis instead of a binary search
 //!   --profile                 arm timing instrumentation and print a
 //!                             phase breakdown (parse / shard build /
 //!                             sweep passes / report) after analyze
@@ -45,7 +48,7 @@ use hb_clock::ClockSet;
 use hb_io::HumFile;
 use hb_netlist::{Design, ModuleId};
 use hb_units::{Time, Transition};
-use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, Spec};
+use hummingbird::{AnalysisOptions, Analyzer, EdgeSpec, LatchModel, SlackCache, Spec};
 
 mod daemon;
 
@@ -143,6 +146,7 @@ struct Options {
     requireds: Vec<(String, Time)>,
     edge_triggered: bool,
     min_delays: bool,
+    min_period: bool,
     profile: bool,
     max_paths: usize,
     scales: Vec<u32>,
@@ -176,6 +180,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
         requireds: Vec::new(),
         edge_triggered: false,
         min_delays: false,
+        min_period: false,
         profile: false,
         max_paths: 5,
         scales: vec![50, 75, 100, 150, 200],
@@ -212,6 +217,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
             }
             "--edge-triggered" => opts.edge_triggered = true,
             "--min-delays" => opts.min_delays = true,
+            "--min-period" => opts.min_period = true,
             "--profile" => opts.profile = true,
             "--paths" => {
                 opts.max_paths = value("--paths")?
@@ -255,7 +261,7 @@ fn parse_args(args: &[&str]) -> Result<Options, CliError> {
 const USAGE: &str =
     "usage: hummingbird <check|analyze|constraints|passes|resynth|sweep|serve|query|flow|gen> \
 <design.hum> [--clock-port PORT=CLOCK] [--arrive PORT=TIME] [--require PORT=TIME] \
-[--edge-triggered] [--min-delays] [--profile] [--paths N] [--threads N] \
+[--edge-triggered] [--min-delays] [--min-period] [--profile] [--paths N] [--threads N] \
 [--scales 50,100,150] [--library LIB.txt] [-o OUT.hum]
   --threads N   worker threads for the slack engine's per-cluster sweeps
                 (0 = all available cores; results are identical at any count)
@@ -343,14 +349,47 @@ fn build_spec(
 }
 
 /// Proportionally rescales every clock waveform to `pct` percent.
+///
+/// Every edge of every clock scales through one rational rounding rule
+/// (round half up on `ps·pct/100`) — truncating here used to push
+/// harmonically related clocks out of ratio and let rise/fall edges
+/// land past the truncated period. Rounding keeps related waveforms
+/// together whenever the arithmetic allows it; when a percent cannot
+/// preserve the original period ratios at picosecond resolution the
+/// sweep point is refused instead of silently analysing a different
+/// clock system.
 fn scale_clocks(clocks: &ClockSet, pct: u32) -> Result<ClockSet, CliError> {
-    let scale = |t: Time| Time::from_ps(t.as_ps() * i64::from(pct) / 100);
+    let scale = |t: Time| Time::from_ps((t.as_ps() * i64::from(pct) + 50) / 100);
     let mut scaled = ClockSet::new();
+    let mut first: Option<(String, i64, i64)> = None; // (name, orig, scaled) periods
     for (_, clock) in clocks.clocks() {
+        let period = scale(clock.period());
+        // Cross-multiply against the first clock: one exact common
+        // ratio means every pairwise harmonic ratio survived.
+        match &first {
+            None => {
+                first = Some((
+                    clock.name().to_owned(),
+                    clock.period().as_ps(),
+                    period.as_ps(),
+                ))
+            }
+            Some((name0, orig0, new0)) => {
+                let lhs = i128::from(*orig0) * i128::from(period.as_ps());
+                let rhs = i128::from(*new0) * i128::from(clock.period().as_ps());
+                if lhs != rhs {
+                    return Err(CliError::analysis(format!(
+                        "scale {pct}%: cannot preserve the harmonic ratio between clocks \
+                         {name0:?} and {:?} at picosecond resolution",
+                        clock.name()
+                    )));
+                }
+            }
+        }
         scaled
             .add_clock(
                 clock.name(),
-                scale(clock.period()),
+                period,
                 scale(clock.rise()),
                 scale(clock.fall()),
             )
@@ -545,12 +584,18 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             "scale", "overall", "worst", "ok"
         )
         .map_err(io)?;
+        // One resident cache across the whole sweep: consecutive scale
+        // points only move the clock-derived seed offsets, so every
+        // cluster whose seed signature repeats is reused, not re-swept.
+        let mut cache = SlackCache::new();
+        let mut all_met = true;
         for &pct in &opts.scales {
             let scaled = scale_clocks(&file.clocks, pct)?;
             let analyzer =
                 Analyzer::with_options(&design, top, &library, &scaled, spec.clone(), options)
                     .map_err(|e| CliError::analysis(e.to_string()))?;
-            let report = analyzer.analyze();
+            let report = analyzer.analyze_with_cache(&mut cache);
+            all_met &= report.ok();
             writeln!(
                 out,
                 "{:>7}% {:>10} {:>12} {:>6}",
@@ -561,11 +606,43 @@ pub fn run(args: &[&str], out: &mut impl Write) -> Result<u8, CliError> {
             )
             .map_err(io)?;
         }
-        return Ok(0);
+        // Worst point wins: any infeasible scale fails the sweep.
+        return Ok(u8::from(!all_met));
     }
 
     let analyzer = Analyzer::with_options(&design, top, &library, &file.clocks, spec, options)
         .map_err(|e| CliError::analysis(e.to_string()))?;
+
+    if opts.command == "analyze" && opts.min_period {
+        // One symbolic analysis answers the feasibility question for
+        // every grid period at once — no binary search, no re-sweeps.
+        let param = analyzer
+            .parametric()
+            .map_err(|e| CliError::analysis(e.to_string()))?;
+        let (lo, hi) = param.domain();
+        writeln!(
+            out,
+            "parametric table: stride {}, domain [{lo}, {hi}], {} regions",
+            param.stride(),
+            param.region_count()
+        )
+        .map_err(io)?;
+        return match param.min_feasible_period() {
+            Some(p) => {
+                writeln!(
+                    out,
+                    "min feasible period: {p} (nominal {})",
+                    param.nominal_period()
+                )
+                .map_err(io)?;
+                Ok(0)
+            }
+            None => {
+                writeln!(out, "no feasible period within [{lo}, {hi}]").map_err(io)?;
+                Ok(1)
+            }
+        };
+    }
 
     if opts.command == "passes" {
         write!(out, "{}", hb_clock::render_waveforms(&file.clocks, 64)).map_err(io)?;

@@ -162,7 +162,9 @@ fn file_directives_drive_the_analysis() {
 fn sweep_shows_the_feasibility_boundary() {
     let path = write_temp("sweep.hum", TIMED_DESIGN);
     let (code, out) = run_capture(&["sweep", &path, "--scales", "25,50,100,400"]);
-    assert_eq!(code, 0);
+    // Worst point wins: the sweep crosses the boundary, so at least
+    // one scale is infeasible and the whole run exits 1.
+    assert_eq!(code, 1);
     assert!(out.contains("25%"), "{out}");
     assert!(out.contains("400%"), "{out}");
     let yes = out.matches(" yes").count();
@@ -185,6 +187,80 @@ fn sweep_shows_the_feasibility_boundary() {
     for pair in verdicts.windows(2) {
         assert!(!pair[0] || pair[1], "monotone: {out}");
     }
+}
+
+#[test]
+fn sweep_exits_zero_when_every_scale_is_feasible() {
+    let path = write_temp("sweep_easy.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["sweep", &path, "--scales", "100,200,400"]);
+    assert_eq!(code, 0, "{out}");
+    assert_eq!(out.matches(" yes").count(), 3, "{out}");
+}
+
+/// A 1250 ps clock scaled by 33% is 412.5 ps; the old truncating
+/// arithmetic printed 0.412ns, the rational rule rounds half up.
+const FINE_DESIGN: &str = "\
+design fine
+module top
+  port in a ck
+  port out y
+  inst u1 INV_X1 A=a Y=w
+  inst ff DFF D=w CK=ck Q=y
+end
+top top
+clock ck period 1250ps rise 0ps fall 625ps
+";
+
+#[test]
+fn scaling_rounds_half_up_instead_of_truncating() {
+    let path = write_temp("fine.hum", FINE_DESIGN);
+    let (_, out) = run_capture(&["sweep", &path, "--scales", "33"]);
+    assert!(out.contains("0.413ns"), "rounded, not truncated:\n{out}");
+    assert!(!out.contains("0.412ns"), "{out}");
+}
+
+/// Clocks at 1250 ps and 3750 ps hold an exact 1:3 ratio. At 33% the
+/// rounded periods are 413 ps and 1238 ps — no longer 1:3 — so the
+/// scale must refuse rather than silently analyze a detuned pair.
+const DUO_DESIGN: &str = "\
+design duo
+module top
+  port in a ck1 ck2
+  port out y
+  inst u1 INV_X1 A=a Y=w
+  inst f1 DFF D=w CK=ck1 Q=v
+  inst f2 DFF D=v CK=ck2 Q=y
+end
+top top
+clock ck1 period 1250ps rise 0ps fall 625ps
+clock ck2 period 3750ps rise 0ps fall 1875ps
+clockport ck1 ck1
+clockport ck2 ck2
+";
+
+#[test]
+fn scaling_that_cannot_preserve_harmonics_errors_cleanly() {
+    let path = write_temp("duo.hum", DUO_DESIGN);
+    // Scales that keep the ratio exact sweep normally...
+    let mut buf = Vec::new();
+    hb_cli::run(&["sweep", &path, "--scales", "100,200"], &mut buf).expect("exact scales sweep");
+    // ...but one that cannot is an analysis refusal, exit 5.
+    let err = hb_cli::run(&["sweep", &path, "--scales", "33"], &mut buf).unwrap_err();
+    assert_eq!(
+        (err.kind(), err.exit_code()),
+        (hb_cli::ErrorKind::Analysis, 5)
+    );
+    assert!(err.to_string().contains("harmonic"), "{err}");
+}
+
+#[test]
+fn analyze_min_period_reports_the_boundary() {
+    let path = write_temp("minperiod.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["analyze", &path, "--min-period"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("parametric table:"), "{out}");
+    assert!(out.contains("min feasible period:"), "{out}");
+    assert!(out.contains("(nominal 4ns)"), "{out}");
 }
 
 #[test]
@@ -290,6 +366,70 @@ fn serve_and_query_round_trip() {
     let mut buf = Vec::new();
     let err = hb_cli::run(&["query", &addr, "slack", "nosuch"], &mut buf).unwrap_err();
     assert_eq!(err.exit_code(), 5);
+    let (code, _) = run_capture(&["query", &addr, "shutdown"]);
+    assert_eq!(code, 0);
+    assert_eq!(server.join().unwrap(), 0);
+}
+
+#[test]
+fn daemon_what_if_verbs_round_trip() {
+    let (sent, announced) = std::sync::mpsc::channel();
+    let server = std::thread::spawn(move || {
+        let mut out = Announce {
+            sent: Some(sent),
+            line: String::new(),
+        };
+        hb_cli::run(&["serve", "--listen", "127.0.0.1:0"], &mut out).expect("serve runs")
+    });
+    let addr = announced
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("serve announces its port");
+
+    let path = write_temp("whatif_served.hum", TIMED_DESIGN);
+    let (code, out) = run_capture(&["query", &addr, "load", &path]);
+    assert_eq!(code, 0, "{out}");
+
+    // min-period: answered from the symbolic table, no numeric search.
+    let (code, out) = run_capture(&["query", &addr, "min-period"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("feasible=1"), "{out}");
+    assert!(out.contains("period="), "{out}");
+    assert!(out.contains("regions="), "{out}");
+    assert!(out.contains("nominal=4ns"), "{out}");
+
+    // slack-at: O(1) whole-design verdict at an arbitrary grid period.
+    let (code, out) = run_capture(&["query", &addr, "slack-at", "period=4ns"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("worst="), "{out}");
+    assert!(out.contains("ok=1"), "{out}");
+
+    // slack-at with a net node and with a terminal node.
+    let (code, out) = run_capture(&["query", &addr, "slack-at", "period=4ns", "node=w"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("kind=net"), "{out}");
+    let (code, out) = run_capture(&["query", &addr, "slack-at", "period=4ns", "node=ff"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("kind=terminal"), "{out}");
+    assert!(out.contains("pulse"), "{out}");
+
+    // Off-grid periods are a refusal, not a silent snap.
+    let mut buf = Vec::new();
+    let err = hb_cli::run(&["query", &addr, "slack-at", "period=3ps"], &mut buf).unwrap_err();
+    assert_eq!(err.exit_code(), 5);
+
+    // period-sweep: one frame, one line per distinct grid period.
+    let (code, out) = run_capture(&[
+        "query",
+        &addr,
+        "period-sweep",
+        "lo=4ns",
+        "hi=8ns",
+        "step=1ns",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("count=5"), "{out}");
+    assert!(out.contains("period 4ns"), "{out}");
+
     let (code, _) = run_capture(&["query", &addr, "shutdown"]);
     assert_eq!(code, 0);
     assert_eq!(server.join().unwrap(), 0);

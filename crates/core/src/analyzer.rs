@@ -183,6 +183,23 @@ impl<'a> Analyzer<'a> {
         report
     }
 
+    /// Runs Algorithm 1 symbolically in the overall clock period and
+    /// returns the resulting piecewise-linear [`ParametricSlack`]
+    /// table: O(1) slack evaluation at any grid period (bit-identical
+    /// to a cold numeric run there) and direct min-period solving,
+    /// with no further sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the design's seed positions fall off the clock
+    /// lattice or the piecewise region budget is exceeded — both
+    /// indicate the symbolic parametrization cannot represent the
+    /// design, never a numeric mismatch.
+    pub fn parametric(&self) -> Result<crate::symbolic::ParametricSlack, AnalyzeError> {
+        crate::symbolic::parametric(&self.prep)
+            .map_err(|reason| AnalyzeError::Parametric { reason })
+    }
+
     /// Runs Algorithm 1 followed by Algorithm 2 and attaches the
     /// generated ready/required-time constraints to the report.
     pub fn generate_constraints(&self) -> TimingReport {

@@ -53,6 +53,11 @@ pub enum AnalyzeError {
         /// The instance whose control is driven by latch outputs.
         inst: String,
     },
+    /// The parametric (symbolic) what-if analysis could not be built.
+    Parametric {
+        /// Why the symbolic build failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AnalyzeError {
@@ -87,6 +92,9 @@ impl fmt::Display for AnalyzeError {
                 "control input of {inst:?} is driven from a synchronising element output \
                  (enable paths are outside the supported design class)"
             ),
+            AnalyzeError::Parametric { reason } => {
+                write!(f, "parametric analysis failed: {reason}")
+            }
         }
     }
 }

@@ -81,6 +81,7 @@ mod error;
 mod mindelay;
 mod report;
 mod spec;
+mod symbolic;
 mod sync;
 
 pub use algorithms::{Algorithm1Stats, Algorithm2Stats};
@@ -93,4 +94,5 @@ pub use report::{
     SlowPath, SlowStep, TerminalKind, TerminalSlack, TimingConstraints, TimingReport,
 };
 pub use spec::{AnalysisOptions, EdgeSpec, EngineKind, LatchModel, Spec};
+pub use symbolic::{ParametricSlack, ParametricTerminal, PeriodError};
 pub use sync::{Replica, ReplicaTiming};

@@ -76,7 +76,7 @@ pub enum EngineKind {
 }
 
 /// Tuning knobs for the analysis algorithms.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// The latch model (paper vs baseline).
     pub latch_model: LatchModel,

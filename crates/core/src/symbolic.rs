@@ -1,0 +1,2033 @@
+//! Parametric (what-if) slack analysis: slack as a piecewise-linear
+//! function of the base clock period.
+//!
+//! Every quantity the numeric engine manipulates is either a *cell
+//! constant* (arc delays, setup/hold, control-path delays, boundary
+//! offsets) or a *clock-derived time* (edge positions, pulse widths,
+//! pass-window positions) — and every clock-derived time scales
+//! *linearly* when the whole waveform set is stretched. So instead of
+//! re-running the sweeps per candidate period, this module runs the
+//! multi-pass analysis **once** with arrival/required times represented
+//! as affine expressions `a + b·t` in a grid parameter `t`, mirroring
+//! the numeric engine operation for operation:
+//!
+//! * the scaling lattice: with `g = gcd(overall period, edge times)`,
+//!   any uniform scale that keeps the waveforms integral maps the
+//!   overall period `T₀` to `stride·k` where `stride = T₀/g` and
+//!   `k ∈ [1, k_max]` (nominal at `k = g`). Pass planning is scale
+//!   invariant (every planning decision is an order comparison of
+//!   quantities that scale together), so the nominal `(cluster, pass)`
+//!   schedule is reused verbatim;
+//! * affine closure: max/min of two affine functions is affine on each
+//!   side of their crossing. Each comparison is *decided* on the
+//!   current parameter region; when the outcome is not uniform the
+//!   region is split at the switch point and the remainder re-queued.
+//!   Integer division (Algorithm 1's partial transfers) splits the
+//!   region into residue classes so that the floored quotient is again
+//!   affine;
+//! * the result is a [`ParametricSlack`]: a partition of a served
+//!   period window `[stride·k_lo, stride·k_max]` into regions, each
+//!   carrying exact affine slack expressions for every terminal and
+//!   net. Evaluating them at a concrete grid period is
+//!   **bit-identical** to a cold numeric analysis at that period, and
+//!   the minimum feasible period drops out of the breakpoint structure
+//!   with no further sweeps.
+//!
+//! Carving is *budgeted and nominal-anchored*. Feasible stretches of
+//! the grid settle in a handful of wide regions, while infeasible
+//! stretches force the full transfer schedule and fragment into
+//! residue classes — so carving cost tracks how much infeasible ground
+//! must be covered, and the served domain is whatever contiguous run
+//! of grid points around the nominal period fits the integer work
+//! budgets: a cheap top-feasibility probe decides between a full
+//! top-down carve (max-heap on the span's largest multiplier, stopping
+//! once the nominal period and the sharp feasibility boundary are
+//! interior to the covered suffix) and a narrow anchor window, after
+//! which the domain floor is pushed down in widening chunks until the
+//! point just below the minimum feasible period is served. Queries
+//! outside the served domain are refused rather than answered
+//! approximately, and expensive designs shrink their domain rather
+//! than failing the build or going quadratic.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+use hb_netlist::NetId;
+use hb_obs::{Counter, Histogram};
+use hb_sta::ClusterId;
+use hb_units::{RiseFall, Sense, Time};
+
+use crate::analysis::Prepared;
+use crate::engine::WorkItem;
+use crate::report::TerminalKind;
+use crate::sync::Replica;
+
+/// Work budget for the main top-down carve, in item-evaluations (one
+/// unit = one `(cluster, pass)` item visited by one symbolic slack
+/// view). Exhausting a budget shrinks the served domain rather than
+/// failing the build.
+const CARVE_WORK: u64 = 3_000_000;
+
+/// Additional budget for the nominal anchor window, entered when the
+/// top-down carve could not connect the window top to the nominal
+/// period (the final singleton run at the nominal point itself is
+/// budget-exempt, so a table is always produced).
+const ANCHOR_WORK: u64 = 600_000;
+
+/// Grid points above the nominal period carved in anchor mode.
+const ANCHOR_SPAN: i64 = 63;
+
+/// Additional budget for the downward extension walking the domain
+/// floor in widening chunks until the feasibility boundary is interior
+/// to the served domain.
+const PROBE_WORK: u64 = 1_200_000;
+
+/// Largest downward-extension chunk, bounding how far past the
+/// feasibility boundary a single chunk can overshoot.
+const CHUNK_CAP: i64 = 1_024;
+
+/// Hard cap on stored regions — a memory guard (each region stores a
+/// slack expression per net), not a failure mode: carving simply stops
+/// and the served domain shrinks.
+const REGION_CAP: usize = 4_096;
+
+/// Largest number of grid points in the analysis window. Designs whose
+/// scaling lattice is finer than this get a window ending at `k_max`
+/// rather than starting at `k = 1`.
+const POINT_CAP: i64 = 1 << 20;
+
+/// The largest representable overall period, mirroring the clock-set
+/// builder's cap (`Time::from_us(1000)`).
+const MAX_OVERALL_PS: i64 = 1_000_000_000;
+
+struct SymObs {
+    build: Histogram,
+    builds: Counter,
+    regions: Counter,
+}
+
+fn sym_obs() -> &'static SymObs {
+    static OBS: OnceLock<SymObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let g = hb_obs::global();
+        SymObs {
+            build: g.histogram(
+                "hb_symbolic_build_nanoseconds",
+                "wall time of one parametric (symbolic) slack build",
+            ),
+            builds: g.counter(
+                "hb_symbolic_builds_total",
+                "parametric slack builds completed",
+            ),
+            regions: g.counter(
+                "hb_symbolic_regions_total",
+                "parameter regions produced across all parametric builds",
+            ),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Affine expressions and symbolic times
+// ---------------------------------------------------------------------------
+
+/// An affine time expression: `a + b·t` picoseconds, `t` the grid
+/// parameter of the enclosing region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Aff {
+    a: i64,
+    b: i64,
+}
+
+impl Aff {
+    const ZERO: Aff = Aff { a: 0, b: 0 };
+
+    /// A constant expression.
+    fn cst(ps: i64) -> Aff {
+        Aff { a: ps, b: 0 }
+    }
+
+    /// The value at parameter `t`.
+    fn eval(self, t: i64) -> i64 {
+        self.a + self.b * t
+    }
+}
+
+impl std::ops::Add for Aff {
+    type Output = Aff;
+    fn add(self, rhs: Aff) -> Aff {
+        Aff {
+            a: self.a + rhs.a,
+            b: self.b + rhs.b,
+        }
+    }
+}
+
+impl std::ops::Sub for Aff {
+    type Output = Aff;
+    fn sub(self, rhs: Aff) -> Aff {
+        Aff {
+            a: self.a - rhs.a,
+            b: self.b - rhs.b,
+        }
+    }
+}
+
+/// A symbolic time: the two saturation sentinels are kept out-of-band
+/// so finite arithmetic stays exact affine arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sym {
+    NegInf,
+    Fin(Aff),
+    Inf,
+}
+
+/// Mirror of [`Time::saturating_add`] with a constant right-hand side.
+fn sadd(x: Sym, c: Time) -> Sym {
+    if matches!(x, Sym::NegInf) || c <= Time::NEG_INF {
+        return Sym::NegInf;
+    }
+    if matches!(x, Sym::Inf) || c >= Time::INF {
+        return Sym::Inf;
+    }
+    let Sym::Fin(f) = x else { unreachable!() };
+    Sym::Fin(f + Aff::cst(c.as_ps()))
+}
+
+/// Mirror of [`Time::saturating_sub`] with a constant right-hand side.
+fn ssub_const(x: Sym, c: Time) -> Sym {
+    if c >= Time::INF {
+        return Sym::NegInf;
+    }
+    if c <= Time::NEG_INF {
+        return Sym::Inf;
+    }
+    match x {
+        Sym::Inf => Sym::Inf,
+        Sym::NegInf => Sym::NegInf,
+        Sym::Fin(f) => Sym::Fin(f - Aff::cst(c.as_ps())),
+    }
+}
+
+/// Mirror of [`Time::saturating_sub`] between two symbolic times.
+fn ssub(x: Sym, y: Sym) -> Sym {
+    match y {
+        Sym::Inf => Sym::NegInf,
+        Sym::NegInf => Sym::Inf,
+        Sym::Fin(g) => match x {
+            Sym::Inf => Sym::Inf,
+            Sym::NegInf => Sym::NegInf,
+            Sym::Fin(f) => Sym::Fin(f - g),
+        },
+    }
+}
+
+/// The concrete time of a symbolic time at parameter `t`.
+fn eval_sym(s: Sym, t: i64) -> Time {
+    match s {
+        Sym::NegInf => Time::NEG_INF,
+        Sym::Inf => Time::INF,
+        Sym::Fin(f) => Time::from_ps(f.eval(t)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter regions and the decision context
+// ---------------------------------------------------------------------------
+
+/// A contiguous arithmetic progression of grid points: the multipliers
+/// `k = r + m·t` for `t ∈ [t_lo, t_hi]` (period `= stride·k`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Span {
+    r: i64,
+    m: i64,
+    t_lo: i64,
+    t_hi: i64,
+}
+
+/// Raised when an integer division forces a residue-class split: the
+/// current region has been re-queued in finer pieces and the analysis
+/// of this region must be abandoned.
+struct Restart;
+
+/// The decision context of one region run: the (shrinking) parameter
+/// span plus the queue that receives split-off remainders.
+struct Ctx<'w> {
+    /// Grid granularity: every clock-derived time is `u·g` ps nominal.
+    g: i64,
+    span: Span,
+    deferred: &'w mut Vec<Span>,
+}
+
+impl Ctx<'_> {
+    /// Lifts a clock-derived (lattice) time to its affine form:
+    /// `q = u·g` nominal becomes `u·k = u·r + u·m·t`.
+    fn lin(&self, q: Time) -> Aff {
+        let ps = q.as_ps();
+        debug_assert_eq!(ps % self.g, 0, "time {ps} ps is off the clock lattice");
+        let u = ps / self.g;
+        Aff {
+            a: u * self.span.r,
+            b: u * self.span.m,
+        }
+    }
+
+    /// Decides a threshold predicate of the affine value `d` uniformly
+    /// over the span: if the predicate flips inside the span, the span
+    /// is split at the (unique, by monotonicity) switch point and the
+    /// far side deferred.
+    fn holds(&mut self, d: Aff, pred: impl Fn(i64) -> bool) -> bool {
+        let (lo, hi) = (self.span.t_lo, self.span.t_hi);
+        let first = pred(d.eval(lo));
+        if lo == hi || pred(d.eval(hi)) == first {
+            return first;
+        }
+        let (mut good, mut bad) = (lo, hi);
+        while bad - good > 1 {
+            let mid = good + (bad - good) / 2;
+            if pred(d.eval(mid)) == first {
+                good = mid;
+            } else {
+                bad = mid;
+            }
+        }
+        self.deferred.push(Span {
+            t_lo: bad,
+            ..self.span
+        });
+        self.span.t_hi = good;
+        first
+    }
+
+    fn ge_zero(&mut self, d: Aff) -> bool {
+        self.holds(d, |v| v >= 0)
+    }
+
+    fn gt_zero(&mut self, d: Aff) -> bool {
+        self.holds(d, |v| v > 0)
+    }
+
+    fn le_zero(&mut self, d: Aff) -> bool {
+        self.holds(d, |v| v <= 0)
+    }
+
+    /// Mirror of `Time::max` on finite values.
+    fn max_aff(&mut self, x: Aff, y: Aff) -> Aff {
+        if x == y {
+            return x;
+        }
+        if self.ge_zero(x - y) {
+            x
+        } else {
+            y
+        }
+    }
+
+    /// Mirror of `Time::min` on finite values.
+    fn min_aff(&mut self, x: Aff, y: Aff) -> Aff {
+        if x == y {
+            return x;
+        }
+        if self.le_zero(x - y) {
+            x
+        } else {
+            y
+        }
+    }
+
+    /// Mirror of `Time::max` (value-wise) on symbolic times.
+    fn smax(&mut self, x: Sym, y: Sym) -> Sym {
+        match (x, y) {
+            (Sym::Inf, _) | (_, Sym::Inf) => Sym::Inf,
+            (Sym::NegInf, o) | (o, Sym::NegInf) => o,
+            (Sym::Fin(a), Sym::Fin(b)) => {
+                if a == b || self.ge_zero(a - b) {
+                    x
+                } else {
+                    y
+                }
+            }
+        }
+    }
+
+    /// Mirror of `Time::min` (value-wise) on symbolic times.
+    fn smin(&mut self, x: Sym, y: Sym) -> Sym {
+        match (x, y) {
+            (Sym::NegInf, _) | (_, Sym::NegInf) => Sym::NegInf,
+            (Sym::Inf, o) | (o, Sym::Inf) => o,
+            (Sym::Fin(a), Sym::Fin(b)) => {
+                if a == b || self.le_zero(a - b) {
+                    x
+                } else {
+                    y
+                }
+            }
+        }
+    }
+
+    /// Mirror of [`Sense::propagate`].
+    fn propagate(
+        &mut self,
+        sense: Sense,
+        input: RiseFall<Sym>,
+        delay: RiseFall<Time>,
+    ) -> RiseFall<Sym> {
+        match sense {
+            Sense::Positive => {
+                RiseFall::new(sadd(input.rise, delay.rise), sadd(input.fall, delay.fall))
+            }
+            Sense::Negative => {
+                let sw = input.swapped();
+                RiseFall::new(sadd(sw.rise, delay.rise), sadd(sw.fall, delay.fall))
+            }
+            Sense::NonUnate => {
+                let w = self.smax(input.rise, input.fall);
+                RiseFall::new(sadd(w, delay.rise), sadd(w, delay.fall))
+            }
+        }
+    }
+
+    /// Mirror of `hb_sta::analysis::required_backward`.
+    fn required_backward(
+        &mut self,
+        sense: Sense,
+        req_out: RiseFall<Sym>,
+        delay: RiseFall<Time>,
+    ) -> RiseFall<Sym> {
+        let minus = RiseFall::new(
+            ssub_const(req_out.rise, delay.rise),
+            ssub_const(req_out.fall, delay.fall),
+        );
+        match sense {
+            Sense::Positive => minus,
+            Sense::Negative => minus.swapped(),
+            Sense::NonUnate => RiseFall::splat(self.smin(minus.rise, minus.fall)),
+        }
+    }
+
+    /// Mirror of `RiseFall::worst`.
+    fn worst(&mut self, rf: RiseFall<Sym>) -> Sym {
+        self.smax(rf.rise, rf.fall)
+    }
+
+    /// Mirror of `scalar_slack(required ⊖ ready)`.
+    fn scalar_slack(&mut self, req: RiseFall<Sym>, rdy: RiseFall<Sym>) -> Sym {
+        let r = ssub(req.rise, rdy.rise);
+        let f = ssub(req.fall, rdy.fall);
+        self.smin(r, f)
+    }
+
+    /// Mirror of the algorithms' `s > ZERO && s.is_finite()` gate,
+    /// returning the finite expression when it passes.
+    fn positive_fin(&mut self, s: Sym) -> Option<Aff> {
+        match s {
+            Sym::NegInf | Sym::Inf => None,
+            Sym::Fin(f) => self.gt_zero(f).then_some(f),
+        }
+    }
+
+    /// Mirror of truncating `Time / i64` for a value known positive on
+    /// the span (so truncation equals floor). When the quotient is not
+    /// affine on the span, the span is split into `d` residue classes
+    /// (on each of which it is) and the run restarts.
+    fn div_pos(&mut self, x: Aff, d: i64) -> Result<Aff, Restart> {
+        debug_assert!(d >= 2);
+        if x.b % d == 0 {
+            return Ok(Aff {
+                a: x.a.div_euclid(d),
+                b: x.b / d,
+            });
+        }
+        let span = self.span;
+        if span.t_lo == span.t_hi {
+            return Ok(Aff::cst(x.eval(span.t_lo).div_euclid(d)));
+        }
+        for off in 0..d {
+            let t0 = span.t_lo + off;
+            if t0 > span.t_hi {
+                break;
+            }
+            self.deferred.push(Span {
+                r: span.r + span.m * t0,
+                m: span.m * d,
+                t_lo: 0,
+                t_hi: (span.t_hi - t0) / d,
+            });
+        }
+        Err(Restart)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic replica offsets (mirror of `Replica`'s offset algebra)
+// ---------------------------------------------------------------------------
+
+/// The movable-offset model of one replica with the pulse width lifted
+/// to an affine expression (widths scale with the clocks) and `O_dx`
+/// free to become affine through partial transfers.
+struct SymReplica {
+    transparent: bool,
+    width: Aff,
+    setup: i64,
+    d_dx: i64,
+    /// `O_xc = O_ac + D_cx` — constant: `O_ac` never moves under
+    /// Algorithm 1 and the control-path delay does not scale.
+    o_xc: i64,
+    out_extra: i64,
+    o_dx: Aff,
+}
+
+impl SymReplica {
+    fn new(ctx: &Ctx<'_>, r: &Replica) -> SymReplica {
+        let t = r.timing();
+        SymReplica {
+            transparent: r.is_transparent(),
+            width: ctx.lin(t.width),
+            setup: t.setup.as_ps(),
+            d_dx: t.d_dx.as_ps(),
+            o_xc: (t.cdel + t.d_cx).as_ps(),
+            out_extra: t.out_extra.as_ps(),
+            o_dx: if r.is_transparent() {
+                Aff::cst(-t.d_dx.as_ps())
+            } else {
+                Aff::ZERO
+            },
+        }
+    }
+
+    fn o_zd(&self) -> Aff {
+        if self.transparent {
+            self.width + self.o_dx + Aff::cst(self.d_dx)
+        } else {
+            Aff::ZERO
+        }
+    }
+
+    fn output_assert_offset(&self, ctx: &mut Ctx<'_>) -> Aff {
+        let m = ctx.max_aff(Aff::cst(self.o_xc), self.o_zd());
+        m + Aff::cst(self.out_extra)
+    }
+
+    fn input_close_offset(&self, ctx: &mut Ctx<'_>) -> Aff {
+        let alt = if self.transparent {
+            self.o_dx
+        } else {
+            Aff::ZERO
+        };
+        ctx.min_aff(Aff::cst(-self.setup), alt)
+    }
+
+    fn forward_room(&self) -> Aff {
+        if self.transparent {
+            self.o_zd()
+        } else {
+            Aff::ZERO
+        }
+    }
+
+    fn backward_room(&self) -> Aff {
+        if self.transparent {
+            Aff::cst(-self.d_dx) - self.o_dx
+        } else {
+            Aff::ZERO
+        }
+    }
+
+    fn transfer_forward(&mut self, ctx: &mut Ctx<'_>, amount: Aff) -> Aff {
+        let clamped = ctx.min_aff(amount, self.forward_room());
+        let moved = ctx.max_aff(clamped, Aff::ZERO);
+        self.o_dx = self.o_dx - moved;
+        moved
+    }
+
+    fn transfer_backward(&mut self, ctx: &mut Ctx<'_>, amount: Aff) -> Aff {
+        let clamped = ctx.min_aff(amount, self.backward_room());
+        let moved = ctx.max_aff(clamped, Aff::ZERO);
+        self.o_dx = self.o_dx + moved;
+        moved
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic sweeps over the nominal `(cluster, pass)` schedule
+// ---------------------------------------------------------------------------
+
+struct SymTables {
+    ready: Vec<RiseFall<Sym>>,
+    required: Vec<RiseFall<Sym>>,
+}
+
+/// Memo of swept tables per `(cluster, pass)` pair, keyed by the
+/// dynamic seed signature — the symbolic twin of `SlackCache`. Entries
+/// stay valid as the span shrinks (an affine identity on a region
+/// restricts to any subregion).
+type Memo = HashMap<(u32, u32), (Vec<Aff>, Rc<SymTables>)>;
+
+/// Mirror of `Engine::signature`.
+fn item_signature(ctx: &Ctx<'_>, item: &WorkItem, offs: &[(Aff, Aff)]) -> Vec<Aff> {
+    let mut sig =
+        Vec::with_capacity(item.ready_replica_seeds.len() + item.close_replica_seeds.len());
+    for s in &item.ready_replica_seeds {
+        sig.push(ctx.lin(s.base) + offs[s.k as usize].0);
+    }
+    for s in &item.close_replica_seeds {
+        sig.push(ctx.lin(s.base) + offs[s.k as usize].1);
+    }
+    sig
+}
+
+/// Mirror of `Engine::compute_item`: seed and sweep one shard.
+fn compute_item(
+    ctx: &mut Ctx<'_>,
+    prep: &Prepared<'_>,
+    item: &WorkItem,
+    offs: &[(Aff, Aff)],
+) -> SymTables {
+    let shard = prep.engine.sharded.shard(ClusterId::from_raw(item.cluster));
+    let n = shard.len();
+
+    let mut ready = vec![RiseFall::splat(Sym::NegInf); n];
+    for s in &item.ready_replica_seeds {
+        let at = Sym::Fin(ctx.lin(s.base) + offs[s.k as usize].0);
+        let merged = rf_max(ctx, ready[s.local as usize], RiseFall::splat(at));
+        ready[s.local as usize] = merged;
+    }
+    for s in &item.ready_pi_seeds {
+        let off = prep.pis[s.k as usize].offset;
+        let at = Sym::Fin(ctx.lin(s.at - off) + Aff::cst(off.as_ps()));
+        let merged = rf_max(ctx, ready[s.local as usize], RiseFall::splat(at));
+        ready[s.local as usize] = merged;
+    }
+    // Forward sweep, mirroring `ClusterShard::sweep_ready_max`.
+    for u in 0..n {
+        let at = ready[u];
+        if matches!(at.rise, Sym::NegInf) && matches!(at.fall, Sym::NegInf) {
+            continue;
+        }
+        for arc in shard.fanout(u) {
+            let out = ctx.propagate(arc.sense, at, arc.delay_max);
+            let merged = rf_max(ctx, ready[arc.to as usize], out);
+            ready[arc.to as usize] = merged;
+        }
+    }
+
+    let mut required = vec![RiseFall::splat(Sym::Inf); n];
+    for s in &item.close_replica_seeds {
+        let at = Sym::Fin(ctx.lin(s.base) + offs[s.k as usize].1);
+        let merged = rf_min(ctx, required[s.local as usize], RiseFall::splat(at));
+        required[s.local as usize] = merged;
+    }
+    for s in &item.close_po_seeds {
+        let off = prep.pos[s.k as usize].offset;
+        let at = Sym::Fin(ctx.lin(s.at - off) + Aff::cst(off.as_ps()));
+        let merged = rf_min(ctx, required[s.local as usize], RiseFall::splat(at));
+        required[s.local as usize] = merged;
+    }
+    // Backward sweep, mirroring `ClusterShard::sweep_required`.
+    for v in (0..n).rev() {
+        let req_out = required[v];
+        if matches!(req_out.rise, Sym::Inf) && matches!(req_out.fall, Sym::Inf) {
+            continue;
+        }
+        for arc in shard.fanin(v) {
+            let req_in = ctx.required_backward(arc.sense, req_out, arc.delay_max);
+            let merged = rf_min(ctx, required[arc.from as usize], req_in);
+            required[arc.from as usize] = merged;
+        }
+    }
+
+    SymTables { ready, required }
+}
+
+fn rf_max(ctx: &mut Ctx<'_>, x: RiseFall<Sym>, y: RiseFall<Sym>) -> RiseFall<Sym> {
+    let rise = ctx.smax(x.rise, y.rise);
+    let fall = ctx.smax(x.fall, y.fall);
+    RiseFall::new(rise, fall)
+}
+
+fn rf_min(ctx: &mut Ctx<'_>, x: RiseFall<Sym>, y: RiseFall<Sym>) -> RiseFall<Sym> {
+    let rise = ctx.smin(x.rise, y.rise);
+    let fall = ctx.smin(x.fall, y.fall);
+    RiseFall::new(rise, fall)
+}
+
+/// One full multi-pass evaluation: the symbolic `SlackView`.
+struct SymView {
+    items: Vec<Rc<SymTables>>,
+    replica_in: Vec<Sym>,
+    replica_out: Vec<Sym>,
+    pi_slack: Vec<Sym>,
+    po_slack: Vec<Sym>,
+}
+
+/// Mirror of `Prepared::compute_slacks_sharded` (net slacks deferred —
+/// they never steer Algorithm 1's control flow, so they are assembled
+/// once from the final view instead of every cycle).
+fn compute_view(
+    ctx: &mut Ctx<'_>,
+    prep: &Prepared<'_>,
+    reps: &[SymReplica],
+    memo: &mut Memo,
+    work: &mut u64,
+) -> SymView {
+    *work += prep.engine.items.len() as u64 + 1;
+    let mut offs: Vec<(Aff, Aff)> = Vec::with_capacity(reps.len());
+    for r in reps {
+        let assert = r.output_assert_offset(ctx);
+        let close = r.input_close_offset(ctx);
+        offs.push((assert, close));
+    }
+
+    let mut items: Vec<Rc<SymTables>> = Vec::with_capacity(prep.engine.items.len());
+    for item in &prep.engine.items {
+        let sig = item_signature(ctx, item, &offs);
+        let key = (item.cluster, item.pass as u32);
+        let hit = memo
+            .get(&key)
+            .and_then(|(s, t)| (s == &sig).then(|| t.clone()));
+        let tables = match hit {
+            Some(t) => t,
+            None => {
+                let t = Rc::new(compute_item(ctx, prep, item, &offs));
+                memo.insert(key, (sig, t.clone()));
+                t
+            }
+        };
+        items.push(tables);
+    }
+
+    let mut view = SymView {
+        items,
+        replica_in: vec![Sym::Inf; reps.len()],
+        replica_out: vec![Sym::Inf; reps.len()],
+        pi_slack: vec![Sym::Inf; prep.pis.len()],
+        po_slack: vec![Sym::Inf; prep.pos.len()],
+    };
+    for (i, item) in prep.engine.items.iter().enumerate() {
+        let t = view.items[i].clone();
+        for s in &item.close_replica_seeds {
+            let k = s.k as usize;
+            let close = Sym::Fin(ctx.lin(s.base) + offs[k].1);
+            let arrive = ctx.worst(t.ready[s.local as usize]);
+            let sl = ssub(close, arrive);
+            view.replica_in[k] = ctx.smin(view.replica_in[k], sl);
+        }
+        for s in &item.ready_replica_seeds {
+            let k = s.k as usize;
+            let l = s.local as usize;
+            let sl = ctx.scalar_slack(t.required[l], t.ready[l]);
+            view.replica_out[k] = ctx.smin(view.replica_out[k], sl);
+        }
+        for s in &item.ready_pi_seeds {
+            let k = s.k as usize;
+            let l = s.local as usize;
+            let sl = ctx.scalar_slack(t.required[l], t.ready[l]);
+            view.pi_slack[k] = ctx.smin(view.pi_slack[k], sl);
+        }
+        for s in &item.close_po_seeds {
+            let k = s.k as usize;
+            let off = prep.pos[k].offset;
+            let close = Sym::Fin(ctx.lin(s.at - off) + Aff::cst(off.as_ps()));
+            let arrive = ctx.worst(t.ready[s.local as usize]);
+            let sl = ssub(close, arrive);
+            view.po_slack[k] = ctx.smin(view.po_slack[k], sl);
+        }
+    }
+    view
+}
+
+/// Mirror of `SlackView::all_positive`, short-circuiting in the same
+/// terminal order.
+fn all_positive(ctx: &mut Ctx<'_>, view: &SymView) -> bool {
+    let chain = view
+        .replica_in
+        .iter()
+        .chain(&view.replica_out)
+        .chain(&view.pi_slack)
+        .chain(&view.po_slack);
+    for &s in chain {
+        let positive = match s {
+            Sym::NegInf => false,
+            Sym::Inf => true,
+            Sym::Fin(f) => ctx.gt_zero(f),
+        };
+        if !positive {
+            return false;
+        }
+    }
+    true
+}
+
+/// Mirror of the per-item net-slack assembly of
+/// `compute_slacks_sharded`, run once on the final view.
+fn net_slacks(ctx: &mut Ctx<'_>, prep: &Prepared<'_>, view: &SymView) -> Vec<Sym> {
+    let mut out = vec![Sym::Inf; prep.graph.node_count()];
+    for (i, item) in prep.engine.items.iter().enumerate() {
+        let t = &view.items[i];
+        let shard = prep.engine.sharded.shard(ClusterId::from_raw(item.cluster));
+        for (l, &net) in shard.nets().iter().enumerate() {
+            let s = ctx.scalar_slack(t.required[l], t.ready[l]);
+            let slot = out[net.as_raw() as usize];
+            out[net.as_raw() as usize] = ctx.smin(slot, s);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1, mirrored over one parameter region
+// ---------------------------------------------------------------------------
+
+/// The settled slack expressions of one parameter region.
+#[derive(Clone, Debug)]
+struct RegionSlack {
+    span: Span,
+    net_slack: Vec<Sym>,
+    replica_in: Vec<Sym>,
+    replica_out: Vec<Sym>,
+    pi_slack: Vec<Sym>,
+    po_slack: Vec<Sym>,
+}
+
+/// Runs the symbolic Algorithm 1 over `span`. Returns `None` when a
+/// residue-class split restarted the region (its refinement is already
+/// queued on `deferred`); otherwise the surviving (possibly shrunk)
+/// region with its settled expressions.
+fn run_region(
+    prep: &Prepared<'_>,
+    g: i64,
+    span: Span,
+    deferred: &mut Vec<Span>,
+    work: &mut u64,
+) -> Option<RegionSlack> {
+    let mut ctx = Ctx { g, span, deferred };
+    let mut reps: Vec<SymReplica> = prep
+        .replicas
+        .iter()
+        .map(|r| SymReplica::new(&ctx, r))
+        .collect();
+    let cap = prep.options.max_cycles;
+    let divisor = prep.options.partial_divisor.max(2);
+    let mut memo: Memo = HashMap::new();
+    let mut forward_cycles = 0usize;
+    let mut backward_cycles = 0usize;
+
+    let view = 'done: {
+        // Iteration 1: complete forward slack transfer to a fixpoint.
+        loop {
+            let view = compute_view(&mut ctx, prep, &reps, &mut memo, work);
+            if all_positive(&mut ctx, &view) {
+                break 'done view;
+            }
+            let mut any = false;
+            for (k, rep) in reps.iter_mut().enumerate() {
+                if let Some(n_x) = ctx.positive_fin(view.replica_in[k]) {
+                    let moved = rep.transfer_forward(&mut ctx, n_x);
+                    if ctx.gt_zero(moved) {
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            forward_cycles += 1;
+            if forward_cycles >= cap {
+                break;
+            }
+        }
+
+        // Iteration 2: complete backward slack transfer to a fixpoint.
+        loop {
+            let view = compute_view(&mut ctx, prep, &reps, &mut memo, work);
+            if all_positive(&mut ctx, &view) {
+                break 'done view;
+            }
+            let mut any = false;
+            for (k, rep) in reps.iter_mut().enumerate() {
+                if let Some(n_y) = ctx.positive_fin(view.replica_out[k]) {
+                    let moved = rep.transfer_backward(&mut ctx, n_y);
+                    if ctx.gt_zero(moved) {
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            backward_cycles += 1;
+            if backward_cycles >= cap {
+                break;
+            }
+        }
+
+        // Iteration 3: partial forward transfers, once per backward
+        // cycle made.
+        for _ in 0..backward_cycles {
+            let view = compute_view(&mut ctx, prep, &reps, &mut memo, work);
+            let mut any = false;
+            for (k, rep) in reps.iter_mut().enumerate() {
+                if let Some(n_x) = ctx.positive_fin(view.replica_in[k]) {
+                    let Ok(part) = ctx.div_pos(n_x, divisor) else {
+                        return None;
+                    };
+                    let moved = rep.transfer_forward(&mut ctx, part);
+                    if ctx.gt_zero(moved) {
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // Iteration 4: partial backward transfers, once per forward
+        // cycle made.
+        for _ in 0..forward_cycles {
+            let view = compute_view(&mut ctx, prep, &reps, &mut memo, work);
+            let mut any = false;
+            for (k, rep) in reps.iter_mut().enumerate() {
+                if let Some(n_y) = ctx.positive_fin(view.replica_out[k]) {
+                    let Ok(part) = ctx.div_pos(n_y, divisor) else {
+                        return None;
+                    };
+                    let moved = rep.transfer_backward(&mut ctx, part);
+                    if ctx.gt_zero(moved) {
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // Final step: settle all slacks.
+        compute_view(&mut ctx, prep, &reps, &mut memo, work)
+    };
+
+    let net_slack = net_slacks(&mut ctx, prep, &view);
+    // Record the span only after every decision has shrunk it.
+    let span = ctx.span;
+    Some(RegionSlack {
+        span,
+        net_slack,
+        replica_in: view.replica_in,
+        replica_out: view.replica_out,
+        pi_slack: view.pi_slack,
+        po_slack: view.po_slack,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The public parametric table
+// ---------------------------------------------------------------------------
+
+/// A period query outside the parametric table's domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeriodError {
+    /// The period is not a multiple of the parametric grid stride.
+    OffGrid {
+        /// The requested period.
+        period: Time,
+        /// The grid stride: valid periods are its multiples.
+        stride: Time,
+    },
+    /// The period falls outside the analysed domain.
+    OutOfRange {
+        /// The requested period.
+        period: Time,
+        /// The smallest analysed period.
+        lo: Time,
+        /// The largest analysed period.
+        hi: Time,
+    },
+}
+
+impl fmt::Display for PeriodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeriodError::OffGrid { period, stride } => write!(
+                f,
+                "period {} ps is not a multiple of the parametric stride {} ps",
+                period.as_ps(),
+                stride.as_ps()
+            ),
+            PeriodError::OutOfRange { period, lo, hi } => write!(
+                f,
+                "period {} ps is outside the analysed domain [{}, {}] ps",
+                period.as_ps(),
+                lo.as_ps(),
+                hi.as_ps()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PeriodError {}
+
+/// One terminal of the parametric table, in the exact order
+/// `TimingReport::terminal_slacks` reports them.
+#[derive(Clone, Debug)]
+pub struct ParametricTerminal {
+    /// The terminal kind.
+    pub kind: TerminalKind,
+    /// The instance or port name.
+    pub name: String,
+    /// The control pulse index (0 for boundary terminals).
+    pub pulse: u32,
+}
+
+/// Which per-region slack vector a terminal reads.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    ReplicaIn(usize),
+    ReplicaOut(usize),
+    Pi(usize),
+    Po(usize),
+}
+
+/// The result of one symbolic analysis: per-terminal and per-net slack
+/// as an exact piecewise-linear function of the overall clock period.
+///
+/// The domain is the *period grid*: multiples of [`stride`] from
+/// `stride·k_lo` up to `stride·k_max` (the nominal period always sits
+/// inside the domain, and the feasibility boundary is interior to it
+/// whenever one exists). Evaluations at grid periods are bit-identical
+/// to cold numeric analyses of the correspondingly scaled clock set;
+/// queries outside the served domain are refused with [`PeriodError`].
+///
+/// [`stride`]: ParametricSlack::stride
+#[derive(Clone, Debug)]
+pub struct ParametricSlack {
+    stride: i64,
+    nominal_k: i64,
+    k_lo: i64,
+    k_max: i64,
+    node_count: usize,
+    terminals: Vec<ParametricTerminal>,
+    slots: Vec<Slot>,
+    regions: Vec<RegionSlack>,
+}
+
+impl ParametricSlack {
+    /// The period grid stride: valid what-if periods are its positive
+    /// multiples.
+    pub fn stride(&self) -> Time {
+        Time::from_ps(self.stride)
+    }
+
+    /// The nominal overall period the table was built at.
+    pub fn nominal_period(&self) -> Time {
+        Time::from_ps(self.stride * self.nominal_k)
+    }
+
+    /// The analysed period domain `[lo, hi]` (inclusive, on-grid).
+    pub fn domain(&self) -> (Time, Time) {
+        (
+            Time::from_ps(self.stride * self.k_lo),
+            Time::from_ps(self.stride * self.k_max),
+        )
+    }
+
+    /// The number of linear regions in the piecewise table.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The terminals, in report order.
+    pub fn terminals(&self) -> &[ParametricTerminal] {
+        &self.terminals
+    }
+
+    /// Snaps an arbitrary period to the nearest grid point within the
+    /// domain (round half up).
+    pub fn snap(&self, period: Time) -> Time {
+        let p = period.as_ps();
+        let k = (p + self.stride / 2)
+            .div_euclid(self.stride)
+            .clamp(self.k_lo, self.k_max);
+        Time::from_ps(k * self.stride)
+    }
+
+    fn locate(&self, period: Time) -> Result<(usize, i64), PeriodError> {
+        let p = period.as_ps();
+        if p % self.stride != 0 {
+            return Err(PeriodError::OffGrid {
+                period,
+                stride: Time::from_ps(self.stride),
+            });
+        }
+        let k = p / self.stride;
+        if !(self.k_lo..=self.k_max).contains(&k) {
+            let (lo, hi) = self.domain();
+            return Err(PeriodError::OutOfRange { period, lo, hi });
+        }
+        for (i, reg) in self.regions.iter().enumerate() {
+            let s = reg.span;
+            if k - s.r >= 0 && (k - s.r) % s.m == 0 {
+                let t = (k - s.r) / s.m;
+                if t >= s.t_lo && t <= s.t_hi {
+                    return Ok((i, t));
+                }
+            }
+        }
+        panic!("parametric regions do not cover grid point k = {k}");
+    }
+
+    fn terminal_chain(reg: &RegionSlack) -> impl Iterator<Item = &Sym> {
+        reg.replica_in
+            .iter()
+            .chain(&reg.replica_out)
+            .chain(&reg.pi_slack)
+            .chain(&reg.po_slack)
+    }
+
+    /// The worst terminal slack at the given grid period — exactly
+    /// `TimingReport::worst_slack` of a cold analysis there.
+    pub fn worst_at(&self, period: Time) -> Result<Time, PeriodError> {
+        let (i, t) = self.locate(period)?;
+        let reg = &self.regions[i];
+        let mut w = Time::INF;
+        for &s in Self::terminal_chain(reg) {
+            w = w.min(eval_sym(s, t));
+        }
+        Ok(w)
+    }
+
+    /// Whether every terminal slack is strictly positive at the given
+    /// grid period — exactly `TimingReport::ok` of a cold analysis.
+    pub fn ok_at(&self, period: Time) -> Result<bool, PeriodError> {
+        let (i, t) = self.locate(period)?;
+        let reg = &self.regions[i];
+        Ok(Self::terminal_chain(reg).all(|&s| eval_sym(s, t) > Time::ZERO))
+    }
+
+    /// The slack of one terminal (by index into [`terminals`]) at the
+    /// given grid period.
+    ///
+    /// [`terminals`]: ParametricSlack::terminals
+    pub fn terminal_slack_at(&self, period: Time, idx: usize) -> Result<Time, PeriodError> {
+        let (i, t) = self.locate(period)?;
+        let reg = &self.regions[i];
+        Ok(eval_sym(self.slot_sym(reg, self.slots[idx]), t))
+    }
+
+    /// Every terminal slack at the given grid period, in report order.
+    pub fn terminal_slacks_at(&self, period: Time) -> Result<Vec<Time>, PeriodError> {
+        let (i, t) = self.locate(period)?;
+        let reg = &self.regions[i];
+        Ok(self
+            .slots
+            .iter()
+            .map(|&slot| eval_sym(self.slot_sym(reg, slot), t))
+            .collect())
+    }
+
+    /// The minimum slack of one net at the given grid period — exactly
+    /// `TimingReport::net_slack` of a cold analysis.
+    pub fn net_slack_at(&self, period: Time, net: NetId) -> Result<Time, PeriodError> {
+        let (i, t) = self.locate(period)?;
+        let raw = net.as_raw() as usize;
+        assert!(raw < self.node_count, "net index out of range");
+        Ok(eval_sym(self.regions[i].net_slack[raw], t))
+    }
+
+    fn slot_sym(&self, reg: &RegionSlack, slot: Slot) -> Sym {
+        match slot {
+            Slot::ReplicaIn(k) => reg.replica_in[k],
+            Slot::ReplicaOut(k) => reg.replica_out[k],
+            Slot::Pi(k) => reg.pi_slack[k],
+            Slot::Po(k) => reg.po_slack[k],
+        }
+    }
+
+    /// The smallest grid period in the served domain at which every
+    /// terminal slack is strictly positive, solved directly from the
+    /// piecewise-linear breakpoints — no sweeps, no search.
+    pub fn min_feasible_period(&self) -> Option<Time> {
+        self.regions
+            .iter()
+            .filter_map(|reg| region_min_feasible_k(reg, self.k_lo, self.k_max))
+            .min()
+            .map(|k| Time::from_ps(k * self.stride))
+    }
+}
+
+/// The smallest grid multiplier `k ∈ [k_floor, k_ceil]` inside `reg`
+/// at which every terminal slack is strictly positive, by intersecting
+/// the half-lines `a + b·t > 0` of the region's affine expressions.
+fn region_min_feasible_k(reg: &RegionSlack, k_floor: i64, k_ceil: i64) -> Option<i64> {
+    let span = reg.span;
+    let mut lo = span.t_lo.max(div_ceil_i(k_floor - span.r, span.m));
+    let mut hi = span.t_hi.min(div_floor_i(k_ceil - span.r, span.m));
+    if lo > hi {
+        return None;
+    }
+    for &s in ParametricSlack::terminal_chain(reg) {
+        match s {
+            Sym::Inf => {}
+            Sym::NegInf => return None,
+            Sym::Fin(f) => {
+                // Solve a + b·t > 0 over integers.
+                if f.b == 0 {
+                    if f.a <= 0 {
+                        return None;
+                    }
+                } else if f.b > 0 {
+                    lo = lo.max(div_ceil_i(1 - f.a, f.b));
+                } else {
+                    hi = hi.min(div_floor_i(f.a - 1, -f.b));
+                }
+            }
+        }
+        if lo > hi {
+            return None;
+        }
+    }
+    Some(span.r + span.m * lo)
+}
+
+/// Floor division for positive divisors.
+fn div_floor_i(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// Ceiling division for positive divisors.
+fn div_ceil_i(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    -((-a).div_euclid(b))
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// Carve-worklist entry: a max-heap keyed on the span's largest grid
+/// multiplier, with a full-identity tiebreak so rebuilds pop spans in a
+/// reproducible order.
+struct Carve(Span);
+
+impl Carve {
+    fn key(&self) -> (i64, i64, i64, i64) {
+        let s = self.0;
+        (s.r + s.m * s.t_hi, s.r, s.m, s.t_lo)
+    }
+}
+
+impl PartialEq for Carve {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Carve {}
+
+impl PartialOrd for Carve {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Carve {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Shared state of the carving phases: the coverage bitmap over the
+/// analysis window, the settled regions, and the cumulative work spent.
+struct CarveState {
+    floor_k: i64,
+    k_cap: i64,
+    covered: Vec<bool>,
+    regions: Vec<RegionSlack>,
+    /// Smallest covered multiplier (anywhere in the window) with every
+    /// terminal slack positive.
+    m_k: Option<i64>,
+    /// Lowest multiplier of the contiguously covered suffix ending at
+    /// `k_cap` (`k_cap + 1` when the top is uncovered).
+    suffix_lo: i64,
+    work: u64,
+    scratch: Vec<Span>,
+}
+
+impl CarveState {
+    fn covered_at(&self, k: i64) -> bool {
+        self.covered[(k - self.floor_k) as usize]
+    }
+
+    /// Records a settled region: coverage, the running minimum feasible
+    /// multiplier, and the top-suffix pointer.
+    fn mark(&mut self, region: &RegionSlack) {
+        let s = region.span;
+        for t in s.t_lo..=s.t_hi {
+            let k = s.r + s.m * t;
+            debug_assert!((self.floor_k..=self.k_cap).contains(&k));
+            self.covered[(k - self.floor_k) as usize] = true;
+        }
+        if let Some(k) = region_min_feasible_k(region, self.floor_k, self.k_cap) {
+            self.m_k = Some(self.m_k.map_or(k, |b| b.min(k)));
+        }
+        while self.suffix_lo > self.floor_k && self.covered_at(self.suffix_lo - 1) {
+            self.suffix_lo -= 1;
+        }
+    }
+
+    /// Runs one singleton region (which can neither split nor restart)
+    /// regardless of budget.
+    fn run_singleton(&mut self, prep: &Prepared<'_>, g_ps: i64, k: i64) {
+        let span = Span {
+            r: k,
+            m: 1,
+            t_lo: 0,
+            t_hi: 0,
+        };
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let region = run_region(prep, g_ps, span, &mut scratch, &mut self.work)
+            .expect("singleton regions cannot restart");
+        debug_assert!(scratch.is_empty(), "singleton regions cannot split");
+        self.scratch = scratch;
+        self.mark(&region);
+        self.regions.push(region);
+    }
+
+    /// Carves `[lo_k, hi_k]` largest-multiplier-first until the window
+    /// is fully carved, `stop` holds, cumulative work reaches `limit`,
+    /// or the region cap is hit.
+    fn carve_window(
+        &mut self,
+        prep: &Prepared<'_>,
+        g_ps: i64,
+        lo_k: i64,
+        hi_k: i64,
+        limit: u64,
+        mut stop: impl FnMut(&CarveState) -> bool,
+    ) {
+        let mut heap: BinaryHeap<Carve> = BinaryHeap::new();
+        heap.push(Carve(Span {
+            r: 0,
+            m: 1,
+            t_lo: lo_k,
+            t_hi: hi_k,
+        }));
+        let mut deferred = std::mem::take(&mut self.scratch);
+        while let Some(Carve(span)) = heap.pop() {
+            if span.t_lo > span.t_hi {
+                continue;
+            }
+            if stop(self) || self.work >= limit || self.regions.len() >= REGION_CAP {
+                break;
+            }
+            deferred.clear();
+            let region = run_region(prep, g_ps, span, &mut deferred, &mut self.work);
+            heap.extend(deferred.drain(..).map(Carve));
+            if let Some(region) = region {
+                self.mark(&region);
+                self.regions.push(region);
+            }
+        }
+        deferred.clear();
+        self.scratch = deferred;
+    }
+
+    /// Lowest multiplier of the contiguously covered run containing
+    /// `anchor` (which must be covered).
+    fn run_lo(&self, anchor: i64) -> i64 {
+        debug_assert!(self.covered_at(anchor));
+        let mut k = anchor;
+        while k > self.floor_k && self.covered_at(k - 1) {
+            k -= 1;
+        }
+        k
+    }
+
+    /// Highest multiplier of the contiguously covered run containing
+    /// `anchor` (which must be covered).
+    fn run_hi(&self, anchor: i64) -> i64 {
+        debug_assert!(self.covered_at(anchor));
+        let mut k = anchor;
+        while k < self.k_cap && self.covered_at(k + 1) {
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Builds the full parametric slack table from a prepared analysis.
+pub(crate) fn parametric(prep: &Prepared<'_>) -> Result<ParametricSlack, String> {
+    let obs = sym_obs();
+    let _span = obs.build.span();
+
+    let timeline = &prep.timeline;
+    let overall = timeline.overall_period();
+    let mut g = overall;
+    for (id, _) in timeline.edges() {
+        let t = timeline.edge_time(id);
+        if t > Time::ZERO {
+            g = g.gcd(t);
+        }
+    }
+    let g_ps = g.as_ps();
+    debug_assert!(g_ps > 0);
+    let stride = overall.as_ps() / g_ps;
+    let nominal_k = g_ps;
+    // Scan up to 4× the nominal period (or the clock builder's overall
+    // cap, whichever is smaller) — comfortably past any min-period or
+    // sweep question while keeping the region count bounded. Designs
+    // with pathologically fine lattices are additionally clipped to the
+    // analysis window around the nominal point.
+    let k_max = (4 * g_ps)
+        .min(MAX_OVERALL_PS / stride)
+        .min(nominal_k + POINT_CAP / 2)
+        .max(nominal_k);
+
+    // Every clock-derived seed position must sit on the `g` lattice;
+    // the construction guarantees it, but a violation here would
+    // silently break the parametrization, so verify once up front.
+    let on_lattice = |t: Time| t.as_ps() % g_ps == 0;
+    for item in &prep.engine.items {
+        for s in &item.ready_replica_seeds {
+            if !on_lattice(s.base) {
+                return Err(format!(
+                    "assert seed base {} ps off lattice",
+                    s.base.as_ps()
+                ));
+            }
+        }
+        for s in &item.close_replica_seeds {
+            if !on_lattice(s.base) {
+                return Err(format!("close seed base {} ps off lattice", s.base.as_ps()));
+            }
+        }
+        for s in &item.ready_pi_seeds {
+            let base = s.at - prep.pis[s.k as usize].offset;
+            if !on_lattice(base) {
+                return Err(format!("input seed base {} ps off lattice", base.as_ps()));
+            }
+        }
+        for s in &item.close_po_seeds {
+            let base = s.at - prep.pos[s.k as usize].offset;
+            if !on_lattice(base) {
+                return Err(format!("output seed base {} ps off lattice", base.as_ps()));
+            }
+        }
+    }
+    for r in &prep.replicas {
+        if !on_lattice(r.width()) {
+            return Err(format!("pulse width {} ps off lattice", r.width().as_ps()));
+        }
+    }
+
+    // The carve is budgeted and nominal-anchored: the served domain is
+    // whatever contiguous run of grid points around the nominal period
+    // the work budgets manage to cover, so an expensive design shrinks
+    // its domain instead of failing the build or going quadratic.
+    let k_cap = k_max;
+    let floor_k = (k_cap - (POINT_CAP - 1)).max(1);
+    let window = (k_cap - floor_k + 1) as usize;
+    let mut st = CarveState {
+        floor_k,
+        k_cap,
+        covered: vec![false; window],
+        regions: Vec::new(),
+        m_k: None,
+        suffix_lo: k_cap + 1,
+        work: 0,
+        scratch: Vec::new(),
+    };
+
+    // Phase A: probe the window top. Designs that are feasible there
+    // settle in wide regions all the way down to the feasibility
+    // boundary, so the full top-down carve is worth attempting; designs
+    // that are infeasible even at the top (every grid point forces the
+    // full transfer schedule) get a narrow window instead.
+    st.run_singleton(prep, g_ps, k_cap);
+    let top_feasible = st.m_k.is_some();
+
+    // Phase B: top-down carve of the whole window, stopping early once
+    // the nominal period and the sharp feasibility boundary are both
+    // interior to the contiguously covered suffix.
+    if top_feasible && k_cap > floor_k {
+        st.carve_window(prep, g_ps, floor_k, k_cap - 1, CARVE_WORK, |st| {
+            st.m_k
+                .is_some_and(|m| st.suffix_lo <= (m - 1).min(nominal_k))
+        });
+    }
+
+    // Phase C: when the top-down carve did not connect the top to the
+    // nominal period, carve a small anchor window just above it. The
+    // final singleton guarantees the nominal point itself is always
+    // served.
+    if st.suffix_lo > nominal_k {
+        let top_c = (nominal_k + ANCHOR_SPAN).min(k_cap);
+        let limit = st.work.saturating_add(ANCHOR_WORK);
+        st.carve_window(prep, g_ps, nominal_k, top_c, limit, |_| false);
+        if !st.covered_at(nominal_k) {
+            st.run_singleton(prep, g_ps, nominal_k);
+        }
+    }
+
+    // The served domain: the contiguous covered run around nominal.
+    let mut k_lo = st.run_lo(nominal_k);
+    let k_max = st.run_hi(nominal_k);
+    let min_in = |st: &CarveState, k_lo: i64| {
+        st.regions
+            .iter()
+            .filter_map(|reg| region_min_feasible_k(reg, k_lo, k_max))
+            .min()
+    };
+    let mut m_k = min_in(&st, k_lo);
+
+    // Phase D: extend the domain floor downward in widening chunks
+    // until the point just below the minimum feasible period is served
+    // (and hence known infeasible — the boundary is sharp), the window
+    // floor is reached, or the budget runs out.
+    let limit = st.work.saturating_add(PROBE_WORK);
+    let mut chunk = 64i64;
+    while k_lo > floor_k
+        && m_k.is_none_or(|m| k_lo >= m)
+        && st.work < limit
+        && st.regions.len() < REGION_CAP
+    {
+        let lo_w = (k_lo - chunk).max(floor_k);
+        st.carve_window(prep, g_ps, lo_w, k_lo - 1, limit, |_| false);
+        let new_lo = st.run_lo(k_lo);
+        if new_lo == k_lo {
+            break; // no progress: the chunk's top point did not settle
+        }
+        k_lo = new_lo;
+        m_k = min_in(&st, k_lo);
+        chunk = (chunk * 2).min(CHUNK_CAP);
+    }
+
+    // Regions that do not intersect the served domain answer no query.
+    let mut regions = st.regions;
+    regions.retain(|reg| {
+        reg.span.r + reg.span.m * reg.span.t_hi >= k_lo
+            && reg.span.r + reg.span.m * reg.span.t_lo <= k_max
+    });
+
+    obs.builds.inc();
+    obs.regions.add(regions.len() as u64);
+
+    let module = prep.design.module(prep.module);
+    let mut terminals = Vec::new();
+    let mut slots = Vec::new();
+    for (k, r) in prep.replicas.iter().enumerate() {
+        terminals.push(ParametricTerminal {
+            kind: TerminalKind::SyncInput,
+            name: module.instance(r.inst).name().to_owned(),
+            pulse: r.pulse_index,
+        });
+        slots.push(Slot::ReplicaIn(k));
+        if r.output_net.is_some() {
+            terminals.push(ParametricTerminal {
+                kind: TerminalKind::SyncOutput,
+                name: module.instance(r.inst).name().to_owned(),
+                pulse: r.pulse_index,
+            });
+            slots.push(Slot::ReplicaOut(k));
+        }
+    }
+    for (k, pi) in prep.pis.iter().enumerate() {
+        terminals.push(ParametricTerminal {
+            kind: TerminalKind::PrimaryInput,
+            name: pi.port.clone(),
+            pulse: 0,
+        });
+        slots.push(Slot::Pi(k));
+    }
+    for (k, po) in prep.pos.iter().enumerate() {
+        terminals.push(ParametricTerminal {
+            kind: TerminalKind::PrimaryOutput,
+            name: po.port.clone(),
+            pulse: 0,
+        });
+        slots.push(Slot::Po(k));
+    }
+
+    Ok(ParametricSlack {
+        stride,
+        nominal_k,
+        k_lo,
+        k_max,
+        node_count: prep.graph.node_count(),
+        terminals,
+        slots,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_cells::{
+        Cell, DelayModel, DriveStrength, Function, Library, SyncKind, SyncSpec, TimingArc, WireLoad,
+    };
+    use hb_clock::ClockSet;
+    use hb_netlist::{Design, LeafDef, ModuleId, PinDir};
+    use hb_units::Transition;
+
+    use crate::{Analyzer, Spec};
+
+    // --- Ctx machinery -----------------------------------------------------
+
+    fn span(r: i64, m: i64, t_lo: i64, t_hi: i64) -> Span {
+        Span { r, m, t_lo, t_hi }
+    }
+
+    #[test]
+    fn holds_is_uniform_without_a_flip() {
+        let mut deferred = Vec::new();
+        let mut ctx = Ctx {
+            g: 1,
+            span: span(0, 1, 1, 100),
+            deferred: &mut deferred,
+        };
+        assert!(ctx.ge_zero(Aff { a: 0, b: 1 }));
+        assert!(ctx.le_zero(Aff { a: -200, b: 1 }));
+        assert!(ctx.deferred.is_empty());
+        assert_eq!(ctx.span, span(0, 1, 1, 100));
+    }
+
+    #[test]
+    fn holds_splits_at_the_switch_point() {
+        let mut deferred = Vec::new();
+        let mut ctx = Ctx {
+            g: 1,
+            span: span(0, 1, 1, 100),
+            deferred: &mut deferred,
+        };
+        // value = t − 50: negative on [1, 49], non-negative on [50, 100].
+        assert!(!ctx.ge_zero(Aff { a: -50, b: 1 }));
+        assert_eq!(ctx.span, span(0, 1, 1, 49));
+        assert_eq!(*ctx.deferred, vec![span(0, 1, 50, 100)]);
+        // A repeat decision on the shrunk span is uniform.
+        assert!(!ctx.ge_zero(Aff { a: -50, b: 1 }));
+        assert_eq!(ctx.deferred.len(), 1);
+    }
+
+    #[test]
+    fn div_pos_is_exact_when_divisible_and_splits_otherwise() {
+        let mut deferred = Vec::new();
+        let mut ctx = Ctx {
+            g: 1,
+            span: span(0, 1, 0, 10),
+            deferred: &mut deferred,
+        };
+        let q = ctx.div_pos(Aff { a: 3, b: 4 }, 2).ok().unwrap();
+        assert_eq!(q, Aff { a: 1, b: 2 });
+        assert!(ctx.deferred.is_empty());
+
+        assert!(ctx.div_pos(Aff { a: 1, b: 1 }, 2).is_err());
+        assert_eq!(
+            *ctx.deferred,
+            vec![span(0, 2, 0, 5), span(1, 2, 0, 4)],
+            "residue classes must partition the span"
+        );
+
+        // A single-point span folds to a constant instead of splitting.
+        deferred.clear();
+        let mut ctx = Ctx {
+            g: 1,
+            span: span(0, 1, 7, 7),
+            deferred: &mut deferred,
+        };
+        let q = ctx.div_pos(Aff { a: 1, b: 1 }, 2).ok().unwrap();
+        assert_eq!(q, Aff::cst(4));
+        assert!(deferred.is_empty());
+    }
+
+    #[test]
+    fn symbolic_min_max_mirror_sentinels() {
+        let mut deferred = Vec::new();
+        let mut ctx = Ctx {
+            g: 1,
+            span: span(0, 1, 1, 10),
+            deferred: &mut deferred,
+        };
+        let f = Sym::Fin(Aff { a: 5, b: 0 });
+        assert_eq!(ctx.smax(Sym::NegInf, f), f);
+        assert_eq!(ctx.smax(Sym::Inf, f), Sym::Inf);
+        assert_eq!(ctx.smin(Sym::Inf, f), f);
+        assert_eq!(ctx.smin(Sym::NegInf, f), Sym::NegInf);
+        assert_eq!(ssub(f, Sym::NegInf), Sym::Inf);
+        assert_eq!(ssub(f, Sym::Inf), Sym::NegInf);
+        assert_eq!(sadd(Sym::NegInf, Time::from_ps(3)), Sym::NegInf);
+    }
+
+    #[test]
+    fn integer_interval_helpers() {
+        assert_eq!(div_ceil_i(7, 2), 4);
+        assert_eq!(div_ceil_i(-7, 2), -3);
+        assert_eq!(div_floor_i(7, 2), 3);
+        assert_eq!(div_floor_i(-7, 2), -4);
+    }
+
+    // --- fixtures ----------------------------------------------------------
+
+    /// A zero-capacitance library with exact delays: `DEL{n}` buffers,
+    /// a `NEG7` inverting buffer, a `MIX3` non-unate buffer, `JOIN2`,
+    /// and ideal FF / transparent-latch elements.
+    fn fixture_lib() -> Library {
+        let mut lib = Library::new("symfix");
+        lib.set_wire_load(WireLoad::new(0, 0));
+        let buf = |lib: &mut Library, name: &str, sense: Sense, ns: i64| {
+            let iface = LeafDef::new(name)
+                .pin("A", PinDir::Input)
+                .pin("Y", PinDir::Output);
+            let arc = TimingArc {
+                from: iface.pin_by_name("A").unwrap(),
+                to: iface.pin_by_name("Y").unwrap(),
+                sense,
+                delay: DelayModel::symmetric(Time::from_ns(ns), 0),
+            };
+            lib.add_cell(Cell::new(
+                iface,
+                Function::Combinational(vec![arc]),
+                vec![0, 0],
+                DriveStrength::X1,
+                name,
+                1,
+            ));
+        };
+        for n in [5, 15, 25] {
+            buf(&mut lib, &format!("DEL{n}"), Sense::Positive, n);
+        }
+        buf(&mut lib, "NEG7", Sense::Negative, 7);
+        buf(&mut lib, "MIX3", Sense::NonUnate, 3);
+
+        let iface = LeafDef::new("JOIN2")
+            .pin("A", PinDir::Input)
+            .pin("B", PinDir::Input)
+            .pin("Y", PinDir::Output);
+        let arcs = ["A", "B"]
+            .iter()
+            .map(|p| TimingArc {
+                from: iface.pin_by_name(p).unwrap(),
+                to: iface.pin_by_name("Y").unwrap(),
+                sense: Sense::Positive,
+                delay: DelayModel::symmetric(Time::from_ns(1), 0),
+            })
+            .collect();
+        lib.add_cell(Cell::new(
+            iface,
+            Function::Combinational(arcs),
+            vec![0, 0, 0],
+            DriveStrength::X1,
+            "JOIN2",
+            1,
+        ));
+
+        for (name, kind, sense) in [
+            ("FF", SyncKind::TrailingEdge, Sense::Negative),
+            ("LAT", SyncKind::Transparent, Sense::Positive),
+        ] {
+            let iface = LeafDef::new(name)
+                .pin("D", PinDir::Input)
+                .pin("C", PinDir::Input)
+                .pin("Q", PinDir::Output);
+            let spec = SyncSpec {
+                kind,
+                data: iface.pin_by_name("D").unwrap(),
+                control: iface.pin_by_name("C").unwrap(),
+                output: iface.pin_by_name("Q").unwrap(),
+                output_bar: None,
+                setup: Time::ZERO,
+                hold: Time::from_ps(500),
+                d_cx: Time::ZERO,
+                d_dx: Time::ZERO,
+                control_sense: sense,
+                output_delay: DelayModel::zero(),
+            };
+            lib.add_cell(Cell::new(
+                iface,
+                Function::Sync(spec),
+                vec![0, 0, 0],
+                DriveStrength::X1,
+                name,
+                4,
+            ));
+        }
+        lib
+    }
+
+    struct Fixture {
+        design: Design,
+        module: ModuleId,
+        nets: Vec<NetId>,
+    }
+
+    impl Fixture {
+        fn new(lib: &Library) -> Fixture {
+            let mut design = Design::new("symtest");
+            lib.declare_into(&mut design).unwrap();
+            let module = design.add_module("top").unwrap();
+            design.set_top(module).unwrap();
+            Fixture {
+                design,
+                module,
+                nets: Vec::new(),
+            }
+        }
+
+        fn net(&mut self, name: &str) -> NetId {
+            let n = self.design.add_net(self.module, name).unwrap();
+            self.nets.push(n);
+            n
+        }
+
+        fn input(&mut self, name: &str) -> NetId {
+            let n = self.net(name);
+            self.design
+                .add_port(self.module, name, PinDir::Input, n)
+                .unwrap();
+            n
+        }
+
+        fn output(&mut self, name: &str) -> NetId {
+            let n = self.net(name);
+            self.design
+                .add_port(self.module, name, PinDir::Output, n)
+                .unwrap();
+            n
+        }
+
+        fn inst(&mut self, name: &str, cell: &str, conns: &[(&str, NetId)]) {
+            let leaf = self.design.leaf_by_name(cell).unwrap();
+            let id = self
+                .design
+                .add_leaf_instance(self.module, name, leaf)
+                .unwrap();
+            for (pin, net) in conns {
+                self.design.connect(self.module, id, pin, *net).unwrap();
+            }
+        }
+    }
+
+    /// Two-phase transparent-latch pipeline with negative and non-unate
+    /// side arcs:
+    /// `in → LAT(c1) → {DEL25, NEG7} → JOIN2 → MIX3 → LAT(c2) → DEL15
+    /// → FF(c1) → out`. Nominal clocks: c1 = 40 ns (high 0..20 ns),
+    /// c2 = 40 ns (high 20..30 ns) ⇒ g = 10 000, stride = 4 ps.
+    fn latch_pipeline() -> Fixture {
+        let lib = fixture_lib();
+        let mut f = Fixture::new(&lib);
+        let input = f.input("in");
+        let c1 = f.input("c1");
+        let c2 = f.input("c2");
+        let n1 = f.net("n1");
+        let n2 = f.net("n2");
+        let n3 = f.net("n3");
+        let n4 = f.net("n4");
+        let n5 = f.net("n5");
+        let n6 = f.net("n6");
+        let n7 = f.net("n7");
+        let out = f.output("out");
+        f.inst("l1", "LAT", &[("D", input), ("C", c1), ("Q", n1)]);
+        f.inst("d25", "DEL25", &[("A", n1), ("Y", n2)]);
+        f.inst("g7", "NEG7", &[("A", n1), ("Y", n3)]);
+        f.inst("j1", "JOIN2", &[("A", n2), ("B", n3), ("Y", n4)]);
+        f.inst("m3", "MIX3", &[("A", n4), ("Y", n5)]);
+        f.inst("l2", "LAT", &[("D", n5), ("C", c2), ("Q", n6)]);
+        f.inst("d15", "DEL15", &[("A", n6), ("Y", n7)]);
+        f.inst("f1", "FF", &[("D", n7), ("C", c1), ("Q", out)]);
+        f
+    }
+
+    fn pipeline_spec() -> Spec {
+        Spec::new()
+            .clock_port("c1", "c1")
+            .clock_port("c2", "c2")
+            .output_required(
+                "out",
+                crate::EdgeSpec::new("c1", Transition::Rise),
+                Time::ZERO,
+            )
+    }
+
+    /// The latch-pipeline clock set scaled to grid point `k`
+    /// (nominal at k = 10 000; stride 4 ps).
+    fn pipeline_clocks(k: i64) -> ClockSet {
+        let mut cs = ClockSet::new();
+        cs.add_clock("c1", Time::from_ps(4 * k), Time::ZERO, Time::from_ps(2 * k))
+            .unwrap();
+        cs.add_clock(
+            "c2",
+            Time::from_ps(4 * k),
+            Time::from_ps(2 * k),
+            Time::from_ps(3 * k),
+        )
+        .unwrap();
+        cs
+    }
+
+    // --- parity ------------------------------------------------------------
+
+    /// The core contract: at every probed grid point, the symbolic
+    /// table evaluates bit-identically to a cold numeric analysis of
+    /// the correspondingly scaled clock set — terminal slacks, worst
+    /// slack, feasibility, and every net slack.
+    #[test]
+    fn parity_with_cold_numeric_runs_at_region_boundaries() {
+        let lib = fixture_lib();
+        let f = latch_pipeline();
+        let nominal = pipeline_clocks(10_000);
+        let analyzer = Analyzer::new(&f.design, f.module, &lib, &nominal, pipeline_spec()).unwrap();
+        let param = analyzer.parametric().unwrap();
+        assert_eq!(param.stride(), Time::from_ps(4));
+        assert_eq!(param.nominal_period(), Time::from_ns(40));
+        assert!(param.region_count() >= 1);
+
+        // Probe every region's boundary grid points plus fixed spots.
+        let mut ks: Vec<i64> = vec![
+            param.k_lo,
+            param.k_lo + 1,
+            9_999,
+            10_000,
+            10_001,
+            param.k_max,
+        ];
+        for reg in &param.regions {
+            ks.push(reg.span.r + reg.span.m * reg.span.t_lo);
+            ks.push(reg.span.r + reg.span.m * reg.span.t_hi);
+            if reg.span.t_hi > reg.span.t_lo {
+                ks.push(reg.span.r + reg.span.m * (reg.span.t_lo + 1));
+            }
+        }
+        // A retained region may straddle the served floor; only probe
+        // in-domain points.
+        ks.retain(|&k| (param.k_lo..=param.k_max).contains(&k));
+        ks.sort_unstable();
+        ks.dedup();
+        // Keep the test fast if splitting ever produces many regions.
+        while ks.len() > 400 {
+            let step = ks.len().div_ceil(400);
+            ks = ks.into_iter().step_by(step).collect();
+        }
+
+        for &k in &ks {
+            let period = Time::from_ps(4 * k);
+            let clocks = pipeline_clocks(k);
+            let cold = Analyzer::new(&f.design, f.module, &lib, &clocks, pipeline_spec()).unwrap();
+            let report = cold.analyze();
+
+            assert_eq!(
+                param.worst_at(period).unwrap(),
+                report.worst_slack(),
+                "worst slack diverges at k = {k}"
+            );
+            assert_eq!(
+                param.ok_at(period).unwrap(),
+                report.ok(),
+                "feasibility diverges at k = {k}"
+            );
+            let sym = param.terminal_slacks_at(period).unwrap();
+            let num = report.terminal_slacks();
+            assert_eq!(sym.len(), num.len());
+            for (i, (s, n)) in sym.iter().zip(num).enumerate() {
+                assert_eq!(param.terminals()[i].name, n.name);
+                assert_eq!(param.terminals()[i].kind, n.kind);
+                assert_eq!(*s, n.slack, "terminal {} slack diverges at k = {k}", n.name);
+            }
+            for &net in &f.nets {
+                assert_eq!(
+                    param.net_slack_at(period, net).unwrap(),
+                    report.net_slack(net),
+                    "net slack diverges at k = {k}"
+                );
+            }
+        }
+    }
+
+    /// `min_feasible_period` must agree with an exhaustive grid scan of
+    /// `ok_at` — and with cold numeric runs at the boundary.
+    #[test]
+    fn min_feasible_period_matches_grid_scan_and_numeric_boundary() {
+        let lib = fixture_lib();
+        let f = latch_pipeline();
+        let nominal = pipeline_clocks(10_000);
+        let analyzer = Analyzer::new(&f.design, f.module, &lib, &nominal, pipeline_spec()).unwrap();
+        let param = analyzer.parametric().unwrap();
+
+        // Exhaustive scan over the served domain (also proves the
+        // regions cover it: locate() panics on any uncovered point).
+        let mut scan_min = None;
+        for k in param.k_lo..=param.k_max {
+            if param.ok_at(Time::from_ps(4 * k)).unwrap() {
+                scan_min = Some(Time::from_ps(4 * k));
+                break;
+            }
+        }
+        assert_eq!(param.min_feasible_period(), scan_min);
+        // The nominal period is always served, and the boundary is
+        // interior to the domain (sharpness is checkable below).
+        assert!(param.k_lo <= 10_000 && param.k_max >= 10_000);
+
+        let min = param.min_feasible_period().expect("fixture is feasible");
+        let kmin = min.as_ps() / 4;
+        assert!(kmin > param.k_lo, "boundary must be interior to the domain");
+        let ok = Analyzer::new(
+            &f.design,
+            f.module,
+            &lib,
+            &pipeline_clocks(kmin),
+            pipeline_spec(),
+        )
+        .unwrap()
+        .analyze();
+        assert!(ok.ok(), "numeric run at the min period must be feasible");
+        if kmin > 1 {
+            let bad = Analyzer::new(
+                &f.design,
+                f.module,
+                &lib,
+                &pipeline_clocks(kmin - 1),
+                pipeline_spec(),
+            )
+            .unwrap()
+            .analyze();
+            assert!(!bad.ok(), "one grid step below must be infeasible");
+        }
+    }
+
+    #[test]
+    fn period_queries_reject_off_grid_and_out_of_range() {
+        let lib = fixture_lib();
+        let f = latch_pipeline();
+        let nominal = pipeline_clocks(10_000);
+        let analyzer = Analyzer::new(&f.design, f.module, &lib, &nominal, pipeline_spec()).unwrap();
+        let param = analyzer.parametric().unwrap();
+
+        assert!(matches!(
+            param.worst_at(Time::from_ps(41)),
+            Err(PeriodError::OffGrid { .. })
+        ));
+        assert!(matches!(
+            param.worst_at(Time::ZERO),
+            Err(PeriodError::OutOfRange { .. })
+        ));
+        let (lo, hi) = param.domain();
+        assert!(param.worst_at(lo).is_ok());
+        assert!(param.worst_at(hi).is_ok());
+        assert!(matches!(
+            param.worst_at(hi + param.stride()),
+            Err(PeriodError::OutOfRange { .. })
+        ));
+        // Snapping lands on-grid and inside the domain.
+        let snapped = param.snap(lo + Time::from_ps(1));
+        assert_eq!(snapped, lo, "just past the floor rounds back down");
+        assert!(param.worst_at(snapped).is_ok());
+        let snapped = param.snap(lo + Time::from_ps(3));
+        assert_eq!(snapped, lo + param.stride(), "round half up");
+        assert_eq!(param.snap(Time::ZERO), lo);
+        assert_eq!(param.snap(hi + Time::from_ns(1)), hi);
+    }
+}

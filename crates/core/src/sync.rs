@@ -236,6 +236,20 @@ impl Replica {
         moved
     }
 
+    /// The element timing constants, for engines (the symbolic
+    /// parametric analysis) that rebuild the offset model out-of-place.
+    pub(crate) fn timing(&self) -> ReplicaTiming {
+        ReplicaTiming {
+            width: self.width,
+            setup: self.setup,
+            hold: self.hold,
+            d_cx: self.d_cx,
+            d_dx: self.d_dx,
+            cdel: self.cdel,
+            out_extra: self.out_extra,
+        }
+    }
+
     /// Resets the data pair to the initial (late) position.
     pub fn reset_offsets(&mut self) {
         self.o_ac = self.cdel;

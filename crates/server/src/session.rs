@@ -17,9 +17,10 @@ use hb_io::{Frame, TimingDirective};
 use hb_netlist::{Design, ModuleId};
 use hb_resynth::{apply_eco, EcoOp};
 use hb_rng::mix64;
+use hb_units::Time;
 use hummingbird::{
-    AnalysisOptions, Analyzer, EdgeSpec, EngineKind, LatchModel, SlackCache, Spec, TerminalKind,
-    TimingReport,
+    AnalysisOptions, Analyzer, EdgeSpec, EngineKind, LatchModel, ParametricSlack, SlackCache, Spec,
+    TerminalKind, TimingReport,
 };
 
 use crate::metrics::Metrics;
@@ -38,11 +39,24 @@ pub const MAX_LOAD_BYTES: usize = 8 * 1024 * 1024;
 /// Largest accepted number of sub-requests in one `batch` frame.
 pub const MAX_BATCH: usize = 1024;
 
+/// Largest accepted number of evaluation points in one `period-sweep`.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
 /// The sub-verbs a `batch` frame may carry — the read-only query set.
 /// Restricting batches to queries keeps them out of the write-ahead
 /// journal by construction: a batch can never mutate the session, so
 /// recovery never needs to replay one.
-const BATCH_VERBS: [&str; 6] = ["hello", "stats", "metrics", "slack", "worst-paths", "dump"];
+const BATCH_VERBS: [&str; 9] = [
+    "hello",
+    "stats",
+    "metrics",
+    "slack",
+    "worst-paths",
+    "dump",
+    "min-period",
+    "slack-at",
+    "period-sweep",
+];
 
 /// The state a `load` request installs.
 struct Loaded {
@@ -61,6 +75,11 @@ struct Loaded {
     analyzed: Option<u64>,
     /// Whether `report` carries Algorithm 2 constraints.
     with_constraints: bool,
+    /// The parametric (what-if) table and the generation it was built
+    /// for. Built lazily by the first `min-period` / `slack-at` /
+    /// `period-sweep`; every later what-if query on the same
+    /// generation is answered from it with zero engine sweeps.
+    parametric: Option<(u64, ParametricSlack)>,
 }
 
 /// A resident analysis session: library, loaded design, persistent
@@ -335,6 +354,7 @@ impl Session {
         let serveable = match req.verb.as_str() {
             "hello" | "stats" | "metrics" | "shutdown" => true,
             "slack" | "worst-paths" | "dump" => self.settled(),
+            "min-period" | "slack-at" | "period-sweep" => self.param_settled(),
             "batch" => self.batch_serveable(req),
             _ => false,
         };
@@ -363,6 +383,9 @@ impl Session {
                 .with_payload(self.metrics.render_with_global()),
             "slack" => self.slack(req),
             "worst-paths" => self.worst_paths(req),
+            "min-period" => self.min_period(),
+            "slack-at" => self.slack_at(req),
+            "period-sweep" => self.period_sweep(req),
             "dump" => self.dump(),
             "batch" => self.batch(req),
             _ => unreachable!("gated by handle_readonly"),
@@ -377,6 +400,14 @@ impl Session {
             .is_some_and(|l| l.analyzed == Some(l.generation))
     }
 
+    /// Whether the loaded design has a current-generation parametric
+    /// table the read path may serve what-if queries from.
+    fn param_settled(&self) -> bool {
+        self.loaded
+            .as_ref()
+            .is_some_and(|l| matches!(&l.parametric, Some((g, _)) if *g == l.generation))
+    }
+
     /// Whether a `batch` request can be answered under the read lock:
     /// every sub-request must be answerable without (re)analysis. A
     /// batch that fails to decode is also serveable — its error reply
@@ -388,7 +419,10 @@ impl Session {
                 let needs_report = subs
                     .iter()
                     .any(|f| matches!(f.verb.as_str(), "slack" | "worst-paths" | "dump"));
-                !needs_report || self.settled()
+                let needs_param = subs
+                    .iter()
+                    .any(|f| matches!(f.verb.as_str(), "min-period" | "slack-at" | "period-sweep"));
+                (!needs_report || self.settled()) && (!needs_param || self.param_settled())
             }
         }
     }
@@ -432,6 +466,12 @@ impl Session {
                 self.worst_paths(req)
             }
             "eco" => self.eco(req),
+            "min-period" | "slack-at" | "period-sweep" => {
+                if let Some(reply) = self.ensure_parametric().err() {
+                    return reply;
+                }
+                self.dispatch_readonly(req)
+            }
             "batch" => self.batch_write(req),
             verb => err("unknown-verb", format!("unknown request verb `{verb}`")),
         }
@@ -442,14 +482,22 @@ impl Session {
     /// read-only. Batches stay out of the journal — the re-analysis is
     /// reconstructible from the journaled `load`/`analyze` history.
     fn batch_write(&mut self, req: &Frame) -> Frame {
-        let needs_report = match Self::decode_batch(req) {
+        let (needs_report, needs_param) = match Self::decode_batch(req) {
             Err(reply) => return reply,
-            Ok(subs) => subs
-                .iter()
-                .any(|f| matches!(f.verb.as_str(), "slack" | "worst-paths")),
+            Ok(subs) => (
+                subs.iter()
+                    .any(|f| matches!(f.verb.as_str(), "slack" | "worst-paths")),
+                subs.iter()
+                    .any(|f| matches!(f.verb.as_str(), "min-period" | "slack-at" | "period-sweep")),
+            ),
         };
         if needs_report {
             if let Some(reply) = self.ensure_analyzed().err() {
+                return reply;
+            }
+        }
+        if needs_param {
+            if let Some(reply) = self.ensure_parametric().err() {
                 return reply;
             }
         }
@@ -630,6 +678,7 @@ impl Session {
             generation: 0,
             analyzed: None,
             with_constraints: false,
+            parametric: None,
         });
         // Chaos hook: a panic here leaves the new design installed but
         // unacknowledged — recovery must roll back to the previous one.
@@ -640,6 +689,7 @@ impl Session {
     /// Applies `threads=` / `latch=` / `engine=` / `min-delays=`
     /// arguments to the loaded design's analysis options.
     fn apply_options(loaded: &mut Loaded, req: &Frame) -> Result<(), Frame> {
+        let before = loaded.options;
         if let Some(v) = req.get("threads") {
             loaded.options.threads = v
                 .parse()
@@ -665,6 +715,10 @@ impl Session {
                 "1" => true,
                 _ => return Err(err("usage", format!("bad min-delays flag `{v}`"))),
             };
+        }
+        if loaded.options != before {
+            // The parametric table was built under the old options.
+            loaded.parametric = None;
         }
         Ok(())
     }
@@ -708,6 +762,191 @@ impl Session {
             self.reanalyze(false)?;
         }
         Ok(())
+    }
+
+    /// Makes sure a current-generation parametric (what-if) table
+    /// exists, running one symbolic analysis if the design changed
+    /// since the last build. Once built, every `min-period` /
+    /// `slack-at` / `period-sweep` on this generation is answered
+    /// straight from the table — no engine sweeps.
+    fn ensure_parametric(&mut self) -> Result<(), Frame> {
+        if self.param_settled() {
+            return Ok(());
+        }
+        let Some(loaded) = self.loaded.as_mut() else {
+            return Err(err("no-design", "no design loaded"));
+        };
+        let spec = spec_from_directives(&loaded.design, loaded.top, &loaded.clocks, &loaded.timing)
+            .map_err(|e| err("analysis", e))?;
+        let table = Analyzer::with_options(
+            &loaded.design,
+            loaded.top,
+            &self.library,
+            &loaded.clocks,
+            spec,
+            loaded.options,
+        )
+        .map_err(|e| err("analysis", e))?
+        .parametric()
+        .map_err(|e| err("analysis", e))?;
+        loaded.parametric = Some((loaded.generation, table));
+        Ok(())
+    }
+
+    /// The settled parametric table; callable only after
+    /// `ensure_parametric` (write path) or `param_settled` (read path).
+    fn parametric_table(&self) -> (&Loaded, &ParametricSlack) {
+        let loaded = self.loaded.as_ref().expect("parametric before dispatch");
+        let (_, table) = loaded
+            .parametric
+            .as_ref()
+            .expect("parametric before dispatch");
+        (loaded, table)
+    }
+
+    /// `min-period`: the smallest feasible overall period, solved
+    /// directly from the piecewise-linear breakpoints of the symbolic
+    /// table — no search, no sweeps.
+    fn min_period(&self) -> Frame {
+        let (_, param) = self.parametric_table();
+        let (lo, hi) = param.domain();
+        // `ok=` mirrors `feasible=` so `hummingbird query` maps an
+        // infeasible design to exit code 1, like `analyze` does.
+        let base = match param.min_feasible_period() {
+            Some(p) => ok().arg("period", p).arg("feasible", 1).arg("ok", 1),
+            None => ok().arg("feasible", 0).arg("ok", 0),
+        };
+        base.arg("stride", param.stride())
+            .arg("lo", lo)
+            .arg("hi", hi)
+            .arg("regions", param.region_count())
+            .arg("nominal", param.nominal_period())
+    }
+
+    /// `slack-at period=P [node=N]`: O(1) slack evaluation at an
+    /// arbitrary grid period — bit-identical to a cold numeric
+    /// analysis at that period, without running one.
+    fn slack_at(&self, req: &Frame) -> Frame {
+        let (loaded, param) = self.parametric_table();
+        let Some(pstr) = req.get("period") else {
+            return err(
+                "usage",
+                "slack-at needs period=P (e.g. 12ns, 12.5ns or 12500)",
+            );
+        };
+        let Ok(period) = pstr.parse::<Time>() else {
+            return err("usage", format!("bad period `{pstr}`"));
+        };
+        let worst = match param.worst_at(period) {
+            Ok(w) => w,
+            Err(e) => return err("period", e),
+        };
+        let Some(name) = req.get("node") else {
+            let feasible = param.ok_at(period).expect("located above");
+            return ok()
+                .arg("period", period)
+                .arg("worst", worst)
+                .arg("ok", u8::from(feasible));
+        };
+        let module = loaded.design.module(loaded.top);
+        if let Some(net) = module.net_by_name(name) {
+            let slack = param.net_slack_at(period, net).expect("located above");
+            return ok()
+                .arg("node", name)
+                .arg("kind", "net")
+                .arg("period", period)
+                .arg("slack", slack);
+        }
+        // Terminal slacks of a synchronising instance or boundary
+        // port, mirroring the `slack` reply shape plus the period.
+        let matching: Vec<(usize, &hummingbird::ParametricTerminal)> = param
+            .terminals()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.name == name)
+            .collect();
+        if matching.is_empty() {
+            return err("unknown-node", format!("no net or terminal named `{name}`"));
+        }
+        let mut body = String::new();
+        let mut worst_term = None;
+        for (idx, t) in &matching {
+            let slack = param
+                .terminal_slack_at(period, *idx)
+                .expect("located above");
+            body.push_str(&format!(
+                "{} pulse {} slack {}\n",
+                kind_str(t.kind),
+                t.pulse,
+                slack
+            ));
+            worst_term = Some(match worst_term {
+                None => slack,
+                Some(w) => slack.min(w),
+            });
+        }
+        ok().arg("node", name)
+            .arg("kind", "terminal")
+            .arg("period", period)
+            .arg("slack", worst_term.expect("matching is non-empty"))
+            .with_payload(body)
+    }
+
+    /// `period-sweep lo=A hi=B step=S`: batch-evaluates feasibility
+    /// and worst slack across a period range in one frame. Each point
+    /// is snapped to the parametric grid; consecutive points snapping
+    /// to the same grid period collapse into one line.
+    fn period_sweep(&self, req: &Frame) -> Frame {
+        let (_, param) = self.parametric_table();
+        let get_time = |key: &str| -> Result<Time, Frame> {
+            let Some(v) = req.get(key) else {
+                return Err(err("usage", "period-sweep needs lo=A hi=B step=S"));
+            };
+            v.parse::<Time>()
+                .map_err(|_| err("usage", format!("bad {key} value `{v}`")))
+        };
+        let (lo, hi, step) = match (get_time("lo"), get_time("hi"), get_time("step")) {
+            (Ok(lo), Ok(hi), Ok(step)) => (lo, hi, step),
+            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return e,
+        };
+        if step <= Time::ZERO {
+            return err("usage", "period-sweep step must be positive");
+        }
+        if lo > hi {
+            return err("usage", "period-sweep needs lo <= hi");
+        }
+        let mut body = String::new();
+        let mut count = 0usize;
+        let mut worst_overall = Time::INF;
+        let mut all_ok = true;
+        let mut last = None;
+        let mut p = lo;
+        while p <= hi {
+            let snapped = param.snap(p);
+            if last != Some(snapped) {
+                count += 1;
+                if count > MAX_SWEEP_POINTS {
+                    return err(
+                        "limit",
+                        format!("period-sweep exceeds {MAX_SWEEP_POINTS} grid points"),
+                    );
+                }
+                let worst = param.worst_at(snapped).expect("snapped onto the grid");
+                let feasible = param.ok_at(snapped).expect("snapped onto the grid");
+                worst_overall = worst_overall.min(worst);
+                all_ok &= feasible;
+                body.push_str(&format!(
+                    "period {snapped} worst {worst} ok {}\n",
+                    u8::from(feasible)
+                ));
+                last = Some(snapped);
+            }
+            p = p.saturating_add(step);
+        }
+        ok().arg("count", count)
+            .arg("ok", u8::from(all_ok))
+            .arg("worst", worst_overall)
+            .with_payload(body)
     }
 
     /// A reply summarising the current report: verdict, worst slack,

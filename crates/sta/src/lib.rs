@@ -61,4 +61,4 @@ pub mod shard;
 
 pub use error::StaError;
 pub use graph::{Cluster, ClusterId, GraphArc, SyncInst, TimingGraph};
-pub use shard::{ClusterShard, ShardedGraph};
+pub use shard::{ClusterShard, LocalArc, ShardedGraph};

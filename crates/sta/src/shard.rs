@@ -25,11 +25,15 @@ use crate::graph::{ClusterId, TimingGraph};
 /// only the max-delay half (the min half stays on the whole-graph path
 /// used by the supplementary checks).
 #[derive(Clone, Copy, Debug)]
-struct LocalArc {
-    from: u32,
-    to: u32,
-    sense: hb_units::Sense,
-    delay_max: RiseFall<Time>,
+pub struct LocalArc {
+    /// Local index of the driving net.
+    pub from: u32,
+    /// Local index of the driven net.
+    pub to: u32,
+    /// The arc's unateness.
+    pub sense: hb_units::Sense,
+    /// The arc's maximum rise/fall delay.
+    pub delay_max: RiseFall<Time>,
 }
 
 /// A compact per-cluster subgraph: nets renumbered to `0..len` in
@@ -72,6 +76,25 @@ impl ClusterShard {
     /// Member nets in topological order; position is the local index.
     pub fn nets(&self) -> &[NetId] {
         &self.nets
+    }
+
+    /// The arcs leaving local node `u`, in the exact order
+    /// [`ClusterShard::sweep_ready_max`] visits them. External engines
+    /// that must replay a sweep operation for operation (e.g. the
+    /// symbolic parametric engine) iterate these instead of duplicating
+    /// the CSR layout.
+    pub fn fanout(&self, u: usize) -> impl Iterator<Item = &LocalArc> + '_ {
+        self.fanout_arcs[self.fanout_heads[u] as usize..self.fanout_heads[u + 1] as usize]
+            .iter()
+            .map(move |&ai| &self.arcs[ai as usize])
+    }
+
+    /// The arcs entering local node `v`, in the exact order
+    /// [`ClusterShard::sweep_required`] visits them.
+    pub fn fanin(&self, v: usize) -> impl Iterator<Item = &LocalArc> + '_ {
+        self.fanin_arcs[self.fanin_heads[v] as usize..self.fanin_heads[v + 1] as usize]
+            .iter()
+            .map(move |&ai| &self.arcs[ai as usize])
     }
 
     /// A local table filled with the given sentinel.

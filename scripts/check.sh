@@ -75,6 +75,53 @@ echo "warm worst slack: $WARM / cold worst slack: $COLD"
     echo "daemon and one-shot analyses disagree"; exit 1
 }
 
+echo "== what-if smoke test (parametric verbs, zero re-sweeps)"
+# Serve a generated design whose feasibility boundary is interior to
+# the parametric domain, then drive the what-if verbs end to end.
+# Two contracts are gated here: `slack-at` at the nominal period is
+# bit-identical to the numeric answer of record, and the what-if
+# verbs answer without adding a single (cluster, pass) sweep sample
+# beyond the resident analysis — the symbolic table is doing the
+# work, not hidden re-analysis.
+$HB gen --kind sram --cells 2000 --seed 7 -o "$SMOKE_DIR/whatif.hum"
+$HB serve --listen 127.0.0.1:0 > "$SMOKE_DIR/whatif_serve.log" &
+WHATIF_PID=$!
+WADDR=""
+for _ in $(seq 1 100); do
+    WADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/whatif_serve.log")
+    [ -n "$WADDR" ] && break
+    sleep 0.1
+done
+[ -n "$WADDR" ] || { echo "what-if serve never announced its port"; exit 1; }
+$HB query "$WADDR" load "$SMOKE_DIR/whatif.hum"
+NUMERIC_WORST=$($HB query "$WADDR" analyze | sed -n 's/^ok .*worst=\([^ ]*\).*/\1/p')
+[ -n "$NUMERIC_WORST" ] || { echo "what-if analyze carried no worst="; exit 1; }
+sweep_count() { # total (cluster, pass) sweep samples the engine recorded
+    $HB query "$1" metrics | awk '
+        $1 ~ /^hb_engine_sweep_nanoseconds_count/ { sum += $2 }
+        END { print sum + 0 }'
+}
+S1=$(sweep_count "$WADDR")
+$HB query "$WADDR" min-period | tee "$SMOKE_DIR/minperiod.out"
+grep -q "feasible=1" "$SMOKE_DIR/minperiod.out"
+MINP=$(sed -n 's/^ok period=\([^ ]*\).*/\1/p' "$SMOKE_DIR/minperiod.out")
+NOM=$(sed -n 's/^ok .*nominal=\([^ ]*\).*/\1/p' "$SMOKE_DIR/minperiod.out")
+[ -n "$MINP" ] && [ -n "$NOM" ] || { echo "min-period reply missing fields"; exit 1; }
+$HB query "$WADDR" slack-at "period=$MINP" | grep -q "ok=1"
+AT_NOM=$($HB query "$WADDR" slack-at "period=$NOM" | sed -n 's/^ok .*worst=\([^ ]*\).*/\1/p')
+$HB query "$WADDR" period-sweep "lo=$MINP" "hi=$NOM" step=1ns | grep -q "^ok count="
+S2=$(sweep_count "$WADDR")
+$HB query "$WADDR" shutdown
+wait "$WHATIF_PID"
+echo "what-if worst at nominal: $AT_NOM / numeric: $NUMERIC_WORST (sweep samples $S1 -> $S2)"
+[ "$AT_NOM" = "$NUMERIC_WORST" ] || {
+    echo "parametric nominal slack diverges from the numeric answer"; exit 1
+}
+[ "$S1" -gt 0 ] || { echo "sweep counter never armed"; exit 1; }
+[ "$S1" = "$S2" ] || {
+    echo "what-if verbs re-swept the design ($S1 -> $S2)"; exit 1
+}
+
 echo "== reactor loopback smoke test"
 # The same daemon on the poll(2) event loop: serve, load, then a
 # pipelined transcript with a batched multi-node slack, then shutdown.

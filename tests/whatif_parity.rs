@@ -1,0 +1,208 @@
+//! Symbolic-vs-numeric parity across the generator families.
+//!
+//! The parametric table's whole contract is that evaluating it at any
+//! concrete grid period is *bit-identical* to re-running the numeric
+//! engine with the clocks rescaled to that period. This suite holds
+//! that contract against every generator family: worst slack,
+//! feasibility, every terminal slack, and every net slack at five
+//! probe periods, plus `min_feasible_period` against a numeric binary
+//! search.
+//!
+//! The default matrix runs one quick seed per family; set
+//! `HB_GEN_FULL=1` for the issue matrix (10k cells, 3 seeds).
+
+use hb_cells::sc89;
+use hb_clock::ClockSet;
+use hb_units::Time;
+use hb_workloads::{generate, GenKind, GenParams, Workload};
+use hummingbird::{Analyzer, ParametricSlack};
+
+const KINDS: [GenKind; 3] = [GenKind::Pipeline, GenKind::Sbox, GenKind::Sram];
+
+fn matrix() -> Vec<GenParams> {
+    let (cells, seeds): (usize, &[u64]) = if std::env::var_os("HB_GEN_FULL").is_some() {
+        (10_000, &[3, 5, 7])
+    } else {
+        (2_000, &[7])
+    };
+    let mut points = Vec::new();
+    for kind in KINDS {
+        for &seed in seeds {
+            points.push(GenParams::new(kind, cells, seed));
+        }
+    }
+    points
+}
+
+/// Rescales every clock so the set's overall period lands exactly on
+/// `period`. All clock times are multiples of the grid unit, so the
+/// scaling is exact integer arithmetic — no rounding anywhere.
+fn clocks_at(clocks: &ClockSet, param: &ParametricSlack, period: Time) -> ClockSet {
+    let stride = param.stride().as_ps();
+    assert_eq!(period.as_ps() % stride, 0, "probe periods sit on the grid");
+    let g = param.nominal_period().as_ps() / stride;
+    let k = period.as_ps() / stride;
+    let scale = |t: Time| {
+        let scaled = i128::from(t.as_ps()) * i128::from(k);
+        assert_eq!(scaled % i128::from(g), 0, "clock time on the lattice");
+        Time::from_ps(i64::try_from(scaled / i128::from(g)).expect("scaled time fits"))
+    };
+    let mut out = ClockSet::new();
+    for (_, c) in clocks.clocks() {
+        out.add_clock(
+            c.name(),
+            scale(c.period()),
+            scale(c.rise()),
+            scale(c.fall()),
+        )
+        .expect("exactly scaled clocks stay valid");
+    }
+    out
+}
+
+/// Five grid periods per design: the domain ends, the nominal period,
+/// and both sides of the feasibility boundary (or the domain midpoint
+/// when the design is infeasible everywhere).
+fn probe_periods(param: &ParametricSlack) -> Vec<Time> {
+    let (lo, hi) = param.domain();
+    let stride = param.stride().as_ps();
+    let mid_k = (lo.as_ps() / stride + hi.as_ps() / stride) / 2;
+    let mut periods = vec![
+        lo,
+        param.nominal_period(),
+        Time::from_ps(mid_k * stride),
+        hi,
+    ];
+    if let Some(min) = param.min_feasible_period() {
+        periods.push(min);
+        let below = Time::from_ps(min.as_ps() - stride);
+        if below >= lo {
+            periods.push(below);
+        }
+    }
+    periods.sort_unstable();
+    periods.dedup();
+    assert!(periods.len() >= 4, "probe set collapsed: {periods:?}");
+    periods
+}
+
+fn cold_report(
+    w: &Workload,
+    lib: &hb_cells::Library,
+    clocks: &ClockSet,
+) -> hummingbird::TimingReport {
+    Analyzer::new(&w.design, w.module, lib, clocks, w.spec.clone())
+        .expect("rescaled design still conforms")
+        .analyze()
+}
+
+/// `slack-at`'s backing evaluation is bit-identical to a cold numeric
+/// run at every probe period, for every slack the report exposes.
+#[test]
+fn symbolic_evaluation_matches_cold_runs_across_families() {
+    let lib = sc89();
+    for p in matrix() {
+        let tag = format!("{} cells={} seed={}", p.kind.name(), p.cells, p.seed);
+        let w = generate(&lib, &p);
+        let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .unwrap_or_else(|e| panic!("{tag}: conforms: {e}"));
+        let param = analyzer
+            .parametric()
+            .unwrap_or_else(|e| panic!("{tag}: parametric builds: {e}"));
+
+        for period in probe_periods(&param) {
+            let clocks = clocks_at(&w.clocks, &param, period);
+            assert_eq!(clocks.overall_period(), period, "{tag}: exact rescale");
+            let report = cold_report(&w, &lib, &clocks);
+
+            assert_eq!(
+                param.worst_at(period).unwrap(),
+                report.worst_slack(),
+                "{tag}: worst slack diverges at {period}"
+            );
+            assert_eq!(
+                param.ok_at(period).unwrap(),
+                report.ok(),
+                "{tag}: feasibility diverges at {period}"
+            );
+            let sym = param.terminal_slacks_at(period).unwrap();
+            let num = report.terminal_slacks();
+            assert_eq!(sym.len(), num.len(), "{tag}: terminal counts");
+            for (i, (s, n)) in sym.iter().zip(num).enumerate() {
+                assert_eq!(param.terminals()[i].name, n.name, "{tag}");
+                assert_eq!(
+                    *s, n.slack,
+                    "{tag}: terminal {} diverges at {period}",
+                    n.name
+                );
+            }
+            let module = w.design.module(w.module);
+            for (net, _) in module.nets() {
+                assert_eq!(
+                    param.net_slack_at(period, net).unwrap(),
+                    report.net_slack(net),
+                    "{tag}: net slack diverges at {period}"
+                );
+            }
+        }
+    }
+}
+
+/// `min-period` agrees with a numeric binary search over cold runs —
+/// and the boundary is sharp: feasible at the answer, infeasible one
+/// grid step below.
+#[test]
+fn min_period_agrees_with_numeric_binary_search() {
+    let lib = sc89();
+    for p in matrix() {
+        let tag = format!("{} cells={} seed={}", p.kind.name(), p.cells, p.seed);
+        let w = generate(&lib, &p);
+        let analyzer = Analyzer::new(&w.design, w.module, &lib, &w.clocks, w.spec.clone())
+            .unwrap_or_else(|e| panic!("{tag}: conforms: {e}"));
+        let param = analyzer
+            .parametric()
+            .unwrap_or_else(|e| panic!("{tag}: parametric builds: {e}"));
+
+        let stride = param.stride().as_ps();
+        let (lo, hi) = param.domain();
+        let feasible = |k: i64| -> bool {
+            let clocks = clocks_at(&w.clocks, &param, Time::from_ps(k * stride));
+            cold_report(&w, &lib, &clocks).ok()
+        };
+
+        let symbolic = param.min_feasible_period();
+        let (mut lo_k, mut hi_k) = (lo.as_ps() / stride, hi.as_ps() / stride);
+        let numeric = if feasible(hi_k) {
+            while lo_k < hi_k {
+                let mid = lo_k + (hi_k - lo_k) / 2;
+                if feasible(mid) {
+                    hi_k = mid;
+                } else {
+                    lo_k = mid + 1;
+                }
+            }
+            Some(Time::from_ps(hi_k * stride))
+        } else {
+            None
+        };
+
+        match (symbolic, numeric) {
+            (Some(s), Some(n)) => {
+                assert!(
+                    (s.as_ps() - n.as_ps()).abs() <= 1,
+                    "{tag}: symbolic {s} vs binary-search {n}"
+                );
+                // The boundary is sharp under cold numeric runs too.
+                assert!(feasible(s.as_ps() / stride), "{tag}: feasible at {s}");
+                if s > lo {
+                    assert!(
+                        !feasible(s.as_ps() / stride - 1),
+                        "{tag}: infeasible one step below {s}"
+                    );
+                }
+            }
+            (None, None) => {}
+            (s, n) => panic!("{tag}: symbolic {s:?} vs binary-search {n:?}"),
+        }
+    }
+}
